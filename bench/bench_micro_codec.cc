@@ -1,0 +1,129 @@
+// Microbenchmarks: encoder/decoder throughput and cache operations.
+#include <benchmark/benchmark.h>
+
+#include "cache/byte_cache.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "core/factory.h"
+#include "packet/packet.h"
+#include "packet/tcp.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace bytecache;
+
+std::vector<packet::PacketPtr> packets_of(const util::Bytes& object) {
+  std::vector<packet::PacketPtr> out;
+  std::uint32_t seq = 1000;
+  for (std::size_t off = 0; off < object.size(); off += 1460) {
+    const std::size_t len = std::min<std::size_t>(1460, object.size() - off);
+    packet::TcpHeader h;
+    h.seq = seq;
+    h.flags = packet::TcpHeader::kAck;
+    seq += static_cast<std::uint32_t>(len);
+    util::Bytes segment;
+    h.serialize(segment, util::BytesView(object.data() + off, len),
+                0x0A000001, 0x0A000101);
+    out.push_back(packet::make_packet(0x0A000001, 0x0A000101,
+                                      packet::IpProto::kTcp,
+                                      std::move(segment)));
+  }
+  return out;
+}
+
+const util::Bytes& redundant_object() {
+  static const util::Bytes obj = [] {
+    util::Rng rng(2);
+    return workload::make_file1(rng, 400 * 1460);
+  }();
+  return obj;
+}
+
+void BM_EncodeRedundantStream(benchmark::State& state) {
+  const auto& object = redundant_object();
+  for (auto _ : state) {
+    core::DreParams params;
+    core::Encoder enc(params,
+                      core::make_policy(core::PolicyKind::kNaive, params));
+    for (const auto& pkt : packets_of(object)) {
+      auto copy = packet::clone_packet(*pkt);
+      benchmark::DoNotOptimize(enc.process(*copy));
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          object.size());
+}
+BENCHMARK(BM_EncodeRedundantStream)->Unit(benchmark::kMillisecond);
+
+void BM_EncodeIncompressibleStream(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto object = workload::make_video(rng, 400 * 1460);
+  for (auto _ : state) {
+    core::DreParams params;
+    core::Encoder enc(params,
+                      core::make_policy(core::PolicyKind::kNaive, params));
+    for (const auto& pkt : packets_of(object)) {
+      auto copy = packet::clone_packet(*pkt);
+      benchmark::DoNotOptimize(enc.process(*copy));
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          object.size());
+}
+BENCHMARK(BM_EncodeIncompressibleStream)->Unit(benchmark::kMillisecond);
+
+void BM_EncodeDecodeRoundTrip(benchmark::State& state) {
+  const auto& object = redundant_object();
+  for (auto _ : state) {
+    core::DreParams params;
+    core::Encoder enc(params,
+                      core::make_policy(core::PolicyKind::kNaive, params));
+    core::Decoder dec(params);
+    for (const auto& pkt : packets_of(object)) {
+      auto copy = packet::clone_packet(*pkt);
+      enc.process(*copy);
+      benchmark::DoNotOptimize(dec.process(*copy));
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          object.size());
+}
+BENCHMARK(BM_EncodeDecodeRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_CacheUpdate(benchmark::State& state) {
+  util::Rng rng(4);
+  util::Bytes payload(1480);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  rabin::RabinTables tables(16);
+  const auto anchors = rabin::selected_anchors(tables, payload, 4);
+  for (auto _ : state) {
+    cache::ByteCache cache;
+    for (int i = 0; i < 100; ++i) {
+      cache.update(payload, anchors, {});
+    }
+    benchmark::DoNotOptimize(cache);
+  }
+}
+BENCHMARK(BM_CacheUpdate);
+
+void BM_CacheFind(benchmark::State& state) {
+  util::Rng rng(5);
+  util::Bytes payload(1480);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  rabin::RabinTables tables(16);
+  const auto anchors = rabin::selected_anchors(tables, payload, 4);
+  cache::ByteCache cache;
+  cache.update(payload, anchors, {});
+  for (auto _ : state) {
+    for (const auto& a : anchors) {
+      benchmark::DoNotOptimize(cache.find(a.fp));
+    }
+  }
+}
+BENCHMARK(BM_CacheFind);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Microbenchmarks: Rabin fingerprinting throughput.
+//
+// Fingerprinting dominates the encoder's CPU cost (the paper's Section
+// III discusses choosing w and the selection bits k partly for
+// performance); these benches quantify the table-driven implementation.
+#include <benchmark/benchmark.h>
+
+#include "rabin/rabin.h"
+#include "rabin/window.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bytecache;
+
+util::Bytes random_payload(std::size_t n) {
+  util::Rng rng(1);
+  util::Bytes b(n);
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.next_u64());
+  return b;
+}
+
+void BM_TableConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    rabin::RabinTables tables(static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(tables);
+  }
+}
+BENCHMARK(BM_TableConstruction)->Arg(16)->Arg(64);
+
+void BM_PushByte(benchmark::State& state) {
+  rabin::RabinTables tables(16);
+  const auto data = random_payload(4096);
+  rabin::Fingerprint fp = 0;
+  for (auto _ : state) {
+    for (std::uint8_t b : data) fp = tables.push(fp, b);
+    benchmark::DoNotOptimize(fp);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size());
+}
+BENCHMARK(BM_PushByte);
+
+void BM_RollingScan(benchmark::State& state) {
+  rabin::RabinTables tables(16);
+  const auto data = random_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t count = rabin::scan(
+        tables, data, [](std::size_t, rabin::Fingerprint) {});
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size());
+}
+BENCHMARK(BM_RollingScan)->Arg(1460)->Arg(65536);
+
+void BM_SelectedAnchors(benchmark::State& state) {
+  rabin::RabinTables tables(16);
+  const auto data = random_payload(1460);
+  for (auto _ : state) {
+    auto anchors = rabin::selected_anchors(tables, data, 4);
+    benchmark::DoNotOptimize(anchors);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size());
+}
+BENCHMARK(BM_SelectedAnchors);
+
+void BM_SelectedAnchorsMaxp(benchmark::State& state) {
+  rabin::RabinTables tables(16);
+  const auto data = random_payload(1460);
+  for (auto _ : state) {
+    auto anchors = rabin::selected_anchors_maxp(tables, data, 31);
+    benchmark::DoNotOptimize(anchors);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size());
+}
+BENCHMARK(BM_SelectedAnchorsMaxp);
+
+void BM_SelectedAnchorsSampleByte(benchmark::State& state) {
+  // EndRE's point: fingerprints only at anchors, not at every position.
+  rabin::RabinTables tables(16);
+  const auto data = random_payload(1460);
+  for (auto _ : state) {
+    auto anchors = rabin::selected_anchors_samplebyte(tables, data, 16, 8);
+    benchmark::DoNotOptimize(anchors);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size());
+}
+BENCHMARK(BM_SelectedAnchorsSampleByte);
+
+void BM_FromScratchVsRolling(benchmark::State& state) {
+  // The naive alternative: recompute each window from scratch.
+  rabin::RabinTables tables(16);
+  const auto data = random_payload(1460);
+  for (auto _ : state) {
+    rabin::Fingerprint acc = 0;
+    for (std::size_t off = 0; off + 16 <= data.size(); ++off) {
+      acc ^= tables.of(util::BytesView(data.data() + off, 16));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size());
+}
+BENCHMARK(BM_FromScratchVsRolling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

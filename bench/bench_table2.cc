@@ -1,0 +1,49 @@
+// Table II: comparison of all three encoding schemes for File 1 at 5% and
+// 10% packet loss (k-distance with k = 8).
+//
+//                      CacheFlush   TCPseq   k-distance
+//   Bytes sent (5%)    0.67         0.70     0.76
+//   Delay (5%)         1.64         2.88     2.11
+//   Bytes sent (10%)   0.74         0.82     0.94
+//   Delay (10%)        1.84         3.87     4.01
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace bytecache;
+
+int main() {
+  harness::print_heading(
+      "Table II: all three encoding schemes, File 1, 5% and 10% loss");
+  bench::print_paper_note(
+      "bytes 0.67/0.70/0.76 and delay 1.64/2.88/2.11 at 5%; bytes "
+      "0.74/0.82/0.94 and delay 1.84/3.87/4.01 at 10%");
+
+  bench::BaselineCache baselines;
+  const auto& file = bench::file1();
+  const std::size_t trials = 10;
+
+  const core::PolicyKind kinds[] = {core::PolicyKind::kCacheFlush,
+                                    core::PolicyKind::kTcpSeq,
+                                    core::PolicyKind::kKDistance};
+
+  harness::Table table({"metric", "Cache Flush", "TCP seq", "k-distance (k=8)"});
+  for (double loss : {0.05, 0.10}) {
+    bench::SweepPoint points[3];
+    for (int i = 0; i < 3; ++i) {
+      points[i] = bench::sweep_point(baselines, kinds[i], file, loss, trials);
+    }
+    const std::string pct = harness::Table::num(loss * 100, 0);
+    table.add_row({"Bytes Sent (" + pct + "% loss)",
+                   harness::Table::num(points[0].bytes_ratio, 2),
+                   harness::Table::num(points[1].bytes_ratio, 2),
+                   harness::Table::num(points[2].bytes_ratio, 2)});
+    table.add_row({"Delay (" + pct + "% loss)",
+                   harness::Table::num(points[0].delay_ratio, 2),
+                   harness::Table::num(points[1].delay_ratio, 2),
+                   harness::Table::num(points[2].delay_ratio, 2)});
+  }
+  table.print();
+  std::printf("\n(CSV)\n%s", table.to_csv().c_str());
+  return 0;
+}

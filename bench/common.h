@@ -1,0 +1,100 @@
+// Shared plumbing for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper; this
+// header provides the common workloads, sweep runner, and baseline cache
+// (the "no DRE" runs are shared between policies at the same loss rate).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "workload/generators.h"
+
+namespace bytecache::bench {
+
+/// The paper's e-book size (Section IV-C: 587,567 bytes).
+inline constexpr std::size_t kFileSize = 587'567;
+
+/// Seeds fixed so every bench run is reproducible.
+inline const util::Bytes& file1() {
+  static const util::Bytes f = [] {
+    util::Rng rng(0xF11E);
+    return workload::make_file1(rng, kFileSize);
+  }();
+  return f;
+}
+
+inline const util::Bytes& file2() {
+  static const util::Bytes f = [] {
+    util::Rng rng(0xF22E);
+    return workload::make_file2(rng, kFileSize);
+  }();
+  return f;
+}
+
+inline harness::ExperimentConfig default_config(core::PolicyKind policy,
+                                                double loss,
+                                                std::size_t trials = 8) {
+  harness::ExperimentConfig cfg;
+  cfg.policy = policy;
+  cfg.loss_rate = loss;
+  cfg.trials = trials;
+  cfg.seed = 0xBE7C;
+  return cfg;
+}
+
+/// Caches "no DRE" aggregates per (file-ptr, loss, trials) so the shared
+/// baseline is computed once per sweep.
+class BaselineCache {
+ public:
+  const harness::Aggregate& get(const util::Bytes& file, double loss,
+                                std::size_t trials) {
+    const auto key = std::make_tuple(&file, loss, trials);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      auto cfg = default_config(core::PolicyKind::kNone, loss, trials);
+      it = cache_.emplace(key, harness::run_experiment(cfg, file)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::tuple<const util::Bytes*, double, std::size_t>,
+           harness::Aggregate>
+      cache_;
+};
+
+/// One Fig. 10/11-style point using the shared baseline.
+struct SweepPoint {
+  double loss = 0.0;
+  double bytes_ratio = 0.0;
+  double delay_ratio = 0.0;
+  harness::Aggregate with_dre;
+};
+
+inline SweepPoint sweep_point(BaselineCache& baselines,
+                              core::PolicyKind policy,
+                              const util::Bytes& file, double loss,
+                              std::size_t trials = 8) {
+  SweepPoint p;
+  p.loss = loss;
+  auto cfg = default_config(policy, loss, trials);
+  p.with_dre = harness::run_experiment(cfg, file);
+  const auto& base = baselines.get(file, loss, trials);
+  if (base.wire_bytes.mean() > 0) {
+    p.bytes_ratio = p.with_dre.wire_bytes.mean() / base.wire_bytes.mean();
+  }
+  if (base.duration_s.mean() > 0) {
+    p.delay_ratio = p.with_dre.duration_s.mean() / base.duration_s.mean();
+  }
+  return p;
+}
+
+inline void print_paper_note(const char* paper_says) {
+  std::printf("paper reports: %s\n", paper_says);
+}
+
+}  // namespace bytecache::bench

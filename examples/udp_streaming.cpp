@@ -1,0 +1,97 @@
+// Byte caching on a UDP media stream with the k-distance encoder.
+//
+// The Cache Flush and TCP Sequence Number encoders need TCP state; the
+// k-distance encoder does not (paper Section V-C), so it is the one that
+// applies to UDP.  This example streams a redundant "media" object across
+// the lossy link and reports the application-level datagram loss with and
+// without DRE — showing the bandwidth saved and the bounded loss cascade.
+//
+//   $ ./udp_streaming [loss%] [k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "app/udp_stream.h"
+#include "gateway/gateways.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "workload/generators.h"
+
+using namespace bytecache;
+
+namespace {
+
+struct StreamOutcome {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t wire_bytes = 0;
+  double loss_rate = 0.0;
+};
+
+StreamOutcome run_stream(const util::Bytes& media, double loss,
+                         std::size_t k, bool with_dre) {
+  sim::Simulator sim;
+  core::DreParams dre;
+  dre.k_distance = k;
+  gateway::EncoderGateway enc(
+      with_dre ? core::PolicyKind::kKDistance : core::PolicyKind::kNone, dre);
+  gateway::DecoderGateway dec(with_dre, dre);
+  sim::LinkConfig lcfg;
+  lcfg.queue_packets = 1 << 16;
+  sim::Link link(sim, lcfg, std::make_unique<sim::BernoulliLoss>(loss),
+                 util::Rng(11));
+
+  app::UdpStreamConfig ucfg;
+  app::UdpSink sink(ucfg);
+  app::UdpSource source(sim, ucfg,
+                        [&](packet::PacketPtr p) { enc.receive(std::move(p)); });
+  enc.set_sink([&](packet::PacketPtr p) { link.send(std::move(p)); });
+  link.set_sink([&](packet::PacketPtr p) { dec.receive(std::move(p)); });
+  dec.set_sink([&](packet::PacketPtr p) { sink.on_packet(*p); });
+
+  source.start(media);
+  sim.run();
+
+  StreamOutcome out;
+  out.sent = source.datagrams_sent();
+  out.received = sink.datagrams_received();
+  out.wire_bytes = link.stats().bytes_sent;
+  out.loss_rate = sink.loss_rate();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double loss = (argc > 1 ? std::atof(argv[1]) : 5.0) / 100.0;
+  const std::size_t k = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  util::Rng rng(4242);
+  const util::Bytes media = workload::make_file1(rng, 600'000);
+
+  std::printf("streaming %zu KB of redundant media over UDP, %.1f%% "
+              "channel loss\n\n",
+              media.size() / 1024, loss * 100);
+
+  const StreamOutcome plain = run_stream(media, loss, k, false);
+  const StreamOutcome dre = run_stream(media, loss, k, true);
+
+  std::printf("without DRE:        %6llu/%llu datagrams delivered "
+              "(%.1f%% lost), %llu wire bytes\n",
+              static_cast<unsigned long long>(plain.received),
+              static_cast<unsigned long long>(plain.sent),
+              plain.loss_rate * 100,
+              static_cast<unsigned long long>(plain.wire_bytes));
+  std::printf("k-distance (k=%2zu):  %6llu/%llu datagrams delivered "
+              "(%.1f%% lost), %llu wire bytes\n",
+              k, static_cast<unsigned long long>(dre.received),
+              static_cast<unsigned long long>(dre.sent),
+              dre.loss_rate * 100,
+              static_cast<unsigned long long>(dre.wire_bytes));
+  std::printf("\nbandwidth saved: %.0f%%   extra datagram loss from "
+              "undecodable packets: %.1f%% (bounded by k-1 per channel "
+              "loss)\n",
+              100.0 * (1.0 - static_cast<double>(dre.wire_bytes) /
+                                 plain.wire_bytes),
+              (dre.loss_rate - plain.loss_rate) * 100);
+  return 0;
+}

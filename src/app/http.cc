@@ -1,0 +1,181 @@
+#include "app/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace bytecache::app {
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+/// Finds the end of the header section; npos if incomplete.
+std::size_t header_end(std::string_view text) {
+  const std::size_t pos = text.find("\r\n\r\n");
+  return pos == std::string_view::npos ? std::string_view::npos : pos + 4;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Splits the header block (after the start line) into name/value pairs.
+std::vector<std::pair<std::string, std::string>> parse_headers(
+    std::string_view block) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t pos = 0;
+  while (pos < block.size()) {
+    const std::size_t eol = block.find(kCrlf, pos);
+    if (eol == std::string_view::npos || eol == pos) break;
+    const std::string_view line = block.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string_view value = line.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+      out.emplace_back(std::string(line.substr(0, colon)),
+                       std::string(value));
+    }
+    pos = eol + 2;
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Bytes HttpRequest::serialize() const {
+  std::string out = method + " " + path + " HTTP/1.0\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  return util::to_bytes(out);
+}
+
+std::optional<HttpRequest> HttpRequest::parse(util::BytesView wire) {
+  const std::string_view text(reinterpret_cast<const char*>(wire.data()),
+                              wire.size());
+  const std::size_t end = header_end(text);
+  if (end == std::string_view::npos) return std::nullopt;
+
+  const std::size_t line_end = text.find(kCrlf);
+  const std::string_view line = text.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return std::nullopt;
+  if (line.substr(sp2 + 1).substr(0, 5) != "HTTP/") return std::nullopt;
+
+  HttpRequest req;
+  req.method = std::string(line.substr(0, sp1));
+  req.path = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  req.headers = parse_headers(text.substr(line_end + 2, end - line_end - 2));
+  return req;
+}
+
+util::Bytes HttpResponse::serialize() const {
+  std::string head = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                     "\r\n";
+  bool has_length = false;
+  for (const auto& [name, value] : headers) {
+    head += name + ": " + value + "\r\n";
+    if (iequals(name, "Content-Length")) has_length = true;
+  }
+  if (!has_length) {
+    head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  head += "\r\n";
+  util::Bytes out = util::to_bytes(head);
+  util::append(out, body);
+  return out;
+}
+
+std::string HttpResponse::header(const std::string& name) const {
+  for (const auto& [n, v] : headers) {
+    if (iequals(n, name)) return v;
+  }
+  return "";
+}
+
+std::optional<std::size_t> HttpResponse::bytes_missing(util::BytesView wire) {
+  const std::string_view text(reinterpret_cast<const char*>(wire.data()),
+                              wire.size());
+  const std::size_t end = header_end(text);
+  if (end == std::string_view::npos) return std::nullopt;
+  std::size_t content_length = 0;
+  for (const auto& [name, value] :
+       parse_headers(text.substr(text.find(kCrlf) + 2))) {
+    if (iequals(name, "Content-Length")) {
+      content_length = static_cast<std::size_t>(std::stoull(value));
+    }
+  }
+  const std::size_t total = end + content_length;
+  return wire.size() >= total ? 0 : total - wire.size();
+}
+
+std::optional<HttpResponse> HttpResponse::parse(util::BytesView wire) {
+  const std::string_view text(reinterpret_cast<const char*>(wire.data()),
+                              wire.size());
+  const std::size_t end = header_end(text);
+  if (end == std::string_view::npos) return std::nullopt;
+
+  const std::size_t line_end = text.find(kCrlf);
+  const std::string_view line = text.substr(0, line_end);
+  if (line.substr(0, 5) != "HTTP/") return std::nullopt;
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+
+  HttpResponse resp;
+  resp.status = std::atoi(std::string(line.substr(sp1 + 1)).c_str());
+  resp.reason = sp2 == std::string_view::npos
+                    ? ""
+                    : std::string(line.substr(sp2 + 1));
+  resp.headers = parse_headers(text.substr(line_end + 2, end - line_end - 2));
+
+  std::size_t content_length = 0;
+  bool has_length = false;
+  for (const auto& [name, value] : resp.headers) {
+    if (iequals(name, "Content-Length")) {
+      content_length = static_cast<std::size_t>(std::stoull(value));
+      has_length = true;
+    }
+  }
+  if (!has_length || wire.size() < end + content_length) return std::nullopt;
+  resp.body.assign(wire.begin() + end, wire.begin() + end + content_length);
+  return resp;
+}
+
+void HttpServer::add_object(const std::string& path, util::Bytes body,
+                            const std::string& content_type) {
+  objects_[path] = Object{std::move(body), content_type};
+}
+
+HttpResponse HttpServer::handle(const HttpRequest& request) const {
+  HttpResponse resp;
+  resp.headers = {{"Server", "bytecache-sim/1.0"},
+                  {"Connection", "close"},
+                  {"Cache-Control", "no-cache"}};
+  auto it = objects_.find(request.path);
+  if (request.method != "GET") {
+    resp.status = 405;
+    resp.reason = "Method Not Allowed";
+    resp.body = util::to_bytes("method not allowed\n");
+  } else if (it == objects_.end()) {
+    resp.status = 404;
+    resp.reason = "Not Found";
+    resp.body = util::to_bytes("object not found\n");
+  } else {
+    resp.headers.emplace_back("Content-Type", it->second.content_type);
+    resp.body = it->second.body;
+  }
+  return resp;
+}
+
+}  // namespace bytecache::app

@@ -1,0 +1,72 @@
+// Minimal HTTP/1.0 messages and an in-simulation HTTP exchange.
+//
+// The paper's experiment unit is "a client retrieves a file from a HTTP
+// server" through byte-caching gateways.  This module provides the
+// realistic version of that: a textual HTTP request travels client ->
+// server on the reverse path, the response (status line + headers + body)
+// travels back through the encoder/lossy link/decoder, and the repeated
+// header boilerplate across responses is itself subject to redundancy
+// elimination — as it is for real deployments.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace bytecache::app {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  [[nodiscard]] util::Bytes serialize() const;
+
+  /// Parses a complete request (through the blank line); nullopt if the
+  /// request is incomplete or malformed.
+  static std::optional<HttpRequest> parse(util::BytesView wire);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::vector<std::pair<std::string, std::string>> headers;
+  util::Bytes body;
+
+  [[nodiscard]] util::Bytes serialize() const;
+
+  /// Parses a complete response; requires Content-Length and the full
+  /// body to be present; nullopt otherwise.
+  static std::optional<HttpResponse> parse(util::BytesView wire);
+
+  /// Bytes still missing for a complete response, or nullopt if even the
+  /// header section is incomplete (callers keep reading either way).
+  static std::optional<std::size_t> bytes_missing(util::BytesView wire);
+
+  [[nodiscard]] std::string header(const std::string& name) const;
+};
+
+/// A tiny origin server: a path -> object map.
+class HttpServer {
+ public:
+  void add_object(const std::string& path, util::Bytes body,
+                  const std::string& content_type = "text/html");
+
+  /// Builds the response for a parsed request (404 for unknown paths).
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request) const;
+
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+
+ private:
+  struct Object {
+    util::Bytes body;
+    std::string content_type;
+  };
+  std::map<std::string, Object> objects_;
+};
+
+}  // namespace bytecache::app

@@ -1,0 +1,63 @@
+// A full HTTP exchange over the paper's Fig. 3 topology.
+//
+// One HttpSession owns the byte-caching gateway pair and the two links;
+// each fetch() opens a fresh connection (new ports/ISN, as HTTP/1.0
+// does), sends the textual request client -> server on the reverse path,
+// and streams the response back through encoder -> lossy link -> decoder.
+// Because the gateway caches persist across fetches, repeated header
+// boilerplate and repeated objects are eliminated across responses —
+// byte caching's inter-connection savings, end to end.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "app/http.h"
+#include "core/factory.h"
+#include "gateway/gateways.h"
+#include "gateway/pipeline.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+
+namespace bytecache::app {
+
+struct FetchResult {
+  bool ok = false;          // completed and parsed
+  int status = 0;           // HTTP status code
+  double duration_s = 0.0;  // request sent -> response complete
+  HttpResponse response;    // valid when ok
+  bool stalled = false;     // a TCP half aborted or the deadline passed
+};
+
+class HttpSession {
+ public:
+  HttpSession(sim::Simulator& sim, const gateway::PipelineConfig& config,
+              HttpServer server);
+  ~HttpSession();  // out of line: Exchange is incomplete here
+
+  /// Fetches one object, driving the simulator until the exchange
+  /// finishes or `deadline` elapses.
+  FetchResult fetch(const std::string& path,
+                    sim::SimTime deadline = sim::sec(300));
+
+  [[nodiscard]] gateway::EncoderGateway& encoder_gw() { return *encoder_gw_; }
+  [[nodiscard]] sim::Link& forward_link() { return *forward_link_; }
+  [[nodiscard]] std::size_t fetches() const { return fetches_; }
+
+ private:
+  struct Exchange;
+
+  sim::Simulator& sim_;
+  gateway::PipelineConfig config_;
+  HttpServer server_;
+  std::unique_ptr<gateway::EncoderGateway> encoder_gw_;
+  std::unique_ptr<gateway::DecoderGateway> decoder_gw_;
+  std::unique_ptr<sim::Link> forward_link_;   // server -> client (lossy)
+  std::unique_ptr<sim::Link> reverse_link_;   // client -> server
+  std::unique_ptr<Exchange> current_;
+  std::size_t fetches_ = 0;
+};
+
+}  // namespace bytecache::app

@@ -1,0 +1,66 @@
+#include "app/udp_stream.h"
+
+#include <algorithm>
+
+#include "packet/udp.h"
+
+namespace bytecache::app {
+
+UdpSource::UdpSource(sim::Simulator& sim, const UdpStreamConfig& config,
+                     SendFn send)
+    : sim_(sim), config_(config), send_(std::move(send)) {}
+
+void UdpSource::start(util::Bytes data, std::function<void()> on_done) {
+  data_ = std::move(data);
+  on_done_ = std::move(on_done);
+  offset_ = 0;
+  seqno_ = 0;
+  send_next();
+}
+
+void UdpSource::send_next() {
+  if (offset_ >= data_.size()) {
+    if (on_done_) on_done_();
+    return;
+  }
+  const std::size_t len =
+      std::min(config_.datagram_payload, data_.size() - offset_);
+
+  // App header: 4-byte sequence number, then the media bytes.
+  util::Bytes app;
+  app.reserve(4 + len);
+  util::put_u32(app, seqno_);
+  app.insert(app.end(), data_.begin() + offset_, data_.begin() + offset_ + len);
+
+  packet::UdpHeader h;
+  h.src_port = config_.src_port;
+  h.dst_port = config_.dst_port;
+  util::Bytes datagram;
+  datagram.reserve(packet::UdpHeader::kSize + app.size());
+  h.serialize(datagram, app, config_.src_ip, config_.dst_ip);
+
+  send_(packet::make_packet(config_.src_ip, config_.dst_ip,
+                            packet::IpProto::kUdp, std::move(datagram)));
+  ++sent_;
+  ++seqno_;
+  offset_ += len;
+  sim_.after(config_.interval, [this]() { send_next(); });
+}
+
+void UdpSink::on_packet(const packet::Packet& pkt) {
+  auto h = packet::UdpHeader::parse(pkt.payload, pkt.ip.src, pkt.ip.dst);
+  if (!h) {
+    ++checksum_drops_;
+    return;
+  }
+  const util::BytesView app(pkt.payload.data() + packet::UdpHeader::kSize,
+                            pkt.payload.size() - packet::UdpHeader::kSize);
+  if (app.size() < 4) return;
+  std::size_t off = 0;
+  const std::uint32_t seqno = util::get_u32(app, off);
+  ++received_;
+  bytes_ += app.size() - 4;
+  highest_seqno_ = std::max(highest_seqno_, seqno);
+}
+
+}  // namespace bytecache::app

@@ -1,0 +1,49 @@
+#include "cache/byte_cache.h"
+
+namespace bytecache::cache {
+
+ByteCache::ByteCache(std::size_t byte_budget) : store_(byte_budget) {}
+
+std::uint64_t ByteCache::update(util::BytesView payload,
+                                const std::vector<rabin::Anchor>& anchors,
+                                const PacketMeta& meta) {
+  if (anchors.empty()) return 0;
+  const std::uint64_t id = store_.insert(payload, meta);
+  for (const rabin::Anchor& a : anchors) {
+    table_.put(a.fp, FpEntry{id, a.offset});
+  }
+  ++stats_.packets_inserted;
+  stats_.fingerprints_inserted += anchors.size();
+  return id;
+}
+
+std::optional<CacheHit> ByteCache::find(rabin::Fingerprint fp) {
+  ++stats_.lookups;
+  auto entry = table_.get(fp);
+  if (!entry) return std::nullopt;
+  const CachedPacket* pkt = store_.lookup(entry->packet_id);
+  if (pkt == nullptr) {
+    // Packet evicted since the fingerprint was recorded.
+    table_.erase(fp);
+    ++stats_.stale_hits;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return CacheHit{pkt, entry->offset};
+}
+
+bool ByteCache::invalidate(rabin::Fingerprint fp) {
+  auto entry = table_.get(fp);
+  if (!entry) return false;
+  store_.erase(entry->packet_id);
+  table_.erase(fp);
+  return true;
+}
+
+void ByteCache::flush() {
+  store_.clear();
+  table_.clear();
+  ++stats_.flushes;
+}
+
+}  // namespace bytecache::cache

@@ -1,0 +1,82 @@
+// The byte cache used by both the encoder and decoder gateways.
+//
+// Combines the packet store and the fingerprint table and keeps them
+// consistent: a fingerprint hit whose packet has been evicted is treated as
+// a miss and lazily erased.  Encoder and decoder run the *identical*
+// cache-update procedure over the same (original) payload bytes, so as long
+// as packets are delivered in order and undamaged the two caches evolve in
+// lockstep — the paper's core synchronization assumption, and exactly what
+// loss/reorder/corruption breaks (Section IV).
+#pragma once
+
+#include <cstdint>
+
+#include "cache/fingerprint_table.h"
+#include "cache/packet_store.h"
+#include "rabin/window.h"
+#include "util/bytes.h"
+
+namespace bytecache::cache {
+
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t stale_hits = 0;  // fingerprint present, packet evicted
+  std::uint64_t packets_inserted = 0;
+  std::uint64_t fingerprints_inserted = 0;
+  std::uint64_t flushes = 0;
+};
+
+/// Result of a successful fingerprint lookup.
+struct CacheHit {
+  const CachedPacket* packet = nullptr;
+  std::uint16_t offset = 0;  // window start within packet->payload
+};
+
+class ByteCache {
+ public:
+  /// `byte_budget` bounds stored payload bytes (0 = unbounded).
+  explicit ByteCache(std::size_t byte_budget = 0);
+
+  /// Runs the cache-update procedure (paper Fig. 2 C): stores `payload`
+  /// and points every anchor's fingerprint at it.  `anchors` must be the
+  /// selected anchors of `payload`.  No-op if `anchors` is empty (a packet
+  /// with no selected fingerprint can never be referenced).
+  /// Returns the store id (0 if not stored).
+  std::uint64_t update(util::BytesView payload,
+                       const std::vector<rabin::Anchor>& anchors,
+                       const PacketMeta& meta);
+
+  /// Fingerprint lookup with lazy invalidation.  Returns nullopt on miss.
+  [[nodiscard]] std::optional<CacheHit> find(rabin::Fingerprint fp);
+
+  /// Cache flush (paper Section V-A).
+  void flush();
+
+  /// Reacts to a decoder NACK for `fp`: removes the fingerprint AND the
+  /// whole packet it points to, so no other fingerprint can reference the
+  /// packet the decoder reported missing (entries to it become stale and
+  /// are lazily dropped).  Returns true if an entry existed.
+  bool invalidate(rabin::Fingerprint fp);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const PacketStore& store() const { return store_; }
+  [[nodiscard]] const FingerprintTable& table() const { return table_; }
+  [[nodiscard]] std::size_t fingerprint_count() const {
+    return table_.size();
+  }
+
+  /// Snapshot-restore primitives (see cache/persist.h); bypass the
+  /// normal update path and statistics.
+  void restore_packet(CachedPacket entry) { store_.restore(std::move(entry)); }
+  void restore_fingerprint(rabin::Fingerprint fp, FpEntry entry) {
+    table_.put(fp, entry);
+  }
+
+ private:
+  PacketStore store_;
+  FingerprintTable table_;
+  CacheStats stats_;
+};
+
+}  // namespace bytecache::cache

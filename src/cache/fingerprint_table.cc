@@ -1,0 +1,19 @@
+#include "cache/fingerprint_table.h"
+
+namespace bytecache::cache {
+
+void FingerprintTable::put(rabin::Fingerprint fp, FpEntry entry) {
+  map_[fp] = entry;
+}
+
+std::optional<FpEntry> FingerprintTable::get(rabin::Fingerprint fp) const {
+  auto it = map_.find(fp);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void FingerprintTable::erase(rabin::Fingerprint fp) { map_.erase(fp); }
+
+void FingerprintTable::clear() { map_.clear(); }
+
+}  // namespace bytecache::cache

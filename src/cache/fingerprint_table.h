@@ -1,0 +1,49 @@
+// Fingerprint -> (packet id, offset) index.
+//
+// Matches the paper's cache-update procedure (Fig. 2 C / Fig. 7 C): each
+// selected fingerprint maps to the *latest* packet containing it and the
+// offset of the window within that packet; inserting an existing
+// fingerprint overwrites the entry ("the encoder also updates its cache by
+// replacing the entry for r from Pstored to Pnew", Section III-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "rabin/rabin.h"
+
+namespace bytecache::cache {
+
+struct FpEntry {
+  std::uint64_t packet_id = 0;  // PacketStore id
+  std::uint16_t offset = 0;     // window start within the payload
+};
+
+class FingerprintTable {
+ public:
+  /// Inserts or overwrites the entry for `fp`.
+  void put(rabin::Fingerprint fp, FpEntry entry);
+
+  /// Looks up `fp`; nullopt if absent.
+  [[nodiscard]] std::optional<FpEntry> get(rabin::Fingerprint fp) const;
+
+  /// Removes the entry for `fp` if present (lazy invalidation of entries
+  /// whose packet was evicted).
+  void erase(rabin::Fingerprint fp);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  /// Raw view for snapshots (unordered).
+  [[nodiscard]] const std::unordered_map<rabin::Fingerprint, FpEntry>&
+  entries() const {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<rabin::Fingerprint, FpEntry> map_;
+};
+
+}  // namespace bytecache::cache

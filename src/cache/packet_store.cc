@@ -1,0 +1,72 @@
+#include "cache/packet_store.h"
+
+#include <algorithm>
+
+namespace bytecache::cache {
+
+PacketStore::PacketStore(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+std::uint64_t PacketStore::insert(util::BytesView payload,
+                                  const PacketMeta& meta) {
+  CachedPacket entry;
+  entry.id = next_id_++;
+  entry.payload.assign(payload.begin(), payload.end());
+  entry.meta = meta;
+  bytes_used_ += entry.payload.size();
+  lru_.push_front(std::move(entry));
+  index_.emplace(lru_.front().id, lru_.begin());
+  evict_to_budget();
+  return lru_.empty() ? 0 : lru_.front().id;
+}
+
+const CachedPacket* PacketStore::lookup(std::uint64_t id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return &*it->second;
+}
+
+const CachedPacket* PacketStore::peek(std::uint64_t id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+bool PacketStore::contains(std::uint64_t id) const {
+  return index_.count(id) != 0;
+}
+
+void PacketStore::restore(CachedPacket entry) {
+  next_id_ = std::max(next_id_, entry.id + 1);
+  bytes_used_ += entry.payload.size();
+  lru_.push_back(std::move(entry));
+  index_.emplace(lru_.back().id, std::prev(lru_.end()));
+}
+
+bool PacketStore::erase(std::uint64_t id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  bytes_used_ -= it->second->payload.size();
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void PacketStore::clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_used_ = 0;
+}
+
+void PacketStore::evict_to_budget() {
+  if (byte_budget_ == 0) return;
+  while (bytes_used_ > byte_budget_ && lru_.size() > 1) {
+    // Never evict the entry just inserted (front).
+    const CachedPacket& victim = lru_.back();
+    bytes_used_ -= victim.payload.size();
+    index_.erase(victim.id);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace bytecache::cache

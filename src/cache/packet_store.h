@@ -1,0 +1,99 @@
+// Byte-budgeted LRU store of packet payloads.
+//
+// Both gateway caches hold full copies of recently seen payloads, keyed by
+// a store-assigned id.  The store evicts least-recently-used payloads when
+// a byte budget is exceeded; fingerprint-table entries that point at an
+// evicted payload are invalidated lazily at lookup time (ByteCache checks
+// `contains`).  The paper sizes caches so eviction does not occur within an
+// experiment; the budget exists so the library is usable long-running.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "util/bytes.h"
+
+namespace bytecache::cache {
+
+/// Per-payload metadata recorded at insert time, needed by the encoding
+/// policies (paper Fig. 7 line C.6 stores the TCP sequence number; the
+/// k-distance policy needs the position in the packet stream).
+struct PacketMeta {
+  /// TCP sequence number of the segment, if the payload is TCP.
+  std::uint32_t tcp_seq = 0;
+  /// One past the last sequence number the segment covers (seq + datalen).
+  std::uint32_t tcp_end_seq = 0;
+  bool has_tcp_seq = false;
+
+  /// 0-based position of the packet in the encoder's stream.
+  std::uint64_t stream_index = 0;
+
+  /// Cache-flush epoch the packet was inserted under.
+  std::uint32_t epoch = 0;
+
+  /// uid of the simulated packet this payload came from (tracing only).
+  std::uint64_t src_uid = 0;
+
+  /// TCP flow the payload belongs to (see PacketContext::flow_key).
+  std::uint64_t flow_key = 0;
+};
+
+struct CachedPacket {
+  std::uint64_t id = 0;
+  util::Bytes payload;
+  PacketMeta meta;
+};
+
+class PacketStore {
+ public:
+  /// `byte_budget` bounds the sum of stored payload sizes (0 = unbounded).
+  explicit PacketStore(std::size_t byte_budget = 0);
+
+  /// Stores a payload copy; returns its id.  May evict LRU entries.
+  std::uint64_t insert(util::BytesView payload, const PacketMeta& meta);
+
+  /// Returns the packet and marks it most-recently-used; nullptr if absent.
+  [[nodiscard]] const CachedPacket* lookup(std::uint64_t id);
+
+  /// Returns the packet without touching recency; nullptr if absent.
+  [[nodiscard]] const CachedPacket* peek(std::uint64_t id) const;
+
+  [[nodiscard]] bool contains(std::uint64_t id) const;
+
+  /// Removes one packet (e.g. after a decoder NACK names it as lost).
+  /// Returns true if it was present.
+  bool erase(std::uint64_t id);
+
+  /// Drops everything (cache flush).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+
+  /// Entries from most- to least-recently used (snapshot/debug only).
+  [[nodiscard]] const std::list<CachedPacket>& entries() const {
+    return lru_;
+  }
+
+  /// Re-inserts a snapshotted entry at the LRU tail; callers restore in
+  /// MRU-to-LRU order so recency is preserved.  Ids are kept; the id
+  /// counter advances past them.
+  void restore(CachedPacket entry);
+  [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
+  [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  void evict_to_budget();
+
+  std::size_t byte_budget_;
+  std::size_t bytes_used_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t evictions_ = 0;
+  // Front = most recently used.
+  std::list<CachedPacket> lru_;
+  std::unordered_map<std::uint64_t, std::list<CachedPacket>::iterator> index_;
+};
+
+}  // namespace bytecache::cache

@@ -1,0 +1,83 @@
+#include "cache/persist.h"
+
+namespace bytecache::cache {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x42434331;  // "BCC1"
+
+}  // namespace
+
+util::Bytes serialize_cache(const ByteCache& cache) {
+  util::Bytes out;
+  util::put_u32(out, kMagic);
+  util::put_u32(out, static_cast<std::uint32_t>(cache.store().size()));
+  for (const CachedPacket& p : cache.store().entries()) {
+    util::put_u64(out, p.id);
+    util::put_u64(out, p.meta.flow_key);
+    util::put_u64(out, p.meta.src_uid);
+    util::put_u64(out, p.meta.stream_index);
+    util::put_u32(out, p.meta.tcp_seq);
+    util::put_u32(out, p.meta.tcp_end_seq);
+    util::put_u32(out, p.meta.epoch);
+    util::put_u8(out, p.meta.has_tcp_seq ? 1 : 0);
+    util::put_u32(out, static_cast<std::uint32_t>(p.payload.size()));
+    util::append(out, p.payload);
+  }
+  util::put_u32(out, static_cast<std::uint32_t>(cache.table().size()));
+  for (const auto& [fp, entry] : cache.table().entries()) {
+    util::put_u64(out, fp);
+    util::put_u64(out, entry.packet_id);
+    util::put_u16(out, entry.offset);
+  }
+  return out;
+}
+
+bool deserialize_cache(util::BytesView snapshot, ByteCache& cache) {
+  cache.flush();
+  std::size_t off = 0;
+  auto have = [&](std::size_t n) { return snapshot.size() - off >= n; };
+  if (!have(8) || util::get_u32(snapshot, off) != kMagic) return false;
+  const std::uint32_t packets = util::get_u32(snapshot, off);
+  for (std::uint32_t i = 0; i < packets; ++i) {
+    if (!have(8 * 4 + 4 * 3 + 1 + 4)) {
+      cache.flush();
+      return false;
+    }
+    CachedPacket p;
+    p.id = util::get_u64(snapshot, off);
+    p.meta.flow_key = util::get_u64(snapshot, off);
+    p.meta.src_uid = util::get_u64(snapshot, off);
+    p.meta.stream_index = util::get_u64(snapshot, off);
+    p.meta.tcp_seq = util::get_u32(snapshot, off);
+    p.meta.tcp_end_seq = util::get_u32(snapshot, off);
+    p.meta.epoch = util::get_u32(snapshot, off);
+    p.meta.has_tcp_seq = util::get_u8(snapshot, off) != 0;
+    const std::uint32_t len = util::get_u32(snapshot, off);
+    if (!have(len)) {
+      cache.flush();
+      return false;
+    }
+    p.payload.assign(snapshot.begin() + off, snapshot.begin() + off + len);
+    off += len;
+    cache.restore_packet(std::move(p));
+  }
+  if (!have(4)) {
+    cache.flush();
+    return false;
+  }
+  const std::uint32_t fps = util::get_u32(snapshot, off);
+  for (std::uint32_t i = 0; i < fps; ++i) {
+    if (!have(8 + 8 + 2)) {
+      cache.flush();
+      return false;
+    }
+    const rabin::Fingerprint fp = util::get_u64(snapshot, off);
+    FpEntry entry;
+    entry.packet_id = util::get_u64(snapshot, off);
+    entry.offset = util::get_u16(snapshot, off);
+    cache.restore_fingerprint(fp, entry);
+  }
+  return off == snapshot.size();
+}
+
+}  // namespace bytecache::cache

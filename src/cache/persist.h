@@ -1,0 +1,35 @@
+// Byte-cache serialization: warm restarts for long-running gateways.
+//
+// Operators deploy byte-caching appliances in the backbone (paper Fig. 1);
+// losing the whole cache on a process restart throws away exactly the
+// history that makes the appliance useful.  This module snapshots a
+// ByteCache (payload store in LRU order plus the fingerprint table) to a
+// flat byte buffer and restores it bit-exactly.  Both gateways must be
+// restored from snapshots taken at the same stream position to stay in
+// lockstep — the usual pairing discipline applies.
+//
+// Format (all integers big-endian):
+//   magic "BCC1" | packet_count u32
+//   per packet (most- to least-recently used):
+//     id u64 | flow_key u64 | src_uid u64 | stream_index u64
+//     tcp_seq u32 | tcp_end_seq u32 | epoch u32 | has_tcp_seq u8
+//     payload_len u32 | payload bytes
+//   fingerprint_count u32
+//   per fingerprint: fp u64 | packet_id u64 | offset u16
+#pragma once
+
+#include <optional>
+
+#include "cache/byte_cache.h"
+#include "util/bytes.h"
+
+namespace bytecache::cache {
+
+/// Snapshots the cache contents (not its statistics).
+[[nodiscard]] util::Bytes serialize_cache(const ByteCache& cache);
+
+/// Restores a snapshot into `cache`, replacing its current contents.
+/// Returns false (leaving the cache flushed) on malformed input.
+bool deserialize_cache(util::BytesView snapshot, ByteCache& cache);
+
+}  // namespace bytecache::cache

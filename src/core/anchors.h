@@ -1,0 +1,33 @@
+// Anchor computation shared by the encoder and decoder.
+//
+// Both gateways MUST derive identical anchors from identical payload
+// bytes — the cache-update procedures stay in lockstep only then — so the
+// selection scheme lives in DreParams and this helper is the single place
+// that interprets it.
+#pragma once
+
+#include <vector>
+
+#include "core/params.h"
+#include "rabin/window.h"
+#include "util/bytes.h"
+
+namespace bytecache::core {
+
+[[nodiscard]] inline std::vector<rabin::Anchor> compute_anchors(
+    const rabin::RabinTables& tables, util::BytesView payload,
+    const DreParams& params) {
+  switch (params.select_mode) {
+    case SelectMode::kMaxp:
+      return rabin::selected_anchors_maxp(tables, payload, params.maxp_p);
+    case SelectMode::kSampleByte:
+      return rabin::selected_anchors_samplebyte(tables, payload,
+                                                params.samplebyte_period,
+                                                params.samplebyte_skip);
+    case SelectMode::kValueSampling:
+      break;
+  }
+  return rabin::selected_anchors(tables, payload, params.select_bits);
+}
+
+}  // namespace bytecache::core

@@ -1,0 +1,32 @@
+#include "core/control.h"
+
+namespace bytecache::core {
+
+util::Bytes ControlMessage::serialize() const {
+  util::Bytes out;
+  out.reserve(3 + fingerprints.size() * 8);
+  util::put_u8(out, kControlMagic);
+  util::put_u8(out, static_cast<std::uint8_t>(type));
+  util::put_u8(out, static_cast<std::uint8_t>(fingerprints.size()));
+  for (rabin::Fingerprint fp : fingerprints) util::put_u64(out, fp);
+  return out;
+}
+
+std::optional<ControlMessage> ControlMessage::parse(util::BytesView wire) {
+  if (wire.size() < 3) return std::nullopt;
+  std::size_t off = 0;
+  if (util::get_u8(wire, off) != kControlMagic) return std::nullopt;
+  ControlMessage msg;
+  const std::uint8_t type = util::get_u8(wire, off);
+  if (type != static_cast<std::uint8_t>(Type::kNack)) return std::nullopt;
+  msg.type = Type::kNack;
+  const std::size_t count = util::get_u8(wire, off);
+  if (wire.size() != 3 + count * 8) return std::nullopt;
+  msg.fingerprints.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    msg.fingerprints.push_back(util::get_u64(wire, off));
+  }
+  return msg;
+}
+
+}  // namespace bytecache::core

@@ -1,0 +1,36 @@
+// DRE control messages (decoder -> encoder feedback).
+//
+// Implements the first "potential approach" of the paper's Section VIII:
+// "having the decoder – upon detecting a missing packet – sending a
+// notification message to the encoder", in the spirit of Lumezanu et
+// al.'s *informed marking*: the NACK carries the fingerprint whose packet
+// the decoder does not have; the encoder stops using that packet for
+// future encodings.  Control messages travel on the reverse path with
+// their own IP protocol value and are tiny (3 + 8n bytes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rabin/rabin.h"
+#include "util/bytes.h"
+
+namespace bytecache::core {
+
+inline constexpr std::uint8_t kControlMagic = 0xDC;
+
+/// IP protocol value for DRE control traffic (RFC 3692 experimental).
+inline constexpr std::uint8_t kControlProto = 254;
+
+struct ControlMessage {
+  enum class Type : std::uint8_t { kNack = 1 };
+
+  Type type = Type::kNack;
+  std::vector<rabin::Fingerprint> fingerprints;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static std::optional<ControlMessage> parse(util::BytesView wire);
+};
+
+}  // namespace bytecache::core

@@ -1,0 +1,135 @@
+#include "core/decoder.h"
+
+#include "cache/persist.h"
+#include "core/anchors.h"
+#include "core/wire.h"
+#include "util/crc32.h"
+
+namespace bytecache::core {
+
+Decoder::Decoder(const DreParams& params)
+    : params_(params),
+      tables_(params.window, params.poly),
+      cache_(params.cache_bytes) {}
+
+void Decoder::flush() { cache_.flush(); }
+
+util::Bytes Decoder::save_state() const {
+  util::Bytes out;
+  util::put_u64(out, stream_index_);
+  util::append(out, cache::serialize_cache(cache_));
+  return out;
+}
+
+bool Decoder::load_state(util::BytesView snapshot) {
+  if (snapshot.size() < 8) return false;
+  std::size_t off = 0;
+  const std::uint64_t stream_index = util::get_u64(snapshot, off);
+  if (!cache::deserialize_cache(snapshot.subspan(off), cache_)) return false;
+  stream_index_ = stream_index;
+  return true;
+}
+
+void Decoder::cache_update(util::BytesView payload) {
+  if (payload.size() < params_.window || payload.size() > 0xFFFF) return;
+  const auto anchors =
+      compute_anchors(tables_, payload, params_);
+  cache::PacketMeta meta;
+  meta.stream_index = stream_index_++;
+  cache_.update(payload, anchors, meta);
+}
+
+DecodeInfo Decoder::process(packet::Packet& pkt) {
+  ++stats_.packets;
+  stats_.bytes_received += pkt.payload.size();
+  if (pkt.proto() != packet::IpProto::kDre) {
+    DecodeInfo info;
+    info.status = DecodeStatus::kPassthrough;
+    info.received_size = pkt.payload.size();
+    info.restored_size = pkt.payload.size();
+    cache_update(pkt.payload);
+    ++stats_.passthrough;
+    stats_.bytes_restored += pkt.payload.size();
+    return info;
+  }
+  DecodeInfo info = process_encoded(pkt);
+  switch (info.status) {
+    case DecodeStatus::kDecoded:
+      ++stats_.decoded;
+      stats_.bytes_restored += info.restored_size;
+      break;
+    case DecodeStatus::kMalformedShim:
+      ++stats_.drops_malformed;
+      break;
+    case DecodeStatus::kMissingFingerprint:
+      ++stats_.drops_missing_fp;
+      break;
+    case DecodeStatus::kBadRegionBounds:
+      ++stats_.drops_bad_bounds;
+      break;
+    case DecodeStatus::kCrcMismatch:
+      ++stats_.drops_crc;
+      break;
+    case DecodeStatus::kPassthrough:
+      break;  // unreachable
+  }
+  return info;
+}
+
+DecodeInfo Decoder::process_encoded(packet::Packet& pkt) {
+  DecodeInfo info;
+  info.received_size = pkt.payload.size();
+
+  auto enc = EncodedPayload::parse(pkt.payload);
+  if (!enc) {
+    info.status = DecodeStatus::kMalformedShim;
+    return info;
+  }
+  info.regions = enc->regions.size();
+  info.epoch = enc->epoch;
+
+  util::Bytes out;
+  out.reserve(enc->orig_len);
+  std::size_t lit = 0;  // cursor into literals
+  std::size_t pos = 0;  // cursor into the reconstruction
+  for (const EncodedRegion& r : enc->regions) {
+    // Literal gap before the region.
+    const std::size_t gap = r.offset_new - pos;
+    out.insert(out.end(), enc->literals.begin() + lit,
+               enc->literals.begin() + lit + gap);
+    lit += gap;
+    pos += gap;
+    // The region itself, from the cache.
+    auto hit = cache_.find(r.fp);
+    if (!hit) {
+      info.status = DecodeStatus::kMissingFingerprint;
+      info.missing_fp = r.fp;
+      return info;
+    }
+    const util::Bytes& stored = hit->packet->payload;
+    if (static_cast<std::size_t>(r.offset_stored) + r.length > stored.size()) {
+      info.status = DecodeStatus::kBadRegionBounds;
+      return info;
+    }
+    out.insert(out.end(), stored.begin() + r.offset_stored,
+               stored.begin() + r.offset_stored + r.length);
+    pos += r.length;
+  }
+  out.insert(out.end(), enc->literals.begin() + lit, enc->literals.end());
+
+  if (util::crc32(out) != enc->crc) {
+    info.status = DecodeStatus::kCrcMismatch;
+    return info;
+  }
+
+  pkt.payload = std::move(out);
+  pkt.ip.protocol = enc->orig_proto;
+  pkt.ip.total_length = static_cast<std::uint16_t>(
+      packet::Ipv4Header::kSize + pkt.payload.size());
+  info.status = DecodeStatus::kDecoded;
+  info.restored_size = pkt.payload.size();
+  cache_update(pkt.payload);
+  return info;
+}
+
+}  // namespace bytecache::core

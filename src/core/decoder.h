@@ -1,0 +1,97 @@
+// The DRE decoder.
+//
+// Performs the reciprocal of the encoder: reconstructs the original
+// payload from literals plus cache lookups, verifies the CRC, restores the
+// IP protocol field, and runs the identical cache-update procedure over
+// the reconstructed payload so its cache tracks the encoder's.
+//
+// Any failure (missing fingerprint because the referenced packet was lost,
+// region out of bounds, CRC mismatch after reorder/corruption) makes the
+// packet *undecodable*: it is dropped, exactly as in the paper (Section IV
+// t3: "the cache has no entry corresponding to r. As such, IPi cannot be
+// decoded, and the packet is dropped").  These drops are what the paper
+// calls the extra component of the *perceived* packet loss rate.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/byte_cache.h"
+#include "core/params.h"
+#include "packet/packet.h"
+#include "rabin/window.h"
+
+namespace bytecache::core {
+
+enum class DecodeStatus {
+  kPassthrough,         // not DRE-encoded; forwarded (and cached)
+  kDecoded,             // reconstructed successfully
+  kMalformedShim,       // shim/regions failed to parse
+  kMissingFingerprint,  // referenced fingerprint absent (cache desync)
+  kBadRegionBounds,     // region exceeds the stored payload
+  kCrcMismatch,         // reconstruction does not match the original
+};
+
+/// True if the packet must be dropped.
+[[nodiscard]] constexpr bool is_drop(DecodeStatus s) {
+  return s != DecodeStatus::kPassthrough && s != DecodeStatus::kDecoded;
+}
+
+struct DecodeInfo {
+  DecodeStatus status = DecodeStatus::kPassthrough;
+  std::size_t regions = 0;
+  std::size_t received_size = 0;  // payload bytes on the wire
+  std::size_t restored_size = 0;  // payload bytes after reconstruction
+  std::uint16_t epoch = 0;        // encoder epoch, if encoded
+
+  /// On kMissingFingerprint: the fingerprint that had no cache entry
+  /// (what a NACK reports back to the encoder).
+  rabin::Fingerprint missing_fp = 0;
+};
+
+struct DecoderStats {
+  std::uint64_t packets = 0;
+  std::uint64_t passthrough = 0;
+  std::uint64_t decoded = 0;
+  std::uint64_t drops_malformed = 0;
+  std::uint64_t drops_missing_fp = 0;
+  std::uint64_t drops_bad_bounds = 0;
+  std::uint64_t drops_crc = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_restored = 0;
+
+  [[nodiscard]] std::uint64_t drops() const {
+    return drops_malformed + drops_missing_fp + drops_bad_bounds + drops_crc;
+  }
+};
+
+class Decoder {
+ public:
+  explicit Decoder(const DreParams& params);
+
+  /// Processes one incoming packet in place.  If is_drop(result.status),
+  /// the caller must discard the packet.
+  DecodeInfo process(packet::Packet& pkt);
+
+  [[nodiscard]] const DecoderStats& stats() const { return stats_; }
+  [[nodiscard]] const cache::ByteCache& cache() const { return cache_; }
+
+  /// Flushes the cache (mirrors Encoder::flush; used by tests/examples).
+  void flush();
+
+  /// Snapshot / warm-restore of the decoder cache (pair with the
+  /// encoder's snapshot taken at the same stream position).
+  [[nodiscard]] util::Bytes save_state() const;
+  bool load_state(util::BytesView snapshot);
+
+ private:
+  DecodeInfo process_encoded(packet::Packet& pkt);
+  void cache_update(util::BytesView payload);
+
+  DreParams params_;
+  rabin::RabinTables tables_;
+  cache::ByteCache cache_;
+  DecoderStats stats_;
+  std::uint64_t stream_index_ = 0;
+};
+
+}  // namespace bytecache::core

@@ -1,0 +1,223 @@
+#include "core/encoder.h"
+
+#include <algorithm>
+
+#include "cache/persist.h"
+#include "core/anchors.h"
+#include "core/flow.h"
+#include "core/matcher.h"
+#include "core/wire.h"
+#include "packet/tcp.h"
+#include "util/crc32.h"
+#include "util/seqcmp.h"
+
+namespace bytecache::core {
+namespace {
+
+struct TcpInfo {
+  std::uint32_t seq = 0;
+  std::uint64_t flow_key = 0;
+};
+
+/// TCP data segments carry their sequence number and flow identity;
+/// everything else (pure ACKs, UDP, unknown protocols) yields nullopt.
+std::optional<TcpInfo> data_tcp_info(const packet::Packet& pkt) {
+  if (pkt.proto() != packet::IpProto::kTcp) return std::nullopt;
+  auto h = packet::TcpHeader::parse_unchecked(pkt.payload);
+  if (!h) return std::nullopt;
+  if (pkt.payload.size() <= packet::TcpHeader::kSize) return std::nullopt;
+  TcpInfo info;
+  info.seq = h->seq;
+  info.flow_key = flow_key_of(pkt.ip.src, pkt.ip.dst, h->src_port,
+                              h->dst_port);
+  return info;
+}
+
+}  // namespace
+
+Encoder::Encoder(const DreParams& params,
+                 std::unique_ptr<EncodingPolicy> policy)
+    : params_(params),
+      tables_(params.window, params.poly),
+      policy_(std::move(policy)),
+      cache_(params.cache_bytes) {}
+
+void Encoder::flush() {
+  cache_.flush();
+  ++epoch_;
+  epoch_bumped_ = true;
+}
+
+util::Bytes Encoder::save_state() const {
+  util::Bytes out;
+  util::put_u64(out, stream_index_);
+  util::put_u16(out, epoch_);
+  util::append(out, cache::serialize_cache(cache_));
+  return out;
+}
+
+bool Encoder::load_state(util::BytesView snapshot) {
+  if (snapshot.size() < 10) return false;
+  std::size_t off = 0;
+  const std::uint64_t stream_index = util::get_u64(snapshot, off);
+  const std::uint16_t epoch = util::get_u16(snapshot, off);
+  if (!cache::deserialize_cache(snapshot.subspan(off), cache_)) return false;
+  stream_index_ = stream_index;
+  epoch_ = epoch;
+  return true;
+}
+
+void Encoder::on_nack(rabin::Fingerprint fp) {
+  ++stats_.nacks_received;
+  if (cache_.invalidate(fp)) ++stats_.nack_invalidations;
+}
+
+void Encoder::on_reverse_ack(std::uint64_t flow_key, std::uint32_t ack) {
+  auto it = highest_ack_.find(flow_key);
+  if (it == highest_ack_.end()) {
+    highest_ack_.emplace(flow_key, ack);
+  } else if (util::seq_gt(ack, it->second)) {
+    it->second = ack;
+  }
+}
+
+EncodeInfo Encoder::process(packet::Packet& pkt) {
+  EncodeInfo info;
+  info.uid = pkt.uid;
+  info.original_size = pkt.payload.size();
+  info.sent_size = pkt.payload.size();
+  ++stats_.packets;
+
+  // Packets too small to hold a window, without transport data, or too
+  // large for the 16-bit offsets are forwarded untouched and uncached.
+  const auto tcp = data_tcp_info(pkt);
+  const bool is_tcp = pkt.proto() == packet::IpProto::kTcp;
+  const bool has_data = !is_tcp || tcp.has_value();
+  if (pkt.payload.size() < params_.window || !has_data ||
+      pkt.payload.size() > 0xFFFF) {
+    return info;
+  }
+  info.data_packet = true;
+  ++stats_.data_packets;
+  stats_.bytes_in += pkt.payload.size();
+
+  PacketContext ctx;
+  if (tcp) ctx.tcp_seq = tcp->seq;
+  ctx.flow_key = tcp ? tcp->flow_key : 0;
+  ctx.stream_index = stream_index_++;
+  ctx.payload_size = pkt.payload.size();
+
+  const PolicyDecision decision = policy_->before_encode(ctx);
+  if (decision.is_retransmission) {
+    info.retransmission = true;
+    ++stats_.retransmissions;
+  }
+  if (decision.flush_cache) {
+    flush();
+    info.flushed = true;
+    ++stats_.flushes;
+  }
+  if (decision.is_reference) {
+    info.reference = true;
+    ++stats_.references;
+  }
+
+  const util::BytesView payload(pkt.payload);
+  const auto anchors =
+      compute_anchors(tables_, payload, params_);
+
+  // ---- Redundancy identification and elimination (Fig. 2 procedure B) ----
+  std::vector<EncodedRegion> regions;
+  std::vector<std::uint64_t> dep_ids;  // store ids, deduplicated
+  if (decision.allow_encode) {
+    std::size_t cursor = 0;  // end of the last emitted region
+    for (const rabin::Anchor& a : anchors) {
+      if (a.offset < cursor) continue;  // inside an already-encoded area
+      auto hit = cache_.find(a.fp);
+      if (!hit) continue;
+      if (!policy_->admit(ctx, hit->packet->meta)) continue;
+      if (params_.ack_gated) {
+        // Only reference segments the peer has cumulatively ACKed — such
+        // segments passed the decoder and are provably in its cache.
+        const cache::PacketMeta& m = hit->packet->meta;
+        auto ack_it = m.has_tcp_seq ? highest_ack_.find(m.flow_key)
+                                    : highest_ack_.end();
+        if (ack_it == highest_ack_.end() ||
+            !util::seq_le(m.tcp_end_seq, ack_it->second)) {
+          ++stats_.ack_gate_rejections;
+          continue;
+        }
+      }
+      auto m = expand_match(payload, a.offset, hit->packet->payload,
+                            hit->offset, params_.window, cursor);
+      if (!m) continue;  // fingerprint collision
+      if (m->length <= params_.min_region) continue;
+      regions.push_back(EncodedRegion{
+          a.fp, static_cast<std::uint16_t>(m->new_begin),
+          static_cast<std::uint16_t>(m->stored_begin),
+          static_cast<std::uint16_t>(m->length)});
+      cursor = m->new_begin + m->length;
+      if (std::find(dep_ids.begin(), dep_ids.end(), hit->packet->id) ==
+          dep_ids.end()) {
+        dep_ids.push_back(hit->packet->id);
+        info.deps.push_back(hit->packet->meta.src_uid);
+      }
+      if (regions.size() == 255) break;  // shim region_count is u8
+    }
+  }
+
+  // ---- Cache update (Fig. 2 procedure C), always over the original ----
+  cache::PacketMeta meta;
+  meta.has_tcp_seq = tcp.has_value();
+  meta.tcp_seq = tcp ? tcp->seq : 0;
+  meta.tcp_end_seq =
+      tcp ? tcp->seq + static_cast<std::uint32_t>(
+                           pkt.payload.size() - packet::TcpHeader::kSize)
+          : 0;
+  meta.flow_key = ctx.flow_key;
+  meta.stream_index = ctx.stream_index;
+  meta.epoch = epoch_;
+  meta.src_uid = pkt.uid;
+  cache_.update(payload, anchors, meta);
+
+  // ---- Substitute, if it actually shrinks the packet ----
+  if (!regions.empty()) {
+    EncodedPayload enc;
+    enc.orig_proto = pkt.ip.protocol;
+    enc.epoch = epoch_;
+    if (epoch_bumped_) {
+      enc.flags |= kFlagFlushEpoch;
+    }
+    enc.orig_len = static_cast<std::uint16_t>(pkt.payload.size());
+    enc.crc = util::crc32(payload);
+    enc.regions = regions;
+    std::size_t pos = 0;
+    for (const EncodedRegion& r : regions) {
+      enc.literals.insert(enc.literals.end(), pkt.payload.begin() + pos,
+                          pkt.payload.begin() + r.offset_new);
+      pos = static_cast<std::size_t>(r.offset_new) + r.length;
+    }
+    enc.literals.insert(enc.literals.end(), pkt.payload.begin() + pos,
+                        pkt.payload.end());
+    if (enc.wire_size() < pkt.payload.size()) {
+      pkt.payload = enc.serialize();
+      pkt.ip.protocol = static_cast<std::uint8_t>(packet::IpProto::kDre);
+      pkt.ip.total_length = static_cast<std::uint16_t>(
+          packet::Ipv4Header::kSize + pkt.payload.size());
+      info.encoded = true;
+      info.regions = regions.size();
+      info.sent_size = pkt.payload.size();
+      epoch_bumped_ = false;
+      ++stats_.encoded_packets;
+      stats_.regions += regions.size();
+      stats_.dependency_links += info.deps.size();
+    } else {
+      info.deps.clear();
+    }
+  }
+
+  stats_.bytes_out += info.sent_size;
+  return info;
+}
+
+}  // namespace bytecache::core

@@ -1,0 +1,117 @@
+// The DRE encoder (paper Fig. 2 / Fig. 7).
+//
+// Processes outgoing IP packets in order.  For each data-bearing packet it
+// (a) asks the policy whether encoding is allowed (and whether to flush),
+// (b) scans the payload for selected Rabin fingerprints, looks them up in
+// the byte cache, verifies and maximally expands each hit, substitutes
+// regions longer than min_region with 14-byte encoding fields, and
+// (c) always runs the cache-update procedure over the *original* payload
+// so the decoder (doing the same on what it reconstructs) stays in sync.
+//
+// A packet is rewritten in place only if the encoded form is strictly
+// smaller than the original (shim + field overhead could otherwise inflate
+// small matches); the IP protocol field is rewritten to IpProto::kDre to
+// signal the shim.
+#pragma once
+
+#include <unordered_map>
+#include <memory>
+#include <vector>
+
+#include "cache/byte_cache.h"
+#include "core/params.h"
+#include "core/policy.h"
+#include "core/region.h"
+#include "packet/packet.h"
+#include "rabin/window.h"
+
+namespace bytecache::core {
+
+/// Per-packet outcome, for tracing and dependency analysis.
+struct EncodeInfo {
+  std::uint64_t uid = 0;        // simulation uid of the processed packet
+  bool data_packet = false;     // considered by the codec at all
+  bool encoded = false;         // payload replaced by the shim form
+  bool reference = false;       // k-distance reference
+  bool retransmission = false;  // policy classified as TCP retransmission
+  bool flushed = false;         // cache flushed before this packet
+  std::size_t regions = 0;
+  std::size_t original_size = 0;  // payload bytes before encoding
+  std::size_t sent_size = 0;      // payload bytes actually sent
+  /// uids of the distinct cached packets this packet was encoded against.
+  std::vector<std::uint64_t> deps;
+};
+
+struct EncoderStats {
+  std::uint64_t packets = 0;
+  std::uint64_t data_packets = 0;
+  std::uint64_t encoded_packets = 0;
+  std::uint64_t references = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t regions = 0;
+  std::uint64_t bytes_in = 0;   // payload bytes offered
+  std::uint64_t bytes_out = 0;  // payload bytes sent
+  std::uint64_t nacks_received = 0;
+  std::uint64_t nack_invalidations = 0;
+  std::uint64_t ack_gate_rejections = 0;  // matches skipped as un-ACKed
+  /// Sum over encoded packets of the number of distinct packets referenced
+  /// (avg dependencies = dependency_links / encoded_packets; the paper's
+  /// File 1 / File 2 differ on exactly this statistic).
+  std::uint64_t dependency_links = 0;
+
+  [[nodiscard]] std::uint64_t bytes_saved() const {
+    return bytes_in - bytes_out;
+  }
+};
+
+class Encoder {
+ public:
+  Encoder(const DreParams& params, std::unique_ptr<EncodingPolicy> policy);
+
+  /// Processes one outgoing packet in place.
+  EncodeInfo process(packet::Packet& pkt);
+
+  [[nodiscard]] const EncoderStats& stats() const { return stats_; }
+  [[nodiscard]] const EncodingPolicy& policy() const { return *policy_; }
+  [[nodiscard]] EncodingPolicy& policy() { return *policy_; }
+  [[nodiscard]] const cache::ByteCache& cache() const { return cache_; }
+  [[nodiscard]] std::uint16_t epoch() const { return epoch_; }
+  [[nodiscard]] const DreParams& params() const { return params_; }
+
+  /// Flushes the cache (also exposed for tests and manual control).
+  void flush();
+
+  /// Snapshot of the cache plus the encoder's stream position/epoch, for
+  /// warm gateway restarts (cache/persist.h).  Policy-internal state is
+  /// NOT saved; after a restore the policies behave as freshly started
+  /// (conservative: at worst some compression opportunities are skipped).
+  [[nodiscard]] util::Bytes save_state() const;
+
+  /// Restores a save_state() snapshot; false (cache flushed) if invalid.
+  bool load_state(util::BytesView snapshot);
+
+  /// Decoder NACK (params.nack_feedback): the packet owning `fp` is
+  /// missing at the decoder; stop referencing it.
+  void on_nack(rabin::Fingerprint fp);
+
+  /// Reverse-path cumulative ACK for `flow_key` (params.ack_gated):
+  /// raises that flow's highest-ACKed sequence number used for reference
+  /// admission.  The caller derives the key from the *forward* direction
+  /// of the connection (core/flow.h).
+  void on_reverse_ack(std::uint64_t flow_key, std::uint32_t ack);
+
+ private:
+  DreParams params_;
+  rabin::RabinTables tables_;
+  std::unique_ptr<EncodingPolicy> policy_;
+  cache::ByteCache cache_;
+  EncoderStats stats_;
+  std::uint64_t stream_index_ = 0;
+  std::uint16_t epoch_ = 0;
+  bool epoch_bumped_ = false;  // next encoded packet carries the flag
+  // ack-gated mode: per-flow highest cumulative ACK seen.
+  std::unordered_map<std::uint64_t, std::uint32_t> highest_ack_;
+};
+
+}  // namespace bytecache::core

@@ -1,0 +1,48 @@
+#include "core/factory.h"
+
+#include "core/policies.h"
+
+namespace bytecache::core {
+
+std::unique_ptr<EncodingPolicy> make_policy(PolicyKind kind,
+                                            const DreParams& params) {
+  switch (kind) {
+    case PolicyKind::kNone:
+      return nullptr;
+    case PolicyKind::kNaive:
+      return std::make_unique<NaivePolicy>();
+    case PolicyKind::kCacheFlush:
+      return std::make_unique<CacheFlushPolicy>();
+    case PolicyKind::kTcpSeq:
+      return std::make_unique<TcpSeqPolicy>();
+    case PolicyKind::kKDistance:
+      return std::make_unique<KDistancePolicy>(params.k_distance);
+    case PolicyKind::kAdaptive:
+      return std::make_unique<AdaptivePolicy>(params);
+  }
+  return nullptr;
+}
+
+std::string_view to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNone: return "none";
+    case PolicyKind::kNaive: return "naive";
+    case PolicyKind::kCacheFlush: return "cache_flush";
+    case PolicyKind::kTcpSeq: return "tcp_seq";
+    case PolicyKind::kKDistance: return "k_distance";
+    case PolicyKind::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::optional<PolicyKind> policy_from_string(std::string_view name) {
+  if (name == "none") return PolicyKind::kNone;
+  if (name == "naive") return PolicyKind::kNaive;
+  if (name == "cache_flush") return PolicyKind::kCacheFlush;
+  if (name == "tcp_seq") return PolicyKind::kTcpSeq;
+  if (name == "k_distance") return PolicyKind::kKDistance;
+  if (name == "adaptive") return PolicyKind::kAdaptive;
+  return std::nullopt;
+}
+
+}  // namespace bytecache::core

@@ -1,0 +1,31 @@
+// Construction of encoding policies by name.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/params.h"
+#include "core/policy.h"
+
+namespace bytecache::core {
+
+enum class PolicyKind {
+  kNone,        // DRE disabled (baseline runs)
+  kNaive,       // Spring & Wetherall (paper Fig. 2)
+  kCacheFlush,  // paper Section V-A
+  kTcpSeq,      // paper Section V-B
+  kKDistance,   // paper Section V-C
+  kAdaptive,    // extension: loss-adaptive k-distance
+};
+
+/// Creates the policy; returns nullptr for kNone.
+[[nodiscard]] std::unique_ptr<EncodingPolicy> make_policy(
+    PolicyKind kind, const DreParams& params);
+
+[[nodiscard]] std::string_view to_string(PolicyKind kind);
+
+[[nodiscard]] std::optional<PolicyKind> policy_from_string(
+    std::string_view name);
+
+}  // namespace bytecache::core

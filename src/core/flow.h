@@ -1,0 +1,27 @@
+// Flow identity: a mixed hash of the TCP 4-tuple.
+//
+// Used to key per-connection policy state (retransmission detection,
+// sequence comparisons, ACK gating) inside the shared encoder.  The
+// reverse direction of a connection maps to the forward key by swapping
+// the endpoints before hashing.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace bytecache::core {
+
+/// Key of the flow (src -> dst, sport -> dport).  Never returns 0
+/// (reserved for "no flow").
+[[nodiscard]] inline std::uint64_t flow_key_of(std::uint32_t src_ip,
+                                               std::uint32_t dst_ip,
+                                               std::uint16_t src_port,
+                                               std::uint16_t dst_port) {
+  std::uint64_t key = (std::uint64_t{src_ip} << 32) | dst_ip;
+  key ^= (std::uint64_t{src_port} << 16 | dst_port) * 0x9E3779B97F4A7C15ull;
+  const std::uint64_t mixed = util::splitmix64(key);
+  return mixed == 0 ? 1 : mixed;
+}
+
+}  // namespace bytecache::core

@@ -1,0 +1,35 @@
+#include "core/matcher.h"
+
+#include <cstring>
+
+namespace bytecache::core {
+
+std::optional<Match> expand_match(util::BytesView pnew, std::size_t new_off,
+                                  util::BytesView stored,
+                                  std::size_t stored_off, std::size_t window,
+                                  std::size_t min_new_begin) {
+  if (new_off + window > pnew.size() || stored_off + window > stored.size()) {
+    return std::nullopt;
+  }
+  if (std::memcmp(pnew.data() + new_off, stored.data() + stored_off, window) !=
+      0) {
+    return std::nullopt;  // fingerprint collision
+  }
+  // Expand left.
+  std::size_t nb = new_off;
+  std::size_t sb = stored_off;
+  while (nb > min_new_begin && sb > 0 && pnew[nb - 1] == stored[sb - 1]) {
+    --nb;
+    --sb;
+  }
+  // Expand right.
+  std::size_t ne = new_off + window;
+  std::size_t se = stored_off + window;
+  while (ne < pnew.size() && se < stored.size() && pnew[ne] == stored[se]) {
+    ++ne;
+    ++se;
+  }
+  return Match{nb, sb, ne - nb};
+}
+
+}  // namespace bytecache::core

@@ -1,0 +1,26 @@
+// An encoding field: the wire representation of one eliminated region.
+//
+// Exactly the paper's layout (Section III-B): "An encoding field consists
+// of a Rabin fingerprint (8 bytes), the offset in Pnew (2 bytes), the
+// offset in Pstored (2 bytes) and the length len (2 bytes)" — 14 bytes,
+// which is why a region is only encoded when len > 14.
+#pragma once
+
+#include <cstdint>
+
+#include "rabin/rabin.h"
+
+namespace bytecache::core {
+
+struct EncodedRegion {
+  static constexpr std::size_t kWireBytes = 14;
+
+  rabin::Fingerprint fp = 0;      // identifies the stored packet
+  std::uint16_t offset_new = 0;   // start of the region in Pnew
+  std::uint16_t offset_stored = 0;  // start of the region in Pstored
+  std::uint16_t length = 0;       // bytes eliminated
+
+  friend bool operator==(const EncodedRegion&, const EncodedRegion&) = default;
+};
+
+}  // namespace bytecache::core

@@ -1,0 +1,66 @@
+#include "core/wire.h"
+
+namespace bytecache::core {
+
+util::Bytes EncodedPayload::serialize() const {
+  util::Bytes out;
+  out.reserve(wire_size());
+  util::put_u8(out, kShimMagic);
+  util::put_u8(out, orig_proto);
+  util::put_u8(out, flags);
+  util::put_u8(out, static_cast<std::uint8_t>(regions.size()));
+  util::put_u16(out, epoch);
+  util::put_u16(out, orig_len);
+  util::put_u32(out, crc);
+  for (const EncodedRegion& r : regions) {
+    util::put_u64(out, r.fp);
+    util::put_u16(out, r.offset_new);
+    util::put_u16(out, r.offset_stored);
+    util::put_u16(out, r.length);
+  }
+  util::append(out, literals);
+  return out;
+}
+
+std::optional<EncodedPayload> EncodedPayload::parse(util::BytesView wire) {
+  if (wire.size() < kShimBytes) return std::nullopt;
+  std::size_t off = 0;
+  if (util::get_u8(wire, off) != kShimMagic) return std::nullopt;
+  EncodedPayload p;
+  p.orig_proto = util::get_u8(wire, off);
+  p.flags = util::get_u8(wire, off);
+  const std::size_t count = util::get_u8(wire, off);
+  p.epoch = util::get_u16(wire, off);
+  p.orig_len = util::get_u16(wire, off);
+  p.crc = util::get_u32(wire, off);
+  if (wire.size() < kShimBytes + count * EncodedRegion::kWireBytes) {
+    return std::nullopt;
+  }
+  std::size_t covered = 0;
+  std::size_t prev_end = 0;
+  p.regions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EncodedRegion r;
+    r.fp = util::get_u64(wire, off);
+    r.offset_new = util::get_u16(wire, off);
+    r.offset_stored = util::get_u16(wire, off);
+    r.length = util::get_u16(wire, off);
+    // Regions must be non-overlapping, in order, and inside the original.
+    if (r.length == 0) return std::nullopt;
+    if (r.offset_new < prev_end) return std::nullopt;
+    if (static_cast<std::size_t>(r.offset_new) + r.length > p.orig_len) {
+      return std::nullopt;
+    }
+    prev_end = static_cast<std::size_t>(r.offset_new) + r.length;
+    covered += r.length;
+    p.regions.push_back(r);
+  }
+  const std::size_t literal_len = wire.size() - off;
+  if (covered > p.orig_len || p.orig_len - covered != literal_len) {
+    return std::nullopt;
+  }
+  p.literals.assign(wire.begin() + off, wire.end());
+  return p;
+}
+
+}  // namespace bytecache::core

@@ -1,0 +1,64 @@
+// Wire format of a DRE-encoded payload.
+//
+// The paper does not specify framing; we define the minimal one (DESIGN.md
+// "Wire format").  Encoded packets are marked by rewriting the IP protocol
+// field to IpProto::kDre, so passthrough packets carry zero overhead.  An
+// encoded payload is:
+//
+//     +--------+-----------+-------+--------------+-------+----------+
+//     | magic  | origproto | flags | region_count | epoch | orig_len |
+//     |  (1B)  |   (1B)    | (1B)  |     (1B)     | (2B)  |   (2B)   |
+//     +--------+-----------+-------+--------------+-------+----------+
+//     |                    crc32 of original payload (4B)            |
+//     +---------------------------------------------------------------+
+//     | region_count x encoding field (14B: fp 8, off_new 2,          |
+//     |                                off_stored 2, len 2)           |
+//     +---------------------------------------------------------------+
+//     | literal bytes (original payload minus regions, in order)      |
+//     +---------------------------------------------------------------+
+//
+// Shim = 12 bytes.  The CRC lets the decoder verify reconstruction and
+// drop instead of delivering wrong bytes after a cache desync.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/region.h"
+#include "util/bytes.h"
+
+namespace bytecache::core {
+
+inline constexpr std::uint8_t kShimMagic = 0xD5;
+inline constexpr std::size_t kShimBytes = 12;
+
+/// Flag bits.
+inline constexpr std::uint8_t kFlagFlushEpoch = 0x01;  // epoch was bumped
+
+/// Parsed form of an encoded payload.
+struct EncodedPayload {
+  std::uint8_t orig_proto = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t epoch = 0;
+  std::uint16_t orig_len = 0;
+  std::uint32_t crc = 0;
+  std::vector<EncodedRegion> regions;
+  util::Bytes literals;
+
+  /// Size this payload occupies on the wire.
+  [[nodiscard]] std::size_t wire_size() const {
+    return kShimBytes + regions.size() * EncodedRegion::kWireBytes +
+           literals.size();
+  }
+
+  /// Serializes to wire bytes.
+  [[nodiscard]] util::Bytes serialize() const;
+
+  /// Parses wire bytes; nullopt on malformed input (bad magic, truncated
+  /// shim/regions, region out of the original bounds, or literal byte count
+  /// inconsistent with orig_len and the region lengths).
+  static std::optional<EncodedPayload> parse(util::BytesView wire);
+};
+
+}  // namespace bytecache::core

@@ -1,0 +1,99 @@
+#include "gateway/gateways.h"
+
+#include "core/control.h"
+#include "core/flow.h"
+#include "packet/tcp.h"
+
+namespace bytecache::gateway {
+
+EncoderGateway::EncoderGateway(core::PolicyKind kind,
+                               const core::DreParams& params) {
+  auto policy = core::make_policy(kind, params);
+  if (policy != nullptr) {
+    encoder_ = std::make_unique<core::Encoder>(params, std::move(policy));
+  }
+}
+
+void EncoderGateway::receive(packet::PacketPtr pkt) {
+  ++stats_.packets;
+  if (encoder_ != nullptr) {
+    core::EncodeInfo info = encoder_->process(*pkt);
+    if (trace_ != nullptr && sim_ != nullptr) {
+      const sim::SimTime now = sim_->now();
+      if (info.flushed) trace_->record(now, sim::TraceEvent::kFlush, pkt->uid);
+      if (info.reference) {
+        trace_->record(now, sim::TraceEvent::kReference, pkt->uid);
+      }
+      if (info.encoded) {
+        trace_->record(now, sim::TraceEvent::kEncode, pkt->uid,
+                       info.sent_size);
+      }
+    }
+    if (observer_) observer_(info);
+  }
+  stats_.wire_bytes_out += pkt->wire_size();
+  if (sink_) sink_(std::move(pkt));
+}
+
+void EncoderGateway::receive_control(const packet::Packet& pkt) {
+  if (encoder_ == nullptr) return;
+  auto msg = core::ControlMessage::parse(pkt.payload);
+  if (!msg) return;
+  for (rabin::Fingerprint fp : msg->fingerprints) {
+    encoder_->on_nack(fp);
+  }
+}
+
+void EncoderGateway::observe_reverse(const packet::Packet& pkt) {
+  if (encoder_ == nullptr || !encoder_->params().ack_gated) return;
+  if (pkt.proto() != packet::IpProto::kTcp) return;
+  auto h = packet::TcpHeader::parse_unchecked(pkt.payload);
+  if (h && h->has_ack()) {
+    // The reverse packet's endpoints are swapped relative to the data
+    // direction whose segments the gate admits.
+    const std::uint64_t key = core::flow_key_of(pkt.ip.dst, pkt.ip.src,
+                                                h->dst_port, h->src_port);
+    encoder_->on_reverse_ack(key, h->ack);
+  }
+}
+
+DecoderGateway::DecoderGateway(bool enabled, const core::DreParams& params) {
+  if (enabled) decoder_ = std::make_unique<core::Decoder>(params);
+}
+
+void DecoderGateway::receive(packet::PacketPtr pkt) {
+  ++stats_.packets;
+  if (decoder_ != nullptr) {
+    const core::DecodeInfo info = decoder_->process(*pkt);
+    if (trace_ != nullptr && sim_ != nullptr &&
+        info.status == core::DecodeStatus::kDecoded) {
+      trace_->record(sim_->now(), sim::TraceEvent::kDecode, pkt->uid,
+                     info.restored_size);
+    }
+    if (core::is_drop(info.status)) {
+      ++stats_.dropped;
+      if (trace_ != nullptr && sim_ != nullptr) {
+        trace_->record(sim_->now(), sim::TraceEvent::kDecodeDrop, pkt->uid,
+                       static_cast<std::uint64_t>(info.status));
+      }
+      if (feedback_ &&
+          info.status == core::DecodeStatus::kMissingFingerprint) {
+        core::ControlMessage nack;
+        nack.fingerprints.push_back(info.missing_fp);
+        auto ctrl = packet::make_packet(
+            pkt->ip.dst, pkt->ip.src,
+            static_cast<packet::IpProto>(core::kControlProto),
+            nack.serialize());
+        ++stats_.nacks_sent;
+        if (trace_ != nullptr && sim_ != nullptr) {
+          trace_->record(sim_->now(), sim::TraceEvent::kNack, pkt->uid);
+        }
+        feedback_(std::move(ctrl));
+      }
+      return;
+    }
+  }
+  if (sink_) sink_(std::move(pkt));
+}
+
+}  // namespace bytecache::gateway

@@ -1,0 +1,111 @@
+// Byte-caching gateways: the encoder/decoder as pipeline stages.
+//
+// The paper deploys the encoder at (or near) the server and the decoder at
+// the client side of the resource-constrained segment (Fig. 3).  These
+// wrappers adapt core::Encoder / core::Decoder to the packet-flow
+// interface: receive a packet, transform it, hand it to the next stage —
+// dropping undecodable packets at the decoder.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "core/factory.h"
+#include "packet/packet.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace bytecache::gateway {
+
+using PacketSink = std::function<void(packet::PacketPtr)>;
+
+/// Dependency bookkeeping shared by the experiment harness.
+struct EncoderGatewayStats {
+  std::uint64_t packets = 0;
+  std::uint64_t wire_bytes_out = 0;  // IP header + payload after encoding
+};
+
+class EncoderGateway {
+ public:
+  /// `kind == kNone` builds a transparent gateway (no DRE, for baselines).
+  EncoderGateway(core::PolicyKind kind, const core::DreParams& params);
+
+  void set_sink(PacketSink sink) { sink_ = std::move(sink); }
+
+  /// Encodes (possibly in place) and forwards.
+  void receive(packet::PacketPtr pkt);
+
+  /// Called with the EncodeInfo of every processed packet (optional).
+  void set_observer(std::function<void(const core::EncodeInfo&)> fn) {
+    observer_ = std::move(fn);
+  }
+
+  /// Optional event trace with its clock (neither owned; may be null).
+  void set_trace(sim::Trace* trace, const sim::Simulator* sim) {
+    trace_ = trace;
+    sim_ = sim;
+  }
+
+  /// Feeds a reverse-direction DRE control packet (NACK feedback).
+  void receive_control(const packet::Packet& pkt);
+
+  /// Observes a reverse-direction data/ACK packet (ACK-gated mode reads
+  /// the cumulative acknowledgment from it).
+  void observe_reverse(const packet::Packet& pkt);
+
+  [[nodiscard]] bool enabled() const { return encoder_ != nullptr; }
+  [[nodiscard]] const core::Encoder* encoder() const { return encoder_.get(); }
+  [[nodiscard]] core::Encoder* encoder() { return encoder_.get(); }
+  [[nodiscard]] const EncoderGatewayStats& stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<core::Encoder> encoder_;  // null when disabled
+  PacketSink sink_;
+  std::function<void(const core::EncodeInfo&)> observer_;
+  sim::Trace* trace_ = nullptr;
+  const sim::Simulator* sim_ = nullptr;
+  EncoderGatewayStats stats_;
+};
+
+struct DecoderGatewayStats {
+  std::uint64_t packets = 0;
+  std::uint64_t dropped = 0;  // undecodable (perceived loss at the client)
+  std::uint64_t nacks_sent = 0;
+};
+
+class DecoderGateway {
+ public:
+  /// `enabled == false` builds a transparent gateway.
+  DecoderGateway(bool enabled, const core::DreParams& params);
+
+  void set_sink(PacketSink sink) { sink_ = std::move(sink); }
+
+  /// Optional event trace with its clock (neither owned; may be null).
+  void set_trace(sim::Trace* trace, const sim::Simulator* sim) {
+    trace_ = trace;
+    sim_ = sim;
+  }
+
+  /// Reverse-path sink for NACK control packets (params.nack_feedback).
+  void set_feedback(PacketSink feedback) { feedback_ = std::move(feedback); }
+
+  /// Decodes and forwards; drops undecodable packets (sending a NACK when
+  /// feedback is configured and the drop named a missing fingerprint).
+  void receive(packet::PacketPtr pkt);
+
+  [[nodiscard]] bool enabled() const { return decoder_ != nullptr; }
+  [[nodiscard]] const core::Decoder* decoder() const { return decoder_.get(); }
+  [[nodiscard]] const DecoderGatewayStats& stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<core::Decoder> decoder_;
+  PacketSink sink_;
+  PacketSink feedback_;
+  sim::Trace* trace_ = nullptr;
+  const sim::Simulator* sim_ = nullptr;
+  DecoderGatewayStats stats_;
+};
+
+}  // namespace bytecache::gateway

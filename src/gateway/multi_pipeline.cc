@@ -1,0 +1,85 @@
+#include "gateway/multi_pipeline.h"
+
+#include "core/control.h"
+#include "packet/tcp.h"
+
+namespace bytecache::gateway {
+namespace {
+
+std::unique_ptr<sim::LossProcess> make_loss(double rate, bool bursty) {
+  if (rate <= 0.0) return std::make_unique<sim::NoLoss>();
+  if (bursty) return sim::GilbertElliottLoss::with_average_loss(rate);
+  return std::make_unique<sim::BernoulliLoss>(rate);
+}
+
+}  // namespace
+
+MultiPipeline::MultiPipeline(sim::Simulator& sim,
+                             const PipelineConfig& config, std::size_t flows,
+                             std::uint16_t base_port)
+    : config_(config), base_port_(base_port) {
+  PipelineConfig& cfg = config_;
+  if (cfg.tcp.src_ip == 0) cfg.tcp.src_ip = packet::make_ip(10, 0, 0, 1);
+  if (cfg.tcp.dst_ip == 0) cfg.tcp.dst_ip = packet::make_ip(10, 0, 1, 1);
+
+  util::Rng root(cfg.seed);
+  encoder_gw_ = std::make_unique<EncoderGateway>(cfg.policy, cfg.dre);
+  decoder_gw_ = std::make_unique<DecoderGateway>(
+      cfg.policy != core::PolicyKind::kNone, cfg.dre);
+  forward_link_ = std::make_unique<sim::Link>(
+      sim, cfg.forward_link, make_loss(cfg.loss_rate, cfg.bursty_loss),
+      root.fork(1));
+  reverse_link_ = std::make_unique<sim::Link>(
+      sim, cfg.reverse_link, make_loss(cfg.reverse_loss_rate, false),
+      root.fork(2));
+
+  for (std::size_t i = 0; i < flows; ++i) {
+    tcp::TcpConfig tcp_cfg = cfg.tcp;
+    tcp_cfg.dst_port = static_cast<std::uint16_t>(base_port_ + i);
+    tcp_cfg.isn = cfg.tcp.isn + static_cast<std::uint32_t>(i) * 0x1000000;
+    senders_.push_back(std::make_unique<tcp::TcpSender>(
+        sim, tcp_cfg,
+        [this](packet::PacketPtr p) { encoder_gw_->receive(std::move(p)); }));
+    receivers_.push_back(std::make_unique<tcp::TcpReceiver>(
+        sim, tcp_cfg,
+        [this](packet::PacketPtr p) { reverse_link_->send(std::move(p)); }));
+  }
+
+  encoder_gw_->set_sink(
+      [this](packet::PacketPtr p) { forward_link_->send(std::move(p)); });
+  forward_link_->set_sink(
+      [this](packet::PacketPtr p) { decoder_gw_->receive(std::move(p)); });
+  decoder_gw_->set_sink([this](packet::PacketPtr p) {
+    if (auto flow = flow_of(*p, /*forward=*/true)) {
+      receivers_[*flow]->on_packet(*p);
+    }
+  });
+  if (cfg.dre.nack_feedback) {
+    decoder_gw_->set_feedback(
+        [this](packet::PacketPtr p) { reverse_link_->send(std::move(p)); });
+  }
+  reverse_link_->set_sink([this](packet::PacketPtr p) {
+    if (p->ip.protocol == core::kControlProto) {
+      encoder_gw_->receive_control(*p);
+      return;
+    }
+    encoder_gw_->observe_reverse(*p);
+    if (auto flow = flow_of(*p, /*forward=*/false)) {
+      senders_[*flow]->on_packet(*p);
+    }
+  });
+}
+
+std::optional<std::size_t> MultiPipeline::flow_of(const packet::Packet& pkt,
+                                                  bool forward) const {
+  if (pkt.proto() != packet::IpProto::kTcp) return std::nullopt;
+  auto h = packet::TcpHeader::parse_unchecked(pkt.payload);
+  if (!h) return std::nullopt;
+  const std::uint16_t port = forward ? h->dst_port : h->src_port;
+  if (port < base_port_) return std::nullopt;
+  const std::size_t idx = static_cast<std::size_t>(port - base_port_);
+  if (idx >= senders_.size()) return std::nullopt;
+  return idx;
+}
+
+}  // namespace bytecache::gateway

@@ -1,0 +1,57 @@
+// Multiple TCP connections through one byte-caching gateway pair.
+//
+// The paper notes (Section IV-C) that a cache desynchronization affects
+// "not only one TCP connection, but all subsequent connections going
+// through the encoder and decoder", and its introduction credits byte
+// caching with eliminating redundancy "both intra-flow and inter-flows".
+// MultiPipeline shares a single encoder gateway, decoder gateway and link
+// pair among N client-server connections, demultiplexing by TCP port:
+//
+//   sender[i] --\                                   /--> receiver[i]
+//   sender[j] ---> EncoderGw -> lossy Link -> DecoderGw --> receiver[j]
+//        ^                                                     |
+//        +----------------- reverse Link <-- ACKs -------------+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gateway/pipeline.h"
+
+namespace bytecache::gateway {
+
+class MultiPipeline {
+ public:
+  /// Builds `flows` connections sharing one gateway pair.  Flow i uses
+  /// destination port base_port + i on the same server/client addresses.
+  MultiPipeline(sim::Simulator& sim, const PipelineConfig& config,
+                std::size_t flows, std::uint16_t base_port = 40000);
+
+  [[nodiscard]] std::size_t flow_count() const { return senders_.size(); }
+  [[nodiscard]] tcp::TcpSender& sender(std::size_t i) { return *senders_[i]; }
+  [[nodiscard]] tcp::TcpReceiver& receiver(std::size_t i) {
+    return *receivers_[i];
+  }
+  [[nodiscard]] EncoderGateway& encoder_gw() { return *encoder_gw_; }
+  [[nodiscard]] DecoderGateway& decoder_gw() { return *decoder_gw_; }
+  [[nodiscard]] sim::Link& forward_link() { return *forward_link_; }
+  [[nodiscard]] sim::Link& reverse_link() { return *reverse_link_; }
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+
+ private:
+  /// Flow index for a packet by its TCP destination port (forward
+  /// direction) / source port (reverse); nullopt if out of range.
+  [[nodiscard]] std::optional<std::size_t> flow_of(const packet::Packet& pkt,
+                                                   bool forward) const;
+
+  PipelineConfig config_;
+  std::uint16_t base_port_;
+  std::unique_ptr<EncoderGateway> encoder_gw_;
+  std::unique_ptr<DecoderGateway> decoder_gw_;
+  std::unique_ptr<sim::Link> forward_link_;
+  std::unique_ptr<sim::Link> reverse_link_;
+  std::vector<std::unique_ptr<tcp::TcpSender>> senders_;
+  std::vector<std::unique_ptr<tcp::TcpReceiver>> receivers_;
+};
+
+}  // namespace bytecache::gateway

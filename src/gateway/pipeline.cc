@@ -1,0 +1,71 @@
+#include "gateway/pipeline.h"
+
+#include "core/control.h"
+#include "packet/ipv4.h"
+
+namespace bytecache::gateway {
+namespace {
+
+std::unique_ptr<sim::LossProcess> make_loss(double rate, bool bursty) {
+  if (rate <= 0.0) return std::make_unique<sim::NoLoss>();
+  if (bursty) return sim::GilbertElliottLoss::with_average_loss(rate);
+  return std::make_unique<sim::BernoulliLoss>(rate);
+}
+
+}  // namespace
+
+void Pipeline::attach_trace(sim::Trace* trace) {
+  forward_link_->set_trace(trace);
+  reverse_link_->set_trace(trace);
+  encoder_gw_->set_trace(trace, sim_);
+  decoder_gw_->set_trace(trace, sim_);
+}
+
+Pipeline::Pipeline(sim::Simulator& sim, const PipelineConfig& config)
+    : config_(config), sim_(&sim) {
+  PipelineConfig& cfg = config_;
+  if (cfg.tcp.src_ip == 0) cfg.tcp.src_ip = packet::make_ip(10, 0, 0, 1);
+  if (cfg.tcp.dst_ip == 0) cfg.tcp.dst_ip = packet::make_ip(10, 0, 1, 1);
+
+  util::Rng root(cfg.seed);
+  encoder_gw_ = std::make_unique<EncoderGateway>(cfg.policy, cfg.dre);
+  decoder_gw_ = std::make_unique<DecoderGateway>(
+      cfg.policy != core::PolicyKind::kNone, cfg.dre);
+  forward_link_ = std::make_unique<sim::Link>(
+      sim, cfg.forward_link, make_loss(cfg.loss_rate, cfg.bursty_loss),
+      root.fork(1));
+  reverse_link_ = std::make_unique<sim::Link>(
+      sim, cfg.reverse_link, make_loss(cfg.reverse_loss_rate, false),
+      root.fork(2));
+
+  sender_ = std::make_unique<tcp::TcpSender>(
+      sim, cfg.tcp,
+      [this](packet::PacketPtr p) { encoder_gw_->receive(std::move(p)); });
+  receiver_ = std::make_unique<tcp::TcpReceiver>(
+      sim, cfg.tcp,
+      [this](packet::PacketPtr p) { reverse_link_->send(std::move(p)); });
+
+  encoder_gw_->set_sink(
+      [this](packet::PacketPtr p) { forward_link_->send(std::move(p)); });
+  forward_link_->set_sink(
+      [this](packet::PacketPtr p) { decoder_gw_->receive(std::move(p)); });
+  decoder_gw_->set_sink(
+      [this](packet::PacketPtr p) { receiver_->on_packet(*p); });
+  if (cfg.dre.nack_feedback) {
+    decoder_gw_->set_feedback(
+        [this](packet::PacketPtr p) { reverse_link_->send(std::move(p)); });
+  }
+  // The reverse path carries ACKs for the sender plus (optionally) DRE
+  // control traffic for the encoder gateway; ACK-gated mode additionally
+  // snoops the cumulative ACK as the packet passes the gateway.
+  reverse_link_->set_sink([this](packet::PacketPtr p) {
+    if (p->ip.protocol == core::kControlProto) {
+      encoder_gw_->receive_control(*p);
+      return;
+    }
+    encoder_gw_->observe_reverse(*p);
+    sender_->on_packet(*p);
+  });
+}
+
+}  // namespace bytecache::gateway

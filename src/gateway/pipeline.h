@@ -1,0 +1,72 @@
+// The paper's experimental topology (Fig. 3), fully wired:
+//
+//   TcpSender --> EncoderGateway --> forward Link --> DecoderGateway --> TcpReceiver
+//       ^                                                                    |
+//       +------------------------- reverse Link <--------- ACKs ------------+
+//
+// The forward link is the rate-limited lossy "wireless" segment; the
+// reverse link carries ACKs (by default fast and lossless, configurable).
+#pragma once
+
+#include <memory>
+
+#include "core/factory.h"
+#include "core/params.h"
+#include "gateway/gateways.h"
+#include "sim/link.h"
+#include "sim/pcap.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "tcp/config.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+#include "util/rng.h"
+
+namespace bytecache::gateway {
+
+struct PipelineConfig {
+  core::PolicyKind policy = core::PolicyKind::kNone;
+  core::DreParams dre;
+  tcp::TcpConfig tcp;
+  sim::LinkConfig forward_link;
+  sim::LinkConfig reverse_link{
+      .rate_bytes_per_sec = 10'000'000.0,
+      .propagation_delay = sim::us(500),
+      .queue_packets = 1024,
+  };
+  double loss_rate = 0.0;       // forward-link Bernoulli loss
+  bool bursty_loss = false;     // use a Gilbert–Elliott process instead
+  double reverse_loss_rate = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class Pipeline {
+ public:
+  Pipeline(sim::Simulator& sim, const PipelineConfig& config);
+
+  [[nodiscard]] tcp::TcpSender& sender() { return *sender_; }
+  [[nodiscard]] tcp::TcpReceiver& receiver() { return *receiver_; }
+  [[nodiscard]] EncoderGateway& encoder_gw() { return *encoder_gw_; }
+  [[nodiscard]] DecoderGateway& decoder_gw() { return *decoder_gw_; }
+  [[nodiscard]] sim::Link& forward_link() { return *forward_link_; }
+  [[nodiscard]] sim::Link& reverse_link() { return *reverse_link_; }
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+
+  /// Attaches an event trace to both links and both gateways.
+  void attach_trace(sim::Trace* trace);
+
+  /// Captures forward-direction wire traffic into `pcap`.
+  void attach_pcap(sim::PcapWriter* pcap) { forward_link_->set_pcap(pcap); }
+
+ private:
+  PipelineConfig config_;
+  sim::Simulator* sim_ = nullptr;
+  std::unique_ptr<EncoderGateway> encoder_gw_;
+  std::unique_ptr<DecoderGateway> decoder_gw_;
+  std::unique_ptr<sim::Link> forward_link_;
+  std::unique_ptr<sim::Link> reverse_link_;
+  std::unique_ptr<tcp::TcpSender> sender_;
+  std::unique_ptr<tcp::TcpReceiver> receiver_;
+};
+
+}  // namespace bytecache::gateway

@@ -1,0 +1,146 @@
+#include "harness/experiment.h"
+
+#include <cstdio>
+
+#include "sim/simulator.h"
+
+namespace bytecache::harness {
+
+TrialResult run_trial(const ExperimentConfig& config, util::BytesView file,
+                      std::uint64_t seed) {
+  sim::Simulator sim;
+
+  gateway::PipelineConfig pc;
+  pc.policy = config.policy;
+  pc.dre = config.dre;
+  pc.tcp = config.tcp;
+  pc.forward_link = config.forward_link;
+  pc.reverse_link = config.reverse_link;
+  pc.loss_rate = config.loss_rate;
+  pc.bursty_loss = config.bursty_loss;
+  pc.reverse_loss_rate = config.reverse_loss_rate;
+  pc.seed = seed;
+  gateway::Pipeline pipeline(sim, pc);
+
+  app::FileTransfer transfer(sim, pipeline,
+                             util::Bytes(file.begin(), file.end()),
+                             config.give_up);
+  transfer.run_to_completion();
+
+  TrialResult r;
+  const app::TransferResult& t = transfer.result();
+  r.completed = t.completed;
+  r.stalled = t.stalled;
+  r.verified = t.verified;
+  r.duration_s = t.duration_s;
+  r.percent_retrieved = t.percent_retrieved();
+
+  const sim::LinkStats& fwd = pipeline.forward_link().stats();
+  r.wire_bytes_forward = fwd.bytes_sent;
+  r.packets_forward = fwd.packets_offered;
+  r.link_drops = fwd.drops_loss + fwd.drops_queue;
+  r.corrupted = fwd.corrupted;
+  r.decoder_drops = pipeline.decoder_gw().stats().dropped;
+  r.receiver_checksum_drops = pipeline.receiver().stats().checksum_drops;
+  if (r.packets_forward > 0) {
+    r.actual_loss =
+        static_cast<double>(r.link_drops) / r.packets_forward;
+    r.perceived_loss = static_cast<double>(r.link_drops + r.decoder_drops +
+                                           r.receiver_checksum_drops) /
+                       r.packets_forward;
+    r.avg_packet_size =
+        static_cast<double>(r.wire_bytes_forward) / r.packets_forward;
+  }
+
+  if (const core::Encoder* enc = pipeline.encoder_gw().encoder()) {
+    const core::EncoderStats& es = enc->stats();
+    r.payload_bytes_in = es.bytes_in;
+    r.payload_bytes_out = es.bytes_out;
+    r.encoded_packets = es.encoded_packets;
+    r.references = es.references;
+    r.flushes = es.flushes;
+    if (es.encoded_packets > 0) {
+      r.avg_deps = static_cast<double>(es.dependency_links) /
+                   es.encoded_packets;
+    }
+  } else {
+    r.payload_bytes_in = pipeline.sender().stats().bytes_sent;
+    r.payload_bytes_out = r.payload_bytes_in;
+  }
+
+  const tcp::SenderStats& ss = pipeline.sender().stats();
+  r.tcp_retransmissions = ss.retransmissions;
+  r.tcp_timeouts = ss.timeouts;
+  r.tcp_fast_retransmits = ss.fast_retransmits;
+  return r;
+}
+
+std::string to_json(const TrialResult& r) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"completed\":%s,\"stalled\":%s,\"verified\":%s,"
+      "\"duration_s\":%.6f,\"percent_retrieved\":%.2f,"
+      "\"wire_bytes_forward\":%llu,\"packets_forward\":%llu,"
+      "\"link_drops\":%llu,\"decoder_drops\":%llu,"
+      "\"actual_loss\":%.6f,\"perceived_loss\":%.6f,"
+      "\"payload_bytes_in\":%llu,\"payload_bytes_out\":%llu,"
+      "\"encoded_packets\":%llu,\"avg_packet_size\":%.1f,"
+      "\"tcp_retransmissions\":%llu,\"tcp_timeouts\":%llu}",
+      r.completed ? "true" : "false", r.stalled ? "true" : "false",
+      r.verified ? "true" : "false", r.duration_s, r.percent_retrieved,
+      static_cast<unsigned long long>(r.wire_bytes_forward),
+      static_cast<unsigned long long>(r.packets_forward),
+      static_cast<unsigned long long>(r.link_drops),
+      static_cast<unsigned long long>(r.decoder_drops), r.actual_loss,
+      r.perceived_loss, static_cast<unsigned long long>(r.payload_bytes_in),
+      static_cast<unsigned long long>(r.payload_bytes_out),
+      static_cast<unsigned long long>(r.encoded_packets), r.avg_packet_size,
+      static_cast<unsigned long long>(r.tcp_retransmissions),
+      static_cast<unsigned long long>(r.tcp_timeouts));
+  return buf;
+}
+
+Aggregate run_experiment(const ExperimentConfig& config,
+                         util::BytesView file) {
+  Aggregate agg;
+  std::uint64_t completed = 0;
+  for (std::size_t i = 0; i < config.trials; ++i) {
+    TrialResult r = run_trial(config, file, config.seed + 1 + i);
+    if (r.completed) ++completed;
+    agg.duration_s.add(r.duration_s);
+    agg.wire_bytes.add(static_cast<double>(r.wire_bytes_forward));
+    agg.perceived_loss.add(r.perceived_loss);
+    agg.actual_loss.add(r.actual_loss);
+    agg.percent_retrieved.add(r.percent_retrieved);
+    agg.avg_packet_size.add(r.avg_packet_size);
+    agg.packets_forward.add(static_cast<double>(r.packets_forward));
+    agg.trials.push_back(std::move(r));
+  }
+  agg.completion_rate = config.trials == 0
+                            ? 0.0
+                            : static_cast<double>(completed) / config.trials;
+  return agg;
+}
+
+RatioPoint run_ratio_point(ExperimentConfig config, util::BytesView file) {
+  RatioPoint point;
+  point.loss_rate = config.loss_rate;
+  point.with_dre = run_experiment(config, file);
+
+  ExperimentConfig baseline = config;
+  baseline.policy = core::PolicyKind::kNone;
+  point.without_dre = run_experiment(baseline, file);
+
+  const double base_bytes = point.without_dre.wire_bytes.mean();
+  const double base_delay = point.without_dre.duration_s.mean();
+  if (base_bytes > 0) {
+    point.bytes_ratio = point.with_dre.wire_bytes.mean() / base_bytes;
+  }
+  if (base_delay > 0) {
+    point.delay_ratio = point.with_dre.duration_s.mean() / base_delay;
+  }
+  return point;
+}
+
+}  // namespace bytecache::harness

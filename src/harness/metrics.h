@@ -1,0 +1,41 @@
+// Small statistics accumulator for multi-trial experiments.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace bytecache::harness {
+
+class Summary {
+ public:
+  void add(double v) {
+    ++n_;
+    sum_ += v;
+    sum_sq_ += v * v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : sum_ / n_; }
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  [[nodiscard]] double stddev() const {
+    if (n_ < 2) return 0.0;
+    const double m = mean();
+    const double var = (sum_sq_ - n_ * m * m) / (n_ - 1);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace bytecache::harness

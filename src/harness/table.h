@@ -1,0 +1,40 @@
+// Fixed-width ASCII tables and CSV output for the benches.
+//
+// Every bench prints the same rows/series the paper reports, so results
+// can be compared side by side with the published tables and figures.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace bytecache::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double v, int precision = 1);  // "12.3%"
+
+  /// Renders with aligned columns and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated form (same cells, no padding).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section heading ("== Figure 10: ... ==").
+void print_heading(const std::string& title);
+
+}  // namespace bytecache::harness

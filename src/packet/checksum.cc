@@ -1,0 +1,44 @@
+#include "packet/checksum.h"
+
+namespace bytecache::packet {
+
+void ChecksumAccumulator::add(util::BytesView data) {
+  std::size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // Pair the pending odd byte (it was the high half of a word).
+    sum_ += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += static_cast<std::uint16_t>(data[i] << 8 | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum_ += static_cast<std::uint16_t>(data[i] << 8);
+    odd_ = true;
+  }
+}
+
+void ChecksumAccumulator::add_u16(std::uint16_t v) {
+  // Word-aligned add; only valid when no odd byte is pending.
+  sum_ += v;
+}
+
+void ChecksumAccumulator::add_u32(std::uint32_t v) {
+  add_u16(static_cast<std::uint16_t>(v >> 16));
+  add_u16(static_cast<std::uint16_t>(v));
+}
+
+std::uint16_t ChecksumAccumulator::finish() const {
+  std::uint64_t s = sum_;
+  while (s >> 16) s = (s & 0xFFFF) + (s >> 16);
+  return static_cast<std::uint16_t>(~s);
+}
+
+std::uint16_t internet_checksum(util::BytesView data) {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
+
+}  // namespace bytecache::packet

@@ -1,0 +1,29 @@
+// RFC 1071 Internet checksum (ones'-complement sum of 16-bit words).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace bytecache::packet {
+
+/// Running ones'-complement accumulator, so the TCP/UDP pseudo-header and
+/// payload can be summed in pieces.
+class ChecksumAccumulator {
+ public:
+  void add(util::BytesView data);
+  void add_u16(std::uint16_t v);
+  void add_u32(std::uint32_t v);
+
+  /// Final folded, complemented checksum in host order.
+  [[nodiscard]] std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // true if an odd byte is pending pairing
+};
+
+/// One-shot checksum of a buffer.
+[[nodiscard]] std::uint16_t internet_checksum(util::BytesView data);
+
+}  // namespace bytecache::packet

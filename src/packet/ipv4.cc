@@ -1,0 +1,49 @@
+#include "packet/ipv4.h"
+
+#include "packet/checksum.h"
+
+namespace bytecache::packet {
+
+void Ipv4Header::serialize(util::Bytes& out) const {
+  const std::size_t start = out.size();
+  util::put_u8(out, 0x45);  // version 4, IHL 5
+  util::put_u8(out, tos);
+  util::put_u16(out, total_length);
+  util::put_u16(out, identification);
+  util::put_u16(out, 0);  // flags/fragment offset: DF not modelled
+  util::put_u8(out, ttl);
+  util::put_u8(out, protocol);
+  util::put_u16(out, 0);  // checksum placeholder
+  util::put_u32(out, src);
+  util::put_u32(out, dst);
+  const std::uint16_t sum = internet_checksum(
+      util::BytesView(out.data() + start, kSize));
+  out[start + 10] = static_cast<std::uint8_t>(sum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(sum);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(util::BytesView in) {
+  if (in.size() < kSize) return std::nullopt;
+  if (in[0] != 0x45) return std::nullopt;  // only version 4, IHL 5
+  if (internet_checksum(in.subspan(0, kSize)) != 0) return std::nullopt;
+  Ipv4Header h;
+  std::size_t off = 1;
+  h.tos = util::get_u8(in, off);
+  h.total_length = util::get_u16(in, off);
+  h.identification = util::get_u16(in, off);
+  off += 2;  // flags/fragment
+  h.ttl = util::get_u8(in, off);
+  h.protocol = util::get_u8(in, off);
+  off += 2;  // checksum (verified above)
+  h.src = util::get_u32(in, off);
+  h.dst = util::get_u32(in, off);
+  return h;
+}
+
+std::string ip_to_string(std::uint32_t addr) {
+  return std::to_string(addr >> 24) + "." + std::to_string((addr >> 16) & 0xFF) +
+         "." + std::to_string((addr >> 8) & 0xFF) + "." +
+         std::to_string(addr & 0xFF);
+}
+
+}  // namespace bytecache::packet

@@ -1,0 +1,53 @@
+// IPv4 header (RFC 791), 20-byte fixed form (no options).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace bytecache::packet {
+
+/// IP protocol numbers used in this project.  kDre marks a DRE-encoded
+/// payload: real byte-caching middleboxes rewrite the protocol field so the
+/// peer gateway knows a shim header is present, and restore it on decode
+/// (the original protocol travels inside the shim); passthrough packets are
+/// untouched and cost zero extra bytes (DESIGN.md "Wire format").
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+  kDre = 253,  // RFC 3692 experimental value
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  // header + payload, bytes
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = static_cast<std::uint8_t>(IpProto::kTcp);
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+
+  /// Serializes to 20 bytes (appends to `out`), computing the header
+  /// checksum.
+  void serialize(util::Bytes& out) const;
+
+  /// Parses a header from the front of `in`; returns std::nullopt on short
+  /// input, bad version/IHL, or checksum mismatch.
+  static std::optional<Ipv4Header> parse(util::BytesView in);
+};
+
+/// Dotted-quad for logs/examples ("10.0.0.1").
+[[nodiscard]] std::string ip_to_string(std::uint32_t addr);
+
+/// Builds an address from four octets.
+[[nodiscard]] constexpr std::uint32_t make_ip(std::uint8_t a, std::uint8_t b,
+                                              std::uint8_t c, std::uint8_t d) {
+  return std::uint32_t{a} << 24 | std::uint32_t{b} << 16 |
+         std::uint32_t{c} << 8 | std::uint32_t{d};
+}
+
+}  // namespace bytecache::packet

@@ -1,0 +1,52 @@
+#include "packet/packet.h"
+
+#include <atomic>
+
+namespace bytecache::packet {
+namespace {
+
+std::atomic<std::uint64_t> g_next_uid{1};
+
+}  // namespace
+
+PacketPtr make_packet(std::uint32_t src, std::uint32_t dst, IpProto proto,
+                      util::Bytes payload) {
+  auto p = std::make_unique<Packet>();
+  p->ip.src = src;
+  p->ip.dst = dst;
+  p->ip.protocol = static_cast<std::uint8_t>(proto);
+  p->ip.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kSize + payload.size());
+  p->payload = std::move(payload);
+  p->uid = g_next_uid.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+PacketPtr clone_packet(const Packet& p) {
+  auto c = std::make_unique<Packet>(p);
+  return c;
+}
+
+util::Bytes to_wire(const Packet& p) {
+  util::Bytes out;
+  out.reserve(p.wire_size());
+  Ipv4Header h = p.ip;
+  h.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kSize + p.payload.size());
+  h.serialize(out);
+  util::append(out, p.payload);
+  return out;
+}
+
+PacketPtr from_wire(util::BytesView wire) {
+  auto h = Ipv4Header::parse(wire);
+  if (!h) return nullptr;
+  if (h->total_length != wire.size()) return nullptr;
+  auto p = std::make_unique<Packet>();
+  p->ip = *h;
+  p->payload.assign(wire.begin() + Ipv4Header::kSize, wire.end());
+  p->uid = g_next_uid.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+}  // namespace bytecache::packet

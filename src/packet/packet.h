@@ -1,0 +1,58 @@
+// The simulated IP packet.
+//
+// A Packet is an IPv4 header plus the raw transport payload bytes (TCP/UDP
+// header + application data, exactly as serialized by the endpoints).  The
+// DRE codec rewrites `payload` (and the protocol field) in place; the link
+// charges wire_size() bytes of serialization time.
+//
+// `uid` is a simulation-unique identifier assigned at creation and
+// preserved across gateways, used for tracing and dependency analysis; it
+// is metadata, not wire bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "packet/ipv4.h"
+#include "util/bytes.h"
+
+namespace bytecache::packet {
+
+struct Packet {
+  Ipv4Header ip;
+  util::Bytes payload;
+
+  /// Simulation-unique id (not on the wire).
+  std::uint64_t uid = 0;
+
+  /// Set by the loss model when the packet body was corrupted in flight.
+  bool corrupted = false;
+
+  /// Bytes this packet occupies on the wire.
+  [[nodiscard]] std::size_t wire_size() const {
+    return Ipv4Header::kSize + payload.size();
+  }
+
+  [[nodiscard]] IpProto proto() const {
+    return static_cast<IpProto>(ip.protocol);
+  }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/// Allocates a packet with a fresh uid (process-wide monotonic counter).
+[[nodiscard]] PacketPtr make_packet(std::uint32_t src, std::uint32_t dst,
+                                    IpProto proto, util::Bytes payload);
+
+/// Deep copy with the *same* uid (retransmissions at the TCP layer create
+/// new packets via make_packet; copies model in-flight duplication only).
+[[nodiscard]] PacketPtr clone_packet(const Packet& p);
+
+/// Serializes the whole packet (IP header + payload) to wire bytes.
+[[nodiscard]] util::Bytes to_wire(const Packet& p);
+
+/// Parses wire bytes back into a Packet (fresh uid); returns nullptr if the
+/// IP header is malformed.  Used by tests to prove wire round-tripping.
+[[nodiscard]] PacketPtr from_wire(util::BytesView wire);
+
+}  // namespace bytecache::packet

@@ -1,0 +1,76 @@
+#include "packet/tcp.h"
+
+#include "packet/checksum.h"
+
+namespace bytecache::packet {
+namespace {
+
+void write_header(util::Bytes& out, const TcpHeader& h,
+                  std::uint16_t checksum) {
+  util::put_u16(out, h.src_port);
+  util::put_u16(out, h.dst_port);
+  util::put_u32(out, h.seq);
+  util::put_u32(out, h.ack);
+  util::put_u8(out, 5 << 4);  // data offset 5 words, reserved 0
+  util::put_u8(out, h.flags);
+  util::put_u16(out, h.window);
+  util::put_u16(out, checksum);
+  util::put_u16(out, h.urgent);
+}
+
+std::uint16_t pseudo_checksum(const TcpHeader& h, util::BytesView data,
+                              std::uint32_t src_ip, std::uint32_t dst_ip) {
+  ChecksumAccumulator acc;
+  acc.add_u32(src_ip);
+  acc.add_u32(dst_ip);
+  acc.add_u16(6);  // protocol TCP
+  acc.add_u16(static_cast<std::uint16_t>(TcpHeader::kSize + data.size()));
+  util::Bytes hdr;
+  hdr.reserve(TcpHeader::kSize);
+  write_header(hdr, h, 0);
+  acc.add(hdr);
+  acc.add(data);
+  return acc.finish();
+}
+
+}  // namespace
+
+void TcpHeader::serialize(util::Bytes& out, util::BytesView data,
+                          std::uint32_t src_ip, std::uint32_t dst_ip) const {
+  const std::uint16_t sum = pseudo_checksum(*this, data, src_ip, dst_ip);
+  write_header(out, *this, sum);
+  util::append(out, data);
+}
+
+std::optional<TcpHeader> TcpHeader::parse(util::BytesView segment,
+                                          std::uint32_t src_ip,
+                                          std::uint32_t dst_ip) {
+  auto h = parse_unchecked(segment);
+  if (!h) return std::nullopt;
+  const auto data = segment.subspan(kSize);
+  std::size_t off = 16;
+  const std::uint16_t wire_sum = util::get_u16(segment, off);
+  if (pseudo_checksum(*h, data, src_ip, dst_ip) != wire_sum) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+std::optional<TcpHeader> TcpHeader::parse_unchecked(util::BytesView segment) {
+  if (segment.size() < kSize) return std::nullopt;
+  std::size_t off = 0;
+  TcpHeader h;
+  h.src_port = util::get_u16(segment, off);
+  h.dst_port = util::get_u16(segment, off);
+  h.seq = util::get_u32(segment, off);
+  h.ack = util::get_u32(segment, off);
+  const std::uint8_t data_offset = segment[off++] >> 4;
+  if (data_offset != 5) return std::nullopt;  // options not modelled
+  h.flags = util::get_u8(segment, off);
+  h.window = util::get_u16(segment, off);
+  off += 2;  // checksum
+  h.urgent = util::get_u16(segment, off);
+  return h;
+}
+
+}  // namespace bytecache::packet

@@ -1,0 +1,56 @@
+// TCP header (RFC 793), 20-byte fixed form (no options).
+//
+// The simulated TCP endpoints serialize real TCP headers into the IP
+// payload so the DRE codec operates on genuine wire bytes, and the TcpSeq
+// encoding policy can parse the sequence number out of any packet it sees
+// (paper Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace bytecache::packet {
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;
+
+  // Flag bits.
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t urgent = 0;
+
+  [[nodiscard]] bool syn() const { return flags & kSyn; }
+  [[nodiscard]] bool fin() const { return flags & kFin; }
+  [[nodiscard]] bool rst() const { return flags & kRst; }
+  [[nodiscard]] bool has_ack() const { return flags & kAck; }
+
+  /// Serializes header + `data` into `out`, computing the transport
+  /// checksum over the RFC 793 pseudo-header (src/dst IP, protocol, length).
+  void serialize(util::Bytes& out, util::BytesView data, std::uint32_t src_ip,
+                 std::uint32_t dst_ip) const;
+
+  /// Parses a header from the front of `segment` (header + data) and
+  /// verifies the checksum against the pseudo-header.  Returns nullopt on
+  /// short input or checksum mismatch.
+  static std::optional<TcpHeader> parse(util::BytesView segment,
+                                        std::uint32_t src_ip,
+                                        std::uint32_t dst_ip);
+
+  /// Parses without checksum verification (used by the DRE encoder, which
+  /// only needs the sequence number and must tolerate mid-rewrite packets).
+  static std::optional<TcpHeader> parse_unchecked(util::BytesView segment);
+};
+
+}  // namespace bytecache::packet

@@ -1,0 +1,55 @@
+#include "packet/udp.h"
+
+#include "packet/checksum.h"
+
+namespace bytecache::packet {
+namespace {
+
+std::uint16_t udp_checksum(const UdpHeader& h, util::BytesView data,
+                           std::uint32_t src_ip, std::uint32_t dst_ip) {
+  const auto len = static_cast<std::uint16_t>(UdpHeader::kSize + data.size());
+  ChecksumAccumulator acc;
+  acc.add_u32(src_ip);
+  acc.add_u32(dst_ip);
+  acc.add_u16(17);  // protocol UDP
+  acc.add_u16(len);
+  acc.add_u16(h.src_port);
+  acc.add_u16(h.dst_port);
+  acc.add_u16(len);
+  acc.add_u16(0);  // checksum placeholder
+  acc.add(data);
+  std::uint16_t sum = acc.finish();
+  return sum == 0 ? 0xFFFF : sum;  // RFC 768: 0 means "no checksum"
+}
+
+}  // namespace
+
+void UdpHeader::serialize(util::Bytes& out, util::BytesView data,
+                          std::uint32_t src_ip, std::uint32_t dst_ip) const {
+  const auto len = static_cast<std::uint16_t>(kSize + data.size());
+  util::put_u16(out, src_port);
+  util::put_u16(out, dst_port);
+  util::put_u16(out, len);
+  util::put_u16(out, udp_checksum(*this, data, src_ip, dst_ip));
+  util::append(out, data);
+}
+
+std::optional<UdpHeader> UdpHeader::parse(util::BytesView datagram,
+                                          std::uint32_t src_ip,
+                                          std::uint32_t dst_ip) {
+  if (datagram.size() < kSize) return std::nullopt;
+  std::size_t off = 0;
+  UdpHeader h;
+  h.src_port = util::get_u16(datagram, off);
+  h.dst_port = util::get_u16(datagram, off);
+  const std::uint16_t len = util::get_u16(datagram, off);
+  if (len != datagram.size()) return std::nullopt;
+  const std::uint16_t wire_sum = util::get_u16(datagram, off);
+  if (wire_sum != 0 &&
+      udp_checksum(h, datagram.subspan(kSize), src_ip, dst_ip) != wire_sum) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+}  // namespace bytecache::packet

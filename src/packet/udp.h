@@ -1,0 +1,30 @@
+// UDP header (RFC 768).
+//
+// The k-distance encoding policy is applicable to UDP streams (paper
+// Section V-C); the UDP streaming example exercises it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace bytecache::packet {
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  /// Serializes header + `data` into `out` with the pseudo-header checksum.
+  void serialize(util::Bytes& out, util::BytesView data, std::uint32_t src_ip,
+                 std::uint32_t dst_ip) const;
+
+  /// Parses and checksum-verifies from the front of `datagram`.
+  static std::optional<UdpHeader> parse(util::BytesView datagram,
+                                        std::uint32_t src_ip,
+                                        std::uint32_t dst_ip);
+};
+
+}  // namespace bytecache::packet

@@ -1,0 +1,92 @@
+#include "rabin/polynomial.h"
+
+#include <bit>
+
+namespace bytecache::rabin {
+namespace {
+
+/// Degree of a nonzero 64-bit polynomial.
+int degree(std::uint64_t p) { return 63 - std::countl_zero(p); }
+
+/// Remainder of a 128-bit polynomial divided by a nonzero 64-bit polynomial.
+__extension__ typedef unsigned __int128 uint128;
+
+std::uint64_t mod128(uint128 num, std::uint64_t den) {
+  const int dd = degree(den);
+  // Reduce bits from the top down to below deg(den).
+  for (int bit = 127; bit >= dd; --bit) {
+    if ((num >> bit) & 1) {
+      num ^= static_cast<uint128>(den) << (bit - dd);
+    }
+  }
+  return static_cast<std::uint64_t>(num);
+}
+
+/// GCD of two 64-bit polynomials (Euclid).
+std::uint64_t gcd64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    // a mod b
+    int db = degree(b);
+    std::uint64_t r = a;
+    while (r != 0 && degree(r) >= db) {
+      r ^= b << (degree(r) - db);
+    }
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+}  // namespace
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t q) {
+  std::uint64_t res = 0;
+  while (b != 0) {
+    if (b & 1) res ^= a;
+    b >>= 1;
+    a = mul_x(a, q);
+  }
+  return res;
+}
+
+std::uint64_t pow2k(std::uint64_t a, unsigned k, std::uint64_t q) {
+  for (unsigned i = 0; i < k; ++i) a = mulmod(a, a, q);
+  return a;
+}
+
+std::uint64_t gcd_with_modulus(std::uint64_t q, std::uint64_t r) {
+  if (r == 0) return 0;  // gcd(P, 0) = P, which has degree 64: report 0 (the
+                         // caller only checks for == 1).
+  // First reduce P = x^64 + q modulo r, then run the 64-bit Euclid loop.
+  const uint128 p =
+      (static_cast<uint128>(1) << 64) | static_cast<uint128>(q);
+  std::uint64_t p_mod_r = mod128(p, r);
+  return gcd64(r, p_mod_r);
+}
+
+bool is_irreducible(std::uint64_t q) {
+  constexpr std::uint64_t x = 2;  // the polynomial "x"
+  // Condition 1: x^(2^64) == x (mod P).
+  if (pow2k(x, 64, q) != x) return false;
+  // Condition 2: gcd(P, x^(2^32) + x) == 1.
+  const std::uint64_t t = pow2k(x, 32, q) ^ x;
+  return gcd_with_modulus(q, t) == 1;
+}
+
+std::uint64_t find_irreducible(std::uint64_t seed) {
+  // x^64 + q must have a constant term (else divisible by x) and an odd
+  // number of terms overall (else divisible by x + 1).
+  std::uint64_t state = seed;
+  for (;;) {
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    ++state;
+    std::uint64_t q = z | 1;  // ensure constant term
+    if ((std::popcount(q) + 1) % 2 == 0) q ^= 2;  // make total terms odd
+    if (is_irreducible(q)) return q;
+  }
+}
+
+}  // namespace bytecache::rabin

@@ -1,0 +1,53 @@
+// Arithmetic over GF(2)[x] modulo a degree-64 polynomial.
+//
+// Rabin fingerprints (Rabin, 1981) treat a byte string as a polynomial over
+// GF(2) and reduce it modulo a fixed irreducible polynomial P.  We fix
+// deg(P) = 64 and represent P = x^64 + q(x) by the 64-bit value q; residues
+// are polynomials of degree < 64 stored in a uint64_t (bit i = coefficient
+// of x^i).
+//
+// This header provides the reference (slow) arithmetic used to build the
+// fast byte-at-a-time tables in rabin.h, plus a Rabin irreducibility test so
+// the chosen modulus can be *verified* rather than trusted.
+#pragma once
+
+#include <cstdint>
+
+namespace bytecache::rabin {
+
+/// The default modulus: x^64 + q with q below.  Irreducibility is verified
+/// by is_irreducible() in the unit tests (and can be re-derived with
+/// find_irreducible()).
+inline constexpr std::uint64_t kDefaultPoly = 0xFB2BF4996809BAF5ull;
+
+/// Multiplies residue `a` by x modulo x^64 + q.
+[[nodiscard]] constexpr std::uint64_t mul_x(std::uint64_t a, std::uint64_t q) {
+  const std::uint64_t carry = a >> 63;
+  a <<= 1;
+  if (carry != 0) a ^= q;
+  return a;
+}
+
+/// Multiplies two residues modulo x^64 + q (shift-and-add "Russian peasant").
+[[nodiscard]] std::uint64_t mulmod(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t q);
+
+/// Raises residue `a` to the 2^k-th power modulo x^64 + q (k squarings).
+[[nodiscard]] std::uint64_t pow2k(std::uint64_t a, unsigned k,
+                                  std::uint64_t q);
+
+/// Polynomial GCD of (x^64 + q) and residue r (degree < 64).
+/// Returns the GCD as a 64-bit polynomial (degree < 64 — the GCD of P with a
+/// nonzero lower-degree polynomial always has degree < 64).
+[[nodiscard]] std::uint64_t gcd_with_modulus(std::uint64_t q, std::uint64_t r);
+
+/// Rabin's irreducibility test for P = x^64 + q.
+/// P is irreducible iff x^(2^64) == x (mod P) and gcd(P, x^(2^32) + x) = 1
+/// (64 = 2^6 has the single prime divisor 2).
+[[nodiscard]] bool is_irreducible(std::uint64_t q);
+
+/// Deterministically searches for an irreducible x^64 + q starting from a
+/// seed; used by tests and available if a different modulus is wanted.
+[[nodiscard]] std::uint64_t find_irreducible(std::uint64_t seed);
+
+}  // namespace bytecache::rabin

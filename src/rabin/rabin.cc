@@ -1,0 +1,35 @@
+#include "rabin/rabin.h"
+
+namespace bytecache::rabin {
+
+RabinTables::RabinTables(std::size_t window, std::uint64_t poly)
+    : window_(window), poly_(poly) {
+  // push_[t] = (t * x^64) mod P.  After `fp << 8`, the former top byte t has
+  // logically been promoted to coefficients of x^64..x^71; push_[t] is their
+  // reduction (computed for t at x^64, which the shift implies exactly).
+  for (unsigned t = 0; t < 256; ++t) {
+    std::uint64_t v = t;
+    for (int i = 0; i < 64; ++i) v = mul_x(v, poly);
+    push_[t] = v;
+  }
+  // After push(fp_w, new) the stale state is
+  //     x^(8(w+1)) + b0*x^(8w) + rest*x^8 + new      (b0 = outgoing byte)
+  // and the rolled window's fingerprint must be
+  //     x^(8w)     +             rest*x^8 + new.
+  // Their XOR is (x^8 + (b0 XOR 1)) * x^(8w); out_[b0] precomputes its
+  // reduction.  The "XOR 1" folds the two leading-term corrections into
+  // the same table entry.
+  for (unsigned b = 0; b < 256; ++b) {
+    std::uint64_t v = 0x100u ^ (b ^ 1u);
+    for (std::size_t i = 0; i < 8 * window; ++i) v = mul_x(v, poly);
+    out_[b] = v;
+  }
+}
+
+Fingerprint RabinTables::of(util::BytesView data) const {
+  Fingerprint fp = kEmptyFingerprint;
+  for (std::uint8_t b : data) fp = push(fp, b);
+  return fp;
+}
+
+}  // namespace bytecache::rabin

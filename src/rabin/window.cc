@@ -1,0 +1,112 @@
+#include "rabin/window.h"
+
+#include <deque>
+
+#include "util/rng.h"
+
+namespace bytecache::rabin {
+
+RollingWindow::RollingWindow(const RabinTables& tables)
+    : tables_(tables), ring_(tables.window(), 0) {}
+
+bool RollingWindow::feed(std::uint8_t b) {
+  if (fed_ < ring_.size()) {
+    fp_ = tables_.push(fp_, b);
+    ring_[fed_ % ring_.size()] = b;
+  } else {
+    const std::uint8_t out = ring_[head_];
+    fp_ = tables_.roll(fp_, out, b);
+    ring_[head_] = b;
+    head_ = (head_ + 1) % ring_.size();
+  }
+  ++fed_;
+  return full();
+}
+
+void RollingWindow::reset() {
+  head_ = 0;
+  fed_ = 0;
+  fp_ = kEmptyFingerprint;
+  // ring contents are irrelevant until refilled
+}
+
+std::size_t scan(const RabinTables& tables, util::BytesView payload,
+                 const std::function<void(std::size_t, Fingerprint)>& sink) {
+  const std::size_t w = tables.window();
+  if (payload.size() < w) return 0;
+  RollingWindow win(tables);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (win.feed(payload[i])) {
+      sink(i + 1 - w, win.fingerprint());
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<Anchor> selected_anchors_maxp(const RabinTables& tables,
+                                          util::BytesView payload,
+                                          std::size_t p) {
+  std::vector<Fingerprint> fps;
+  fps.reserve(payload.size());
+  scan(tables, payload,
+       [&](std::size_t, Fingerprint fp) { fps.push_back(fp); });
+  std::vector<Anchor> out;
+  if (fps.empty() || p == 0) return out;
+
+  // Sliding-window maximum via a monotonic deque of candidate indices
+  // (front = current maximum; rightmost wins ties for content-defined
+  // stability).  Each window [i-p+1, i] emits its argmax; consecutive
+  // windows usually share it, so duplicates are skipped.
+  std::deque<std::size_t> dq;
+  std::size_t last_emitted = fps.size();  // sentinel: nothing emitted
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    while (!dq.empty() && fps[dq.back()] <= fps[i]) dq.pop_back();
+    dq.push_back(i);
+    if (dq.front() + p <= i) dq.pop_front();
+    if (i + 1 >= p && dq.front() != last_emitted) {
+      last_emitted = dq.front();
+      out.push_back(
+          Anchor{static_cast<std::uint16_t>(last_emitted), fps[last_emitted]});
+    }
+  }
+  return out;
+}
+
+std::vector<Anchor> selected_anchors_samplebyte(const RabinTables& tables,
+                                                util::BytesView payload,
+                                                unsigned period,
+                                                std::size_t skip) {
+  std::vector<Anchor> out;
+  const std::size_t w = tables.window();
+  if (payload.size() < w || period == 0) return out;
+  // The sample set: byte values whose mixed hash lands in 1/period of the
+  // space.  Fixed (content-independent), so both gateways agree.
+  for (std::size_t i = 0; i + w <= payload.size();) {
+    std::uint64_t state = payload[i];
+    const std::uint64_t mixed = util::splitmix64(state);
+    if (mixed % period == 0) {
+      out.push_back(Anchor{static_cast<std::uint16_t>(i),
+                           tables.of(payload.subspan(i, w))});
+      i += skip > 0 ? skip : 1;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<Anchor> selected_anchors(const RabinTables& tables,
+                                     util::BytesView payload,
+                                     unsigned select_bits) {
+  std::vector<Anchor> out;
+  scan(tables, payload, [&](std::size_t off, Fingerprint fp) {
+    if (selected(fp, select_bits)) {
+      out.push_back(Anchor{static_cast<std::uint16_t>(off), fp});
+    }
+  });
+  return out;
+}
+
+}  // namespace bytecache::rabin

@@ -1,0 +1,84 @@
+// Rolling-window fingerprinter and whole-payload scanner.
+//
+// The encoder slides a w-byte window over each packet payload (paper
+// Fig. 2, procedure B) and needs the fingerprint at every byte position.
+// RollingWindow maintains the ring buffer; FingerprintScanner produces the
+// full (position, fingerprint) sequence for a payload in one pass.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rabin/rabin.h"
+#include "util/bytes.h"
+
+namespace bytecache::rabin {
+
+/// Incremental w-byte rolling fingerprint.
+class RollingWindow {
+ public:
+  explicit RollingWindow(const RabinTables& tables);
+
+  /// Feeds one byte; returns true once at least w bytes have been fed,
+  /// i.e. fingerprint() covers a full window.
+  bool feed(std::uint8_t b);
+
+  /// Fingerprint of the last min(fed, w) bytes.
+  [[nodiscard]] Fingerprint fingerprint() const { return fp_; }
+
+  /// True once a full window has been fed.
+  [[nodiscard]] bool full() const { return fed_ >= ring_.size(); }
+
+  /// Resets to the empty state.
+  void reset();
+
+ private:
+  const RabinTables& tables_;
+  std::vector<std::uint8_t> ring_;
+  std::size_t head_ = 0;   // index of the oldest byte
+  std::size_t fed_ = 0;    // total bytes fed
+  Fingerprint fp_ = kEmptyFingerprint;
+};
+
+/// A selected fingerprint anchored in a payload.
+struct Anchor {
+  /// Offset of the *first byte* of the window within the payload.
+  std::uint16_t offset;
+  Fingerprint fp;
+};
+
+/// Scans `payload` and invokes `sink(offset, fp)` for every full window
+/// position (offset = start of window, 0-based).  Returns the number of
+/// windows visited.
+std::size_t scan(const RabinTables& tables, util::BytesView payload,
+                 const std::function<void(std::size_t, Fingerprint)>& sink);
+
+/// Convenience: returns all *selected* anchors of `payload` (last
+/// `select_bits` bits of the fingerprint are zero) — MODP value sampling,
+/// the paper's scheme.
+[[nodiscard]] std::vector<Anchor> selected_anchors(const RabinTables& tables,
+                                                   util::BytesView payload,
+                                                   unsigned select_bits);
+
+/// MAXP / winnowing selection (Anand et al., SIGMETRICS 2009; Schleimer
+/// et al.'s winnowing): every sliding window of `p` consecutive positions
+/// contributes its maximum-fingerprint position (rightmost on ties).
+/// Unlike value sampling this GUARANTEES an anchor in every p positions —
+/// no unlucky gaps, and byte runs cannot go unanchored — at an expected
+/// density of 2/(p+1).
+[[nodiscard]] std::vector<Anchor> selected_anchors_maxp(
+    const RabinTables& tables, util::BytesView payload, std::size_t p);
+
+/// SAMPLEBYTE selection (EndRE, NSDI 2010 — the computation-saving
+/// optimization the paper's Section III alludes to): a position is an
+/// anchor candidate iff its first byte is in a fixed 256-entry sample
+/// set (|set| = 256/period); after each anchor the scan skips `skip`
+/// bytes.  Rabin fingerprints are computed ONLY at anchors (one of(w)
+/// per anchor instead of one push per byte), trading a little match
+/// coverage for a large CPU saving — see bench_micro_rabin.
+[[nodiscard]] std::vector<Anchor> selected_anchors_samplebyte(
+    const RabinTables& tables, util::BytesView payload, unsigned period,
+    std::size_t skip);
+
+}  // namespace bytecache::rabin

@@ -1,0 +1,89 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bytecache::sim {
+
+Link::Link(Simulator& sim, const LinkConfig& config,
+           std::unique_ptr<LossProcess> loss, util::Rng rng)
+    : sim_(sim), config_(config), loss_(std::move(loss)), rng_(rng) {}
+
+void Link::send(packet::PacketPtr pkt) {
+  ++stats_.packets_offered;
+  stats_.bytes_offered += pkt->wire_size();
+  if (trace_ != nullptr) {
+    trace_->record(sim_.now(), TraceEvent::kSend, pkt->uid,
+                   pkt->wire_size());
+  }
+
+  if (in_system_ >= config_.queue_packets) {
+    ++stats_.drops_queue;
+    if (trace_ != nullptr) {
+      trace_->record(sim_.now(), TraceEvent::kQueueDrop, pkt->uid);
+    }
+    return;
+  }
+  ++in_system_;
+  if (pcap_ != nullptr) pcap_->add(*pkt, sim_.now());
+
+  // Serialize after any packets already queued.
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  const SimTime end = start + tx_time(pkt->wire_size(), config_.rate_bytes_per_sec);
+  busy_until_ = end;
+  stats_.bytes_sent += pkt->wire_size();
+
+  // Decide the packet's fate now (deterministic given the seed) but apply
+  // it at the end of serialization.
+  const bool lost = loss_->drop(rng_);
+  const bool corrupt = !lost && rng_.chance(config_.corrupt_prob);
+  const bool reorder = !lost && rng_.chance(config_.reorder_prob);
+
+  // Keep a raw pointer alive through the closure via shared ownership.
+  auto shared = std::make_shared<packet::PacketPtr>(std::move(pkt));
+  sim_.at(end, [this, shared, lost, corrupt, reorder, end]() {
+    --in_system_;
+    if (lost) {
+      ++stats_.drops_loss;
+      if (trace_ != nullptr) {
+        trace_->record(sim_.now(), TraceEvent::kLoss, (*shared)->uid);
+      }
+      return;
+    }
+    packet::PacketPtr p = std::move(*shared);
+    if (corrupt) {
+      ++stats_.corrupted;
+      if (trace_ != nullptr) {
+        trace_->record(sim_.now(), TraceEvent::kCorrupt, p->uid);
+      }
+      p->corrupted = true;
+      // Flip 1..3 payload bytes (or an IP header byte if no payload).
+      if (!p->payload.empty()) {
+        const std::size_t flips = 1 + rng_.uniform(0, 2);
+        for (std::size_t i = 0; i < flips; ++i) {
+          const std::size_t pos = rng_.uniform(0, p->payload.size() - 1);
+          p->payload[pos] ^= static_cast<std::uint8_t>(rng_.uniform(1, 255));
+        }
+      }
+    }
+    SimTime extra = 0;
+    if (reorder) {
+      ++stats_.reordered;
+      extra = config_.reorder_extra_delay;
+    }
+    sim_.at(end + config_.propagation_delay + extra,
+            [this, sp = std::make_shared<packet::PacketPtr>(std::move(p))]() {
+              deliver(std::move(*sp));
+            });
+  });
+}
+
+void Link::deliver(packet::PacketPtr pkt) {
+  ++stats_.packets_delivered;
+  if (trace_ != nullptr) {
+    trace_->record(sim_.now(), TraceEvent::kDeliver, pkt->uid);
+  }
+  if (sink_) sink_(std::move(pkt));
+}
+
+}  // namespace bytecache::sim

@@ -1,0 +1,40 @@
+#include "sim/loss_model.h"
+
+#include <algorithm>
+
+namespace bytecache::sim {
+
+bool GilbertElliottLoss::drop(util::Rng& rng) {
+  // Transition first, then sample loss in the new state.
+  if (bad_) {
+    if (rng.chance(params_.p_bg)) bad_ = false;
+  } else {
+    if (rng.chance(params_.p_gb)) bad_ = true;
+  }
+  return rng.chance(bad_ ? params_.loss_bad : params_.loss_good);
+}
+
+double GilbertElliottLoss::average_loss() const {
+  const double denom = params_.p_gb + params_.p_bg;
+  if (denom <= 0.0) return params_.loss_good;
+  const double pi_bad = params_.p_gb / denom;
+  return (1.0 - pi_bad) * params_.loss_good + pi_bad * params_.loss_bad;
+}
+
+std::unique_ptr<GilbertElliottLoss> GilbertElliottLoss::with_average_loss(
+    double p) {
+  // Keep p_bg (burst length ~3.3 packets) and loss_bad fixed; solve for
+  // p_gb such that pi_bad * loss_bad = p.
+  Params params;
+  params.loss_good = 0.0;
+  params.loss_bad = 0.5;
+  params.p_bg = 0.3;
+  const double target_pi_bad = std::clamp(p / params.loss_bad, 0.0, 0.95);
+  // pi_bad = p_gb / (p_gb + p_bg)  =>  p_gb = pi_bad * p_bg / (1 - pi_bad).
+  params.p_gb = target_pi_bad >= 1.0
+                    ? 1.0
+                    : target_pi_bad * params.p_bg / (1.0 - target_pi_bad);
+  return std::make_unique<GilbertElliottLoss>(params);
+}
+
+}  // namespace bytecache::sim

@@ -1,0 +1,75 @@
+// Packet loss processes for the wireless link.
+//
+// The paper's experiments vary a uniform random loss rate from 0 to 20%
+// (Section III-C); BernoulliLoss models that.  GilbertElliottLoss adds the
+// bursty (two-state Markov) losses typical of fading wireless channels and
+// is used by the ablation benches to show the schemes' sensitivity to loss
+// correlation.
+#pragma once
+
+#include <memory>
+
+#include "util/rng.h"
+
+namespace bytecache::sim {
+
+class LossProcess {
+ public:
+  virtual ~LossProcess() = default;
+
+  /// Samples whether the next packet is lost.
+  virtual bool drop(util::Rng& rng) = 0;
+
+  /// Returns the process to its initial state.
+  virtual void reset() {}
+};
+
+/// Independent loss with fixed probability p.
+class BernoulliLoss final : public LossProcess {
+ public:
+  explicit BernoulliLoss(double p) : p_(p) {}
+  bool drop(util::Rng& rng) override { return rng.chance(p_); }
+
+ private:
+  double p_;
+};
+
+/// Two-state Markov (Gilbert–Elliott) loss.
+///
+/// In the Good state packets are lost with probability `loss_good`, in the
+/// Bad state with `loss_bad`; the chain moves G->B with `p_gb` and B->G
+/// with `p_bg` per packet.  Average loss = loss in the stationary mix;
+/// expected burst length while Bad = 1/p_bg packets.
+class GilbertElliottLoss final : public LossProcess {
+ public:
+  struct Params {
+    double p_gb = 0.01;
+    double p_bg = 0.3;
+    double loss_good = 0.0;
+    double loss_bad = 0.5;
+  };
+
+  explicit GilbertElliottLoss(const Params& params) : params_(params) {}
+
+  bool drop(util::Rng& rng) override;
+  void reset() override { bad_ = false; }
+
+  /// Stationary average loss rate of the chain.
+  [[nodiscard]] double average_loss() const;
+
+  /// Builds a GE process with the given average loss rate, keeping the
+  /// default burstiness (useful for apples-to-apples sweeps vs Bernoulli).
+  static std::unique_ptr<GilbertElliottLoss> with_average_loss(double p);
+
+ private:
+  Params params_;
+  bool bad_ = false;
+};
+
+/// No loss at all.
+class NoLoss final : public LossProcess {
+ public:
+  bool drop(util::Rng&) override { return false; }
+};
+
+}  // namespace bytecache::sim

@@ -1,0 +1,48 @@
+#include "sim/pcap.h"
+
+#include <cstdio>
+
+namespace bytecache::sim {
+
+void PcapWriter::put_u32le(std::uint32_t v) {
+  data_.push_back(static_cast<std::uint8_t>(v));
+  data_.push_back(static_cast<std::uint8_t>(v >> 8));
+  data_.push_back(static_cast<std::uint8_t>(v >> 16));
+  data_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PcapWriter::put_u16le(std::uint16_t v) {
+  data_.push_back(static_cast<std::uint8_t>(v));
+  data_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PcapWriter::write_global_header() {
+  put_u32le(kMagic);
+  put_u16le(2);   // version major
+  put_u16le(4);   // version minor
+  put_u32le(0);   // thiszone
+  put_u32le(0);   // sigfigs
+  put_u32le(65535);  // snaplen
+  put_u32le(kLinkTypeRaw);
+}
+
+void PcapWriter::add(const packet::Packet& pkt, SimTime t) {
+  const util::Bytes wire = packet::to_wire(pkt);
+  const auto usec = static_cast<std::uint64_t>(t / 1000);
+  put_u32le(static_cast<std::uint32_t>(usec / 1'000'000));  // ts_sec
+  put_u32le(static_cast<std::uint32_t>(usec % 1'000'000));  // ts_usec
+  put_u32le(static_cast<std::uint32_t>(wire.size()));       // incl_len
+  put_u32le(static_cast<std::uint32_t>(wire.size()));       // orig_len
+  util::append(data_, wire);
+  ++count_;
+}
+
+bool PcapWriter::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(data_.data(), 1, data_.size(), f);
+  std::fclose(f);
+  return written == data_.size();
+}
+
+}  // namespace bytecache::sim

@@ -1,0 +1,38 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace bytecache::sim {
+
+void Simulator::at(SimTime t, Action action) {
+  if (t < now_) t = now_;  // never schedule into the past
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the action must be moved out, so copy
+  // the wrapper then pop.  Actions are small (captured pointers).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.action();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace bytecache::sim

@@ -1,0 +1,65 @@
+// Deterministic discrete-event simulator.
+//
+// A single-threaded event loop over simulated time.  Events scheduled for
+// the same instant run in scheduling order (a monotonic tiebreaker), so a
+// given seed always produces the identical execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace bytecache::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `t` (>= now).
+  void at(SimTime t, Action action);
+
+  /// Schedules `action` after `delay` (>= 0).
+  void after(SimTime delay, Action action) { at(now_ + delay, std::move(action)); }
+
+  /// Runs the next event; false if none are pending.
+  bool step();
+
+  /// Runs until no events remain or stop() is called.
+  void run();
+
+  /// Runs events with time <= t (and advances now() to t).
+  void run_until(SimTime t);
+
+  /// Requests run() to return after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace bytecache::sim

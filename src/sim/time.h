@@ -1,0 +1,24 @@
+// Simulated time: signed 64-bit nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace bytecache::sim {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+constexpr SimTime ns(std::int64_t v) { return v; }
+constexpr SimTime us(std::int64_t v) { return v * 1'000; }
+constexpr SimTime ms(std::int64_t v) { return v * 1'000'000; }
+constexpr SimTime sec(std::int64_t v) { return v * 1'000'000'000; }
+
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) * 1e-6; }
+
+/// Duration of `bytes` at `bytes_per_sec` (serialization delay).
+constexpr SimTime tx_time(std::size_t bytes, double bytes_per_sec) {
+  return static_cast<SimTime>(static_cast<double>(bytes) / bytes_per_sec *
+                              1e9);
+}
+
+}  // namespace bytecache::sim

@@ -1,0 +1,59 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace bytecache::sim {
+
+const char* to_string(TraceEvent ev) {
+  switch (ev) {
+    case TraceEvent::kSend: return "send";
+    case TraceEvent::kQueueDrop: return "queue_drop";
+    case TraceEvent::kLoss: return "loss";
+    case TraceEvent::kCorrupt: return "corrupt";
+    case TraceEvent::kDeliver: return "deliver";
+    case TraceEvent::kEncode: return "encode";
+    case TraceEvent::kReference: return "reference";
+    case TraceEvent::kFlush: return "flush";
+    case TraceEvent::kDecode: return "decode";
+    case TraceEvent::kDecodeDrop: return "decode_drop";
+    case TraceEvent::kNack: return "nack";
+  }
+  return "?";
+}
+
+std::size_t Trace::count(TraceEvent ev) const {
+  std::size_t n = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.event == ev) ++n;
+  }
+  return n;
+}
+
+std::string Trace::to_string() const {
+  std::string out;
+  char line[96];
+  for (const TraceRecord& r : records_) {
+    std::snprintf(line, sizeof line, "%10.3f ms  %-11s uid=%llu aux=%llu\n",
+                  to_ms(r.time), sim::to_string(r.event),
+                  static_cast<unsigned long long>(r.packet_uid),
+                  static_cast<unsigned long long>(r.aux));
+    out += line;
+  }
+  return out;
+}
+
+std::string Trace::to_csv() const {
+  std::string out = "time_us,event,uid,aux\n";
+  char line[96];
+  for (const TraceRecord& r : records_) {
+    std::snprintf(line, sizeof line, "%lld,%s,%llu,%llu\n",
+                  static_cast<long long>(r.time / 1000),
+                  sim::to_string(r.event),
+                  static_cast<unsigned long long>(r.packet_uid),
+                  static_cast<unsigned long long>(r.aux));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bytecache::sim

@@ -1,0 +1,67 @@
+// Structured event trace of a simulation run.
+//
+// Collects timestamped per-packet events (sent, queued-drop, lost,
+// corrupted, delivered, encoded, decode-drop, ...) in memory; renders as
+// a human-readable log or CSV.  The paper's root-cause analyses (Figures
+// 4, 5, 14) are exactly this kind of trace; the dependency_graph example
+// builds its Graphviz output from one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace bytecache::sim {
+
+enum class TraceEvent : std::uint8_t {
+  kSend,         // offered to a link
+  kQueueDrop,    // tail drop at the link queue
+  kLoss,         // lost by the channel
+  kCorrupt,      // corrupted in flight
+  kDeliver,      // delivered by a link
+  kEncode,       // DRE-encoded by the encoder gateway
+  kReference,    // sent as a k-distance reference
+  kFlush,        // encoder cache flushed before this packet
+  kDecode,       // reconstructed by the decoder gateway
+  kDecodeDrop,   // undecodable at the decoder
+  kNack,         // decoder NACK emitted
+};
+
+[[nodiscard]] const char* to_string(TraceEvent ev);
+
+struct TraceRecord {
+  SimTime time = 0;
+  TraceEvent event = TraceEvent::kSend;
+  std::uint64_t packet_uid = 0;
+  std::uint64_t aux = 0;  // event-specific (e.g. referenced uid, size)
+};
+
+class Trace {
+ public:
+  void record(SimTime t, TraceEvent ev, std::uint64_t uid,
+              std::uint64_t aux = 0) {
+    records_.push_back(TraceRecord{t, ev, uid, aux});
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+
+  /// Count of records with the given event type.
+  [[nodiscard]] std::size_t count(TraceEvent ev) const;
+
+  /// Human-readable rendering (one line per record).
+  [[nodiscard]] std::string to_string() const;
+
+  /// "time_us,event,uid,aux" lines.
+  [[nodiscard]] std::string to_csv() const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace bytecache::sim

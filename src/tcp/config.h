@@ -1,0 +1,53 @@
+// Shared configuration of the simulated TCP endpoints.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace bytecache::tcp {
+
+/// Loss-recovery flavour of the sender.
+enum class CongestionAlgo {
+  kNewReno,  // fast retransmit + fast recovery (RFC 5681/6582)
+  kTahoe,    // fast retransmit, then slow start from one segment
+};
+
+struct TcpConfig {
+  CongestionAlgo algo = CongestionAlgo::kNewReno;
+
+  std::size_t mss = 1460;  // paper Section IV-C: MSS 1460 on Ethernet
+
+  std::uint32_t isn = 1000;  // sender's initial sequence number
+
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 80;
+  std::uint16_t dst_port = 40000;
+
+  /// Receive window advertised by the sink.  65535 (no window scaling,
+  /// as in the paper's discussion of RFC 1323).
+  std::uint32_t rcv_wnd = 23360;  // 16 segments
+
+  /// Initial congestion window, segments (RFC 3390-era value).
+  std::size_t initial_cwnd_segments = 4;
+
+  /// RFC 6298 timer bounds.  min_rto matches Linux's 200 ms.
+  sim::SimTime initial_rto = sim::ms(1000);
+  sim::SimTime min_rto = sim::ms(200);
+  sim::SimTime max_rto = sim::sec(60);
+
+  /// Consecutive RTO backoffs on the same data before the connection is
+  /// declared stalled and aborted (the paper's "TCP connection stall").
+  std::size_t max_backoffs = 8;
+
+  /// RFC 1122 delayed ACKs: acknowledge every second in-order segment or
+  /// after `delack_timeout`, but immediately on out-of-order/duplicate
+  /// data (those duplicates drive fast retransmit).  Off by default: the
+  /// paper-era experiments and the calibration in EXPERIMENTS.md use
+  /// immediate ACKs; the ablation bench measures the difference.
+  bool delayed_ack = false;
+  sim::SimTime delack_timeout = sim::ms(40);
+};
+
+}  // namespace bytecache::tcp

@@ -1,0 +1,49 @@
+#include "tcp/congestion.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bytecache::tcp {
+
+RenoCongestion::RenoCongestion(std::size_t mss, std::size_t initial_segments)
+    : mss_(mss),
+      cwnd_(static_cast<double>(mss * initial_segments)),
+      ssthresh_(std::numeric_limits<std::size_t>::max() / 2) {}
+
+void RenoCongestion::on_new_ack(std::size_t acked_bytes) {
+  if (in_slow_start()) {
+    // RFC 5681: increase by min(acked, MSS) per ACK.
+    cwnd_ += static_cast<double>(std::min(acked_bytes, mss_));
+  } else {
+    cwnd_ += static_cast<double>(mss_) * static_cast<double>(mss_) / cwnd_;
+  }
+}
+
+void RenoCongestion::on_fast_retransmit(std::size_t flight) {
+  ssthresh_ = std::max(flight / 2, 2 * mss_);
+  cwnd_ = static_cast<double>(ssthresh_ + 3 * mss_);
+  in_fast_recovery_ = true;
+}
+
+void RenoCongestion::on_dup_ack_in_recovery() {
+  cwnd_ += static_cast<double>(mss_);
+}
+
+void RenoCongestion::on_partial_ack(std::size_t acked_bytes) {
+  cwnd_ -= static_cast<double>(acked_bytes);
+  if (cwnd_ < static_cast<double>(mss_)) cwnd_ = static_cast<double>(mss_);
+  cwnd_ += static_cast<double>(mss_);
+}
+
+void RenoCongestion::on_recovery_exit() {
+  cwnd_ = static_cast<double>(ssthresh_);
+  in_fast_recovery_ = false;
+}
+
+void RenoCongestion::on_timeout(std::size_t flight) {
+  ssthresh_ = std::max(flight / 2, 2 * mss_);
+  cwnd_ = static_cast<double>(mss_);
+  in_fast_recovery_ = false;
+}
+
+}  // namespace bytecache::tcp

@@ -1,0 +1,49 @@
+// Reno/NewReno congestion control state machine (RFC 5681 / RFC 6582).
+//
+// Extracted from the sender so it can be unit-tested in isolation and so
+// the benches can report cwnd trajectories.  All quantities are in bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace bytecache::tcp {
+
+class RenoCongestion {
+ public:
+  RenoCongestion(std::size_t mss, std::size_t initial_segments);
+
+  /// Bytes the sender may have in flight.
+  [[nodiscard]] std::size_t cwnd() const { return static_cast<std::size_t>(cwnd_); }
+  [[nodiscard]] std::size_t ssthresh() const { return ssthresh_; }
+  [[nodiscard]] bool in_slow_start() const { return cwnd_ < static_cast<double>(ssthresh_); }
+  [[nodiscard]] bool in_fast_recovery() const { return in_fast_recovery_; }
+
+  /// New data acknowledged outside fast recovery: slow start (cwnd += MSS
+  /// per ACK) or congestion avoidance (cwnd += MSS*MSS/cwnd).
+  void on_new_ack(std::size_t acked_bytes);
+
+  /// Third duplicate ACK: halve, retransmit is up to the sender.
+  /// `flight` is the volume outstanding when loss was detected.
+  void on_fast_retransmit(std::size_t flight);
+
+  /// Additional duplicate ACK while in fast recovery (window inflation).
+  void on_dup_ack_in_recovery();
+
+  /// Partial ACK during fast recovery (RFC 6582): deflate by the newly
+  /// acked amount, then inflate by one MSS.
+  void on_partial_ack(std::size_t acked_bytes);
+
+  /// Full ACK ends fast recovery: cwnd = ssthresh.
+  void on_recovery_exit();
+
+  /// Retransmission timeout: ssthresh = flight/2, cwnd = 1 MSS.
+  void on_timeout(std::size_t flight);
+
+ private:
+  std::size_t mss_;
+  double cwnd_;  // fractional growth in congestion avoidance
+  std::size_t ssthresh_;
+  bool in_fast_recovery_ = false;
+};
+
+}  // namespace bytecache::tcp

@@ -1,0 +1,115 @@
+#include "tcp/receiver.h"
+
+#include "packet/tcp.h"
+
+namespace bytecache::tcp {
+
+TcpReceiver::TcpReceiver(sim::Simulator& sim, const TcpConfig& config,
+                         SendFn send)
+    : sim_(sim), config_(config), send_(std::move(send)) {}
+
+void TcpReceiver::on_packet(const packet::Packet& pkt) {
+  auto h = packet::TcpHeader::parse(pkt.payload, pkt.ip.src, pkt.ip.dst);
+  if (!h) {
+    ++stats_.checksum_drops;
+    return;
+  }
+  const util::BytesView data(pkt.payload.data() + packet::TcpHeader::kSize,
+                             pkt.payload.size() - packet::TcpHeader::kSize);
+  if (data.empty()) return;
+  ++stats_.segments_received;
+
+  // Map the 32-bit sequence number to a stream offset near rcv_nxt_.
+  const std::uint32_t rel = h->seq - config_.isn;
+  const std::uint64_t base = rcv_nxt_ & ~std::uint64_t{0xFFFFFFFF};
+  std::uint64_t off = base | rel;
+  if (off + 0x80000000ull < rcv_nxt_) off += 0x100000000ull;
+  else if (off > rcv_nxt_ + 0x80000000ull && off >= 0x100000000ull)
+    off -= 0x100000000ull;
+
+  bool in_order = false;
+  if (off == rcv_nxt_) {
+    ++stats_.in_order;
+    stream_.insert(stream_.end(), data.begin(), data.end());
+    rcv_nxt_ += data.size();
+    drain_ooo();
+    in_order = true;
+    if (on_progress_) on_progress_(rcv_nxt_);
+  } else if (off > rcv_nxt_) {
+    ++stats_.out_of_order;
+    ooo_.emplace(off, util::Bytes(data.begin(), data.end()));
+  } else if (off + data.size() > rcv_nxt_) {
+    // Partial overlap: deliver the new tail.
+    ++stats_.duplicates;
+    const std::size_t skip = static_cast<std::size_t>(rcv_nxt_ - off);
+    stream_.insert(stream_.end(), data.begin() + skip, data.end());
+    rcv_nxt_ = off + data.size();
+    drain_ooo();
+    in_order = true;
+    if (on_progress_) on_progress_(rcv_nxt_);
+  } else {
+    ++stats_.duplicates;  // fully duplicate segment
+  }
+  maybe_ack(in_order);
+}
+
+void TcpReceiver::maybe_ack(bool in_order) {
+  if (!config_.delayed_ack || !in_order) {
+    // Immediate mode, or out-of-order/duplicate data (RFC 5681: those
+    // must be acknowledged at once so the sender sees duplicate ACKs).
+    ack_pending_ = false;
+    ++delack_gen_;
+    send_ack();
+    return;
+  }
+  if (ack_pending_) {
+    // Second in-order segment: acknowledge now.
+    ack_pending_ = false;
+    ++delack_gen_;
+    send_ack();
+    return;
+  }
+  ack_pending_ = true;
+  const std::uint64_t gen = ++delack_gen_;
+  sim_.after(config_.delack_timeout, [this, gen]() {
+    if (ack_pending_ && gen == delack_gen_) {
+      ack_pending_ = false;
+      send_ack();
+    }
+  });
+}
+
+void TcpReceiver::drain_ooo() {
+  auto it = ooo_.begin();
+  while (it != ooo_.end() && it->first <= rcv_nxt_) {
+    const std::uint64_t off = it->first;
+    const util::Bytes& data = it->second;
+    if (off + data.size() > rcv_nxt_) {
+      const std::size_t skip = static_cast<std::size_t>(rcv_nxt_ - off);
+      stream_.insert(stream_.end(), data.begin() + skip, data.end());
+      rcv_nxt_ = off + data.size();
+    }
+    it = ooo_.erase(it);
+  }
+}
+
+void TcpReceiver::send_ack() {
+  packet::TcpHeader h;
+  h.src_port = config_.dst_port;
+  h.dst_port = config_.src_port;
+  h.seq = 1;  // the reverse stream carries no data
+  h.ack = config_.isn + static_cast<std::uint32_t>(rcv_nxt_);
+  h.flags = packet::TcpHeader::kAck;
+  h.window = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(config_.rcv_wnd, 65535));
+
+  util::Bytes segment;
+  segment.reserve(packet::TcpHeader::kSize);
+  h.serialize(segment, {}, config_.dst_ip, config_.src_ip);
+  auto pkt = packet::make_packet(config_.dst_ip, config_.src_ip,
+                                 packet::IpProto::kTcp, std::move(segment));
+  ++stats_.acks_sent;
+  send_(std::move(pkt));
+}
+
+}  // namespace bytecache::tcp

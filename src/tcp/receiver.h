@@ -1,0 +1,75 @@
+// Simulated TCP receiver.
+//
+// Buffers out-of-order segments, delivers the in-order byte stream, and
+// acknowledges every arriving data segment immediately (cumulative ACKs;
+// a hole produces duplicate ACKs, which drive the sender's fast
+// retransmit).  Segments failing the TCP checksum — e.g. corrupted in
+// flight — are dropped silently, as a real NIC/stack would.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "packet/packet.h"
+#include "sim/simulator.h"
+#include "tcp/config.h"
+#include "util/bytes.h"
+
+namespace bytecache::tcp {
+
+struct ReceiverStats {
+  std::uint64_t segments_received = 0;
+  std::uint64_t in_order = 0;
+  std::uint64_t out_of_order = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t checksum_drops = 0;
+  std::uint64_t acks_sent = 0;
+};
+
+class TcpReceiver {
+ public:
+  using SendFn = std::function<void(packet::PacketPtr)>;
+
+  /// `config` is the *sender's* config (ISN, ports, IPs); ACKs are built
+  /// with the directions reversed.
+  TcpReceiver(sim::Simulator& sim, const TcpConfig& config, SendFn send);
+
+  /// Feeds a packet that survived the link and the DRE decoder.
+  void on_packet(const packet::Packet& pkt);
+
+  /// Invoked whenever new in-order bytes become available.
+  void set_on_progress(std::function<void(std::uint64_t total)> fn) {
+    on_progress_ = std::move(fn);
+  }
+
+  [[nodiscard]] std::uint64_t delivered_bytes() const { return rcv_nxt_; }
+
+  /// The reassembled stream (tests verify bit-exactness end to end).
+  [[nodiscard]] const util::Bytes& stream() const { return stream_; }
+
+  [[nodiscard]] const ReceiverStats& stats() const { return stats_; }
+
+ private:
+  /// `in_order`: the arriving segment advanced rcv_nxt (delayed-ACK
+  /// candidates); anything else is acknowledged immediately.
+  void maybe_ack(bool in_order);
+  void send_ack();
+  void drain_ooo();
+
+  sim::Simulator& sim_;
+  TcpConfig config_;
+  SendFn send_;
+  std::function<void(std::uint64_t)> on_progress_;
+
+  std::uint64_t rcv_nxt_ = 0;            // next expected stream offset
+  std::map<std::uint64_t, util::Bytes> ooo_;  // offset -> bytes
+  util::Bytes stream_;
+  ReceiverStats stats_;
+
+  // Delayed-ACK state.
+  bool ack_pending_ = false;
+  std::uint64_t delack_gen_ = 0;
+};
+
+}  // namespace bytecache::tcp

@@ -1,0 +1,42 @@
+#include "tcp/rto.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bytecache::tcp {
+
+RttEstimator::RttEstimator(sim::SimTime initial_rto, sim::SimTime min_rto,
+                           sim::SimTime max_rto)
+    : initial_rto_(initial_rto),
+      min_rto_(min_rto),
+      max_rto_(max_rto),
+      base_rto_(initial_rto) {}
+
+void RttEstimator::sample(sim::SimTime rtt) {
+  if (!has_sample_) {
+    // RFC 6298 (2.2): SRTT = R, RTTVAR = R/2.
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+  } else {
+    // RFC 6298 (2.3): alpha = 1/8, beta = 1/4.
+    rttvar_ = (3 * rttvar_ + std::abs(srtt_ - rtt)) / 4;
+    srtt_ = (7 * srtt_ + rtt) / 8;
+  }
+  base_rto_ = clamp(srtt_ + std::max<sim::SimTime>(4 * rttvar_, sim::ms(1)));
+}
+
+sim::SimTime RttEstimator::rto() const {
+  const sim::SimTime shifted = base_rto_ << backoff_shift_;
+  return std::min(shifted, max_rto_);
+}
+
+void RttEstimator::backoff() {
+  if ((base_rto_ << backoff_shift_) < max_rto_) ++backoff_shift_;
+}
+
+sim::SimTime RttEstimator::clamp(sim::SimTime rto) const {
+  return std::clamp(rto, min_rto_, max_rto_);
+}
+
+}  // namespace bytecache::tcp

@@ -1,0 +1,48 @@
+// RFC 6298 retransmission-timeout estimation.
+//
+// SRTT/RTTVAR smoothing with Karn's rule applied by the caller (no samples
+// from retransmitted segments).  The RTO doubles on each backoff; the
+// paper's stall mechanism is precisely this exponential growth while
+// undecodable retransmissions keep failing (Section IV t4/t5).
+#pragma once
+
+#include "sim/time.h"
+
+namespace bytecache::tcp {
+
+class RttEstimator {
+ public:
+  RttEstimator(sim::SimTime initial_rto, sim::SimTime min_rto,
+               sim::SimTime max_rto);
+
+  /// Feeds one RTT measurement (from an un-retransmitted segment).
+  void sample(sim::SimTime rtt);
+
+  /// Current retransmission timeout including backoff.
+  [[nodiscard]] sim::SimTime rto() const;
+
+  /// Doubles the timeout (RFC 6298 5.5).
+  void backoff();
+
+  /// Clears the backoff multiplier (after new data is acknowledged).
+  void reset_backoff() { backoff_shift_ = 0; }
+
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+  [[nodiscard]] sim::SimTime srtt() const { return srtt_; }
+  [[nodiscard]] sim::SimTime rttvar() const { return rttvar_; }
+  [[nodiscard]] unsigned backoff_shift() const { return backoff_shift_; }
+
+ private:
+  sim::SimTime clamp(sim::SimTime rto) const;
+
+  sim::SimTime initial_rto_;
+  sim::SimTime min_rto_;
+  sim::SimTime max_rto_;
+  sim::SimTime srtt_ = 0;
+  sim::SimTime rttvar_ = 0;
+  sim::SimTime base_rto_;
+  unsigned backoff_shift_ = 0;
+  bool has_sample_ = false;
+};
+
+}  // namespace bytecache::tcp

@@ -1,0 +1,203 @@
+#include "tcp/sender.h"
+
+#include <algorithm>
+
+#include "packet/tcp.h"
+#include "util/logging.h"
+
+namespace bytecache::tcp {
+
+TcpSender::TcpSender(sim::Simulator& sim, const TcpConfig& config, SendFn send)
+    : sim_(sim),
+      config_(config),
+      send_(std::move(send)),
+      cc_(config.mss, config.initial_cwnd_segments),
+      rtt_(config.initial_rto, config.min_rto, config.max_rto) {}
+
+void TcpSender::start(util::Bytes data) {
+  data_ = std::move(data);
+  started_ = true;
+  send_new_data();
+}
+
+void TcpSender::send_new_data() {
+  if (completed_ || aborted_) return;
+  const std::size_t wnd =
+      std::min<std::size_t>(cc_.cwnd(), config_.rcv_wnd);
+  while (snd_nxt_ < data_.size()) {
+    const std::size_t len =
+        std::min<std::uint64_t>(config_.mss, data_.size() - snd_nxt_);
+    if (flight() + len > wnd) break;
+    emit_segment(snd_nxt_, /*retransmission=*/false);
+    snd_nxt_ += len;
+  }
+  if (flight() > 0 && !timer_armed_) arm_timer();
+}
+
+void TcpSender::emit_segment(std::uint64_t offset, bool retransmission) {
+  const std::size_t len =
+      std::min<std::uint64_t>(config_.mss, data_.size() - offset);
+  packet::TcpHeader h;
+  h.src_port = config_.src_port;
+  h.dst_port = config_.dst_port;
+  h.seq = config_.isn + static_cast<std::uint32_t>(offset);
+  h.ack = 1;  // peer stream carries no data; any value acceptable
+  h.flags = packet::TcpHeader::kAck | packet::TcpHeader::kPsh;
+  h.window = static_cast<std::uint16_t>(std::min<std::uint32_t>(
+      config_.rcv_wnd, 65535));
+
+  util::Bytes segment;
+  segment.reserve(packet::TcpHeader::kSize + len);
+  const util::BytesView body(data_.data() + offset, len);
+  h.serialize(segment, body, config_.src_ip, config_.dst_ip);
+
+  auto pkt = packet::make_packet(config_.src_ip, config_.dst_ip,
+                                 packet::IpProto::kTcp, std::move(segment));
+  pkt->ip.identification = static_cast<std::uint16_t>(stats_.segments_sent);
+
+  ++stats_.segments_sent;
+  stats_.bytes_sent += len;
+  if (retransmission) {
+    ++stats_.retransmissions;
+  } else if (!rtt_active_) {
+    rtt_active_ = true;
+    rtt_end_offset_ = offset + len;
+    rtt_start_ = sim_.now();
+  }
+  send_(std::move(pkt));
+}
+
+void TcpSender::on_packet(const packet::Packet& pkt) {
+  if (!started_ || completed_ || aborted_) return;
+  auto h = packet::TcpHeader::parse(pkt.payload, pkt.ip.src, pkt.ip.dst);
+  if (!h) {
+    ++stats_.checksum_drops;
+    return;
+  }
+  if (!h->has_ack()) return;
+  ++stats_.acks_received;
+  // Map the 32-bit cumulative ACK back to a stream offset near snd_una_.
+  const std::uint32_t rel = h->ack - config_.isn;
+  const std::uint64_t base = snd_una_ & ~std::uint64_t{0xFFFFFFFF};
+  std::uint64_t ackno = base | rel;
+  if (ackno + 0x80000000ull < snd_una_) ackno += 0x100000000ull;
+  if (ackno > data_.size()) return;  // nonsense ACK
+  on_ack(ackno);
+}
+
+void TcpSender::on_ack(std::uint64_t ackno) {
+  if (ackno > snd_una_) {
+    const std::size_t acked = static_cast<std::size_t>(ackno - snd_una_);
+    if (rtt_active_ && ackno >= rtt_end_offset_) {
+      rtt_.sample(sim_.now() - rtt_start_);
+      rtt_active_ = false;
+    }
+    rtt_.reset_backoff();
+    backoffs_ = 0;
+
+    if (cc_.in_fast_recovery()) {
+      if (ackno >= recover_) {
+        cc_.on_recovery_exit();
+        dupacks_ = 0;
+        snd_una_ = ackno;
+      } else {
+        // Partial ACK: the next hole starts at ackno — retransmit it
+        // immediately and stay in recovery (RFC 6582).
+        cc_.on_partial_ack(acked);
+        snd_una_ = ackno;
+        emit_segment(snd_una_, /*retransmission=*/true);
+        arm_timer();
+        send_new_data();
+        return;
+      }
+    } else {
+      cc_.on_new_ack(acked);
+      dupacks_ = 0;
+      snd_una_ = ackno;
+    }
+
+    if (snd_una_ >= data_.size()) {
+      finish();
+      return;
+    }
+    arm_timer();
+    send_new_data();
+    return;
+  }
+
+  if (ackno == snd_una_ && flight() > 0) {
+    ++stats_.dup_acks;
+    if (cc_.in_fast_recovery()) {
+      cc_.on_dup_ack_in_recovery();
+      send_new_data();
+    } else if (++dupacks_ == 3) {
+      recover_ = snd_nxt_;
+      ++stats_.fast_retransmits;
+      if (config_.algo == CongestionAlgo::kTahoe) {
+        // Tahoe: retransmit, then slow start from scratch — no recovery
+        // phase, everything outstanding is resent via go-back-N.
+        cc_.on_timeout(flight());
+        dupacks_ = 0;
+        snd_nxt_ = snd_una_;
+        emit_segment(snd_una_, /*retransmission=*/true);
+        snd_nxt_ +=
+            std::min<std::uint64_t>(config_.mss, data_.size() - snd_una_);
+      } else {
+        cc_.on_fast_retransmit(flight());
+        emit_segment(snd_una_, /*retransmission=*/true);
+      }
+      arm_timer();
+    }
+  }
+}
+
+void TcpSender::arm_timer() {
+  timer_armed_ = true;
+  const std::uint64_t gen = ++timer_gen_;
+  sim_.after(rtt_.rto(), [this, gen]() { on_timer(gen); });
+}
+
+void TcpSender::cancel_timer() {
+  ++timer_gen_;
+  timer_armed_ = false;
+}
+
+void TcpSender::on_timer(std::uint64_t generation) {
+  if (generation != timer_gen_ || completed_ || aborted_) return;
+  timer_armed_ = false;
+  if (flight() == 0) return;
+
+  ++stats_.timeouts;
+  ++backoffs_;
+  if (backoffs_ > config_.max_backoffs) {
+    aborted_ = true;
+    cancel_timer();
+    BC_INFO() << "connection stalled after " << backoffs_ - 1
+              << " backoffs, delivered " << snd_una_ << "/" << data_.size();
+    if (on_abort_) on_abort_(snd_una_);
+    return;
+  }
+
+  cc_.on_timeout(flight());
+  rtt_.backoff();
+  rtt_active_ = false;  // Karn: no sample across a retransmission
+  dupacks_ = 0;
+  recover_ = snd_nxt_;  // avoid spurious fast retransmit after the timeout
+  // Go-back-N (classic BSD behaviour, faithful to the paper's era): after
+  // an RTO everything in flight is presumed lost and is resent from
+  // snd_una in slow start.  Without this, a DRE-induced wipe of a whole
+  // window (no dupacks to trigger fast retransmit) would cost one RTO per
+  // hole instead of a few slow-start round trips.
+  snd_nxt_ = snd_una_;
+  emit_segment(snd_una_, /*retransmission=*/true);
+  snd_nxt_ += std::min<std::uint64_t>(config_.mss, data_.size() - snd_una_);
+  arm_timer();
+}
+
+void TcpSender::finish() {
+  completed_ = true;
+  cancel_timer();
+  if (on_complete_) on_complete_();
+}
+
+}  // namespace bytecache::tcp

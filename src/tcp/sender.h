@@ -1,0 +1,111 @@
+// Simulated TCP sender (NewReno).
+//
+// Sends one byte stream (the file) to the peer, implementing the loss
+// recovery whose interaction with byte caching the paper studies:
+// cumulative ACKs, fast retransmit on three duplicate ACKs with NewReno
+// fast recovery (RFC 6582), RFC 6298 retransmission timeouts with
+// exponential backoff, and Reno slow start / congestion avoidance.
+//
+// Internally positions are 64-bit stream offsets; on the wire they become
+// 32-bit sequence numbers relative to the ISN.  Transfers are assumed
+// < 4 GiB (the paper's objects are 40 KB – 6 MB).
+//
+// A retransmitted segment is built as a *new* IP packet (fresh uid and IP
+// identification) containing the same TCP bytes — exactly the condition
+// that makes the naive encoder encode a retransmission against its own
+// earlier copy (paper Section IV t4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "packet/packet.h"
+#include "sim/simulator.h"
+#include "tcp/config.h"
+#include "tcp/congestion.h"
+#include "tcp/rto.h"
+#include "util/bytes.h"
+
+namespace bytecache::tcp {
+
+struct SenderStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t bytes_sent = 0;  // TCP payload bytes, incl. retransmissions
+  std::uint64_t acks_received = 0;
+  std::uint64_t dup_acks = 0;
+  std::uint64_t checksum_drops = 0;
+};
+
+class TcpSender {
+ public:
+  using SendFn = std::function<void(packet::PacketPtr)>;
+
+  TcpSender(sim::Simulator& sim, const TcpConfig& config, SendFn send);
+
+  /// Begins transmitting `data`.  Callbacks fire exactly once.
+  void start(util::Bytes data);
+
+  /// Feeds an incoming packet (ACKs from the peer).
+  void on_packet(const packet::Packet& pkt);
+
+  void set_on_complete(std::function<void()> fn) { on_complete_ = std::move(fn); }
+  void set_on_abort(std::function<void(std::uint64_t)> fn) {
+    on_abort_ = std::move(fn);
+  }
+
+  [[nodiscard]] bool completed() const { return completed_; }
+  [[nodiscard]] bool aborted() const { return aborted_; }
+  [[nodiscard]] std::uint64_t acked_bytes() const { return snd_una_; }
+  [[nodiscard]] std::size_t in_flight() const { return flight(); }
+  [[nodiscard]] std::uint64_t stream_size() const { return data_.size(); }
+  [[nodiscard]] const SenderStats& stats() const { return stats_; }
+  [[nodiscard]] const RenoCongestion& congestion() const { return cc_; }
+  [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
+
+ private:
+  void send_new_data();
+  void emit_segment(std::uint64_t offset, bool retransmission);
+  void on_ack(std::uint64_t ackno);
+  void arm_timer();
+  void cancel_timer();
+  void on_timer(std::uint64_t generation);
+  [[nodiscard]] std::size_t flight() const {
+    return static_cast<std::size_t>(snd_nxt_ - snd_una_);
+  }
+  void finish();
+
+  sim::Simulator& sim_;
+  TcpConfig config_;
+  SendFn send_;
+  std::function<void()> on_complete_;
+  std::function<void(std::uint64_t)> on_abort_;
+
+  util::Bytes data_;
+  std::uint64_t snd_una_ = 0;  // lowest unacknowledged offset
+  std::uint64_t snd_nxt_ = 0;  // next offset to send
+  RenoCongestion cc_;
+  RttEstimator rtt_;
+  SenderStats stats_;
+
+  unsigned dupacks_ = 0;
+  std::uint64_t recover_ = 0;  // NewReno recovery point
+  std::size_t backoffs_ = 0;
+
+  // One RTT measurement at a time (Karn's algorithm).
+  bool rtt_active_ = false;
+  std::uint64_t rtt_end_offset_ = 0;
+  sim::SimTime rtt_start_ = 0;
+
+  std::uint64_t timer_gen_ = 0;
+  bool timer_armed_ = false;
+
+  bool started_ = false;
+  bool completed_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace bytecache::tcp

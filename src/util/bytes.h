@@ -1,0 +1,75 @@
+// Basic byte-buffer vocabulary types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bytecache::util {
+
+/// The project-wide owning byte buffer.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes buffer from a string literal / std::string (no NUL added).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte buffer as text (useful in tests and examples).
+inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Big-endian (network order) scalar writers; append to `out`.
+inline void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+inline void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+inline void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+inline void put_u64(Bytes& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+/// Big-endian scalar readers; `off` is advanced past the value.
+/// Callers must bounds-check before reading (these do not throw).
+inline std::uint8_t get_u8(BytesView in, std::size_t& off) {
+  return in[off++];
+}
+inline std::uint16_t get_u16(BytesView in, std::size_t& off) {
+  std::uint16_t v = static_cast<std::uint16_t>(in[off] << 8 | in[off + 1]);
+  off += 2;
+  return v;
+}
+inline std::uint32_t get_u32(BytesView in, std::size_t& off) {
+  std::uint32_t v = static_cast<std::uint32_t>(in[off]) << 24 |
+                    static_cast<std::uint32_t>(in[off + 1]) << 16 |
+                    static_cast<std::uint32_t>(in[off + 2]) << 8 |
+                    static_cast<std::uint32_t>(in[off + 3]);
+  off += 4;
+  return v;
+}
+inline std::uint64_t get_u64(BytesView in, std::size_t& off) {
+  std::uint64_t hi = get_u32(in, off);
+  std::uint64_t lo = get_u32(in, off);
+  return hi << 32 | lo;
+}
+
+}  // namespace bytecache::util

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// The DRE shim header carries a CRC32 of the original payload so the decoder
+// can verify a reconstruction and convert any cache desynchronization
+// (reordering, corruption, collision) into a clean drop rather than silently
+// delivering wrong bytes.  See DESIGN.md "Decoder safety".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace bytecache::util {
+
+/// Computes CRC32 over `data`, optionally continuing from a previous value.
+[[nodiscard]] std::uint32_t crc32(BytesView data, std::uint32_t seed = 0);
+
+}  // namespace bytecache::util

@@ -1,0 +1,50 @@
+#include "util/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace bytecache::util {
+
+std::string hexdump(BytesView data, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  char line[128];
+  for (std::size_t row = 0; row < n; row += 16) {
+    int pos = std::snprintf(line, sizeof line, "%08zx  ", row);
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (row + i < n) {
+        pos += std::snprintf(line + pos, sizeof line - pos, "%02x ",
+                             data[row + i]);
+      } else {
+        pos += std::snprintf(line + pos, sizeof line - pos, "   ");
+      }
+      if (i == 7) pos += std::snprintf(line + pos, sizeof line - pos, " ");
+    }
+    pos += std::snprintf(line + pos, sizeof line - pos, " |");
+    for (std::size_t i = 0; i < 16 && row + i < n; ++i) {
+      unsigned char c = data[row + i];
+      line[pos++] = std::isprint(c) ? static_cast<char>(c) : '.';
+    }
+    line[pos++] = '|';
+    line[pos] = '\0';
+    out += line;
+    out += '\n';
+  }
+  if (n < data.size()) {
+    out += "... (" + std::to_string(data.size() - n) + " more bytes)\n";
+  }
+  return out;
+}
+
+std::string to_hex(BytesView data) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace bytecache::util

@@ -1,0 +1,16 @@
+// Human-readable hex dumps for debugging and example output.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.h"
+
+namespace bytecache::util {
+
+/// Formats `data` as a classic 16-bytes-per-row hex + ASCII dump.
+[[nodiscard]] std::string hexdump(BytesView data, std::size_t max_bytes = 256);
+
+/// Formats `data` as a plain lowercase hex string ("deadbeef").
+[[nodiscard]] std::string to_hex(BytesView data);
+
+}  // namespace bytecache::util

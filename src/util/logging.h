@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and fast; logging is for debugging and for
+// the examples' narrative output.  Levels: ERROR < WARN < INFO < DEBUG.
+// The global level defaults to WARN and can be raised programmatically or
+// via the BYTECACHE_LOG environment variable (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bytecache::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Returns the process-wide log level (reads BYTECACHE_LOG once).
+LogLevel log_level();
+
+/// Overrides the process-wide log level.
+void set_log_level(LogLevel level);
+
+/// Emits one formatted log line to stderr (internal; use the macros).
+void log_line(LogLevel level, const char* file, int line,
+              const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { log_line(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace bytecache::util
+
+#define BC_LOG(level)                                                     \
+  if (::bytecache::util::log_level() < ::bytecache::util::LogLevel::level) \
+    ;                                                                     \
+  else                                                                    \
+    ::bytecache::util::detail::LogMessage(                                \
+        ::bytecache::util::LogLevel::level, __FILE__, __LINE__)           \
+        .stream()
+
+#define BC_ERROR() BC_LOG(kError)
+#define BC_WARN() BC_LOG(kWarn)
+#define BC_INFO() BC_LOG(kInfo)
+#define BC_DEBUG() BC_LOG(kDebug)

@@ -1,0 +1,36 @@
+// Wrap-aware 32-bit TCP sequence number comparison (RFC 793 / RFC 1323).
+//
+// The TCP Sequence Number encoding algorithm (paper Fig. 7, line B.7)
+// requires comparing the sequence number of the cached packet against the
+// current packet.  Sequence numbers wrap modulo 2^32, so ordinary `<` is
+// wrong across the wrap; the standard idiom is signed distance.
+#pragma once
+
+#include <cstdint>
+
+namespace bytecache::util {
+
+/// True if sequence number `a` is strictly before `b` (mod 2^32).
+[[nodiscard]] constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+[[nodiscard]] constexpr bool seq_le(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+[[nodiscard]] constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) > 0;
+}
+
+[[nodiscard]] constexpr bool seq_ge(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+/// Number of bytes from `a` to `b` assuming `a` precedes `b` (mod 2^32).
+[[nodiscard]] constexpr std::uint32_t seq_diff(std::uint32_t b,
+                                               std::uint32_t a) {
+  return b - a;
+}
+
+}  // namespace bytecache::util

@@ -1,0 +1,90 @@
+#include "workload/analyzer.h"
+
+#include <algorithm>
+
+#include "core/encoder.h"
+#include "core/policies.h"
+#include "packet/packet.h"
+#include "packet/tcp.h"
+
+namespace bytecache::workload {
+namespace {
+
+/// Builds the TCP segments the sender would produce for `object` and runs
+/// them through `encoder`, collecting per-packet EncodeInfo.
+template <typename Fn>
+void encode_object(util::BytesView object, std::size_t mss,
+                   core::Encoder& encoder, Fn&& per_packet) {
+  std::uint32_t seq = 1000;
+  for (std::size_t off = 0; off < object.size(); off += mss) {
+    const std::size_t len = std::min(mss, object.size() - off);
+    packet::TcpHeader h;
+    h.seq = seq;
+    h.flags = packet::TcpHeader::kAck | packet::TcpHeader::kPsh;
+    seq += static_cast<std::uint32_t>(len);
+    util::Bytes segment;
+    segment.reserve(packet::TcpHeader::kSize + len);
+    h.serialize(segment, object.subspan(off, len), 0x0A000001, 0x0A000101);
+    auto pkt = packet::make_packet(0x0A000001, 0x0A000101,
+                                   packet::IpProto::kTcp, std::move(segment));
+    per_packet(encoder.process(*pkt));
+  }
+}
+
+}  // namespace
+
+RedundancyReport redundancy_percent(util::BytesView object,
+                                    std::size_t window_packets,
+                                    const core::DreParams& dre,
+                                    std::size_t mss) {
+  core::DreParams params = dre;
+  // Bound the cache to ~window_packets packets via the byte budget.
+  params.cache_bytes =
+      window_packets * (mss + packet::TcpHeader::kSize + 20);
+  core::Encoder encoder(params, std::make_unique<core::NaivePolicy>());
+  std::uint64_t encoded = 0;
+  encode_object(object, mss, encoder, [&](const core::EncodeInfo& info) {
+    if (info.encoded) ++encoded;
+  });
+  const auto& s = encoder.stats();
+  RedundancyReport r;
+  if (s.bytes_in > 0) {
+    r.percent_saved =
+        100.0 * static_cast<double>(s.bytes_saved()) / s.bytes_in;
+  }
+  if (s.data_packets > 0) {
+    r.percent_encoded = 100.0 * static_cast<double>(encoded) / s.data_packets;
+  }
+  return r;
+}
+
+DependencyReport avg_dependencies(util::BytesView object,
+                                  const core::DreParams& dre,
+                                  std::size_t mss) {
+  core::Encoder encoder(dre, std::make_unique<core::NaivePolicy>());
+  std::uint64_t encoded = 0;
+  std::uint64_t dep_sum = 0;
+  std::size_t dep_max = 0;
+  std::uint64_t region_sum = 0;
+  encode_object(object, mss, encoder, [&](const core::EncodeInfo& info) {
+    if (!info.encoded) return;
+    ++encoded;
+    dep_sum += info.deps.size();
+    dep_max = std::max(dep_max, info.deps.size());
+    region_sum += info.regions;
+  });
+  DependencyReport r;
+  if (encoded > 0) {
+    r.avg_distinct_deps = static_cast<double>(dep_sum) / encoded;
+    r.avg_regions = static_cast<double>(region_sum) / encoded;
+    r.max_distinct_deps = static_cast<double>(dep_max);
+  }
+  const auto& s = encoder.stats();
+  if (s.bytes_in > 0) {
+    r.percent_saved =
+        100.0 * static_cast<double>(s.bytes_saved()) / s.bytes_in;
+  }
+  return r;
+}
+
+}  // namespace bytecache::workload

@@ -1,0 +1,43 @@
+// Offline analyzers: measure an object's redundancy and dependency
+// structure by running the real codec over its packetized form (no
+// network, no loss).
+//
+// redundancy_percent() reproduces Table I's metric: the byte savings the
+// encoder achieves when its cache is limited to (approximately) the last
+// `window_packets` packets.  avg_dependencies() reproduces the File 1 /
+// File 2 statistic of Section VI: the mean number of *distinct* stored
+// packets an encoded packet references.
+#pragma once
+
+#include <cstddef>
+
+#include "core/params.h"
+#include "util/bytes.h"
+
+namespace bytecache::workload {
+
+struct RedundancyReport {
+  double percent_saved = 0.0;   // payload bytes eliminated / payload bytes
+  double percent_encoded = 0.0;  // packets encoded / data packets
+};
+
+/// Segments `object` into `mss`-sized packets (prefixed by a 20-byte
+/// header surrogate, as on the wire) and encodes them with the naive
+/// policy and a cache bounded to ~`window_packets` packets.
+[[nodiscard]] RedundancyReport redundancy_percent(
+    util::BytesView object, std::size_t window_packets,
+    const core::DreParams& dre = {}, std::size_t mss = 1460);
+
+struct DependencyReport {
+  double avg_distinct_deps = 0.0;  // over encoded packets
+  double max_distinct_deps = 0.0;
+  double avg_regions = 0.0;
+  double percent_saved = 0.0;
+};
+
+/// Unbounded-cache encode of the object; reports dependency statistics.
+[[nodiscard]] DependencyReport avg_dependencies(
+    util::BytesView object, const core::DreParams& dre = {},
+    std::size_t mss = 1460);
+
+}  // namespace bytecache::workload

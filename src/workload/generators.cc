@@ -1,0 +1,195 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "workload/text.h"
+
+namespace bytecache::workload {
+
+util::Bytes make_ebook(util::Rng& rng, const EbookParams& p) {
+  std::vector<std::string> history;
+  util::Bytes out;
+  out.reserve(p.size + 128);
+  std::size_t since_break = 0;
+  while (out.size() < p.size) {
+    std::string s;
+    if (!history.empty() && rng.chance(p.repeat_prob)) {
+      s = history[rng.uniform(0, history.size() - 1)];
+    } else {
+      s = make_sentence(rng);
+      history.push_back(s);
+    }
+    util::append(out, util::to_bytes(s));
+    since_break += s.size();
+    if (since_break > 400 + rng.uniform(0, 300)) {
+      util::append(out, util::to_bytes("\n\n"));
+      since_break = 0;
+    }
+  }
+  out.resize(p.size);
+  return out;
+}
+
+util::Bytes make_video(util::Rng& rng, std::size_t size) {
+  // A fixed 48-byte "container header" recurs every ~64 KB of otherwise
+  // incompressible payload (codec/container framing), giving the sparse
+  // sub-percent redundancy real media files show.
+  util::Bytes header;
+  for (int i = 0; i < 6; ++i) {
+    const std::uint64_t v = rng.next_u64();
+    for (int b = 0; b < 8; ++b) {
+      header.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    }
+  }
+  util::Bytes out;
+  out.reserve(size + 64);
+  std::size_t until_header = 4096;  // first fragment header comes early
+  while (out.size() < size) {
+    if (until_header == 0) {
+      util::append(out, header);
+      until_header = 48'000 + rng.uniform(0, 32'000);
+      continue;
+    }
+    const std::size_t chunk = std::min<std::size_t>(until_header, 8);
+    const std::uint64_t v = rng.next_u64();
+    for (std::size_t b = 0; b < chunk; ++b) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    }
+    until_header -= chunk;
+  }
+  out.resize(size);
+  return out;
+}
+
+util::Bytes make_web_page(util::Rng& rng, const WebPageParams& p) {
+  // Boilerplate is a deterministic function of the site seed, so pages of
+  // the same "site" share it verbatim (inter-object redundancy).
+  util::Rng site_rng(p.site_seed);
+  std::string head =
+      "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
+      "<title>synthetic page</title><style>\n";
+  while (head.size() < p.boilerplate - 200) {
+    const std::size_t cls = site_rng.uniform(0, 9999);
+    head += ".c" + std::to_string(cls) +
+            "{margin:0 auto;padding:4px 8px;border:1px solid #ccc;"
+            "font-family:Helvetica,Arial,sans-serif;color:#33" +
+            std::to_string(site_rng.uniform(10, 99)) + "44;}\n";
+  }
+  head +=
+      "</style></head><body><nav class=\"top-navigation-bar\">"
+      "<a href=\"/home\">Home</a><a href=\"/news\">News</a>"
+      "<a href=\"/about\">About</a><a href=\"/contact\">Contact</a>"
+      "</nav><main>\n";
+
+  std::string body;
+  for (std::size_t i = 0; i < p.items; ++i) {
+    // Identical markup skeleton around varying content.
+    body += "<article class=\"entry-card rounded shadowed\"><header "
+            "class=\"entry-header\"><h2 class=\"entry-title\">";
+    body += make_sentence(rng);
+    body += "</h2></header><section class=\"entry-body text-justified\"><p>";
+    for (std::size_t s = 0; s < p.sentences_per_item; ++s) {
+      body += make_sentence(rng);
+    }
+    body += "</p></section><footer class=\"entry-footer muted small\">"
+            "posted under <span class=\"tag-list\">synthetic</span>"
+            "</footer></article>\n";
+  }
+  body += "</main><footer id=\"page-footer\">generated content — "
+          "all rights reserved</footer></body></html>\n";
+
+  return util::to_bytes(head + body);
+}
+
+std::optional<util::Bytes> load_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  util::Bytes out(size > 0 ? static_cast<std::size_t>(size) : 0);
+  const std::size_t read = out.empty() ? 0 : std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (read != out.size()) return std::nullopt;
+  return out;
+}
+
+util::Bytes make_dep_file(util::Rng& rng, const DepFileParams& p) {
+  const std::size_t chunks = p.near_chunks + p.far_chunks;
+  const std::size_t redundant = chunks * p.chunk_len;
+  const std::size_t gap = (p.unit - redundant) / (chunks + 1);
+
+  util::Bytes out;
+  out.reserve(p.size + p.unit);
+  std::size_t unit_index = 0;
+  while (out.size() < p.size) {
+    const std::size_t unit_start = out.size();
+    if (unit_index == 0) {
+      util::append(out, random_text(rng, p.unit));
+    } else {
+      // Pick distinct source units: near ones from the trailing window,
+      // far ones from the wide window.
+      std::vector<std::size_t> sources;
+      auto pick = [&](std::size_t window, std::size_t count) {
+        const std::size_t lo =
+            unit_index > window ? unit_index - window : 0;
+        for (std::size_t got = 0; got < count; ++got) {
+          // Prefer distinct sources; fall back to a duplicate when the
+          // early-file candidate pool is too small.
+          std::size_t u = lo;
+          for (int attempt = 0; attempt < 16; ++attempt) {
+            u = lo + rng.uniform(0, unit_index - 1 - lo);
+            if (std::find(sources.begin(), sources.end(), u) ==
+                sources.end()) {
+              break;
+            }
+          }
+          sources.push_back(u);
+        }
+      };
+      pick(p.near_window_units, p.near_chunks);
+      pick(p.far_window_units, p.far_chunks);
+      for (std::size_t src_unit : sources) {
+        util::append(out, random_text(rng, gap));
+        const std::size_t src_off = rng.uniform(0, p.unit - p.chunk_len);
+        const std::size_t from = src_unit * p.unit + src_off;
+        // Copy through a temporary: inserting a self-range is UB if the
+        // vector reallocates.
+        const util::Bytes chunk(out.begin() + from,
+                                out.begin() + from + p.chunk_len);
+        util::append(out, chunk);
+      }
+      // Fresh tail to complete the unit.
+      util::append(out, random_text(rng, p.unit - (out.size() - unit_start)));
+    }
+    ++unit_index;
+  }
+  out.resize(p.size);
+  return out;
+}
+
+util::Bytes make_file1(util::Rng& rng, std::size_t size) {
+  DepFileParams p;
+  p.size = size;
+  p.chunk_len = 250;
+  p.near_chunks = 1;
+  p.far_chunks = 2;
+  p.near_window_units = 8;
+  p.far_window_units = 36;
+  return make_dep_file(rng, p);
+}
+
+util::Bytes make_file2(util::Rng& rng, std::size_t size) {
+  DepFileParams p;
+  p.size = size;
+  p.chunk_len = 125;
+  p.near_chunks = 2;
+  p.far_chunks = 4;
+  p.near_window_units = 8;
+  p.far_window_units = 48;
+  return make_dep_file(rng, p);
+}
+
+}  // namespace bytecache::workload

@@ -1,0 +1,85 @@
+// Synthetic web objects with controlled redundancy (DESIGN.md
+// "Paper substitutions").
+//
+// The paper evaluates on real objects: ebooks (the 587,567-byte text of
+// Section IV-C), videos, web pages, and two files distinguished by their
+// average number of dependencies to distinct IP packets (File 1: 4,
+// File 2: 7 — Section VI).  These generators produce seeded synthetic
+// equivalents whose redundancy amount and *spread* are explicit
+// parameters, verified by the analyzers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace bytecache::workload {
+
+/// Ebook: mostly-unique prose with rare repeated sentences.  Each
+/// sentence is fresh with probability 1 - repeat_prob; otherwise a
+/// uniformly random earlier sentence is repeated verbatim.  Because
+/// repeats are spread over the whole history, a cache window of k packets
+/// only "sees" the nearby ones — redundancy grows with k, landing in
+/// Table I's ebook band (fractions of a percent within 10–1000 packets).
+struct EbookParams {
+  std::size_t size = 587'567;  // the paper's e-book size
+  double repeat_prob = 0.015;
+};
+[[nodiscard]] util::Bytes make_ebook(util::Rng& rng, const EbookParams& p);
+
+/// Video: effectively incompressible compressed media — random bytes
+/// interspersed with sparse repeated container headers (the 0.009–1%
+/// band Table I reports for video rather than exactly zero).
+[[nodiscard]] util::Bytes make_video(util::Rng& rng, std::size_t size);
+
+/// Web page: HTML with shared boilerplate (head/CSS/nav) and repeated
+/// item markup — the high-redundancy end of Table I.
+struct WebPageParams {
+  std::size_t items = 40;          // repeated list entries
+  std::size_t sentences_per_item = 3;  // unique prose per item (dilutes
+                                       // the repeated markup)
+  std::size_t boilerplate = 2400;  // shared head + nav bytes
+  std::uint64_t site_seed = 7;     // pages of one "site" share templates
+};
+[[nodiscard]] util::Bytes make_web_page(util::Rng& rng, const WebPageParams& p);
+
+/// Dependency-controlled file (the paper's File 1 / File 2).
+///
+/// The byte stream is generated in MSS-sized units; each unit embeds
+/// copied chunks separated by fresh high-entropy filler.  Real content
+/// mixes redundancy localities, so chunks come in two kinds:
+///   - `near_chunks` copied from the last `near_window_units` units
+///     (the just-sent packets — typically still in flight), and
+///   - `far_chunks` copied from up to `far_window_units` back (long since
+///     delivered).
+/// Encoding a unit references near_chunks + far_chunks distinct packets
+/// (the paper's "average number of dependencies to distinct IP packets"),
+/// and the redundant fraction is total chunks * chunk_len / unit.  The
+/// near/far split controls how strongly a packet loss cascades into the
+/// in-flight window — the effect Section VI attributes to File 2's higher
+/// dependency count.
+struct DepFileParams {
+  std::size_t size = 587'567;
+  std::size_t unit = 1460;  // TCP MSS payload per packet
+  std::size_t chunk_len = 190;
+  std::size_t near_chunks = 1;
+  std::size_t far_chunks = 3;
+  std::size_t near_window_units = 8;
+  std::size_t far_window_units = 80;
+};
+[[nodiscard]] util::Bytes make_dep_file(util::Rng& rng, const DepFileParams& p);
+
+/// Loads an arbitrary on-disk file as a workload object (so the benches
+/// and the CLI can run against real content); nullopt on I/O error.
+[[nodiscard]] std::optional<util::Bytes> load_file(const std::string& path);
+
+/// The two evaluation files of Section VI.
+[[nodiscard]] util::Bytes make_file1(util::Rng& rng,
+                                     std::size_t size = 587'567);
+[[nodiscard]] util::Bytes make_file2(util::Rng& rng,
+                                     std::size_t size = 587'567);
+
+}  // namespace bytecache::workload

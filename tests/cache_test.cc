@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "cache/byte_cache.h"
+#include "cache/fingerprint_table.h"
+#include "cache/packet_store.h"
+#include "util/rng.h"
+
+namespace bytecache::cache {
+namespace {
+
+using util::Bytes;
+
+Bytes payload_of(char c, std::size_t n = 64) { return Bytes(n, c); }
+
+// -------------------------------------------------------- PacketStore --
+
+TEST(PacketStore, InsertAndLookup) {
+  PacketStore store;
+  PacketMeta meta;
+  meta.tcp_seq = 42;
+  meta.has_tcp_seq = true;
+  const auto id = store.insert(payload_of('a'), meta);
+  ASSERT_NE(id, 0u);
+  const CachedPacket* p = store.lookup(id);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->payload, payload_of('a'));
+  EXPECT_EQ(p->meta.tcp_seq, 42u);
+  EXPECT_TRUE(store.contains(id));
+}
+
+TEST(PacketStore, IdsAreMonotonic) {
+  PacketStore store;
+  const auto a = store.insert(payload_of('a'), {});
+  const auto b = store.insert(payload_of('b'), {});
+  EXPECT_LT(a, b);
+}
+
+TEST(PacketStore, LookupAbsentReturnsNull) {
+  PacketStore store;
+  EXPECT_EQ(store.lookup(12345), nullptr);
+  EXPECT_FALSE(store.contains(12345));
+}
+
+TEST(PacketStore, BytesUsedTracksPayloads) {
+  PacketStore store;
+  store.insert(payload_of('a', 100), {});
+  store.insert(payload_of('b', 50), {});
+  EXPECT_EQ(store.bytes_used(), 150u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(PacketStore, ClearEmpties) {
+  PacketStore store;
+  const auto id = store.insert(payload_of('a'), {});
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.bytes_used(), 0u);
+  EXPECT_EQ(store.lookup(id), nullptr);
+}
+
+TEST(PacketStore, EvictsLruWhenOverBudget) {
+  PacketStore store(250);
+  const auto a = store.insert(payload_of('a', 100), {});
+  const auto b = store.insert(payload_of('b', 100), {});
+  // Touch a so b becomes the LRU.
+  ASSERT_NE(store.lookup(a), nullptr);
+  const auto c = store.insert(payload_of('c', 100), {});
+  EXPECT_TRUE(store.contains(a));
+  EXPECT_FALSE(store.contains(b));  // evicted
+  EXPECT_TRUE(store.contains(c));
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_LE(store.bytes_used(), 250u);
+}
+
+TEST(PacketStore, NeverEvictsTheJustInsertedEntry) {
+  PacketStore store(50);  // smaller than one payload
+  const auto id = store.insert(payload_of('a', 100), {});
+  EXPECT_TRUE(store.contains(id));
+}
+
+TEST(PacketStore, UnboundedNeverEvicts) {
+  PacketStore store(0);
+  for (int i = 0; i < 1000; ++i) store.insert(payload_of('x', 1000), {});
+  EXPECT_EQ(store.size(), 1000u);
+  EXPECT_EQ(store.evictions(), 0u);
+}
+
+TEST(PacketStore, PeekDoesNotTouchRecency) {
+  PacketStore store(250);
+  const auto a = store.insert(payload_of('a', 100), {});
+  store.insert(payload_of('b', 100), {});
+  ASSERT_NE(store.peek(a), nullptr);  // peek must NOT move a to front
+  store.insert(payload_of('c', 100), {});
+  EXPECT_FALSE(store.contains(a));  // a was still the LRU
+}
+
+// -------------------------------------------------- FingerprintTable --
+
+TEST(FingerprintTable, PutGetErase) {
+  FingerprintTable t;
+  t.put(0xAB, FpEntry{7, 13});
+  auto e = t.get(0xAB);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->packet_id, 7u);
+  EXPECT_EQ(e->offset, 13u);
+  t.erase(0xAB);
+  EXPECT_FALSE(t.get(0xAB).has_value());
+}
+
+TEST(FingerprintTable, PutOverwrites) {
+  FingerprintTable t;
+  t.put(0xAB, FpEntry{1, 0});
+  t.put(0xAB, FpEntry{2, 5});
+  auto e = t.get(0xAB);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->packet_id, 2u);  // "replacing the entry from Pstored to Pnew"
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FingerprintTable, GetAbsent) {
+  FingerprintTable t;
+  EXPECT_FALSE(t.get(0x123).has_value());
+}
+
+TEST(FingerprintTable, Clear) {
+  FingerprintTable t;
+  t.put(1, {});
+  t.put(2, {});
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+// ---------------------------------------------------------- ByteCache --
+
+std::vector<rabin::Anchor> anchors_at(
+    std::initializer_list<std::pair<std::uint16_t, rabin::Fingerprint>> list) {
+  std::vector<rabin::Anchor> v;
+  for (auto [off, fp] : list) v.push_back(rabin::Anchor{off, fp});
+  return v;
+}
+
+TEST(ByteCache, UpdateThenFind) {
+  ByteCache cache;
+  const Bytes payload = payload_of('p', 128);
+  cache.update(payload, anchors_at({{10, 0xF0}, {40, 0xE0}}), {});
+  auto hit = cache.find(0xF0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->offset, 10u);
+  EXPECT_EQ(hit->packet->payload, payload);
+  auto hit2 = cache.find(0xE0);
+  ASSERT_TRUE(hit2.has_value());
+  EXPECT_EQ(hit2->offset, 40u);
+  EXPECT_EQ(hit2->packet->id, hit->packet->id);  // stored once
+}
+
+TEST(ByteCache, EmptyAnchorsNotStored) {
+  ByteCache cache;
+  EXPECT_EQ(cache.update(payload_of('p'), {}, {}), 0u);
+  EXPECT_EQ(cache.store().size(), 0u);
+}
+
+TEST(ByteCache, FindMiss) {
+  ByteCache cache;
+  EXPECT_FALSE(cache.find(0x99).has_value());
+  EXPECT_EQ(cache.stats().lookups, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ByteCache, NewerPacketOverwritesFingerprint) {
+  ByteCache cache;
+  cache.update(payload_of('a'), anchors_at({{0, 0xF0}}), {});
+  cache.update(payload_of('b'), anchors_at({{5, 0xF0}}), {});
+  auto hit = cache.find(0xF0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->packet->payload, payload_of('b'));
+  EXPECT_EQ(hit->offset, 5u);
+}
+
+TEST(ByteCache, StaleEntryAfterEvictionIsMiss) {
+  ByteCache cache(150);  // one 100-byte payload + budget margin
+  cache.update(payload_of('a', 100), anchors_at({{0, 0xA0}}), {});
+  cache.update(payload_of('b', 100), anchors_at({{0, 0xB0}}), {});
+  // 'a' was evicted; its fingerprint is now stale.
+  auto hit = cache.find(0xA0);
+  EXPECT_FALSE(hit.has_value());
+  EXPECT_EQ(cache.stats().stale_hits, 1u);
+  // The stale entry is lazily erased.
+  EXPECT_EQ(cache.fingerprint_count(), 1u);
+}
+
+TEST(ByteCache, FlushClearsEverything) {
+  ByteCache cache;
+  cache.update(payload_of('a'), anchors_at({{0, 0xA0}}), {});
+  cache.flush();
+  EXPECT_FALSE(cache.find(0xA0).has_value());
+  EXPECT_EQ(cache.store().size(), 0u);
+  EXPECT_EQ(cache.fingerprint_count(), 0u);
+  EXPECT_EQ(cache.stats().flushes, 1u);
+}
+
+TEST(ByteCache, MetaPreserved) {
+  ByteCache cache;
+  PacketMeta meta;
+  meta.tcp_seq = 1234;
+  meta.has_tcp_seq = true;
+  meta.stream_index = 9;
+  meta.epoch = 3;
+  meta.src_uid = 77;
+  cache.update(payload_of('a'), anchors_at({{0, 0xA0}}), meta);
+  auto hit = cache.find(0xA0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->packet->meta.tcp_seq, 1234u);
+  EXPECT_TRUE(hit->packet->meta.has_tcp_seq);
+  EXPECT_EQ(hit->packet->meta.stream_index, 9u);
+  EXPECT_EQ(hit->packet->meta.epoch, 3u);
+  EXPECT_EQ(hit->packet->meta.src_uid, 77u);
+}
+
+TEST(ByteCache, StatsCountInsertions) {
+  ByteCache cache;
+  cache.update(payload_of('a'), anchors_at({{0, 1}, {1, 2}, {2, 3}}), {});
+  EXPECT_EQ(cache.stats().packets_inserted, 1u);
+  EXPECT_EQ(cache.stats().fingerprints_inserted, 3u);
+}
+
+}  // namespace
+}  // namespace bytecache::cache

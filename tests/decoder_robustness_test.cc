@@ -1,0 +1,243 @@
+// Adversarial decoder tests: malformed, corrupted, truncated, and
+// reordered inputs must produce clean drops — never crashes, never wrong
+// bytes.
+#include <gtest/gtest.h>
+
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "core/factory.h"
+#include "core/wire.h"
+#include "tests/testutil.h"
+#include "util/crc32.h"
+#include "workload/generators.h"
+
+namespace bytecache::core {
+namespace {
+
+using testutil::make_tcp_packet;
+using testutil::make_udp_packet;
+using testutil::random_bytes;
+using testutil::segment_stream;
+using util::Bytes;
+using util::Rng;
+
+/// An encoder/decoder pair with the decoder's cache warmed by `warm`
+/// passthrough payloads.
+struct Pair {
+  DreParams params;
+  Encoder enc;
+  Decoder dec;
+
+  Pair() : enc(params, make_policy(PolicyKind::kNaive, params)), dec(params) {}
+
+  /// Runs a payload through both sides as a delivered packet.
+  void deliver(const Bytes& payload) {
+    auto pkt = make_udp_packet(payload);
+    enc.process(*pkt);
+    ASSERT_FALSE(is_drop(dec.process(*pkt).status));
+  }
+};
+
+TEST(DecoderRobustness, HandCraftedRegionBeyondStoredPacket) {
+  Pair pair;
+  Rng rng(1);
+  const Bytes base = random_bytes(rng, 400);
+  pair.deliver(base);
+
+  // Encode a second packet legitimately, then enlarge its region so it
+  // reaches past the stored payload.
+  auto pkt = make_udp_packet(base);
+  ASSERT_TRUE(pair.enc.process(*pkt).encoded);
+  auto enc = EncodedPayload::parse(pkt->payload);
+  ASSERT_TRUE(enc.has_value());
+  ASSERT_FALSE(enc->regions.empty());
+  // offset_stored close to the end, length unchanged -> out of bounds.
+  enc->regions[0].offset_stored = 395;
+  pkt->payload = enc->serialize();
+  const DecodeInfo info = pair.dec.process(*pkt);
+  EXPECT_EQ(info.status, DecodeStatus::kBadRegionBounds);
+}
+
+TEST(DecoderRobustness, WrongCrcDropsEvenWhenStructurallyValid) {
+  Pair pair;
+  Rng rng(2);
+  const Bytes base = random_bytes(rng, 400);
+  pair.deliver(base);
+  auto pkt = make_udp_packet(base);
+  ASSERT_TRUE(pair.enc.process(*pkt).encoded);
+  auto enc = EncodedPayload::parse(pkt->payload);
+  ASSERT_TRUE(enc.has_value());
+  enc->crc ^= 0xDEADBEEF;
+  pkt->payload = enc->serialize();
+  EXPECT_EQ(pair.dec.process(*pkt).status, DecodeStatus::kCrcMismatch);
+}
+
+TEST(DecoderRobustness, StaleEntryDifferentContentCaughtByCrc) {
+  // The decoder's entry for a fingerprint can legitimately point to a
+  // *newer* packet than the encoder referenced if deliveries were
+  // reordered.  The reconstruction then splices wrong bytes — the CRC
+  // must catch it.
+  DreParams params;
+  Decoder dec(params);
+  Rng rng(3);
+  const Bytes a = random_bytes(rng, 400);
+
+  // Build a fake encoded packet referencing fingerprint of a's window,
+  // but prime the decoder with a *different* payload that happens to
+  // carry the same anchor offsets (simulated by hand).
+  rabin::RabinTables tables(params.window, params.poly);
+  const auto anchors = rabin::selected_anchors(tables, a, params.select_bits);
+  ASSERT_FALSE(anchors.empty());
+
+  // Prime decoder with payload a (passthrough).
+  auto warm = make_udp_packet(a);
+  dec.process(*warm);
+
+  // Craft an encoded packet claiming its region decodes to random bytes
+  // it never sent: CRC of *those* bytes won't match what the cache holds.
+  const Bytes pretend_original = random_bytes(rng, 200);
+  EncodedPayload enc;
+  enc.orig_proto = 17;
+  enc.orig_len = static_cast<std::uint16_t>(pretend_original.size());
+  enc.crc = util::crc32(pretend_original);
+  enc.regions.push_back(EncodedRegion{
+      anchors[0].fp, 0, anchors[0].offset,
+      static_cast<std::uint16_t>(100)});
+  enc.literals.assign(pretend_original.begin() + 100, pretend_original.end());
+  auto pkt = packet::make_packet(
+      testutil::kSrcIp, testutil::kDstIp,
+      static_cast<packet::IpProto>(packet::IpProto::kDre), enc.serialize());
+  const DecodeInfo info = dec.process(*pkt);
+  EXPECT_TRUE(is_drop(info.status));
+}
+
+TEST(DecoderRobustness, TruncationSweepNeverCrashes) {
+  Pair pair;
+  Rng rng(4);
+  const Bytes base = random_bytes(rng, 1000);
+  pair.deliver(base);
+  auto pkt = make_udp_packet(base);
+  ASSERT_TRUE(pair.enc.process(*pkt).encoded);
+  const Bytes wire = pkt->payload;
+  for (std::size_t len = 0; len <= wire.size(); ++len) {
+    auto copy = packet::make_packet(
+        testutil::kSrcIp, testutil::kDstIp,
+        static_cast<packet::IpProto>(packet::IpProto::kDre),
+        Bytes(wire.begin(), wire.begin() + len));
+    Decoder dec2(pair.params);
+    auto warm = make_udp_packet(base);
+    dec2.process(*warm);
+    const DecodeInfo info = dec2.process(*copy);
+    if (len == wire.size()) {
+      EXPECT_EQ(info.status, DecodeStatus::kDecoded);
+    } else {
+      EXPECT_TRUE(is_drop(info.status)) << "len=" << len;
+    }
+  }
+}
+
+TEST(DecoderRobustness, BitFlipSweepNeverDeliversWrongBytes) {
+  Pair pair;
+  Rng rng(5);
+  const Bytes base = random_bytes(rng, 600);
+  pair.deliver(base);
+  auto pkt = make_udp_packet(base);
+  ASSERT_TRUE(pair.enc.process(*pkt).encoded);
+  const Bytes wire = pkt->payload;
+  const Bytes original = base;
+  int delivered_ok = 0;
+  for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+    for (std::uint8_t bit : {0x01, 0x80}) {
+      Bytes mutated = wire;
+      mutated[pos] ^= bit;
+      auto copy = packet::make_packet(
+          testutil::kSrcIp, testutil::kDstIp,
+          static_cast<packet::IpProto>(packet::IpProto::kDre),
+          std::move(mutated));
+      Decoder dec2(pair.params);
+      auto warm = make_udp_packet(base);
+      dec2.process(*warm);
+      const DecodeInfo info = dec2.process(*copy);
+      if (!is_drop(info.status) &&
+          info.status == DecodeStatus::kDecoded) {
+        // Flipping a bit of a region descriptor could in principle yield
+        // a different-but-valid reconstruction; the CRC (4 bytes of the
+        // shim) makes that a 2^-32 event.  Anything delivered must equal
+        // the original.
+        ASSERT_EQ(copy->payload, original) << "pos=" << pos;
+        ++delivered_ok;
+      }
+    }
+  }
+  (void)delivered_ok;  // usually 0; equality asserted above regardless
+}
+
+TEST(DecoderRobustness, ReorderedDeliverySafe) {
+  // Deliver an encoded stream in a permuted order: drops allowed, wrong
+  // bytes not.
+  DreParams params;
+  Encoder enc(params, make_policy(PolicyKind::kNaive, params));
+  Decoder dec(params);
+  Rng rng(6);
+  const Bytes object = workload::make_file1(rng, 60 * 1460);
+  std::vector<packet::PacketPtr> wire;
+  std::vector<Bytes> originals;
+  for (auto& pkt : segment_stream(object)) {
+    originals.push_back(pkt->payload);
+    enc.process(*pkt);
+    wire.push_back(std::move(pkt));
+  }
+  // Swap adjacent pairs (a simple but adversarial permutation).
+  for (std::size_t i = 0; i + 1 < wire.size(); i += 2) {
+    std::swap(wire[i], wire[i + 1]);
+    std::swap(originals[i], originals[i + 1]);
+  }
+  std::size_t drops = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    const DecodeInfo info = dec.process(*wire[i]);
+    if (is_drop(info.status)) {
+      ++drops;
+    } else {
+      ASSERT_EQ(wire[i]->payload, originals[i]) << i;
+    }
+  }
+  EXPECT_LT(drops, wire.size());  // most still decode
+}
+
+TEST(DecoderRobustness, RandomGarbageAsDrePacket) {
+  DreParams params;
+  Decoder dec(params);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes junk = random_bytes(rng, rng.uniform(0, 100));
+    if (!junk.empty() && rng.chance(0.5)) junk[0] = kShimMagic;
+    auto pkt = packet::make_packet(
+        testutil::kSrcIp, testutil::kDstIp,
+        static_cast<packet::IpProto>(packet::IpProto::kDre), std::move(junk));
+    const DecodeInfo info = dec.process(*pkt);
+    EXPECT_TRUE(is_drop(info.status));
+  }
+  EXPECT_EQ(dec.stats().decoded, 0u);
+}
+
+TEST(DecoderRobustness, DropsDoNotPolluteDecoderCache) {
+  Pair pair;
+  Rng rng(8);
+  const Bytes a = random_bytes(rng, 500);
+  pair.deliver(a);
+  const std::size_t before = pair.dec.cache().store().size();
+
+  // An undecodable packet (references a fingerprint the decoder lacks).
+  DreParams params;
+  Encoder enc2(params, make_policy(PolicyKind::kNaive, params));
+  const Bytes b = random_bytes(rng, 500);
+  auto lost = make_udp_packet(b);
+  enc2.process(*lost);  // decoder never sees it
+  auto dependent = make_udp_packet(b);
+  ASSERT_TRUE(enc2.process(*dependent).encoded);
+  ASSERT_TRUE(is_drop(pair.dec.process(*dependent).status));
+  EXPECT_EQ(pair.dec.cache().store().size(), before);
+}
+
+}  // namespace
+}  // namespace bytecache::core

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/metrics.h"
+#include "harness/table.h"
+#include "workload/generators.h"
+
+namespace bytecache::harness {
+namespace {
+
+// ------------------------------------------------------------ metrics --
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, BasicStatistics) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+// -------------------------------------------------------------- table --
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("+-------+-------+"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, CsvForm) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(12.345, 1), "12.3%");
+}
+
+// ---------------------------------------------------------- experiment --
+
+TEST(Experiment, TrialPopulatesAllMetrics) {
+  util::Rng rng(1);
+  const auto file = workload::make_file1(rng, 100'000);
+  ExperimentConfig cfg;
+  cfg.policy = core::PolicyKind::kCacheFlush;
+  cfg.loss_rate = 0.02;
+  auto r = run_trial(cfg, file, 7);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.duration_s, 0.0);
+  EXPECT_GT(r.wire_bytes_forward, 0u);
+  EXPECT_GT(r.packets_forward, 0u);
+  EXPECT_GT(r.payload_bytes_in, 0u);
+  EXPECT_GT(r.payload_bytes_out, 0u);
+  EXPECT_LT(r.payload_bytes_out, r.payload_bytes_in);
+  EXPECT_GT(r.encoded_packets, 0u);
+  EXPECT_GT(r.avg_packet_size, 0.0);
+  EXPECT_GT(r.actual_loss, 0.0);
+  EXPECT_GE(r.perceived_loss, r.actual_loss);
+}
+
+TEST(Experiment, AggregateRunsRequestedTrials) {
+  util::Rng rng(2);
+  const auto file = workload::make_file1(rng, 50'000);
+  ExperimentConfig cfg;
+  cfg.policy = core::PolicyKind::kNone;
+  cfg.trials = 4;
+  auto agg = run_experiment(cfg, file);
+  EXPECT_EQ(agg.trials.size(), 4u);
+  EXPECT_EQ(agg.duration_s.count(), 4u);
+  EXPECT_EQ(agg.completion_rate, 1.0);
+}
+
+TEST(Experiment, DifferentSeedsGiveDifferentLossyOutcomes) {
+  util::Rng rng(3);
+  const auto file = workload::make_file1(rng, 80'000);
+  ExperimentConfig cfg;
+  cfg.policy = core::PolicyKind::kCacheFlush;
+  cfg.loss_rate = 0.05;
+  cfg.trials = 4;
+  auto agg = run_experiment(cfg, file);
+  EXPECT_GT(agg.duration_s.stddev(), 0.0);
+}
+
+TEST(Experiment, RatioPointBaselineIsNone) {
+  util::Rng rng(4);
+  const auto file = workload::make_file1(rng, 80'000);
+  ExperimentConfig cfg;
+  cfg.policy = core::PolicyKind::kCacheFlush;
+  cfg.trials = 2;
+  auto point = run_ratio_point(cfg, file);
+  EXPECT_GT(point.bytes_ratio, 0.0);
+  EXPECT_LT(point.bytes_ratio, 1.0);  // redundant file: DRE must win
+  EXPECT_GT(point.delay_ratio, 0.0);
+  // The baseline ran without DRE: its encoder stats are empty.
+  EXPECT_EQ(point.without_dre.trials[0].encoded_packets, 0u);
+}
+
+}  // namespace
+}  // namespace bytecache::harness

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "packet/checksum.h"
+#include "packet/ipv4.h"
+#include "packet/packet.h"
+#include "packet/tcp.h"
+#include "packet/udp.h"
+#include "util/rng.h"
+
+namespace bytecache::packet {
+namespace {
+
+using util::Bytes;
+
+// ----------------------------------------------------------- checksum --
+
+TEST(Checksum, Rfc1071Example) {
+  // Example from RFC 1071 section 3: words 0001 f203 f4f5 f6f7.
+  const Bytes data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xddf2));
+}
+
+TEST(Checksum, ZeroOverOwnChecksum) {
+  // A buffer with its own checksum embedded must sum to zero.
+  Bytes data = {0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00,
+                0x40, 0x06, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                0x0a, 0x00, 0x01, 0x01};
+  const std::uint16_t sum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(sum >> 8);
+  data[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(internet_checksum(data), 0u);
+}
+
+TEST(Checksum, OddLength) {
+  const Bytes data = {0xAB};
+  EXPECT_EQ(internet_checksum(data),
+            static_cast<std::uint16_t>(~0xAB00));
+}
+
+TEST(Checksum, AccumulatorPiecewiseEqualsWhole) {
+  util::Rng rng(1);
+  Bytes data(101);  // odd length to exercise the pairing logic
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  ChecksumAccumulator acc;
+  acc.add(util::BytesView(data.data(), 33));
+  acc.add(util::BytesView(data.data() + 33, 30));
+  acc.add(util::BytesView(data.data() + 63, 38));
+  EXPECT_EQ(acc.finish(), internet_checksum(data));
+}
+
+TEST(Checksum, DetectsSingleBitFlip) {
+  util::Rng rng(2);
+  Bytes data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  const std::uint16_t base = internet_checksum(data);
+  data[17] ^= 0x01;
+  EXPECT_NE(internet_checksum(data), base);
+}
+
+// --------------------------------------------------------------- ipv4 --
+
+TEST(Ipv4, SerializeParseRoundTrip) {
+  Ipv4Header h;
+  h.tos = 0x10;
+  h.total_length = 1500;
+  h.identification = 0xBEEF;
+  h.ttl = 61;
+  h.protocol = 6;
+  h.src = make_ip(192, 168, 1, 10);
+  h.dst = make_ip(10, 20, 30, 40);
+
+  Bytes wire;
+  h.serialize(wire);
+  ASSERT_EQ(wire.size(), Ipv4Header::kSize);
+
+  auto parsed = Ipv4Header::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tos, h.tos);
+  EXPECT_EQ(parsed->total_length, h.total_length);
+  EXPECT_EQ(parsed->identification, h.identification);
+  EXPECT_EQ(parsed->ttl, h.ttl);
+  EXPECT_EQ(parsed->protocol, h.protocol);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+}
+
+TEST(Ipv4, ParseRejectsCorruptHeader) {
+  Ipv4Header h;
+  h.src = make_ip(1, 2, 3, 4);
+  Bytes wire;
+  h.serialize(wire);
+  wire[16] ^= 0xFF;  // corrupt dst
+  EXPECT_FALSE(Ipv4Header::parse(wire).has_value());
+}
+
+TEST(Ipv4, ParseRejectsShortInput) {
+  Bytes wire(10, 0);
+  EXPECT_FALSE(Ipv4Header::parse(wire).has_value());
+}
+
+TEST(Ipv4, ParseRejectsWrongVersion) {
+  Ipv4Header h;
+  Bytes wire;
+  h.serialize(wire);
+  wire[0] = 0x65;  // version 6
+  EXPECT_FALSE(Ipv4Header::parse(wire).has_value());
+}
+
+TEST(Ipv4, IpToString) {
+  EXPECT_EQ(ip_to_string(make_ip(10, 0, 0, 1)), "10.0.0.1");
+  EXPECT_EQ(ip_to_string(make_ip(255, 255, 255, 255)), "255.255.255.255");
+}
+
+// ---------------------------------------------------------------- tcp --
+
+TEST(Tcp, SerializeParseRoundTrip) {
+  TcpHeader h;
+  h.src_port = 80;
+  h.dst_port = 43210;
+  h.seq = 0xDEADBEEF;
+  h.ack = 0x12345678;
+  h.flags = TcpHeader::kAck | TcpHeader::kPsh;
+  h.window = 8192;
+
+  const Bytes data = util::to_bytes("payload bytes here");
+  const std::uint32_t src = make_ip(10, 0, 0, 1);
+  const std::uint32_t dst = make_ip(10, 0, 1, 1);
+  Bytes segment;
+  h.serialize(segment, data, src, dst);
+  ASSERT_EQ(segment.size(), TcpHeader::kSize + data.size());
+
+  auto parsed = TcpHeader::parse(segment, src, dst);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, h.src_port);
+  EXPECT_EQ(parsed->dst_port, h.dst_port);
+  EXPECT_EQ(parsed->seq, h.seq);
+  EXPECT_EQ(parsed->ack, h.ack);
+  EXPECT_EQ(parsed->flags, h.flags);
+  EXPECT_EQ(parsed->window, h.window);
+}
+
+TEST(Tcp, ChecksumCoversDataAndPseudoHeader) {
+  TcpHeader h;
+  h.seq = 1;
+  const Bytes data = util::to_bytes("abcdef");
+  const std::uint32_t src = make_ip(1, 1, 1, 1);
+  const std::uint32_t dst = make_ip(2, 2, 2, 2);
+  Bytes segment;
+  h.serialize(segment, data, src, dst);
+
+  // Flip a payload byte -> checksum fails.
+  Bytes bad = segment;
+  bad[TcpHeader::kSize + 2] ^= 0x01;
+  EXPECT_FALSE(TcpHeader::parse(bad, src, dst).has_value());
+
+  // Same bytes against different pseudo-header -> checksum fails.
+  EXPECT_FALSE(TcpHeader::parse(segment, src, make_ip(9, 9, 9, 9)).has_value());
+  EXPECT_TRUE(TcpHeader::parse(segment, src, dst).has_value());
+}
+
+TEST(Tcp, ParseUncheckedIgnoresChecksum) {
+  TcpHeader h;
+  h.seq = 77;
+  Bytes segment;
+  h.serialize(segment, {}, 1, 2);
+  segment[16] ^= 0xFF;  // destroy checksum
+  auto parsed = TcpHeader::parse_unchecked(segment);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seq, 77u);
+}
+
+TEST(Tcp, FlagHelpers) {
+  TcpHeader h;
+  h.flags = TcpHeader::kSyn | TcpHeader::kAck;
+  EXPECT_TRUE(h.syn());
+  EXPECT_TRUE(h.has_ack());
+  EXPECT_FALSE(h.fin());
+  EXPECT_FALSE(h.rst());
+}
+
+TEST(Tcp, ParseRejectsShortSegment) {
+  Bytes segment(10, 0);
+  EXPECT_FALSE(TcpHeader::parse_unchecked(segment).has_value());
+}
+
+// ---------------------------------------------------------------- udp --
+
+TEST(Udp, SerializeParseRoundTrip) {
+  UdpHeader h;
+  h.src_port = 5004;
+  h.dst_port = 5006;
+  const Bytes data = util::to_bytes("stream data");
+  const std::uint32_t src = make_ip(10, 0, 0, 1);
+  const std::uint32_t dst = make_ip(10, 0, 1, 1);
+  Bytes datagram;
+  h.serialize(datagram, data, src, dst);
+  ASSERT_EQ(datagram.size(), UdpHeader::kSize + data.size());
+
+  auto parsed = UdpHeader::parse(datagram, src, dst);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, h.src_port);
+  EXPECT_EQ(parsed->dst_port, h.dst_port);
+}
+
+TEST(Udp, ChecksumDetectsCorruption) {
+  UdpHeader h;
+  const Bytes data = util::to_bytes("123456");
+  Bytes datagram;
+  h.serialize(datagram, data, 1, 2);
+  datagram[UdpHeader::kSize] ^= 0x80;
+  EXPECT_FALSE(UdpHeader::parse(datagram, 1, 2).has_value());
+}
+
+TEST(Udp, ParseChecksLength) {
+  UdpHeader h;
+  Bytes datagram;
+  h.serialize(datagram, util::to_bytes("abc"), 1, 2);
+  datagram.push_back(0x00);  // trailing garbage changes the length
+  EXPECT_FALSE(UdpHeader::parse(datagram, 1, 2).has_value());
+}
+
+// ------------------------------------------------------------- packet --
+
+TEST(Packet, MakeAssignsUniqueUids) {
+  auto a = make_packet(1, 2, IpProto::kTcp, {});
+  auto b = make_packet(1, 2, IpProto::kTcp, {});
+  EXPECT_NE(a->uid, b->uid);
+}
+
+TEST(Packet, WireSizeIncludesHeader) {
+  auto p = make_packet(1, 2, IpProto::kUdp, Bytes(100, 0));
+  EXPECT_EQ(p->wire_size(), 120u);
+  EXPECT_EQ(p->proto(), IpProto::kUdp);
+}
+
+TEST(Packet, CloneKeepsUid) {
+  auto p = make_packet(1, 2, IpProto::kTcp, util::to_bytes("data"));
+  auto c = clone_packet(*p);
+  EXPECT_EQ(c->uid, p->uid);
+  EXPECT_EQ(c->payload, p->payload);
+}
+
+TEST(Packet, WireRoundTrip) {
+  auto p = make_packet(make_ip(10, 0, 0, 1), make_ip(10, 0, 1, 1),
+                       IpProto::kTcp, util::to_bytes("hello wire"));
+  const Bytes wire = to_wire(*p);
+  ASSERT_EQ(wire.size(), p->wire_size());
+  auto q = from_wire(wire);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->ip.src, p->ip.src);
+  EXPECT_EQ(q->ip.dst, p->ip.dst);
+  EXPECT_EQ(q->ip.protocol, p->ip.protocol);
+  EXPECT_EQ(q->payload, p->payload);
+}
+
+TEST(Packet, FromWireRejectsBadLength) {
+  auto p = make_packet(1, 2, IpProto::kTcp, util::to_bytes("xyz"));
+  Bytes wire = to_wire(*p);
+  wire.push_back(0);  // extra byte: total_length mismatch
+  EXPECT_EQ(from_wire(wire), nullptr);
+}
+
+}  // namespace
+}  // namespace bytecache::packet

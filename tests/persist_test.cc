@@ -1,0 +1,191 @@
+// Cache persistence: snapshot / warm-restore of the gateway caches.
+#include <gtest/gtest.h>
+
+#include "cache/persist.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "harness/experiment.h"
+#include "tests/testutil.h"
+#include "workload/generators.h"
+
+namespace bytecache {
+namespace {
+
+using util::Bytes;
+using util::Rng;
+
+TEST(Persist, EmptyCacheRoundTrips) {
+  cache::ByteCache cache;
+  const Bytes snap = cache::serialize_cache(cache);
+  cache::ByteCache restored;
+  ASSERT_TRUE(cache::deserialize_cache(snap, restored));
+  EXPECT_EQ(restored.store().size(), 0u);
+  EXPECT_EQ(restored.fingerprint_count(), 0u);
+}
+
+TEST(Persist, ContentsAndMetaRoundTrip) {
+  cache::ByteCache cache;
+  cache::PacketMeta meta;
+  meta.tcp_seq = 1234;
+  meta.tcp_end_seq = 2234;
+  meta.has_tcp_seq = true;
+  meta.stream_index = 17;
+  meta.epoch = 3;
+  meta.src_uid = 99;
+  meta.flow_key = 0xABCDEF;
+  std::vector<rabin::Anchor> anchors = {{4, 0xF0}, {40, 0xE0}};
+  cache.update(Bytes(128, 'p'), anchors, meta);
+
+  cache::ByteCache restored;
+  ASSERT_TRUE(
+      cache::deserialize_cache(cache::serialize_cache(cache), restored));
+  auto hit = restored.find(0xF0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->offset, 4u);
+  EXPECT_EQ(hit->packet->payload, Bytes(128, 'p'));
+  EXPECT_EQ(hit->packet->meta.tcp_seq, 1234u);
+  EXPECT_EQ(hit->packet->meta.tcp_end_seq, 2234u);
+  EXPECT_TRUE(hit->packet->meta.has_tcp_seq);
+  EXPECT_EQ(hit->packet->meta.stream_index, 17u);
+  EXPECT_EQ(hit->packet->meta.epoch, 3u);
+  EXPECT_EQ(hit->packet->meta.src_uid, 99u);
+  EXPECT_EQ(hit->packet->meta.flow_key, 0xABCDEFu);
+}
+
+TEST(Persist, LruOrderSurvives) {
+  cache::ByteCache cache(/*byte_budget=*/0);
+  for (int i = 0; i < 5; ++i) {
+    cache.update(Bytes(64, static_cast<std::uint8_t>('a' + i)),
+                 {{0, static_cast<rabin::Fingerprint>(0x100 + i)}}, {});
+  }
+  // Touch 0xA0+0 so it becomes MRU.
+  (void)cache.find(0x100);
+
+  cache::ByteCache restored;
+  ASSERT_TRUE(
+      cache::deserialize_cache(cache::serialize_cache(cache), restored));
+  ASSERT_EQ(restored.store().entries().size(), 5u);
+  EXPECT_EQ(restored.store().entries().front().payload[0], 'a');  // MRU
+}
+
+TEST(Persist, MalformedSnapshotsRejectedAndFlushed) {
+  cache::ByteCache cache;
+  cache.update(Bytes(64, 'x'), {{0, 0x10}}, {});
+  Bytes snap = cache::serialize_cache(cache);
+
+  cache::ByteCache victim;
+  victim.update(Bytes(64, 'y'), {{0, 0x20}}, {});
+
+  // Truncations must fail cleanly (and leave the cache empty, never
+  // half-restored).
+  for (std::size_t len : {0u, 3u, 8u, 20u}) {
+    ASSERT_FALSE(cache::deserialize_cache(
+        util::BytesView(snap.data(), std::min(len, snap.size())), victim))
+        << len;
+    EXPECT_EQ(victim.store().size(), 0u);
+  }
+  // Bad magic.
+  Bytes bad = snap;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(cache::deserialize_cache(bad, victim));
+  // Trailing garbage.
+  Bytes trailing = snap;
+  trailing.push_back(0);
+  EXPECT_FALSE(cache::deserialize_cache(trailing, victim));
+}
+
+TEST(Persist, FuzzDeserializeNeverCrashes) {
+  Rng rng(1);
+  cache::ByteCache cache;
+  for (int i = 0; i < 2000; ++i) {
+    Bytes junk = testutil::random_bytes(rng, rng.uniform(0, 120));
+    if (junk.size() >= 4 && rng.chance(0.5)) {
+      junk[0] = 0x42;
+      junk[1] = 0x43;
+      junk[2] = 0x43;
+      junk[3] = 0x31;
+    }
+    (void)cache::deserialize_cache(junk, cache);
+  }
+}
+
+TEST(Persist, WarmRestartKeepsGatewaysInLockstep) {
+  // Encode half a stream, snapshot both sides, restart into fresh codec
+  // objects, continue the stream: references into the pre-restart history
+  // must still decode.
+  core::DreParams params;
+  auto enc = std::make_unique<core::Encoder>(
+      params, core::make_policy(core::PolicyKind::kNaive, params));
+  auto dec = std::make_unique<core::Decoder>(params);
+  Rng rng(2);
+  const Bytes object = workload::make_file1(rng, 200 * 1460);
+  auto packets = testutil::segment_stream(object);
+
+  const std::size_t half = packets.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    enc->process(*packets[i]);
+    ASSERT_FALSE(core::is_drop(dec->process(*packets[i]).status));
+  }
+  const Bytes enc_snap = enc->save_state();
+  const Bytes dec_snap = dec->save_state();
+
+  // "Restart" both gateways.
+  enc = std::make_unique<core::Encoder>(
+      params, core::make_policy(core::PolicyKind::kNaive, params));
+  dec = std::make_unique<core::Decoder>(params);
+  ASSERT_TRUE(enc->load_state(enc_snap));
+  ASSERT_TRUE(dec->load_state(dec_snap));
+
+  std::size_t encoded_after = 0;
+  for (std::size_t i = half; i < packets.size(); ++i) {
+    const Bytes original = packets[i]->payload;
+    if (enc->process(*packets[i]).encoded) ++encoded_after;
+    ASSERT_FALSE(core::is_drop(dec->process(*packets[i]).status)) << i;
+    ASSERT_EQ(packets[i]->payload, original) << i;
+  }
+  // Compression continued immediately (warm cache), including references
+  // into pre-restart packets (File 1's far window reaches 36 units back).
+  EXPECT_GT(encoded_after, (packets.size() - half) * 3 / 4);
+}
+
+TEST(Persist, EncoderRejectsGarbageState) {
+  core::DreParams params;
+  core::Encoder enc(params,
+                    core::make_policy(core::PolicyKind::kNaive, params));
+  EXPECT_FALSE(enc.load_state(Bytes(5, 0)));
+  Bytes junk(64, 0xAA);
+  EXPECT_FALSE(enc.load_state(junk));
+}
+
+TEST(Persist, ColdVsWarmRestartCompressionGap) {
+  // The operational motivation: a warm-restarted encoder keeps saving
+  // bytes where a cold one must relearn the history.
+  core::DreParams params;
+  Rng rng(3);
+  const Bytes object = workload::make_file1(rng, 150 * 1460);
+  auto packets = testutil::segment_stream(object);
+  const std::size_t half = packets.size() / 2;
+
+  auto run_second_half = [&](bool warm) {
+    core::Encoder first(params,
+                        core::make_policy(core::PolicyKind::kNaive, params));
+    for (std::size_t i = 0; i < half; ++i) {
+      auto copy = packet::clone_packet(*packets[i]);
+      first.process(*copy);
+    }
+    core::Encoder second(params,
+                         core::make_policy(core::PolicyKind::kNaive, params));
+    if (warm) {
+      EXPECT_TRUE(second.load_state(first.save_state()));
+    }
+    for (std::size_t i = half; i < packets.size(); ++i) {
+      auto copy = packet::clone_packet(*packets[i]);
+      second.process(*copy);
+    }
+    return second.stats().bytes_out;
+  };
+  EXPECT_LT(run_second_half(true), run_second_half(false));
+}
+
+}  // namespace
+}  // namespace bytecache

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "packet/packet.h"
+#include "sim/link.h"
+#include "sim/loss_model.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace bytecache::sim {
+namespace {
+
+using packet::IpProto;
+using packet::make_packet;
+using packet::PacketPtr;
+using util::Bytes;
+
+// ---------------------------------------------------------- simulator --
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(ms(30), [&] { order.push_back(3); });
+  sim.at(ms(10), [&] { order.push_back(1); });
+  sim.at(ms(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), ms(30));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, SameTimeFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(ms(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  SimTime fired = -1;
+  sim.at(ms(10), [&] {
+    sim.after(ms(5), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, ms(15));
+}
+
+TEST(Simulator, PastSchedulingClamps) {
+  Simulator sim;
+  SimTime fired = -1;
+  sim.at(ms(10), [&] {
+    sim.at(ms(1), [&] { fired = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(fired, ms(10));
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(ms(i), [&] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pending(), 7u);
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(ms(5), [&] { ++fired; });
+  sim.at(ms(50), [&] { ++fired; });
+  sim.run_until(ms(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), ms(20));
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+}
+
+// --------------------------------------------------------------- time --
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(ms(1), 1'000'000);
+  EXPECT_EQ(sec(2), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_ms(ms(7)), 7.0);
+  // 1500 bytes at 1 MB/s = 1.5 ms.
+  EXPECT_EQ(tx_time(1500, 1e6), ms(1) + us(500));
+}
+
+// --------------------------------------------------------- loss model --
+
+TEST(LossModel, BernoulliRate) {
+  BernoulliLoss loss(0.25);
+  util::Rng rng(1);
+  int drops = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (loss.drop(rng)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.25, 0.01);
+}
+
+TEST(LossModel, NoLossNeverDrops) {
+  NoLoss loss;
+  util::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(loss.drop(rng));
+}
+
+TEST(LossModel, GilbertElliottAverageMatchesTarget) {
+  for (double target : {0.01, 0.05, 0.10}) {
+    auto ge = GilbertElliottLoss::with_average_loss(target);
+    EXPECT_NEAR(ge->average_loss(), target, 1e-9);
+    util::Rng rng(3);
+    int drops = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+      if (ge->drop(rng)) ++drops;
+    }
+    EXPECT_NEAR(static_cast<double>(drops) / n, target, 0.01);
+  }
+}
+
+TEST(LossModel, GilbertElliottIsBurstier) {
+  // Compare the number of loss "runs" at the same average loss: bursty
+  // losses form fewer, longer runs.
+  const double p = 0.1;
+  util::Rng rng1(4), rng2(4);
+  BernoulliLoss bern(p);
+  auto ge = GilbertElliottLoss::with_average_loss(p);
+  auto count_runs = [](auto& model, util::Rng& rng) {
+    int runs = 0;
+    bool in_run = false;
+    for (int i = 0; i < 200000; ++i) {
+      const bool d = model.drop(rng);
+      if (d && !in_run) ++runs;
+      in_run = d;
+    }
+    return runs;
+  };
+  const int bern_runs = count_runs(bern, rng1);
+  const int ge_runs = count_runs(*ge, rng2);
+  EXPECT_LT(ge_runs, bern_runs * 3 / 4);
+}
+
+// --------------------------------------------------------------- link --
+
+PacketPtr test_packet(std::size_t payload = 1480) {
+  return make_packet(1, 2, IpProto::kTcp, Bytes(payload, 'x'));
+}
+
+TEST(Link, DeliversWithSerializationAndPropagation) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bytes_per_sec = 1e6;
+  cfg.propagation_delay = ms(25);
+  Link link(sim, cfg, std::make_unique<NoLoss>(), util::Rng(1));
+  SimTime delivered_at = -1;
+  link.set_sink([&](PacketPtr) { delivered_at = sim.now(); });
+  link.send(test_packet(1480));  // 1500 wire bytes -> 1.5 ms
+  sim.run();
+  EXPECT_EQ(delivered_at, ms(25) + us(1500));
+  EXPECT_EQ(link.stats().packets_delivered, 1u);
+  EXPECT_EQ(link.stats().bytes_sent, 1500u);
+}
+
+TEST(Link, BackToBackPacketsQueueBehindSerializer) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bytes_per_sec = 1e6;
+  cfg.propagation_delay = 0;
+  Link link(sim, cfg, std::make_unique<NoLoss>(), util::Rng(1));
+  std::vector<SimTime> times;
+  link.set_sink([&](PacketPtr) { times.push_back(sim.now()); });
+  link.send(test_packet(980));  // 1000 wire bytes = 1 ms each
+  link.send(test_packet(980));
+  link.send(test_packet(980));
+  sim.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], ms(1));
+  EXPECT_EQ(times[1], ms(2));
+  EXPECT_EQ(times[2], ms(3));
+}
+
+TEST(Link, TailDropWhenQueueFull) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.queue_packets = 2;
+  Link link(sim, cfg, std::make_unique<NoLoss>(), util::Rng(1));
+  int delivered = 0;
+  link.set_sink([&](PacketPtr) { ++delivered; });
+  for (int i = 0; i < 5; ++i) link.send(test_packet());
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(link.stats().drops_queue, 3u);
+}
+
+TEST(Link, LossRateApplied) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.queue_packets = 1 << 20;
+  Link link(sim, cfg, std::make_unique<BernoulliLoss>(0.3), util::Rng(7));
+  int delivered = 0;
+  link.set_sink([&](PacketPtr) { ++delivered; });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) link.send(test_packet(100));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(n - delivered) / n, 0.3, 0.02);
+  EXPECT_EQ(link.stats().drops_loss, static_cast<std::uint64_t>(n - delivered));
+  // Lost packets still consumed wire bytes.
+  EXPECT_EQ(link.stats().bytes_sent, static_cast<std::uint64_t>(n) * 120);
+}
+
+TEST(Link, CorruptionFlipsBytes) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.corrupt_prob = 1.0;
+  cfg.queue_packets = 1 << 20;
+  Link link(sim, cfg, std::make_unique<NoLoss>(), util::Rng(8));
+  int corrupted = 0;
+  const Bytes original(1480, 'x');
+  link.set_sink([&](PacketPtr p) {
+    EXPECT_TRUE(p->corrupted);
+    if (p->payload != original) ++corrupted;
+  });
+  for (int i = 0; i < 50; ++i) link.send(test_packet());
+  sim.run();
+  EXPECT_EQ(corrupted, 50);
+  EXPECT_EQ(link.stats().corrupted, 50u);
+}
+
+TEST(Link, ReorderingCausesOvertaking) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bytes_per_sec = 1e8;  // serialization negligible
+  cfg.propagation_delay = ms(1);
+  cfg.reorder_prob = 0.2;
+  cfg.reorder_extra_delay = ms(5);
+  cfg.queue_packets = 1 << 20;
+  Link link(sim, cfg, std::make_unique<NoLoss>(), util::Rng(9));
+  std::vector<std::uint64_t> uids_sent, uids_received;
+  link.set_sink([&](PacketPtr p) { uids_received.push_back(p->uid); });
+  for (int i = 0; i < 200; ++i) {
+    auto p = test_packet(100);
+    uids_sent.push_back(p->uid);
+    link.send(std::move(p));
+    sim.run_until(sim.now() + us(100));
+  }
+  sim.run();
+  ASSERT_EQ(uids_received.size(), 200u);
+  EXPECT_NE(uids_received, uids_sent);  // some packet was overtaken
+  EXPECT_GT(link.stats().reordered, 0u);
+}
+
+TEST(Link, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim;
+    LinkConfig cfg;
+    cfg.queue_packets = 1 << 20;
+    Link link(sim, cfg, std::make_unique<BernoulliLoss>(0.2),
+              util::Rng(seed));
+    std::vector<SimTime> times;
+    link.set_sink([&](PacketPtr) { times.push_back(sim.now()); });
+    for (int i = 0; i < 500; ++i) link.send(test_packet(200));
+    sim.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace bytecache::sim

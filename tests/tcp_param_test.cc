@@ -1,0 +1,212 @@
+// Parameterized TCP substrate tests: loss/seed sweeps, sequence-number
+// wraparound, MSS and window variations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "tcp/config.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+#include "util/rng.h"
+#include "workload/text.h"
+
+namespace bytecache::tcp {
+namespace {
+
+using sim::ms;
+using util::Bytes;
+
+struct LoopFixture {
+  sim::Simulator sim;
+  TcpConfig config;
+  std::unique_ptr<sim::Link> fwd;
+  std::unique_ptr<sim::Link> rev;
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpReceiver> receiver;
+
+  LoopFixture(const TcpConfig& cfg, double loss, std::uint64_t seed,
+              sim::SimTime prop = sim::us(500)) {
+    config = cfg;
+    config.src_ip = 0x0A000001;
+    config.dst_ip = 0x0A000101;
+    sim::LinkConfig fcfg;
+    fcfg.queue_packets = 1 << 16;
+    fcfg.propagation_delay = prop;
+    sim::LinkConfig rcfg;
+    rcfg.rate_bytes_per_sec = 1e7;
+    rcfg.queue_packets = 1 << 16;
+    fwd = std::make_unique<sim::Link>(
+        sim, fcfg,
+        loss > 0 ? std::unique_ptr<sim::LossProcess>(
+                       std::make_unique<sim::BernoulliLoss>(loss))
+                 : std::make_unique<sim::NoLoss>(),
+        util::Rng(seed));
+    rev = std::make_unique<sim::Link>(sim, rcfg,
+                                      std::make_unique<sim::NoLoss>(),
+                                      util::Rng(seed + 1));
+    sender = std::make_unique<TcpSender>(
+        sim, config, [this](packet::PacketPtr p) { fwd->send(std::move(p)); });
+    receiver = std::make_unique<TcpReceiver>(
+        sim, config, [this](packet::PacketPtr p) { rev->send(std::move(p)); });
+    fwd->set_sink([this](packet::PacketPtr p) { receiver->on_packet(*p); });
+    rev->set_sink([this](packet::PacketPtr p) { sender->on_packet(*p); });
+  }
+};
+
+Bytes test_file(std::size_t size, std::uint64_t seed = 99) {
+  util::Rng rng(seed);
+  return workload::random_text(rng, size);
+}
+
+// ------------------------------------------------- loss x seed sweep --
+
+class TcpLossSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(TcpLossSweep, CompletesAndDeliversExactBytes) {
+  const double loss = std::get<0>(GetParam()) / 1000.0;
+  const std::uint64_t seed = std::get<1>(GetParam());
+  LoopFixture loop({}, loss, seed);
+  const Bytes file = test_file(120'000, seed * 3 + 1);
+  loop.sender->start(file);
+  loop.sim.run();
+  ASSERT_TRUE(loop.sender->completed())
+      << "loss=" << loss << " seed=" << seed;
+  EXPECT_EQ(loop.receiver->stream(), file);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossSeeds, TcpLossSweep,
+    ::testing::Combine(::testing::Values(0, 5, 10, 20, 50, 100, 150),
+                       ::testing::Values(1ull, 2ull, 3ull)),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& info) {
+      return "loss" + std::to_string(std::get<0>(info.param)) + "permil_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --------------------------------------------------------- ISN / wrap --
+
+class IsnSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(IsnSweep, SequenceWraparoundHandled) {
+  TcpConfig cfg;
+  cfg.isn = GetParam();
+  LoopFixture loop(cfg, 0.02, 5);
+  // 200 KB crosses the 2^32 boundary for ISNs near the top.
+  const Bytes file = test_file(200'000, 11);
+  loop.sender->start(file);
+  loop.sim.run();
+  ASSERT_TRUE(loop.sender->completed()) << "isn=" << GetParam();
+  EXPECT_EQ(loop.receiver->stream(), file);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Isns, IsnSweep,
+    ::testing::Values(0u, 1000u, 0xFFFF0000u, 0xFFFFFFF0u),
+    [](const ::testing::TestParamInfo<std::uint32_t>& info) {
+      return "isn" + std::to_string(info.param);
+    });
+
+// ---------------------------------------------------------- MSS sweep --
+
+class MssSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MssSweep, SegmentationCorrect) {
+  TcpConfig cfg;
+  cfg.mss = GetParam();
+  LoopFixture loop(cfg, 0.0, 3);
+  const Bytes file = test_file(50'000, 21);
+  loop.sender->start(file);
+  loop.sim.run();
+  ASSERT_TRUE(loop.sender->completed());
+  EXPECT_EQ(loop.receiver->stream(), file);
+  // ceil(size/mss) data segments when nothing is lost.
+  const auto expected =
+      (file.size() + cfg.mss - 1) / cfg.mss;
+  EXPECT_EQ(loop.sender->stats().segments_sent, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mss, MssSweep,
+                         ::testing::Values(536u, 1000u, 1460u, 9000u),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "mss" + std::to_string(i.param);
+                         });
+
+// ------------------------------------------------------- window sweep --
+
+class WindowSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WindowSweep, SenderRespectsReceiveWindow) {
+  TcpConfig cfg;
+  cfg.rcv_wnd = GetParam();
+  LoopFixture loop(cfg, 0.0, 9);
+  const Bytes file = test_file(80'000, 31);
+  loop.sender->start(file);
+  // Step the simulation, sampling the outstanding flight on every event:
+  // it must never exceed the advertised window.
+  while (loop.sim.step()) {
+    ASSERT_LE(loop.sender->in_flight(), cfg.rcv_wnd);
+  }
+  ASSERT_TRUE(loop.sender->completed());
+  EXPECT_EQ(loop.receiver->stream(), file);
+}
+
+TEST(WindowThrottling, SmallWindowSlowsTransfer) {
+  // On a long-RTT path (25 ms each way) a 2-segment window cannot fill
+  // the pipe; a 45-segment window can.
+  TcpConfig small;
+  small.rcv_wnd = 2 * 1460;
+  TcpConfig big;
+  big.rcv_wnd = 45 * 1460;
+  const Bytes file = test_file(200'000, 41);
+
+  LoopFixture a(small, 0.0, 1, sim::ms(25));
+  a.sender->start(file);
+  a.sim.run();
+  LoopFixture b(big, 0.0, 1, sim::ms(25));
+  b.sender->start(file);
+  b.sim.run();
+  ASSERT_TRUE(a.sender->completed());
+  ASSERT_TRUE(b.sender->completed());
+  EXPECT_GT(a.sim.now(), b.sim.now());
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(1460u, 8 * 1460u, 65535u),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& i) {
+                           return "wnd" + std::to_string(i.param);
+                         });
+
+// ----------------------------------------------------- reverse losses --
+
+TEST(ReverseLoss, LostAcksDoNotBreakTransfer) {
+  sim::Simulator sim;
+  TcpConfig config;
+  config.src_ip = 1;
+  config.dst_ip = 2;
+  sim::LinkConfig fcfg;
+  fcfg.queue_packets = 1 << 16;
+  sim::LinkConfig rcfg;
+  rcfg.rate_bytes_per_sec = 1e7;
+  rcfg.queue_packets = 1 << 16;
+  sim::Link fwd(sim, fcfg, std::make_unique<sim::NoLoss>(), util::Rng(1));
+  sim::Link rev(sim, rcfg, std::make_unique<sim::BernoulliLoss>(0.2),
+                util::Rng(2));
+  TcpSender sender(sim, config,
+                   [&](packet::PacketPtr p) { fwd.send(std::move(p)); });
+  TcpReceiver receiver(sim, config,
+                       [&](packet::PacketPtr p) { rev.send(std::move(p)); });
+  fwd.set_sink([&](packet::PacketPtr p) { receiver.on_packet(*p); });
+  rev.set_sink([&](packet::PacketPtr p) { sender.on_packet(*p); });
+
+  const Bytes file = test_file(100'000, 51);
+  sender.start(file);
+  sim.run();
+  ASSERT_TRUE(sender.completed());  // cumulative ACKs tolerate ACK loss
+  EXPECT_EQ(receiver.stream(), file);
+}
+
+}  // namespace
+}  // namespace bytecache::tcp

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "tcp/config.h"
+#include "tcp/congestion.h"
+#include "tcp/receiver.h"
+#include "tcp/rto.h"
+#include "tcp/sender.h"
+#include "util/rng.h"
+#include "workload/text.h"
+
+namespace bytecache::tcp {
+namespace {
+
+using sim::ms;
+using sim::sec;
+using sim::SimTime;
+using util::Bytes;
+
+// ---------------------------------------------------------------- rto --
+
+TEST(RttEstimator, InitialRtoUsedBeforeSamples) {
+  RttEstimator est(ms(1000), ms(200), sec(60));
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.rto(), ms(1000));
+}
+
+TEST(RttEstimator, FirstSampleSetsSrttAndVar) {
+  RttEstimator est(ms(1000), ms(200), sec(60));
+  est.sample(ms(100));
+  EXPECT_EQ(est.srtt(), ms(100));
+  EXPECT_EQ(est.rttvar(), ms(50));
+  EXPECT_EQ(est.rto(), ms(300));  // srtt + 4*var
+}
+
+TEST(RttEstimator, SmoothsTowardSamples) {
+  RttEstimator est(ms(1000), ms(200), sec(60));
+  est.sample(ms(100));
+  for (int i = 0; i < 50; ++i) est.sample(ms(100));
+  EXPECT_EQ(est.srtt(), ms(100));
+  // With constant RTT, var decays and RTO approaches the floor.
+  EXPECT_LE(est.rto(), ms(250));
+  EXPECT_GE(est.rto(), ms(200));
+}
+
+TEST(RttEstimator, MinRtoEnforced) {
+  RttEstimator est(ms(1000), ms(200), sec(60));
+  for (int i = 0; i < 100; ++i) est.sample(ms(1));
+  EXPECT_GE(est.rto(), ms(200));
+}
+
+TEST(RttEstimator, BackoffDoublesAndCaps) {
+  RttEstimator est(ms(1000), ms(200), sec(8));
+  est.sample(ms(100));
+  const SimTime base = est.rto();
+  est.backoff();
+  EXPECT_EQ(est.rto(), base * 2);
+  est.backoff();
+  EXPECT_EQ(est.rto(), base * 4);
+  for (int i = 0; i < 20; ++i) est.backoff();
+  EXPECT_EQ(est.rto(), sec(8));  // capped
+  est.reset_backoff();
+  EXPECT_EQ(est.rto(), base);
+}
+
+// --------------------------------------------------------- congestion --
+
+TEST(RenoCongestion, SlowStartDoublesPerRtt) {
+  RenoCongestion cc(1000, 2);
+  EXPECT_EQ(cc.cwnd(), 2000u);
+  EXPECT_TRUE(cc.in_slow_start());
+  // Two ACKs of one MSS each: +1000 each.
+  cc.on_new_ack(1000);
+  cc.on_new_ack(1000);
+  EXPECT_EQ(cc.cwnd(), 4000u);
+}
+
+TEST(RenoCongestion, CongestionAvoidanceLinear) {
+  RenoCongestion cc(1000, 2);
+  cc.on_timeout(8000);  // ssthresh = 4000, cwnd = 1000
+  EXPECT_EQ(cc.ssthresh(), 4000u);
+  EXPECT_EQ(cc.cwnd(), 1000u);
+  // Grow past ssthresh via slow start, then verify sub-MSS growth.
+  while (cc.in_slow_start()) cc.on_new_ack(1000);
+  const std::size_t w = cc.cwnd();
+  cc.on_new_ack(1000);
+  EXPECT_LT(cc.cwnd() - w, 1000u);
+  EXPECT_GT(cc.cwnd(), w);  // fractional accumulation still counts
+}
+
+TEST(RenoCongestion, FastRetransmitHalves) {
+  RenoCongestion cc(1000, 10);
+  cc.on_fast_retransmit(10000);
+  EXPECT_EQ(cc.ssthresh(), 5000u);
+  EXPECT_EQ(cc.cwnd(), 5000u + 3000u);  // + 3 dupacks inflation
+  EXPECT_TRUE(cc.in_fast_recovery());
+  cc.on_dup_ack_in_recovery();
+  EXPECT_EQ(cc.cwnd(), 9000u);
+  cc.on_recovery_exit();
+  EXPECT_EQ(cc.cwnd(), 5000u);
+  EXPECT_FALSE(cc.in_fast_recovery());
+}
+
+TEST(RenoCongestion, SsthreshFloorTwoMss) {
+  RenoCongestion cc(1000, 10);
+  cc.on_timeout(1000);
+  EXPECT_EQ(cc.ssthresh(), 2000u);
+  EXPECT_EQ(cc.cwnd(), 1000u);
+}
+
+TEST(RenoCongestion, PartialAckDeflatesAndReinflates) {
+  RenoCongestion cc(1000, 10);
+  cc.on_fast_retransmit(10000);
+  const std::size_t before = cc.cwnd();
+  cc.on_partial_ack(3000);
+  EXPECT_EQ(cc.cwnd(), before - 3000 + 1000);
+}
+
+// --------------------------------------- sender/receiver integration --
+
+struct Loop {
+  sim::Simulator sim;
+  TcpConfig config;
+  std::unique_ptr<sim::Link> fwd;
+  std::unique_ptr<sim::Link> rev;
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpReceiver> receiver;
+
+  explicit Loop(double loss = 0.0, std::uint64_t seed = 1,
+                double reorder = 0.0) {
+    config.src_ip = 0x0A000001;
+    config.dst_ip = 0x0A000101;
+    sim::LinkConfig fcfg;
+    fcfg.rate_bytes_per_sec = 1e6;
+    fcfg.propagation_delay = ms(25);
+    fcfg.queue_packets = 1 << 16;
+    fcfg.reorder_prob = reorder;
+    sim::LinkConfig rcfg;
+    rcfg.rate_bytes_per_sec = 1e7;
+    rcfg.propagation_delay = ms(25);
+    rcfg.queue_packets = 1 << 16;
+    fwd = std::make_unique<sim::Link>(
+        sim, fcfg,
+        loss > 0 ? std::unique_ptr<sim::LossProcess>(
+                       std::make_unique<sim::BernoulliLoss>(loss))
+                 : std::make_unique<sim::NoLoss>(),
+        util::Rng(seed));
+    rev = std::make_unique<sim::Link>(sim, rcfg, std::make_unique<sim::NoLoss>(),
+                                      util::Rng(seed + 1));
+    sender = std::make_unique<TcpSender>(
+        sim, config, [this](packet::PacketPtr p) { fwd->send(std::move(p)); });
+    receiver = std::make_unique<TcpReceiver>(
+        sim, config, [this](packet::PacketPtr p) { rev->send(std::move(p)); });
+    fwd->set_sink([this](packet::PacketPtr p) { receiver->on_packet(*p); });
+    rev->set_sink([this](packet::PacketPtr p) { sender->on_packet(*p); });
+  }
+};
+
+Bytes test_file(std::size_t size, std::uint64_t seed = 42) {
+  util::Rng rng(seed);
+  return workload::random_text(rng, size);
+}
+
+TEST(TcpLoop, PerfectLinkDeliversExactly) {
+  Loop loop;
+  const Bytes file = test_file(100'000);
+  loop.sender->start(file);
+  loop.sim.run();
+  EXPECT_TRUE(loop.sender->completed());
+  EXPECT_FALSE(loop.sender->aborted());
+  EXPECT_EQ(loop.receiver->stream(), file);
+  EXPECT_EQ(loop.sender->stats().retransmissions, 0u);
+}
+
+TEST(TcpLoop, SingleSegmentFile) {
+  Loop loop;
+  const Bytes file = test_file(100);
+  loop.sender->start(file);
+  loop.sim.run();
+  EXPECT_TRUE(loop.sender->completed());
+  EXPECT_EQ(loop.receiver->stream(), file);
+}
+
+TEST(TcpLoop, EmptyNonMultipleSizes) {
+  for (std::size_t size : {1u, 1459u, 1460u, 1461u, 2920u, 10'001u}) {
+    Loop loop;
+    const Bytes file = test_file(size);
+    loop.sender->start(file);
+    loop.sim.run();
+    EXPECT_TRUE(loop.sender->completed()) << size;
+    EXPECT_EQ(loop.receiver->stream(), file) << size;
+  }
+}
+
+TEST(TcpLoop, ThroughputBoundedByLink) {
+  Loop loop;
+  const Bytes file = test_file(500'000);
+  loop.sender->start(file);
+  loop.sim.run();
+  ASSERT_TRUE(loop.sender->completed());
+  // 500 KB over a 1 MB/s link cannot take less than 0.5 s.
+  EXPECT_GE(loop.sim.now(), ms(500));
+  // ...and with working congestion control not more than ~3x that.
+  EXPECT_LE(loop.sim.now(), ms(1700));
+}
+
+TEST(TcpLoop, RecoversFromLoss) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    Loop loop(0.02, seed);
+    const Bytes file = test_file(200'000);
+    loop.sender->start(file);
+    loop.sim.run();
+    EXPECT_TRUE(loop.sender->completed()) << seed;
+    EXPECT_EQ(loop.receiver->stream(), file) << seed;
+    EXPECT_GT(loop.sender->stats().retransmissions, 0u) << seed;
+  }
+}
+
+TEST(TcpLoop, RecoversFromHeavyLoss) {
+  Loop loop(0.15, 7);
+  const Bytes file = test_file(50'000);
+  loop.sender->start(file);
+  loop.sim.run();
+  EXPECT_TRUE(loop.sender->completed());
+  EXPECT_EQ(loop.receiver->stream(), file);
+  EXPECT_GT(loop.sender->stats().timeouts, 0u);
+}
+
+TEST(TcpLoop, LossMakesTransfersSlower) {
+  Loop clean(0.0, 1);
+  Loop lossy(0.05, 1);
+  const Bytes file = test_file(200'000);
+  clean.sender->start(file);
+  clean.sim.run();
+  lossy.sender->start(file);
+  lossy.sim.run();
+  ASSERT_TRUE(clean.sender->completed());
+  ASSERT_TRUE(lossy.sender->completed());
+  EXPECT_GT(lossy.sim.now(), clean.sim.now());
+}
+
+TEST(TcpLoop, ToleratesReordering) {
+  Loop loop(0.0, 3, /*reorder=*/0.1);
+  const Bytes file = test_file(150'000);
+  loop.sender->start(file);
+  loop.sim.run();
+  EXPECT_TRUE(loop.sender->completed());
+  EXPECT_EQ(loop.receiver->stream(), file);
+}
+
+TEST(TcpLoop, FastRetransmitEngagesOnIsolatedLoss) {
+  Loop loop(0.01, 11);
+  const Bytes file = test_file(300'000);
+  loop.sender->start(file);
+  loop.sim.run();
+  ASSERT_TRUE(loop.sender->completed());
+  EXPECT_GT(loop.sender->stats().fast_retransmits, 0u);
+}
+
+TEST(TcpLoop, ReceiverCountsOutOfOrderSegments) {
+  Loop loop(0.03, 5);
+  const Bytes file = test_file(200'000);
+  loop.sender->start(file);
+  loop.sim.run();
+  ASSERT_TRUE(loop.sender->completed());
+  EXPECT_GT(loop.receiver->stats().out_of_order, 0u);
+  EXPECT_GT(loop.receiver->stats().acks_sent, 0u);
+}
+
+/// A "black hole" from some offset on: models the paper's stall condition
+/// where retransmissions can never get through.
+TEST(TcpSender, AbortsAfterMaxBackoffs) {
+  sim::Simulator sim;
+  TcpConfig config;
+  config.max_backoffs = 4;
+  bool aborted = false;
+  std::uint64_t delivered_at_abort = 0;
+  int packets_through = 0;
+  TcpReceiver* receiver_ptr = nullptr;
+  TcpSender sender(sim, config, [&](packet::PacketPtr p) {
+    // Deliver only the first 3 data packets, then black-hole everything.
+    if (++packets_through <= 3 && receiver_ptr != nullptr) {
+      sim.after(ms(1), [&, sp = std::make_shared<packet::PacketPtr>(
+                               std::move(p))] { receiver_ptr->on_packet(**sp); });
+    }
+  });
+  TcpReceiver receiver(sim, config, [&](packet::PacketPtr p) {
+    sim.after(ms(1), [&, sp = std::make_shared<packet::PacketPtr>(
+                             std::move(p))] { sender.on_packet(**sp); });
+  });
+  receiver_ptr = &receiver;
+  sender.set_on_abort([&](std::uint64_t d) {
+    aborted = true;
+    delivered_at_abort = d;
+  });
+  sender.start(test_file(100'000));
+  sim.run();
+  EXPECT_TRUE(aborted);
+  EXPECT_TRUE(sender.aborted());
+  EXPECT_FALSE(sender.completed());
+  EXPECT_EQ(delivered_at_abort, 3u * 1460u);
+  EXPECT_EQ(sender.stats().timeouts, 5u);  // 4 backoffs + the fatal one
+}
+
+TEST(TcpLoop, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Loop loop(0.05, seed);
+    loop.sender->start(test_file(100'000));
+    loop.sim.run();
+    return std::pair(loop.sim.now(), loop.sender->stats().retransmissions);
+  };
+  EXPECT_EQ(run_once(9), run_once(9));
+}
+
+}  // namespace
+}  // namespace bytecache::tcp

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/bytes.h"
+#include "util/crc32.h"
+#include "util/hexdump.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/seqcmp.h"
+
+namespace bytecache::util {
+namespace {
+
+// ------------------------------------------------------------- bytes.h --
+
+TEST(Bytes, RoundTripScalars) {
+  Bytes b;
+  put_u8(b, 0xAB);
+  put_u16(b, 0xCDEF);
+  put_u32(b, 0x01234567);
+  put_u64(b, 0x89ABCDEF01234567ull);
+  ASSERT_EQ(b.size(), 15u);
+  std::size_t off = 0;
+  EXPECT_EQ(get_u8(b, off), 0xAB);
+  EXPECT_EQ(get_u16(b, off), 0xCDEF);
+  EXPECT_EQ(get_u32(b, off), 0x01234567u);
+  EXPECT_EQ(get_u64(b, off), 0x89ABCDEF01234567ull);
+  EXPECT_EQ(off, b.size());
+}
+
+TEST(Bytes, BigEndianLayout) {
+  Bytes b;
+  put_u16(b, 0x1234);
+  EXPECT_EQ(b[0], 0x12);
+  EXPECT_EQ(b[1], 0x34);
+  put_u32(b, 0xA1B2C3D4);
+  EXPECT_EQ(b[2], 0xA1);
+  EXPECT_EQ(b[5], 0xD4);
+}
+
+TEST(Bytes, StringConversions) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, AppendConcatenates) {
+  Bytes a = to_bytes("foo");
+  append(a, to_bytes("bar"));
+  EXPECT_EQ(to_string(a), "foobar");
+}
+
+// ------------------------------------------------------------- crc32.h --
+
+TEST(Crc32, KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (classic check value).
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32({}), 0u); }
+
+TEST(Crc32, SensitiveToEveryByte) {
+  Rng rng(7);
+  Bytes data;
+  for (int i = 0; i < 256; ++i) {
+    data.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+  }
+  const std::uint32_t base = crc32(data);
+  for (std::size_t i = 0; i < data.size(); i += 13) {
+    Bytes mutated = data;
+    mutated[i] ^= 0x40;
+    EXPECT_NE(crc32(mutated), base) << "flip at " << i;
+  }
+}
+
+TEST(Crc32, SeedContinuation) {
+  const Bytes whole = to_bytes("hello world");
+  const Bytes a = to_bytes("hello ");
+  const Bytes b = to_bytes("world");
+  EXPECT_EQ(crc32(b, crc32(a)), crc32(whole));
+}
+
+// --------------------------------------------------------------- rng.h --
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 15);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 15u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(Rng, UniformSingleValue) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(7, 7), 7u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(8);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(9);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(100, 1.0)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(Rng, ZipfDegenerate) {
+  Rng rng(10);
+  EXPECT_EQ(rng.zipf(1, 1.0), 0u);
+  EXPECT_EQ(rng.zipf(0, 1.0), 0u);
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(11), b(11);
+  Rng fa = a.fork(1), fb = b.fork(1), fc = a.fork(2);
+  EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  Rng fa2 = a.fork(1);
+  EXPECT_NE(fa2.next_u64(), fc.next_u64());
+}
+
+// ------------------------------------------------------------ seqcmp.h --
+
+TEST(SeqCmp, Basic) {
+  EXPECT_TRUE(seq_lt(1, 2));
+  EXPECT_FALSE(seq_lt(2, 1));
+  EXPECT_FALSE(seq_lt(2, 2));
+  EXPECT_TRUE(seq_le(2, 2));
+  EXPECT_TRUE(seq_gt(5, 3));
+  EXPECT_TRUE(seq_ge(5, 5));
+}
+
+TEST(SeqCmp, Wraparound) {
+  const std::uint32_t near_max = 0xFFFFFF00u;
+  const std::uint32_t wrapped = 0x00000100u;
+  EXPECT_TRUE(seq_lt(near_max, wrapped));   // wrapped is "after"
+  EXPECT_FALSE(seq_lt(wrapped, near_max));
+  EXPECT_EQ(seq_diff(wrapped, near_max), 0x200u);
+}
+
+// ----------------------------------------------------------- hexdump.h --
+
+TEST(Hexdump, FormatsRows) {
+  const Bytes data = to_bytes("0123456789abcdefXYZ");
+  const std::string dump = hexdump(data);
+  EXPECT_NE(dump.find("00000000"), std::string::npos);
+  EXPECT_NE(dump.find("|0123456789abcdef|"), std::string::npos);
+  EXPECT_NE(dump.find("XYZ"), std::string::npos);
+}
+
+TEST(Hexdump, TruncatesAtMax) {
+  Bytes data(1000, 0x41);
+  const std::string dump = hexdump(data, 32);
+  EXPECT_NE(dump.find("more bytes"), std::string::npos);
+}
+
+TEST(Hexdump, ToHex) {
+  EXPECT_EQ(to_hex(Bytes{0xDE, 0xAD, 0xBE, 0xEF}), "deadbeef");
+  EXPECT_EQ(to_hex({}), "");
+}
+
+// ----------------------------------------------------------- logging.h --
+
+TEST(Logging, LevelGate) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  BC_DEBUG() << "this must not be evaluated at error level";
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace bytecache::util

@@ -1,0 +1,256 @@
+// Tests for the substrate variants: Tahoe congestion control and MAXP
+// (winnowing) anchor selection.
+#include <gtest/gtest.h>
+
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "harness/experiment.h"
+#include "rabin/window.h"
+#include "tests/testutil.h"
+#include "workload/generators.h"
+
+namespace bytecache {
+namespace {
+
+using util::Bytes;
+using util::Rng;
+
+// ---------------------------------------------------------------- MAXP --
+
+TEST(Maxp, GuaranteesCoverage) {
+  // Winnowing property: at least one anchor in every run of 2p+1
+  // consecutive window positions.
+  rabin::RabinTables tables(16);
+  Rng rng(1);
+  const Bytes payload = testutil::random_bytes(rng, 4000);
+  const std::size_t p = 31;
+  const auto anchors = rabin::selected_anchors_maxp(tables, payload, p);
+  ASSERT_FALSE(anchors.empty());
+  std::size_t prev = 0;
+  for (const auto& a : anchors) {
+    ASSERT_LE(a.offset - prev, p) << "gap before " << a.offset;
+    prev = a.offset;
+  }
+}
+
+TEST(Maxp, DensityApproximatesOneOverWindow) {
+  rabin::RabinTables tables(16);
+  Rng rng(2);
+  const Bytes payload = testutil::random_bytes(rng, 60'000);
+  const std::size_t p = 31;
+  const auto anchors = rabin::selected_anchors_maxp(tables, payload, p);
+  const double density =
+      static_cast<double>(anchors.size()) / (payload.size() - 16 + 1);
+  EXPECT_NEAR(density, 2.0 / (p + 1), 0.02);
+}
+
+TEST(Maxp, ContentDefined) {
+  // The same content selects the same anchors regardless of position.
+  rabin::RabinTables tables(16);
+  Rng rng(3);
+  const Bytes chunk = testutil::random_bytes(rng, 1000);
+  Bytes shifted = testutil::random_bytes(rng, 333);
+  util::append(shifted, chunk);
+  const auto a1 = rabin::selected_anchors_maxp(tables, chunk, 31);
+  const auto a2 = rabin::selected_anchors_maxp(tables, shifted, 31);
+  // Interior anchors of `chunk` (away from both boundaries) must recur at
+  // offset + 333.
+  std::size_t matched = 0, interior = 0;
+  for (const auto& a : a1) {
+    if (a.offset < 48 || a.offset + 64u > chunk.size()) continue;
+    ++interior;
+    for (const auto& b : a2) {
+      if (b.offset == a.offset + 333 && b.fp == a.fp) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(interior, 0u);
+  EXPECT_GE(matched + 2, interior);  // boundary effects allow tiny slack
+}
+
+TEST(Maxp, CodecRoundTripsWithMaxpSelection) {
+  core::DreParams params;
+  params.select_mode = core::SelectMode::kMaxp;
+  core::Encoder enc(params,
+                    core::make_policy(core::PolicyKind::kNaive, params));
+  core::Decoder dec(params);
+  Rng rng(4);
+  const Bytes object = workload::make_file1(rng, 150 * 1460);
+  std::size_t encoded = 0;
+  for (auto& pkt : testutil::segment_stream(object)) {
+    const Bytes original = pkt->payload;
+    if (enc.process(*pkt).encoded) ++encoded;
+    ASSERT_FALSE(core::is_drop(dec.process(*pkt).status));
+    ASSERT_EQ(pkt->payload, original);
+  }
+  EXPECT_GT(encoded, 100u);
+}
+
+TEST(Maxp, AnchorsRunsOfIdenticalBytes) {
+  // The value-sampling pathology MAXP fixes: a long run of one byte has a
+  // single fingerprint value that value sampling anchors either
+  // everywhere-eligible or nowhere; winnowing's per-window maximum (ties
+  // to the right) anchors it regardless, so runs stay compressible.
+  core::DreParams params;
+  params.select_mode = core::SelectMode::kMaxp;
+  core::Encoder enc(params,
+                    core::make_policy(core::PolicyKind::kNaive, params));
+  core::Decoder dec(params);
+  Rng rng(5);
+  Bytes payload = testutil::random_bytes(rng, 200);
+  util::append(payload, Bytes(800, ' '));  // long space run
+  util::append(payload, testutil::random_bytes(rng, 200));
+
+  auto p1 = testutil::make_udp_packet(payload);
+  enc.process(*p1);
+  dec.process(*p1);
+  auto p2 = testutil::make_udp_packet(payload);
+  const Bytes original = p2->payload;
+  const auto info = enc.process(*p2);
+  EXPECT_TRUE(info.encoded);
+  // The repeat must be nearly fully eliminated, run included.
+  EXPECT_LT(info.sent_size, 200u);
+  ASSERT_EQ(dec.process(*p2).status, core::DecodeStatus::kDecoded);
+  EXPECT_EQ(p2->payload, original);
+}
+
+TEST(Maxp, EndToEndTransferUnderLoss) {
+  Rng rng(6);
+  const Bytes file = workload::make_file1(rng, 150'000);
+  harness::ExperimentConfig cfg;
+  cfg.policy = core::PolicyKind::kCacheFlush;
+  cfg.dre.select_mode = core::SelectMode::kMaxp;
+  cfg.loss_rate = 0.03;
+  auto r = harness::run_trial(cfg, file, 7);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+  EXPECT_LT(r.payload_bytes_out, r.payload_bytes_in);
+}
+
+// ---------------------------------------------------------- SAMPLEBYTE --
+
+TEST(SampleByte, DeterministicAndContentDefined) {
+  rabin::RabinTables tables(16);
+  Rng rng(20);
+  const Bytes chunk = testutil::random_bytes(rng, 1000);
+  const auto a1 = rabin::selected_anchors_samplebyte(tables, chunk, 16, 8);
+  const auto a2 = rabin::selected_anchors_samplebyte(tables, chunk, 16, 8);
+  ASSERT_FALSE(a1.empty());
+  ASSERT_EQ(a1.size(), a2.size());
+  for (std::size_t i = 0; i < a1.size(); ++i) {
+    EXPECT_EQ(a1[i].offset, a2[i].offset);
+    EXPECT_EQ(a1[i].fp, a2[i].fp);
+  }
+}
+
+TEST(SampleByte, DensityNearOneOverPeriod) {
+  rabin::RabinTables tables(16);
+  Rng rng(21);
+  const Bytes payload = testutil::random_bytes(rng, 60'000);
+  const auto anchors =
+      rabin::selected_anchors_samplebyte(tables, payload, 16, 1);
+  const double density =
+      static_cast<double>(anchors.size()) / payload.size();
+  EXPECT_NEAR(density, 1.0 / 16, 0.02);
+}
+
+TEST(SampleByte, SkipEnforcesSpacing) {
+  rabin::RabinTables tables(16);
+  Rng rng(22);
+  const Bytes payload = testutil::random_bytes(rng, 10'000);
+  const auto anchors =
+      rabin::selected_anchors_samplebyte(tables, payload, 4, 32);
+  for (std::size_t i = 1; i < anchors.size(); ++i) {
+    EXPECT_GE(anchors[i].offset - anchors[i - 1].offset, 32);
+  }
+}
+
+TEST(SampleByte, CodecRoundTripsWithSampleByteSelection) {
+  core::DreParams params;
+  params.select_mode = core::SelectMode::kSampleByte;
+  core::Encoder enc(params,
+                    core::make_policy(core::PolicyKind::kNaive, params));
+  core::Decoder dec(params);
+  Rng rng(23);
+  const Bytes object = workload::make_file1(rng, 150 * 1460);
+  std::size_t encoded = 0;
+  for (auto& pkt : testutil::segment_stream(object)) {
+    const Bytes original = pkt->payload;
+    if (enc.process(*pkt).encoded) ++encoded;
+    ASSERT_FALSE(core::is_drop(dec.process(*pkt).status));
+    ASSERT_EQ(pkt->payload, original);
+  }
+  EXPECT_GT(encoded, 80u);  // less coverage than MODP/MAXP, still working
+}
+
+TEST(SampleByte, EndToEndUnderLoss) {
+  Rng rng(24);
+  const Bytes file = workload::make_file1(rng, 150'000);
+  harness::ExperimentConfig cfg;
+  cfg.policy = core::PolicyKind::kCacheFlush;
+  cfg.dre.select_mode = core::SelectMode::kSampleByte;
+  cfg.loss_rate = 0.03;
+  auto r = harness::run_trial(cfg, file, 25);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+  EXPECT_LT(r.payload_bytes_out, r.payload_bytes_in);
+}
+
+// --------------------------------------------------------------- Tahoe --
+
+TEST(Tahoe, CompletesUnderLoss) {
+  Rng rng(7);
+  const Bytes file = workload::make_file1(rng, 200'000);
+  harness::ExperimentConfig cfg;
+  cfg.policy = core::PolicyKind::kNone;
+  cfg.tcp.algo = tcp::CongestionAlgo::kTahoe;
+  cfg.loss_rate = 0.03;
+  auto r = harness::run_trial(cfg, file, 8);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.tcp_fast_retransmits, 0u);
+}
+
+TEST(Tahoe, SlowerThanNewRenoUnderLoss) {
+  // Tahoe restarts from one segment on every loss event; NewReno's fast
+  // recovery keeps the pipe half full.
+  Rng rng(8);
+  const Bytes file = workload::make_file1(rng, 300'000);
+  harness::ExperimentConfig newreno;
+  newreno.policy = core::PolicyKind::kNone;
+  newreno.loss_rate = 0.03;
+  newreno.trials = 5;
+  harness::ExperimentConfig tahoe = newreno;
+  tahoe.tcp.algo = tcp::CongestionAlgo::kTahoe;
+  auto a = harness::run_experiment(newreno, file);
+  auto b = harness::run_experiment(tahoe, file);
+  EXPECT_GT(b.duration_s.mean(), a.duration_s.mean());
+}
+
+TEST(Tahoe, EqualOnCleanLink) {
+  Rng rng(9);
+  const Bytes file = workload::make_file1(rng, 150'000);
+  harness::ExperimentConfig cfg;
+  cfg.policy = core::PolicyKind::kNone;
+  auto reno = harness::run_trial(cfg, file, 3);
+  cfg.tcp.algo = tcp::CongestionAlgo::kTahoe;
+  auto tahoe = harness::run_trial(cfg, file, 3);
+  EXPECT_DOUBLE_EQ(reno.duration_s, tahoe.duration_s);  // no loss, no diff
+}
+
+TEST(Tahoe, DreStillWorksOnTopOfIt) {
+  Rng rng(10);
+  const Bytes file = workload::make_file1(rng, 150'000);
+  harness::ExperimentConfig cfg;
+  cfg.policy = core::PolicyKind::kCacheFlush;
+  cfg.tcp.algo = tcp::CongestionAlgo::kTahoe;
+  cfg.loss_rate = 0.05;
+  auto r = harness::run_trial(cfg, file, 11);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+}
+
+}  // namespace
+}  // namespace bytecache

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/region.h"
+#include "core/wire.h"
+#include "util/rng.h"
+
+namespace bytecache::core {
+namespace {
+
+using util::Bytes;
+
+EncodedPayload sample_payload() {
+  EncodedPayload p;
+  p.orig_proto = 6;
+  p.flags = kFlagFlushEpoch;
+  p.epoch = 3;
+  p.orig_len = 100;
+  p.crc = 0xCAFEBABE;
+  p.regions.push_back(EncodedRegion{0x1122334455667788ull, 10, 20, 30});
+  p.regions.push_back(EncodedRegion{0x99AABBCCDDEEFF00ull, 60, 0, 40});
+  p.literals = Bytes(30, 'L');  // 100 - 30 - 40
+  return p;
+}
+
+TEST(Wire, RegionWireBytesIsFourteen) {
+  // The paper's encoding-field size, and the reason for the len > 14 rule.
+  EXPECT_EQ(EncodedRegion::kWireBytes, 14u);
+}
+
+TEST(Wire, ShimIsTwelveBytes) { EXPECT_EQ(kShimBytes, 12u); }
+
+TEST(Wire, SerializeParseRoundTrip) {
+  const EncodedPayload p = sample_payload();
+  const Bytes wire = p.serialize();
+  EXPECT_EQ(wire.size(), p.wire_size());
+  EXPECT_EQ(wire.size(), 12 + 2 * 14 + 30u);
+
+  auto q = EncodedPayload::parse(wire);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->orig_proto, p.orig_proto);
+  EXPECT_EQ(q->flags, p.flags);
+  EXPECT_EQ(q->epoch, p.epoch);
+  EXPECT_EQ(q->orig_len, p.orig_len);
+  EXPECT_EQ(q->crc, p.crc);
+  ASSERT_EQ(q->regions.size(), 2u);
+  EXPECT_EQ(q->regions[0], p.regions[0]);
+  EXPECT_EQ(q->regions[1], p.regions[1]);
+  EXPECT_EQ(q->literals, p.literals);
+}
+
+TEST(Wire, ParseRejectsBadMagic) {
+  Bytes wire = sample_payload().serialize();
+  wire[0] = 0x00;
+  EXPECT_FALSE(EncodedPayload::parse(wire).has_value());
+}
+
+TEST(Wire, ParseRejectsTruncatedShim) {
+  Bytes wire = sample_payload().serialize();
+  wire.resize(8);
+  EXPECT_FALSE(EncodedPayload::parse(wire).has_value());
+}
+
+TEST(Wire, ParseRejectsTruncatedRegions) {
+  Bytes wire = sample_payload().serialize();
+  wire.resize(kShimBytes + 14);  // second region missing
+  EXPECT_FALSE(EncodedPayload::parse(wire).has_value());
+}
+
+TEST(Wire, ParseRejectsLiteralCountMismatch) {
+  EncodedPayload p = sample_payload();
+  p.literals.push_back('X');  // one literal too many
+  EXPECT_FALSE(EncodedPayload::parse(p.serialize()).has_value());
+  p.literals.resize(28);  // one too few
+  EXPECT_FALSE(EncodedPayload::parse(p.serialize()).has_value());
+}
+
+TEST(Wire, ParseRejectsOverlappingRegions) {
+  EncodedPayload p = sample_payload();
+  p.regions[1].offset_new = 35;  // overlaps [10,40)
+  EXPECT_FALSE(EncodedPayload::parse(p.serialize()).has_value());
+}
+
+TEST(Wire, ParseRejectsOutOfOrderRegions) {
+  EncodedPayload p = sample_payload();
+  std::swap(p.regions[0], p.regions[1]);
+  EXPECT_FALSE(EncodedPayload::parse(p.serialize()).has_value());
+}
+
+TEST(Wire, ParseRejectsRegionBeyondOriginal) {
+  EncodedPayload p = sample_payload();
+  p.regions[1].length = 50;  // 60 + 50 > 100
+  p.literals.resize(100 - 30 - 50);  // keep literal count consistent
+  EXPECT_FALSE(EncodedPayload::parse(p.serialize()).has_value());
+}
+
+TEST(Wire, ParseRejectsZeroLengthRegion) {
+  EncodedPayload p = sample_payload();
+  p.regions[0].length = 0;
+  p.literals.resize(100 - 0 - 40);
+  EXPECT_FALSE(EncodedPayload::parse(p.serialize()).has_value());
+}
+
+TEST(Wire, NoRegionsAllLiterals) {
+  EncodedPayload p;
+  p.orig_proto = 17;
+  p.orig_len = 5;
+  p.literals = util::to_bytes("hello");
+  auto q = EncodedPayload::parse(p.serialize());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_TRUE(q->regions.empty());
+  EXPECT_EQ(q->literals, p.literals);
+}
+
+TEST(Wire, FuzzParseNeverCrashes) {
+  util::Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    Bytes junk(rng.uniform(0, 200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    if (!junk.empty() && rng.chance(0.5)) junk[0] = kShimMagic;
+    (void)EncodedPayload::parse(junk);  // must not crash or UB
+  }
+}
+
+TEST(Wire, FuzzMutatedValidPayloadsParseOrReject) {
+  util::Rng rng(100);
+  const Bytes wire = sample_payload().serialize();
+  for (int i = 0; i < 2000; ++i) {
+    Bytes mutated = wire;
+    const std::size_t pos = rng.uniform(0, mutated.size() - 1);
+    mutated[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    auto q = EncodedPayload::parse(mutated);  // either outcome is fine
+    if (q.has_value()) {
+      // Structural invariants must hold even for accepted mutants.
+      std::size_t covered = 0;
+      for (const auto& r : q->regions) covered += r.length;
+      EXPECT_EQ(covered + q->literals.size(), q->orig_len);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bytecache::core

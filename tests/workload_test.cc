@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/analyzer.h"
+#include "workload/generators.h"
+#include "workload/text.h"
+
+namespace bytecache::workload {
+namespace {
+
+using util::Bytes;
+using util::Rng;
+
+// ----------------------------------------------------------------- text --
+
+TEST(Text, SentencesVary) {
+  Rng rng(1);
+  std::set<std::string> sentences;
+  for (int i = 0; i < 200; ++i) sentences.insert(make_sentence(rng));
+  EXPECT_GT(sentences.size(), 195u);
+}
+
+TEST(Text, SentenceShape) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const std::string s = make_sentence(rng);
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(s.front())));
+    EXPECT_NE(s.find(". "), std::string::npos);
+  }
+}
+
+TEST(Text, RandomTextIsPrintableAndIncompressible) {
+  Rng rng(3);
+  const Bytes t = random_text(rng, 10000);
+  EXPECT_EQ(t.size(), 10000u);
+  for (std::uint8_t c : t) {
+    EXPECT_TRUE(std::isprint(c)) << static_cast<int>(c);
+  }
+  const auto rep = avg_dependencies(t);
+  EXPECT_LT(rep.percent_saved, 1.0);
+}
+
+// ----------------------------------------------------------- generators --
+
+TEST(Generators, SizesExact) {
+  Rng rng(4);
+  EXPECT_EQ(make_ebook(rng, {.size = 50'000}).size(), 50'000u);
+  EXPECT_EQ(make_video(rng, 12'345).size(), 12'345u);
+  EXPECT_EQ(make_file1(rng, 100'000).size(), 100'000u);
+  EXPECT_EQ(make_file2(rng, 100'000).size(), 100'000u);
+}
+
+TEST(Generators, Deterministic) {
+  Rng a(5), b(5);
+  EXPECT_EQ(make_file1(a, 50'000), make_file1(b, 50'000));
+  Rng c(6);
+  EXPECT_NE(make_file1(c, 50'000), make_file1(c, 50'000));  // stream advances
+}
+
+TEST(Generators, VideoIsNearlyIncompressible) {
+  Rng rng(7);
+  const Bytes video = make_video(rng, 300 * 1460);
+  const auto rep = redundancy_percent(video, 1000);
+  // Table I's video band: 0.009%–1% (sparse container headers only).
+  EXPECT_LT(rep.percent_saved, 1.0);
+}
+
+TEST(Generators, EbookRedundancyInTableOneBand) {
+  Rng rng(8);
+  const EbookParams params{.size = 587'567};
+  const Bytes ebook = make_ebook(rng, params);
+  // Table I ebook row: 0.3% (k=10) to 1% (k=1000); allow a loose band.
+  const auto rep10 = redundancy_percent(ebook, 10);
+  const auto rep1000 = redundancy_percent(ebook, 1000);
+  EXPECT_LT(rep10.percent_saved, 6.0);
+  EXPECT_GT(rep1000.percent_saved, 0.05);
+  EXPECT_GE(rep1000.percent_saved, rep10.percent_saved);  // monotone in k
+}
+
+TEST(Generators, WebPageHighRedundancy) {
+  Rng rng(9);
+  const Bytes page = make_web_page(rng, {});
+  const auto rep = redundancy_percent(page, 1000);
+  // Table I web-page row: 19%–52%.
+  EXPECT_GT(rep.percent_saved, 15.0);
+  EXPECT_LT(rep.percent_saved, 60.0);
+}
+
+TEST(Generators, WebPagesOfSameSiteShareBoilerplate) {
+  Rng rng(10);
+  WebPageParams params;
+  const Bytes a = make_web_page(rng, params);
+  const Bytes b = make_web_page(rng, params);
+  ASSERT_NE(a, b);  // content differs
+  // But they share a long common prefix (head/CSS boilerplate).
+  std::size_t common = 0;
+  while (common < std::min(a.size(), b.size()) && a[common] == b[common]) {
+    ++common;
+  }
+  EXPECT_GT(common, 1000u);
+}
+
+TEST(Generators, File1HasAboutFourDependencies) {
+  Rng rng(11);
+  const Bytes f = make_file1(rng, 400 * 1460);
+  const auto rep = avg_dependencies(f);
+  EXPECT_NEAR(rep.avg_distinct_deps, 4.0, 1.0);
+  EXPECT_GT(rep.percent_saved, 35.0);
+}
+
+TEST(Generators, File2HasAboutSevenDependencies) {
+  Rng rng(12);
+  const Bytes f = make_file2(rng, 400 * 1460);
+  const auto rep = avg_dependencies(f);
+  EXPECT_NEAR(rep.avg_distinct_deps, 7.0, 1.5);
+  EXPECT_GT(rep.percent_saved, 35.0);
+}
+
+TEST(Generators, File2SpreadsDependenciesWiderThanFile1) {
+  Rng rng(13);
+  const auto r1 = avg_dependencies(make_file1(rng, 300 * 1460));
+  const auto r2 = avg_dependencies(make_file2(rng, 300 * 1460));
+  EXPECT_GT(r2.avg_distinct_deps, r1.avg_distinct_deps + 1.5);
+}
+
+TEST(Generators, DepFileCustomParameters) {
+  Rng rng(14);
+  DepFileParams p;
+  p.size = 200 * 1460;
+  p.near_chunks = 2;
+  p.far_chunks = 0;
+  p.chunk_len = 300;
+  p.near_window_units = 4;
+  const Bytes f = make_dep_file(rng, p);
+  const auto rep = avg_dependencies(f);
+  EXPECT_NEAR(rep.avg_distinct_deps, 2.0, 0.8);
+}
+
+// ------------------------------------------------------------ analyzer --
+
+TEST(Analyzer, RedundancyGrowsWithCacheWindow) {
+  Rng rng(15);
+  // Redundancy referencing ~50 packets back: invisible at k=10.
+  DepFileParams p;
+  p.size = 300 * 1460;
+  p.near_chunks = 0;
+  p.far_chunks = 3;
+  p.chunk_len = 200;
+  p.far_window_units = 50;
+  const Bytes f = make_dep_file(rng, p);
+  const auto rep_small = redundancy_percent(f, 5);
+  const auto rep_large = redundancy_percent(f, 1000);
+  EXPECT_LT(rep_small.percent_saved, rep_large.percent_saved);
+  EXPECT_GT(rep_large.percent_saved, 25.0);
+}
+
+TEST(Analyzer, EmptyObject) {
+  const auto rep = redundancy_percent({}, 100);
+  EXPECT_EQ(rep.percent_saved, 0.0);
+  const auto dep = avg_dependencies({});
+  EXPECT_EQ(dep.avg_distinct_deps, 0.0);
+}
+
+TEST(Analyzer, FullyDuplicatedObject) {
+  Rng rng(16);
+  const Bytes chunk = random_text(rng, 1460);
+  Bytes object;
+  for (int i = 0; i < 50; ++i) util::append(object, chunk);
+  const auto rep = redundancy_percent(object, 1000);
+  EXPECT_GT(rep.percent_saved, 80.0);  // everything after packet 1 repeats
+}
+
+}  // namespace
+}  // namespace bytecache::workload
