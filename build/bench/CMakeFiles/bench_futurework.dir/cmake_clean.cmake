@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_futurework.dir/bench_futurework.cc.o"
+  "CMakeFiles/bench_futurework.dir/bench_futurework.cc.o.d"
+  "bench_futurework"
+  "bench_futurework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_insight.dir/bench_insight.cc.o"
+  "CMakeFiles/bench_insight.dir/bench_insight.cc.o.d"
+  "bench_insight"
+  "bench_insight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

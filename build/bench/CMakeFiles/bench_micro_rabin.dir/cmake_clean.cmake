@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_rabin.dir/bench_micro_rabin.cc.o"
+  "CMakeFiles/bench_micro_rabin.dir/bench_micro_rabin.cc.o.d"
+  "bench_micro_rabin"
+  "bench_micro_rabin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_rabin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiflow.dir/bench_multiflow.cc.o"
+  "CMakeFiles/bench_multiflow.dir/bench_multiflow.cc.o.d"
+  "bench_multiflow"
+  "bench_multiflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

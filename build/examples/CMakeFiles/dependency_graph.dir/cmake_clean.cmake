@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_graph.dir/dependency_graph.cpp.o"
+  "CMakeFiles/dependency_graph.dir/dependency_graph.cpp.o.d"
+  "dependency_graph"
+  "dependency_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_fetch.dir/http_fetch.cpp.o"
+  "CMakeFiles/http_fetch.dir/http_fetch.cpp.o.d"
+  "http_fetch"
+  "http_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_streaming.dir/udp_streaming.cpp.o"
+  "CMakeFiles/udp_streaming.dir/udp_streaming.cpp.o.d"
+  "udp_streaming"
+  "udp_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

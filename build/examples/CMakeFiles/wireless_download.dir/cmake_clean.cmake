@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_download.dir/wireless_download.cpp.o"
+  "CMakeFiles/wireless_download.dir/wireless_download.cpp.o.d"
+  "wireless_download"
+  "wireless_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

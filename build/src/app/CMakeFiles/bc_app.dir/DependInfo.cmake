@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/file_transfer.cc" "src/app/CMakeFiles/bc_app.dir/file_transfer.cc.o" "gcc" "src/app/CMakeFiles/bc_app.dir/file_transfer.cc.o.d"
+  "/root/repo/src/app/http.cc" "src/app/CMakeFiles/bc_app.dir/http.cc.o" "gcc" "src/app/CMakeFiles/bc_app.dir/http.cc.o.d"
+  "/root/repo/src/app/http_session.cc" "src/app/CMakeFiles/bc_app.dir/http_session.cc.o" "gcc" "src/app/CMakeFiles/bc_app.dir/http_session.cc.o.d"
+  "/root/repo/src/app/udp_stream.cc" "src/app/CMakeFiles/bc_app.dir/udp_stream.cc.o" "gcc" "src/app/CMakeFiles/bc_app.dir/udp_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gateway/CMakeFiles/bc_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/bc_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/bc_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/rabin/CMakeFiles/bc_rabin.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_app.dir/file_transfer.cc.o"
+  "CMakeFiles/bc_app.dir/file_transfer.cc.o.d"
+  "CMakeFiles/bc_app.dir/http.cc.o"
+  "CMakeFiles/bc_app.dir/http.cc.o.d"
+  "CMakeFiles/bc_app.dir/http_session.cc.o"
+  "CMakeFiles/bc_app.dir/http_session.cc.o.d"
+  "CMakeFiles/bc_app.dir/udp_stream.cc.o"
+  "CMakeFiles/bc_app.dir/udp_stream.cc.o.d"
+  "libbc_app.a"
+  "libbc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

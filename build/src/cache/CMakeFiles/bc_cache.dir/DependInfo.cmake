@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/byte_cache.cc" "src/cache/CMakeFiles/bc_cache.dir/byte_cache.cc.o" "gcc" "src/cache/CMakeFiles/bc_cache.dir/byte_cache.cc.o.d"
+  "/root/repo/src/cache/fingerprint_table.cc" "src/cache/CMakeFiles/bc_cache.dir/fingerprint_table.cc.o" "gcc" "src/cache/CMakeFiles/bc_cache.dir/fingerprint_table.cc.o.d"
+  "/root/repo/src/cache/packet_store.cc" "src/cache/CMakeFiles/bc_cache.dir/packet_store.cc.o" "gcc" "src/cache/CMakeFiles/bc_cache.dir/packet_store.cc.o.d"
+  "/root/repo/src/cache/persist.cc" "src/cache/CMakeFiles/bc_cache.dir/persist.cc.o" "gcc" "src/cache/CMakeFiles/bc_cache.dir/persist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rabin/CMakeFiles/bc_rabin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

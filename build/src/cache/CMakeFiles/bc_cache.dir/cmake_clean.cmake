@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_cache.dir/byte_cache.cc.o"
+  "CMakeFiles/bc_cache.dir/byte_cache.cc.o.d"
+  "CMakeFiles/bc_cache.dir/fingerprint_table.cc.o"
+  "CMakeFiles/bc_cache.dir/fingerprint_table.cc.o.d"
+  "CMakeFiles/bc_cache.dir/packet_store.cc.o"
+  "CMakeFiles/bc_cache.dir/packet_store.cc.o.d"
+  "CMakeFiles/bc_cache.dir/persist.cc.o"
+  "CMakeFiles/bc_cache.dir/persist.cc.o.d"
+  "libbc_cache.a"
+  "libbc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/control.cc" "src/core/CMakeFiles/bc_core.dir/control.cc.o" "gcc" "src/core/CMakeFiles/bc_core.dir/control.cc.o.d"
+  "/root/repo/src/core/decoder.cc" "src/core/CMakeFiles/bc_core.dir/decoder.cc.o" "gcc" "src/core/CMakeFiles/bc_core.dir/decoder.cc.o.d"
+  "/root/repo/src/core/encoder.cc" "src/core/CMakeFiles/bc_core.dir/encoder.cc.o" "gcc" "src/core/CMakeFiles/bc_core.dir/encoder.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/core/CMakeFiles/bc_core.dir/factory.cc.o" "gcc" "src/core/CMakeFiles/bc_core.dir/factory.cc.o.d"
+  "/root/repo/src/core/matcher.cc" "src/core/CMakeFiles/bc_core.dir/matcher.cc.o" "gcc" "src/core/CMakeFiles/bc_core.dir/matcher.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/bc_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/bc_core.dir/policies.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/core/CMakeFiles/bc_core.dir/wire.cc.o" "gcc" "src/core/CMakeFiles/bc_core.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rabin/CMakeFiles/bc_rabin.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/bc_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bc_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_core.dir/control.cc.o"
+  "CMakeFiles/bc_core.dir/control.cc.o.d"
+  "CMakeFiles/bc_core.dir/decoder.cc.o"
+  "CMakeFiles/bc_core.dir/decoder.cc.o.d"
+  "CMakeFiles/bc_core.dir/encoder.cc.o"
+  "CMakeFiles/bc_core.dir/encoder.cc.o.d"
+  "CMakeFiles/bc_core.dir/factory.cc.o"
+  "CMakeFiles/bc_core.dir/factory.cc.o.d"
+  "CMakeFiles/bc_core.dir/matcher.cc.o"
+  "CMakeFiles/bc_core.dir/matcher.cc.o.d"
+  "CMakeFiles/bc_core.dir/policies.cc.o"
+  "CMakeFiles/bc_core.dir/policies.cc.o.d"
+  "CMakeFiles/bc_core.dir/wire.cc.o"
+  "CMakeFiles/bc_core.dir/wire.cc.o.d"
+  "libbc_core.a"
+  "libbc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_gateway.dir/gateways.cc.o"
+  "CMakeFiles/bc_gateway.dir/gateways.cc.o.d"
+  "CMakeFiles/bc_gateway.dir/multi_pipeline.cc.o"
+  "CMakeFiles/bc_gateway.dir/multi_pipeline.cc.o.d"
+  "CMakeFiles/bc_gateway.dir/pipeline.cc.o"
+  "CMakeFiles/bc_gateway.dir/pipeline.cc.o.d"
+  "libbc_gateway.a"
+  "libbc_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

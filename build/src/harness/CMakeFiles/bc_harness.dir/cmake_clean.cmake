@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_harness.dir/experiment.cc.o"
+  "CMakeFiles/bc_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/bc_harness.dir/table.cc.o"
+  "CMakeFiles/bc_harness.dir/table.cc.o.d"
+  "libbc_harness.a"
+  "libbc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/checksum.cc" "src/packet/CMakeFiles/bc_packet.dir/checksum.cc.o" "gcc" "src/packet/CMakeFiles/bc_packet.dir/checksum.cc.o.d"
+  "/root/repo/src/packet/ipv4.cc" "src/packet/CMakeFiles/bc_packet.dir/ipv4.cc.o" "gcc" "src/packet/CMakeFiles/bc_packet.dir/ipv4.cc.o.d"
+  "/root/repo/src/packet/packet.cc" "src/packet/CMakeFiles/bc_packet.dir/packet.cc.o" "gcc" "src/packet/CMakeFiles/bc_packet.dir/packet.cc.o.d"
+  "/root/repo/src/packet/tcp.cc" "src/packet/CMakeFiles/bc_packet.dir/tcp.cc.o" "gcc" "src/packet/CMakeFiles/bc_packet.dir/tcp.cc.o.d"
+  "/root/repo/src/packet/udp.cc" "src/packet/CMakeFiles/bc_packet.dir/udp.cc.o" "gcc" "src/packet/CMakeFiles/bc_packet.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_packet.dir/checksum.cc.o"
+  "CMakeFiles/bc_packet.dir/checksum.cc.o.d"
+  "CMakeFiles/bc_packet.dir/ipv4.cc.o"
+  "CMakeFiles/bc_packet.dir/ipv4.cc.o.d"
+  "CMakeFiles/bc_packet.dir/packet.cc.o"
+  "CMakeFiles/bc_packet.dir/packet.cc.o.d"
+  "CMakeFiles/bc_packet.dir/tcp.cc.o"
+  "CMakeFiles/bc_packet.dir/tcp.cc.o.d"
+  "CMakeFiles/bc_packet.dir/udp.cc.o"
+  "CMakeFiles/bc_packet.dir/udp.cc.o.d"
+  "libbc_packet.a"
+  "libbc_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rabin/polynomial.cc" "src/rabin/CMakeFiles/bc_rabin.dir/polynomial.cc.o" "gcc" "src/rabin/CMakeFiles/bc_rabin.dir/polynomial.cc.o.d"
+  "/root/repo/src/rabin/rabin.cc" "src/rabin/CMakeFiles/bc_rabin.dir/rabin.cc.o" "gcc" "src/rabin/CMakeFiles/bc_rabin.dir/rabin.cc.o.d"
+  "/root/repo/src/rabin/window.cc" "src/rabin/CMakeFiles/bc_rabin.dir/window.cc.o" "gcc" "src/rabin/CMakeFiles/bc_rabin.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_rabin.dir/polynomial.cc.o"
+  "CMakeFiles/bc_rabin.dir/polynomial.cc.o.d"
+  "CMakeFiles/bc_rabin.dir/rabin.cc.o"
+  "CMakeFiles/bc_rabin.dir/rabin.cc.o.d"
+  "CMakeFiles/bc_rabin.dir/window.cc.o"
+  "CMakeFiles/bc_rabin.dir/window.cc.o.d"
+  "libbc_rabin.a"
+  "libbc_rabin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_rabin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

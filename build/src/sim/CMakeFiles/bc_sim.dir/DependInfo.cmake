@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/link.cc" "src/sim/CMakeFiles/bc_sim.dir/link.cc.o" "gcc" "src/sim/CMakeFiles/bc_sim.dir/link.cc.o.d"
+  "/root/repo/src/sim/loss_model.cc" "src/sim/CMakeFiles/bc_sim.dir/loss_model.cc.o" "gcc" "src/sim/CMakeFiles/bc_sim.dir/loss_model.cc.o.d"
+  "/root/repo/src/sim/pcap.cc" "src/sim/CMakeFiles/bc_sim.dir/pcap.cc.o" "gcc" "src/sim/CMakeFiles/bc_sim.dir/pcap.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/bc_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/bc_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/bc_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/bc_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/bc_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

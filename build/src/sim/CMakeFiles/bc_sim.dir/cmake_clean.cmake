@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_sim.dir/link.cc.o"
+  "CMakeFiles/bc_sim.dir/link.cc.o.d"
+  "CMakeFiles/bc_sim.dir/loss_model.cc.o"
+  "CMakeFiles/bc_sim.dir/loss_model.cc.o.d"
+  "CMakeFiles/bc_sim.dir/pcap.cc.o"
+  "CMakeFiles/bc_sim.dir/pcap.cc.o.d"
+  "CMakeFiles/bc_sim.dir/simulator.cc.o"
+  "CMakeFiles/bc_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/bc_sim.dir/trace.cc.o"
+  "CMakeFiles/bc_sim.dir/trace.cc.o.d"
+  "libbc_sim.a"
+  "libbc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/congestion.cc" "src/tcp/CMakeFiles/bc_tcp.dir/congestion.cc.o" "gcc" "src/tcp/CMakeFiles/bc_tcp.dir/congestion.cc.o.d"
+  "/root/repo/src/tcp/receiver.cc" "src/tcp/CMakeFiles/bc_tcp.dir/receiver.cc.o" "gcc" "src/tcp/CMakeFiles/bc_tcp.dir/receiver.cc.o.d"
+  "/root/repo/src/tcp/rto.cc" "src/tcp/CMakeFiles/bc_tcp.dir/rto.cc.o" "gcc" "src/tcp/CMakeFiles/bc_tcp.dir/rto.cc.o.d"
+  "/root/repo/src/tcp/sender.cc" "src/tcp/CMakeFiles/bc_tcp.dir/sender.cc.o" "gcc" "src/tcp/CMakeFiles/bc_tcp.dir/sender.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/bc_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

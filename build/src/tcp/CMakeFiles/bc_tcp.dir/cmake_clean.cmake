@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_tcp.dir/congestion.cc.o"
+  "CMakeFiles/bc_tcp.dir/congestion.cc.o.d"
+  "CMakeFiles/bc_tcp.dir/receiver.cc.o"
+  "CMakeFiles/bc_tcp.dir/receiver.cc.o.d"
+  "CMakeFiles/bc_tcp.dir/rto.cc.o"
+  "CMakeFiles/bc_tcp.dir/rto.cc.o.d"
+  "CMakeFiles/bc_tcp.dir/sender.cc.o"
+  "CMakeFiles/bc_tcp.dir/sender.cc.o.d"
+  "libbc_tcp.a"
+  "libbc_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

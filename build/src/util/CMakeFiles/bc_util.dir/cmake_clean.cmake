@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_util.dir/crc32.cc.o"
+  "CMakeFiles/bc_util.dir/crc32.cc.o.d"
+  "CMakeFiles/bc_util.dir/hexdump.cc.o"
+  "CMakeFiles/bc_util.dir/hexdump.cc.o.d"
+  "CMakeFiles/bc_util.dir/logging.cc.o"
+  "CMakeFiles/bc_util.dir/logging.cc.o.d"
+  "CMakeFiles/bc_util.dir/rng.cc.o"
+  "CMakeFiles/bc_util.dir/rng.cc.o.d"
+  "libbc_util.a"
+  "libbc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

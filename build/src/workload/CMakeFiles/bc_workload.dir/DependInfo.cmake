@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/analyzer.cc" "src/workload/CMakeFiles/bc_workload.dir/analyzer.cc.o" "gcc" "src/workload/CMakeFiles/bc_workload.dir/analyzer.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/workload/CMakeFiles/bc_workload.dir/generators.cc.o" "gcc" "src/workload/CMakeFiles/bc_workload.dir/generators.cc.o.d"
+  "/root/repo/src/workload/text.cc" "src/workload/CMakeFiles/bc_workload.dir/text.cc.o" "gcc" "src/workload/CMakeFiles/bc_workload.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/bc_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/rabin/CMakeFiles/bc_rabin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_workload.dir/analyzer.cc.o"
+  "CMakeFiles/bc_workload.dir/analyzer.cc.o.d"
+  "CMakeFiles/bc_workload.dir/generators.cc.o"
+  "CMakeFiles/bc_workload.dir/generators.cc.o.d"
+  "CMakeFiles/bc_workload.dir/text.cc.o"
+  "CMakeFiles/bc_workload.dir/text.cc.o.d"
+  "libbc_workload.a"
+  "libbc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

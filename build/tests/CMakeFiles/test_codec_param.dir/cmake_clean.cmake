@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_param.dir/codec_param_test.cc.o"
+  "CMakeFiles/test_codec_param.dir/codec_param_test.cc.o.d"
+  "test_codec_param"
+  "test_codec_param.pdb"
+  "test_codec_param[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/decoder_robustness_test.cc" "tests/CMakeFiles/test_decoder_robustness.dir/decoder_robustness_test.cc.o" "gcc" "tests/CMakeFiles/test_decoder_robustness.dir/decoder_robustness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/bc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/bc_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/bc_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/rabin/CMakeFiles/bc_rabin.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/bc_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

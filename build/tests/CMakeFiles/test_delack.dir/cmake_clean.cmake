@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delack.dir/delack_test.cc.o"
+  "CMakeFiles/test_delack.dir/delack_test.cc.o.d"
+  "test_delack"
+  "test_delack.pdb"
+  "test_delack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

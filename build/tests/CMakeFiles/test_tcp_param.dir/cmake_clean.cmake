@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_param.dir/tcp_param_test.cc.o"
+  "CMakeFiles/test_tcp_param.dir/tcp_param_test.cc.o.d"
+  "test_tcp_param"
+  "test_tcp_param.pdb"
+  "test_tcp_param[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
