@@ -1,5 +1,7 @@
 #include "cache/byte_cache.h"
 
+#include "util/check.h"
+
 namespace bytecache::cache {
 
 ByteCache::ByteCache(std::size_t byte_budget) : store_(byte_budget) {}
@@ -38,6 +40,17 @@ bool ByteCache::invalidate(rabin::Fingerprint fp) {
   store_.erase(entry->packet_id);
   table_.erase(fp);
   return true;
+}
+
+void ByteCache::audit() const {
+  if (!util::kAuditEnabled) return;
+  store_.audit();
+  table_.audit(store_);
+  // (Snapshot restore bypasses the counters, so only intra-stat relations
+  // can be asserted here, not stats against store contents.)
+  BC_AUDIT(stats_.hits + stats_.stale_hits <= stats_.lookups)
+      << "hits " << stats_.hits << " + stale " << stats_.stale_hits
+      << " exceed lookups " << stats_.lookups;
 }
 
 void ByteCache::flush() {

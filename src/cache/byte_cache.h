@@ -59,6 +59,11 @@ class ByteCache {
   /// are lazily dropped).  Returns true if an entry existed.
   bool invalidate(rabin::Fingerprint fp);
 
+  /// Deep invariant audit (BC_AUDIT; no-op unless the build enables
+  /// audits): audits the store, audits the fingerprint table against it,
+  /// and checks the statistics counters for internal consistency.
+  void audit() const;
+
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] const PacketStore& store() const { return store_; }
   [[nodiscard]] const FingerprintTable& table() const { return table_; }

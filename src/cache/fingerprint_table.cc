@@ -1,5 +1,10 @@
 #include "cache/fingerprint_table.h"
 
+#include <ios>
+
+#include "cache/packet_store.h"
+#include "util/check.h"
+
 namespace bytecache::cache {
 
 void FingerprintTable::put(rabin::Fingerprint fp, FpEntry entry) {
@@ -13,6 +18,27 @@ std::optional<FpEntry> FingerprintTable::get(rabin::Fingerprint fp) const {
 }
 
 void FingerprintTable::erase(rabin::Fingerprint fp) { map_.erase(fp); }
+
+std::size_t FingerprintTable::audit(const PacketStore& store) const {
+  if (!util::kAuditEnabled) return 0;
+  std::size_t stale = 0;
+  for (const auto& [fp, entry] : map_) {
+    BC_AUDIT(entry.packet_id != 0 && entry.packet_id < store.next_id())
+        << "fingerprint 0x" << std::hex << fp << std::dec
+        << " references id " << entry.packet_id
+        << " the store never assigned (next_id " << store.next_id() << ")";
+    const CachedPacket* pkt = store.peek(entry.packet_id);
+    if (pkt == nullptr) {
+      ++stale;  // packet evicted since the entry was written: legal
+      continue;
+    }
+    BC_AUDIT(entry.offset < pkt->payload.size())
+        << "fingerprint 0x" << std::hex << fp << std::dec << " offset "
+        << entry.offset << " outside payload of " << pkt->payload.size()
+        << " bytes (id " << entry.packet_id << ")";
+  }
+  return stale;
+}
 
 void FingerprintTable::clear() { map_.clear(); }
 

@@ -15,6 +15,8 @@
 
 namespace bytecache::cache {
 
+class PacketStore;
+
 struct FpEntry {
   std::uint64_t packet_id = 0;  // PacketStore id
   std::uint16_t offset = 0;     // window start within the payload
@@ -33,6 +35,14 @@ class FingerprintTable {
   void erase(rabin::Fingerprint fp);
 
   void clear();
+
+  /// Deep invariant audit against the store the entries point into
+  /// (BC_AUDIT; no-op unless the build enables audits).  Every entry
+  /// either resolves — its packet id was assigned by `store`, is present,
+  /// and the recorded offset lies inside the payload — or is stale
+  /// (packet evicted), which lazy invalidation permits.  Returns the
+  /// number of stale entries so callers can bound staleness if they wish.
+  std::size_t audit(const PacketStore& store) const;
 
   [[nodiscard]] std::size_t size() const { return map_.size(); }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace bytecache::cache {
 
 PacketStore::PacketStore(std::size_t byte_budget) : byte_budget_(byte_budget) {}
@@ -55,6 +57,39 @@ void PacketStore::clear() {
   lru_.clear();
   index_.clear();
   bytes_used_ = 0;
+}
+
+void PacketStore::audit() const {
+  if (!util::kAuditEnabled) return;
+  std::size_t bytes = 0;
+  std::size_t entries = 0;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    bytes += it->payload.size();
+    ++entries;
+    BC_AUDIT(it->id != 0 && it->id < next_id_)
+        << "stored id " << it->id << " was never assigned (next_id "
+        << next_id_ << ")";
+    auto idx = index_.find(it->id);
+    BC_AUDIT(idx != index_.end())
+        << "LRU entry " << it->id << " missing from the id index";
+    if (idx != index_.end()) {
+      BC_AUDIT(idx->second == it)
+          << "index iterator for id " << it->id
+          << " does not point at its LRU node";
+    }
+  }
+  // Together with the per-entry lookups above this makes index_ <-> lru_ a
+  // bijection: every list node is indexed, and the sizes match.
+  BC_AUDIT(entries == index_.size())
+      << "LRU list has " << entries << " entries but the index has "
+      << index_.size();
+  BC_AUDIT(bytes == bytes_used_)
+      << "bytes_used_ " << bytes_used_ << " != sum of payload sizes "
+      << bytes;
+  BC_AUDIT(byte_budget_ == 0 || bytes_used_ <= byte_budget_ ||
+           entries <= 1)
+      << "byte budget " << byte_budget_ << " exceeded: " << bytes_used_
+      << " bytes across " << entries << " entries";
 }
 
 void PacketStore::evict_to_budget() {

@@ -84,6 +84,15 @@ class PacketStore {
   [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
+  /// First id the store has never handed out (all live ids are below it).
+  [[nodiscard]] std::uint64_t next_id() const { return next_id_; }
+
+  /// Deep invariant audit (BC_AUDIT; no-op unless the build enables
+  /// audits): byte accounting equals the sum of stored payload sizes, the
+  /// id index and the LRU list are a bijection, every id is one the store
+  /// assigned, and the byte budget holds whenever eviction can enforce it.
+  void audit() const;
+
  private:
   void evict_to_budget();
 

@@ -3,6 +3,7 @@
 #include "cache/persist.h"
 #include "core/anchors.h"
 #include "core/wire.h"
+#include "util/check.h"
 #include "util/crc32.h"
 
 namespace bytecache::core {
@@ -13,6 +14,24 @@ Decoder::Decoder(const DreParams& params)
       cache_(params.cache_bytes) {}
 
 void Decoder::flush() { cache_.flush(); }
+
+void Decoder::audit() const {
+  if (!util::kAuditEnabled) return;
+  // Includes the "no entry references an id never stored" check via the
+  // fingerprint-table audit against the store's id horizon.
+  cache_.audit();
+  for (const cache::CachedPacket& p : cache_.store().entries()) {
+    BC_AUDIT(p.meta.stream_index < stream_index_)
+        << "stored packet id " << p.id << " has stream index "
+        << p.meta.stream_index << " but the decoder is only at "
+        << stream_index_;
+  }
+  BC_AUDIT(stats_.passthrough + stats_.decoded + stats_.drops() ==
+           stats_.packets)
+      << "outcome counters (" << stats_.passthrough << " passthrough + "
+      << stats_.decoded << " decoded + " << stats_.drops()
+      << " drops) do not partition " << stats_.packets << " packets";
+}
 
 util::Bytes Decoder::save_state() const {
   util::Bytes out;

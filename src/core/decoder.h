@@ -75,6 +75,13 @@ class Decoder {
   [[nodiscard]] const DecoderStats& stats() const { return stats_; }
   [[nodiscard]] const cache::ByteCache& cache() const { return cache_; }
 
+  /// Deep invariant audit (BC_AUDIT; no-op unless the build enables
+  /// audits): audits the cache, checks that no fingerprint references a
+  /// packet id the decoder never stored, that every stored packet's
+  /// stream position precedes the decoder's, and that the drop counters
+  /// partition the packet count.
+  void audit() const;
+
   /// Flushes the cache (mirrors Encoder::flush; used by tests/examples).
   void flush();
 

@@ -8,6 +8,7 @@
 #include "core/matcher.h"
 #include "core/wire.h"
 #include "packet/tcp.h"
+#include "util/check.h"
 #include "util/crc32.h"
 #include "util/seqcmp.h"
 
@@ -46,6 +47,32 @@ void Encoder::flush() {
   cache_.flush();
   ++epoch_;
   epoch_bumped_ = true;
+}
+
+void Encoder::audit() const {
+  if (!util::kAuditEnabled) return;
+  cache_.audit();
+  for (const cache::CachedPacket& p : cache_.store().entries()) {
+    BC_AUDIT(p.meta.stream_index < stream_index_)
+        << "stored packet id " << p.id << " has stream index "
+        << p.meta.stream_index << " but the encoder is only at "
+        << stream_index_;
+  }
+  BC_AUDIT(stats_.data_packets <= stats_.packets)
+      << stats_.data_packets << " data packets out of " << stats_.packets;
+  BC_AUDIT(stats_.encoded_packets <= stats_.data_packets)
+      << stats_.encoded_packets << " encoded out of " << stats_.data_packets
+      << " data packets";
+  BC_AUDIT(stats_.bytes_out <= stats_.bytes_in)
+      << "encoding inflated the stream: " << stats_.bytes_out
+      << " bytes out > " << stats_.bytes_in << " bytes in";
+  BC_AUDIT(stats_.encoded_packets <= stats_.dependency_links)
+      << "every encoded packet references at least one cached packet, but "
+      << stats_.encoded_packets << " encoded > "
+      << stats_.dependency_links << " dependency links";
+  BC_AUDIT(stats_.nack_invalidations <= stats_.nacks_received)
+      << stats_.nack_invalidations << " invalidations from "
+      << stats_.nacks_received << " NACKs";
 }
 
 util::Bytes Encoder::save_state() const {

@@ -82,6 +82,11 @@ class Encoder {
   /// Flushes the cache (also exposed for tests and manual control).
   void flush();
 
+  /// Deep invariant audit (BC_AUDIT; no-op unless the build enables
+  /// audits): audits the cache and checks counter consistency (packet
+  /// class counts nest, byte totals never grow through encoding).
+  void audit() const;
+
   /// Snapshot of the cache plus the encoder's stream position/epoch, for
   /// warm gateway restarts (cache/persist.h).  Policy-internal state is
   /// NOT saved; after a restore the policies behave as freshly started

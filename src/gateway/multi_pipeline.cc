@@ -17,7 +17,7 @@ std::unique_ptr<sim::LossProcess> make_loss(double rate, bool bursty) {
 MultiPipeline::MultiPipeline(sim::Simulator& sim,
                              const PipelineConfig& config, std::size_t flows,
                              std::uint16_t base_port)
-    : config_(config), base_port_(base_port) {
+    : config_(config), base_port_(base_port), sim_(&sim) {
   PipelineConfig& cfg = config_;
   if (cfg.tcp.src_ip == 0) cfg.tcp.src_ip = packet::make_ip(10, 0, 0, 1);
   if (cfg.tcp.dst_ip == 0) cfg.tcp.dst_ip = packet::make_ip(10, 0, 1, 1);
@@ -68,6 +68,22 @@ MultiPipeline::MultiPipeline(sim::Simulator& sim,
       senders_[*flow]->on_packet(*p);
     }
   });
+
+  if (cfg.audit_interval_events != 0) {
+    sim.request_audit_interval(cfg.audit_interval_events);
+    auditor_id_ = sim.add_auditor([this] { audit(); });
+  }
+}
+
+MultiPipeline::~MultiPipeline() {
+  if (auditor_id_ != 0) sim_->remove_auditor(auditor_id_);
+}
+
+void MultiPipeline::audit() const {
+  if (const core::Encoder* enc = encoder_gw_->encoder()) enc->audit();
+  if (const core::Decoder* dec = decoder_gw_->decoder()) dec->audit();
+  for (const auto& s : senders_) s->audit();
+  for (const auto& r : receivers_) r->audit();
 }
 
 std::optional<std::size_t> MultiPipeline::flow_of(const packet::Packet& pkt,

@@ -26,6 +26,11 @@ class MultiPipeline {
   /// destination port base_port + i on the same server/client addresses.
   MultiPipeline(sim::Simulator& sim, const PipelineConfig& config,
                 std::size_t flows, std::uint16_t base_port = 40000);
+  ~MultiPipeline();
+
+  /// Runs every component's deep invariant audit (see util/check.h); the
+  /// simulator calls this on the configured event cadence.
+  void audit() const;
 
   [[nodiscard]] std::size_t flow_count() const { return senders_.size(); }
   [[nodiscard]] tcp::TcpSender& sender(std::size_t i) { return *senders_[i]; }
@@ -46,6 +51,8 @@ class MultiPipeline {
 
   PipelineConfig config_;
   std::uint16_t base_port_;
+  sim::Simulator* sim_ = nullptr;
+  sim::Simulator::AuditorId auditor_id_ = 0;
   std::unique_ptr<EncoderGateway> encoder_gw_;
   std::unique_ptr<DecoderGateway> decoder_gw_;
   std::unique_ptr<sim::Link> forward_link_;

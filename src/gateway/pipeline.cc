@@ -66,6 +66,22 @@ Pipeline::Pipeline(sim::Simulator& sim, const PipelineConfig& config)
     encoder_gw_->observe_reverse(*p);
     sender_->on_packet(*p);
   });
+
+  if (cfg.audit_interval_events != 0) {
+    sim.request_audit_interval(cfg.audit_interval_events);
+    auditor_id_ = sim.add_auditor([this] { audit(); });
+  }
+}
+
+Pipeline::~Pipeline() {
+  if (auditor_id_ != 0) sim_->remove_auditor(auditor_id_);
+}
+
+void Pipeline::audit() const {
+  if (const core::Encoder* enc = encoder_gw_->encoder()) enc->audit();
+  if (const core::Decoder* dec = decoder_gw_->decoder()) dec->audit();
+  sender_->audit();
+  receiver_->audit();
 }
 
 }  // namespace bytecache::gateway

@@ -38,11 +38,20 @@ struct PipelineConfig {
   bool bursty_loss = false;     // use a Gilbert–Elliott process instead
   double reverse_loss_rate = 0.0;
   std::uint64_t seed = 1;
+  /// Deep-audit cadence: every N simulator events the pipeline audits the
+  /// codec caches and both TCP endpoints (0 disables; no-op in builds
+  /// without BYTECACHE_AUDIT).
+  std::uint64_t audit_interval_events = 256;
 };
 
 class Pipeline {
  public:
   Pipeline(sim::Simulator& sim, const PipelineConfig& config);
+  ~Pipeline();
+
+  /// Runs every component's deep invariant audit (see util/check.h); the
+  /// simulator calls this on the configured event cadence.
+  void audit() const;
 
   [[nodiscard]] tcp::TcpSender& sender() { return *sender_; }
   [[nodiscard]] tcp::TcpReceiver& receiver() { return *receiver_; }
@@ -61,6 +70,7 @@ class Pipeline {
  private:
   PipelineConfig config_;
   sim::Simulator* sim_ = nullptr;
+  sim::Simulator::AuditorId auditor_id_ = 0;
   std::unique_ptr<EncoderGateway> encoder_gw_;
   std::unique_ptr<DecoderGateway> decoder_gw_;
   std::unique_ptr<sim::Link> forward_link_;

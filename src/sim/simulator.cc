@@ -18,7 +18,34 @@ bool Simulator::step() {
   now_ = ev.time;
   ++processed_;
   ev.action();
+  if (audit_interval_ != 0 && !auditors_.empty() &&
+      processed_ % audit_interval_ == 0) {
+    ++audits_run_;
+    for (const auto& [id, fn] : auditors_) fn();
+  }
   return true;
+}
+
+Simulator::AuditorId Simulator::add_auditor(Action fn) {
+  const AuditorId id = next_auditor_id_++;
+  auditors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Simulator::remove_auditor(AuditorId id) {
+  for (auto it = auditors_.begin(); it != auditors_.end(); ++it) {
+    if (it->first == id) {
+      auditors_.erase(it);
+      return;
+    }
+  }
+}
+
+void Simulator::request_audit_interval(std::uint64_t events) {
+  if (events == 0) return;
+  if (audit_interval_ == 0 || events < audit_interval_) {
+    audit_interval_ = events;
+  }
 }
 
 void Simulator::run() {

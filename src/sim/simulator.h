@@ -42,6 +42,30 @@ class Simulator {
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
+  // ---- Deep-audit hooks ------------------------------------------------
+  //
+  // Components register auditors (their audit() methods); step() invokes
+  // every auditor after each `audit_interval` processed events, so any
+  // simulation-driven test exercises the registered invariants for free.
+  // Auditing is off until both an auditor and an interval are set; in
+  // builds without BYTECACHE_AUDIT the audit() methods are no-ops anyway.
+
+  using AuditorId = std::uint64_t;
+
+  /// Registers `fn` to run on the audit cadence; returns a handle for
+  /// remove_auditor (components deregister on destruction).
+  AuditorId add_auditor(Action fn);
+  void remove_auditor(AuditorId id);
+
+  /// Requests auditing every `events` processed events (0 = no request).
+  /// The smallest nonzero request across callers wins.
+  void request_audit_interval(std::uint64_t events);
+
+  [[nodiscard]] std::uint64_t audit_interval() const {
+    return audit_interval_;
+  }
+  [[nodiscard]] std::uint64_t audits_run() const { return audits_run_; }
+
  private:
   struct Event {
     SimTime time;
@@ -51,11 +75,17 @@ class Simulator {
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
+      // Monotonic 64-bit scheduling tiebreaker, not a wrapping TCP
+      // sequence number.  NOLINT(bc-rawseq)
       return a.seq > b.seq;
     }
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::pair<AuditorId, Action>> auditors_;
+  AuditorId next_auditor_id_ = 1;
+  std::uint64_t audit_interval_ = 0;
+  std::uint64_t audits_run_ = 0;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -1,6 +1,8 @@
 #include "tcp/receiver.h"
 
 #include "packet/tcp.h"
+#include "util/check.h"
+#include "util/seqcmp.h"
 
 namespace bytecache::tcp {
 
@@ -71,12 +73,14 @@ void TcpReceiver::maybe_ack(bool in_order) {
   }
   ack_pending_ = true;
   const std::uint64_t gen = ++delack_gen_;
-  sim_.after(config_.delack_timeout, [this, gen]() {
-    if (ack_pending_ && gen == delack_gen_) {
-      ack_pending_ = false;
-      send_ack();
-    }
-  });
+  sim_.after(config_.delack_timeout,
+             [this, gen, alive = std::weak_ptr<char>(alive_)]() {
+               if (alive.expired()) return;  // receiver destroyed meanwhile
+               if (ack_pending_ && gen == delack_gen_) {
+                 ack_pending_ = false;
+                 send_ack();
+               }
+             });
 }
 
 void TcpReceiver::drain_ooo() {
@@ -91,6 +95,34 @@ void TcpReceiver::drain_ooo() {
     }
     it = ooo_.erase(it);
   }
+}
+
+void TcpReceiver::audit() const {
+  if (!util::kAuditEnabled) return;
+  BC_AUDIT(stream_.size() == rcv_nxt_)
+      << "delivered stream has " << stream_.size() << " bytes but rcv_nxt is "
+      << rcv_nxt_;
+  const std::uint32_t wire_nxt =
+      config_.isn + static_cast<std::uint32_t>(rcv_nxt_);
+  for (const auto& [off, data] : ooo_) {
+    BC_AUDIT(off > rcv_nxt_)
+        << "out-of-order segment at " << off
+        << " was not drained although rcv_nxt is " << rcv_nxt_;
+    BC_AUDIT(!data.empty()) << "empty out-of-order segment buffered at "
+                            << off;
+    // The buffered range is bounded by the receive window, so the signed
+    // 32-bit comparison must agree with the 64-bit one.
+    BC_AUDIT(util::seq_gt(config_.isn + static_cast<std::uint32_t>(off),
+                          wire_nxt))
+        << "wire seq of buffered segment at " << off
+        << " not after rcv_nxt " << rcv_nxt_;
+  }
+  BC_AUDIT(stats_.in_order + stats_.out_of_order + stats_.duplicates ==
+           stats_.segments_received)
+      << "disposition counters (" << stats_.in_order << " in-order + "
+      << stats_.out_of_order << " out-of-order + " << stats_.duplicates
+      << " duplicate) do not partition " << stats_.segments_received
+      << " segments";
 }
 
 void TcpReceiver::send_ack() {

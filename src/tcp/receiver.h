@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "packet/packet.h"
 #include "sim/simulator.h"
@@ -50,6 +51,13 @@ class TcpReceiver {
 
   [[nodiscard]] const ReceiverStats& stats() const { return stats_; }
 
+  /// Deep invariant audit (BC_AUDIT; no-op unless the build enables
+  /// audits): the delivered stream matches rcv_nxt, every buffered
+  /// out-of-order segment lies strictly beyond rcv_nxt (also checked in
+  /// 32-bit wire-sequence space via util::seq_*), and the segment
+  /// disposition counters partition the received count.
+  void audit() const;
+
  private:
   /// `in_order`: the arriving segment advanced rcv_nxt (delayed-ACK
   /// candidates); anything else is acknowledged immediately.
@@ -70,6 +78,10 @@ class TcpReceiver {
   // Delayed-ACK state.
   bool ack_pending_ = false;
   std::uint64_t delack_gen_ = 0;
+
+  // Queued delayed-ACK events capture `this`; they hold a weak_ptr to this
+  // token and become no-ops once the receiver is destroyed.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 }  // namespace bytecache::tcp

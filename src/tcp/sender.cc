@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "packet/tcp.h"
+#include "util/check.h"
 #include "util/logging.h"
+#include "util/seqcmp.h"
 
 namespace bytecache::tcp {
 
@@ -116,6 +118,12 @@ void TcpSender::on_ack(std::uint64_t ackno) {
       snd_una_ = ackno;
     }
 
+    // A late cumulative ACK can cover data the timeout rewind presumed
+    // lost, leaving snd_nxt behind snd_una (and flight() underflowed,
+    // stalling the window until a spurious RTO).  Pull snd_nxt forward,
+    // as BSD does (snd_nxt = max(snd_nxt, snd_una)).
+    if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+
     if (snd_una_ >= data_.size()) {
       finish();
       return;
@@ -138,6 +146,7 @@ void TcpSender::on_ack(std::uint64_t ackno) {
         // phase, everything outstanding is resent via go-back-N.
         cc_.on_timeout(flight());
         dupacks_ = 0;
+        rtt_active_ = false;  // Karn: the timed region will be resent
         snd_nxt_ = snd_una_;
         emit_segment(snd_una_, /*retransmission=*/true);
         snd_nxt_ +=
@@ -154,7 +163,11 @@ void TcpSender::on_ack(std::uint64_t ackno) {
 void TcpSender::arm_timer() {
   timer_armed_ = true;
   const std::uint64_t gen = ++timer_gen_;
-  sim_.after(rtt_.rto(), [this, gen]() { on_timer(gen); });
+  sim_.after(rtt_.rto(),
+             [this, gen, alive = std::weak_ptr<char>(alive_)]() {
+               if (alive.expired()) return;  // sender destroyed meanwhile
+               on_timer(gen);
+             });
 }
 
 void TcpSender::cancel_timer() {
@@ -192,6 +205,50 @@ void TcpSender::on_timer(std::uint64_t generation) {
   emit_segment(snd_una_, /*retransmission=*/true);
   snd_nxt_ += std::min<std::uint64_t>(config_.mss, data_.size() - snd_una_);
   arm_timer();
+}
+
+void TcpSender::audit() const {
+  if (!util::kAuditEnabled) return;
+  BC_AUDIT(snd_una_ <= snd_nxt_)
+      << "snd_una " << snd_una_ << " beyond snd_nxt " << snd_nxt_;
+  BC_AUDIT(snd_nxt_ <= data_.size())
+      << "snd_nxt " << snd_nxt_ << " beyond stream of " << data_.size()
+      << " bytes";
+  // The same ordering must hold for the 32-bit wire sequence numbers; the
+  // flight is far below 2^31 so the signed-distance comparison is valid.
+  const std::uint32_t wire_una =
+      config_.isn + static_cast<std::uint32_t>(snd_una_);
+  const std::uint32_t wire_nxt =
+      config_.isn + static_cast<std::uint32_t>(snd_nxt_);
+  BC_AUDIT(util::seq_le(wire_una, wire_nxt))
+      << "wire seq " << wire_una << " not <= " << wire_nxt;
+  BC_AUDIT(util::seq_diff(wire_nxt, wire_una) == snd_nxt_ - snd_una_)
+      << "wire-sequence distance " << util::seq_diff(wire_nxt, wire_una)
+      << " != stream distance " << snd_nxt_ - snd_una_;
+  BC_AUDIT(flight() <= config_.rcv_wnd)
+      << flight() << " bytes in flight exceed the receive window "
+      << config_.rcv_wnd;
+  if (completed_) {
+    BC_AUDIT(snd_una_ == data_.size())
+        << "completed with only " << snd_una_ << "/" << data_.size()
+        << " bytes acknowledged";
+  }
+  if (rtt_active_) {
+    BC_AUDIT(rtt_end_offset_ <= snd_nxt_)
+        << "RTT sample waits for offset " << rtt_end_offset_
+        << " beyond snd_nxt " << snd_nxt_;
+  }
+  BC_AUDIT(stats_.retransmissions <= stats_.segments_sent)
+      << stats_.retransmissions << " retransmissions out of "
+      << stats_.segments_sent << " segments";
+  // Each fast retransmit / timeout emits one retransmission, except the
+  // final timeout of an aborted connection, which stops short of sending.
+  BC_AUDIT(stats_.fast_retransmits + stats_.timeouts <=
+           stats_.retransmissions + (aborted_ ? 1 : 0))
+      << stats_.fast_retransmits << " fast retransmits + " << stats_.timeouts
+      << " timeouts exceed " << stats_.retransmissions << " retransmissions";
+  BC_AUDIT(stats_.dup_acks <= stats_.acks_received)
+      << stats_.dup_acks << " dup ACKs out of " << stats_.acks_received;
 }
 
 void TcpSender::finish() {

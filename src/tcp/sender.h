@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "packet/packet.h"
@@ -66,6 +67,12 @@ class TcpSender {
   [[nodiscard]] const RenoCongestion& congestion() const { return cc_; }
   [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
 
+  /// Deep invariant audit (BC_AUDIT; no-op unless the build enables
+  /// audits): send-window ordering (snd_una <= snd_nxt <= stream size,
+  /// also checked in 32-bit wire-sequence space via util::seq_*), flight
+  /// bounded by the receive window, and counter consistency.
+  void audit() const;
+
  private:
   void send_new_data();
   void emit_segment(std::uint64_t offset, bool retransmission);
@@ -102,6 +109,11 @@ class TcpSender {
 
   std::uint64_t timer_gen_ = 0;
   bool timer_armed_ = false;
+
+  // Queued timer events capture `this`; they hold a weak_ptr to this token
+  // and become no-ops once the sender is destroyed (the simulator has no
+  // event cancellation).
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 
   bool started_ = false;
   bool completed_ = false;

@@ -1,0 +1,50 @@
+#include "util/check.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bytecache::util {
+namespace {
+
+CheckFailureHandler& handler_slot() {
+  static CheckFailureHandler handler;  // empty = default (print + abort)
+  return handler;
+}
+
+std::uint64_t& failure_count() {
+  static std::uint64_t count = 0;
+  return count;
+}
+
+}  // namespace
+
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
+  CheckFailureHandler prev = std::move(handler_slot());
+  handler_slot() = std::move(handler);
+  return prev;
+}
+
+std::uint64_t check_failure_count() { return failure_count(); }
+
+void reset_check_failure_count() { failure_count() = 0; }
+
+namespace detail {
+
+CheckMessage::~CheckMessage() {
+  CheckFailure failure{expr_, file_, line_, stream_.str()};
+  ++failure_count();
+  if (handler_slot()) {
+    handler_slot()(failure);
+    return;
+  }
+  std::fprintf(stderr, "%s:%d: check failed: %s%s%s\n", failure.file,
+               failure.line, failure.expr,
+               failure.message.empty() ? "" : " — ",
+               failure.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace bytecache::util

@@ -1,0 +1,104 @@
+// Invariant-check macros backing the deep audit() methods.
+//
+// Three tiers, all message-capturing (stream into them like BC_LOG):
+//
+//   BC_CHECK(cond)  — always compiled and evaluated, in every build.  Use
+//                     for cheap conditions whose violation means memory is
+//                     already corrupt.
+//   BC_ASSERT(cond) — compiled in debug and audit builds; compiled out
+//                     (condition not evaluated) in plain Release.
+//   BC_AUDIT(cond)  — the deep-audit tier: compiled only when the build
+//                     defines BYTECACHE_AUDIT (the default for every
+//                     configuration except Release, and forced on by
+//                     BYTECACHE_SANITIZE).  audit() methods guard their
+//                     O(n) walks with `if (!kAuditEnabled) return;` so a
+//                     Release build pays nothing.
+//
+// A failed check prints the expression, location and captured message and
+// calls std::abort() — under ASan/UBSan that surfaces as a test failure
+// with a stack trace.  Tests install a recording handler instead via
+// set_check_failure_handler() so audits can be exercised without dying.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#if defined(BYTECACHE_AUDIT) && BYTECACHE_AUDIT
+#define BC_AUDIT_ENABLED 1
+#else
+#define BC_AUDIT_ENABLED 0
+#endif
+
+namespace bytecache::util {
+
+/// True when BC_AUDIT conditions are compiled in; audit() methods return
+/// immediately when false so their traversals fold away in Release.
+inline constexpr bool kAuditEnabled = BC_AUDIT_ENABLED != 0;
+
+/// Everything known about one failed check.
+struct CheckFailure {
+  const char* expr = nullptr;  // stringified condition
+  const char* file = nullptr;
+  int line = 0;
+  std::string message;  // whatever was streamed into the macro
+};
+
+using CheckFailureHandler = std::function<void(const CheckFailure&)>;
+
+/// Installs `handler` to be called instead of the default
+/// (print + std::abort) and returns the previous handler; pass nullptr to
+/// restore the default.  Intended for tests that deliberately trip audits.
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
+
+/// Number of check failures seen by the *default* handler before aborting
+/// plus those swallowed by custom handlers (monotonic; tests reset it).
+[[nodiscard]] std::uint64_t check_failure_count();
+void reset_check_failure_count();
+
+namespace detail {
+
+/// Collects the streamed message; fires the failure handler on destruction.
+class CheckMessage {
+ public:
+  CheckMessage(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+  ~CheckMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace bytecache::util
+
+// `if (cond) ; else <stream>` mirrors BC_LOG: the message operands are
+// evaluated only on failure, and the macro swallows a trailing `<< ...`.
+#define BC_CHECK(cond)                                                \
+  if (cond)                                                           \
+    ;                                                                 \
+  else                                                                \
+    ::bytecache::util::detail::CheckMessage(#cond, __FILE__, __LINE__) \
+        .stream()
+
+// Compiled-out form: `true || (cond)` never evaluates `cond` (or the
+// streamed operands) but keeps both type-checked, so disabled builds
+// cannot rot the check expressions.
+#if BC_AUDIT_ENABLED || !defined(NDEBUG)
+#define BC_ASSERT(cond) BC_CHECK(cond)
+#else
+#define BC_ASSERT(cond) BC_CHECK(true || (cond))
+#endif
+
+#if BC_AUDIT_ENABLED
+#define BC_AUDIT(cond) BC_CHECK(cond)
+#else
+#define BC_AUDIT(cond) BC_CHECK(true || (cond))
+#endif

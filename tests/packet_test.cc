@@ -48,6 +48,60 @@ TEST(Checksum, AccumulatorPiecewiseEqualsWhole) {
   EXPECT_EQ(acc.finish(), internet_checksum(data));
 }
 
+TEST(Checksum, AllOnesBuffers) {
+  // Even-length all-0xFF: every word is 0xFFFF, the end-around folds keep
+  // the sum at 0xFFFF, and the complement is 0.
+  for (const std::size_t n : {2u, 4u, 64u, 1500u}) {
+    const Bytes data(n, 0xFF);
+    EXPECT_EQ(internet_checksum(data), 0u) << "length " << n;
+  }
+  // Odd-length all-0xFF: the trailing byte pads to 0xFF00, so the folded
+  // sum is 0xFFFF + ... + 0xFF00 -> complement 0x00FF.
+  for (const std::size_t n : {1u, 3u, 65u, 1501u}) {
+    const Bytes data(n, 0xFF);
+    EXPECT_EQ(internet_checksum(data), 0x00FFu) << "length " << n;
+  }
+}
+
+TEST(Checksum, OddLengthMatchesNaiveReference) {
+  // Cross-check the accumulator against a direct RFC 1071 fold for a
+  // range of odd lengths (pad the final byte as the high half of a word).
+  util::Rng rng(3);
+  for (const std::size_t n : {1u, 5u, 33u, 99u, 255u}) {
+    Bytes data(n);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      sum += static_cast<std::uint16_t>(data[i] << 8 | data[i + 1]);
+    }
+    sum += static_cast<std::uint16_t>(data[n - 1] << 8);
+    while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+    EXPECT_EQ(internet_checksum(data),
+              static_cast<std::uint16_t>(~sum)) << "length " << n;
+  }
+}
+
+TEST(Checksum, AccumulatorOddChunksPairAcrossBoundaries) {
+  // Splitting after an odd byte forces the pending-byte pairing path:
+  // byte k of one chunk pairs with byte 0 of the next.
+  util::Rng rng(4);
+  Bytes data(97);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  const std::uint16_t whole = internet_checksum(data);
+  for (const std::size_t cut : {1u, 2u, 7u, 48u, 95u, 96u}) {
+    ChecksumAccumulator acc;
+    acc.add(util::BytesView(data.data(), cut));
+    acc.add(util::BytesView(data.data() + cut, data.size() - cut));
+    EXPECT_EQ(acc.finish(), whole) << "cut at " << cut;
+  }
+  // Byte-at-a-time is the degenerate all-odd-chunks case.
+  ChecksumAccumulator bytewise;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    bytewise.add(util::BytesView(data.data() + i, 1));
+  }
+  EXPECT_EQ(bytewise.finish(), whole);
+}
+
 TEST(Checksum, DetectsSingleBitFlip) {
   util::Rng rng(2);
   Bytes data(64);

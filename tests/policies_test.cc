@@ -7,6 +7,7 @@
 #include "core/policies.h"
 #include "tests/testutil.h"
 #include "util/rng.h"
+#include "util/seqcmp.h"
 
 namespace bytecache::core {
 namespace {
@@ -69,7 +70,7 @@ TEST(CacheFlushPolicy, FlushesOnEqualSequence) {
 
 TEST(CacheFlushPolicy, NoFlushOnMonotonicStream) {
   CacheFlushPolicy p;
-  for (std::uint32_t seq = 1000; seq < 100000; seq += 1460) {
+  for (std::uint32_t seq = 1000; util::seq_lt(seq, 100000); seq += 1460) {
     EXPECT_FALSE(p.before_encode(ctx_with_seq(seq)).flush_cache);
   }
 }

@@ -190,6 +190,48 @@ TEST(SeqCmp, Wraparound) {
   EXPECT_EQ(seq_diff(wrapped, near_max), 0x200u);
 }
 
+TEST(SeqCmp, ExactWrapBoundary) {
+  // The last and first sequence numbers are adjacent across the 2^32 wrap.
+  EXPECT_TRUE(seq_lt(0xFFFFFFFFu, 0x00000000u));
+  EXPECT_TRUE(seq_le(0xFFFFFFFFu, 0x00000000u));
+  EXPECT_TRUE(seq_gt(0x00000000u, 0xFFFFFFFFu));
+  EXPECT_TRUE(seq_ge(0x00000000u, 0xFFFFFFFFu));
+  EXPECT_EQ(seq_diff(0x00000000u, 0xFFFFFFFFu), 1u);
+}
+
+TEST(SeqCmp, HalfRangeAntipode) {
+  // At exactly 2^31 apart the signed distance is INT32_MIN from either
+  // direction, so each endpoint compares "before" the other.  Real TCP
+  // windows are far below 2^31 bytes, which is why the idiom is safe; the
+  // test pins the behaviour so a refactor cannot silently change it.
+  EXPECT_TRUE(seq_lt(0u, 0x80000000u));
+  EXPECT_TRUE(seq_lt(0x80000000u, 0u));
+  // One short of the antipode orders normally from both sides.
+  EXPECT_TRUE(seq_lt(0u, 0x7FFFFFFFu));
+  EXPECT_FALSE(seq_lt(0x7FFFFFFFu, 0u));
+  EXPECT_TRUE(seq_gt(0x80000001u, 0u) == seq_lt(0u, 0x80000001u));
+}
+
+TEST(SeqCmp, DiffStraddlingWrapMatchesStreamDistance) {
+  // A flight of 0x20 bytes straddling the wrap: end - start must equal
+  // the 64-bit stream distance regardless of where the wrap falls.
+  for (std::uint32_t start = 0xFFFFFFE0u; start != 0x10u; start += 8) {
+    const std::uint32_t end = start + 0x20u;  // wraps for early starts
+    EXPECT_EQ(seq_diff(end, start), 0x20u) << "start=" << start;
+    EXPECT_TRUE(seq_lt(start, end)) << "start=" << start;
+  }
+  // Zero distance is reflexive everywhere, including at the wrap.
+  EXPECT_EQ(seq_diff(0xFFFFFFFFu, 0xFFFFFFFFu), 0u);
+  EXPECT_EQ(seq_diff(0u, 0u), 0u);
+}
+
+TEST(SeqCmp, ConstexprUsableInStaticAssertions) {
+  static_assert(seq_lt(0xFFFFFFFFu, 0u), "wrap-adjacent ordering");
+  static_assert(seq_diff(5u, 0xFFFFFFFBu) == 10u, "wrap-straddling diff");
+  static_assert(seq_ge(0u, 0xFFFFFF00u), "wrapped sequence is after");
+  SUCCEED();
+}
+
 // ----------------------------------------------------------- hexdump.h --
 
 TEST(Hexdump, FormatsRows) {

@@ -221,7 +221,7 @@ TEST(Tahoe, SlowerThanNewRenoUnderLoss) {
   harness::ExperimentConfig newreno;
   newreno.policy = core::PolicyKind::kNone;
   newreno.loss_rate = 0.03;
-  newreno.trials = 5;
+  newreno.trials = 15;  // 5 is under-sampled: the gap is within noise there
   harness::ExperimentConfig tahoe = newreno;
   tahoe.tcp.algo = tcp::CongestionAlgo::kTahoe;
   auto a = harness::run_experiment(newreno, file);

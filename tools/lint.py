@@ -1,0 +1,379 @@
+#!/usr/bin/env python3
+"""Project-specific lint checks for bytecache, registered as the `lint` ctest.
+
+Rules (see DESIGN.md "Correctness tooling"):
+
+  bc-rawseq     Raw relational comparison (<, <=, >, >=) on an identifier
+                whose name contains "seq".  TCP sequence numbers wrap
+                modulo 2^32, so ordinary comparison is wrong across the
+                wrap; use util::seq_lt / seq_le / seq_gt / seq_ge from
+                src/util/seqcmp.h (the only file exempt from this rule).
+                Suppress a deliberate non-wrapping comparison with a
+                `NOLINT(bc-rawseq)` comment on the line or the line above.
+
+  bc-wirecast   `reinterpret_cast` involving a wire-header type
+                (Ipv4Header, TcpHeader, UdpHeader, or any *Header type)
+                outside src/packet/.  Wire parsing must go through the
+                packet library's serialize/parse functions, which handle
+                endianness and alignment.
+
+  bc-include    Include hygiene: project headers are included with quotes
+                using src/-relative paths ("util/seqcmp.h"); angle
+                brackets are reserved for system/third-party headers; no
+                relative ("../") includes; every header under src/ starts
+                with #pragma once; a .cc file under src/ includes its own
+                header first.
+
+Exit status 0 when clean, 1 when violations were found.  `--self-test`
+runs the built-in positive/negative cases instead of scanning the tree.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_DIRS = ("src", "tests", "examples", "bench", "tools")
+SOURCE_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+
+PROJECT_INCLUDE_ROOTS = (
+    "util", "rabin", "packet", "cache", "core", "sim", "tcp",
+    "gateway", "app", "workload", "harness",
+)
+
+# Identifier containing "seq" (any case), optionally a member access,
+# followed by a relational operator that is not part of <<, >>, <=>, ->,
+# or a template-argument bracket.
+RAWSEQ_RE = re.compile(
+    r"(?P<id>\b[A-Za-z_]\w*\b)\s*(?P<op><=|>=|<|>)(?P<after>=|<|>)?"
+)
+# Sequence-named identifier on the right-hand side of a comparison.
+RAWSEQ_RHS_RE = re.compile(
+    r"(?<![<>=\-])(?P<op><=|>=|<|>)(?!=|<|>)\s*(?P<id>\b[A-Za-z_]\w*\b)"
+)
+WIRECAST_RE = re.compile(
+    r"reinterpret_cast\s*<[^<>]*\b(\w*Header\w*)\b[^<>]*>"
+)
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(?P<form>["<])(?P<path>[^">]+)[">]')
+
+
+class Violation:
+    def __init__(self, rule, path, lineno, message):
+        self.rule = rule
+        self.path = path
+        self.lineno = lineno
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure so line numbers stay meaningful.  NOLINT markers inside
+    comments are honoured before stripping (see scan_rawseq)."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def nolint_lines(raw_lines, rule):
+    """Line numbers (1-based) suppressed for `rule`: lines carrying
+    NOLINT(rule) plus the line following each (annotation-above style)."""
+    marker = f"NOLINT({rule})"
+    suppressed = set()
+    for idx, line in enumerate(raw_lines, start=1):
+        if marker in line:
+            suppressed.add(idx)
+            suppressed.add(idx + 1)
+    return suppressed
+
+
+def scan_rawseq(path, raw_lines, code_lines):
+    if path.as_posix().endswith("src/util/seqcmp.h"):
+        return []
+    suppressed = nolint_lines(raw_lines, "bc-rawseq")
+    violations = []
+    for lineno, line in enumerate(code_lines, start=1):
+        if lineno in suppressed:
+            continue
+        for m in RAWSEQ_RE.finditer(line):
+            if "seq" not in m.group("id").lower():
+                continue
+            if m.group("after"):  # <<, >>, <=>, >=... already matched ops
+                continue
+            # Template argument (`vector<SeqEntry>`, `make_unique<TcpSeqPolicy>`):
+            # the identifier is introduced by `<` or a `,` inside brackets.
+            before = line[: m.start("id")].rstrip()
+            if before.endswith("<") or before.endswith(","):
+                continue
+            # Template close followed by call/statement punctuation
+            # (`Foo<BarSeq>(...)`, `Foo<BarSeq>{}`, `Foo<BarSeq>;`).
+            rest = line[m.end("op"):].lstrip()
+            if m.group("op") == ">" and rest[:1] in ("(", "{", ";", ",", ")", ":", "&", "*", ""):
+                continue
+            violations.append(Violation(
+                "bc-rawseq", path, lineno,
+                f"raw `{m.group('id')} {m.group('op')} ...` comparison on a "
+                f"sequence-number-like variable; use util::seq_"
+                f"{ {'<': 'lt', '<=': 'le', '>': 'gt', '>=': 'ge'}[m.group('op')] }"
+                f"() from util/seqcmp.h (wrap-aware), or annotate "
+                f"NOLINT(bc-rawseq)"))
+        for m in RAWSEQ_RHS_RE.finditer(line):
+            ident = m.group("id")
+            if "seq" not in ident.lower():
+                continue
+            if ident[0].isupper():
+                continue  # type name in a template argument
+            before = line[: m.start("op")]
+            if before.count("<") > before.count(">"):
+                continue  # this `>` closes a template argument list
+            rest = line[m.end("id"):].lstrip()
+            if rest[:1] in (">", ","):
+                continue  # template argument list (`map<int, seq_t>`)
+            if any(v.lineno == lineno and v.rule == "bc-rawseq"
+                   for v in violations):
+                continue  # already reported via the left-hand side
+            violations.append(Violation(
+                "bc-rawseq", path, lineno,
+                f"raw `... {m.group('op')} {ident}` comparison on a "
+                f"sequence-number-like variable; use the wrap-aware "
+                f"util::seq_* helpers from util/seqcmp.h, or annotate "
+                f"NOLINT(bc-rawseq)"))
+    return violations
+
+
+def scan_wirecast(path, raw_lines, code_lines):
+    posix = path.as_posix()
+    if "src/packet/" in posix:
+        return []
+    suppressed = nolint_lines(raw_lines, "bc-wirecast")
+    violations = []
+    for lineno, line in enumerate(code_lines, start=1):
+        if lineno in suppressed:
+            continue
+        m = WIRECAST_RE.search(line)
+        if m:
+            violations.append(Violation(
+                "bc-wirecast", path, lineno,
+                f"reinterpret_cast on wire-header type {m.group(1)} outside "
+                f"src/packet/; use the packet library's parse/serialize"))
+    return violations
+
+
+def scan_includes(path, root, raw_lines, code_lines):
+    del code_lines  # include paths live inside string-like tokens: use raw
+    violations = []
+    posix = path.as_posix()
+    is_src = "/src/" in f"/{posix}" or posix.startswith("src/")
+    own_header = None
+    if path.suffix == ".cc" and is_src:
+        candidate = path.with_suffix(".h")
+        if candidate.exists():
+            # src/-relative spelling, e.g. "cache/packet_store.h".
+            own_header = candidate.relative_to(root / "src").as_posix()
+    first_include = None
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        form, inc = m.group("form"), m.group("path")
+        if first_include is None:
+            first_include = (lineno, form, inc)
+        if ".." in inc.split("/"):
+            violations.append(Violation(
+                "bc-include", path, lineno,
+                f'relative include "{inc}"; use a src/-relative path'))
+            continue
+        root_component = inc.split("/")[0]
+        if form == "<" and root_component in PROJECT_INCLUDE_ROOTS:
+            violations.append(Violation(
+                "bc-include", path, lineno,
+                f"project header <{inc}> included with angle brackets; "
+                f'use quotes: "{inc}"'))
+        if form == '"':
+            # Project quoted includes resolve against src/ (library code),
+            # the repo root (tests/, bench/), or the including directory.
+            resolved = (root / "src" / inc).exists() or \
+                       (root / inc).exists() or \
+                       (path.parent / inc).exists()
+            if not resolved:
+                violations.append(Violation(
+                    "bc-include", path, lineno,
+                    f'quoted include "{inc}" does not resolve against src/ '
+                    f"(project includes are src/-relative)"))
+    if path.suffix in (".h", ".hpp") and is_src:
+        if not any("#pragma once" in line for line in raw_lines[:30]):
+            violations.append(Violation(
+                "bc-include", path, 1, "header is missing #pragma once"))
+    if own_header is not None and first_include is not None:
+        _, form, inc = first_include
+        if not (form == '"' and inc == own_header):
+            violations.append(Violation(
+                "bc-include", path, first_include[0],
+                f'first include must be the file\'s own header '
+                f'"{own_header}" (include-what-you-use ordering)'))
+    return violations
+
+
+def scan_file(path, root):
+    rel = path.relative_to(root)
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    code_lines = strip_comments_and_strings(raw).splitlines()
+    violations = []
+    violations += scan_rawseq(rel, raw_lines, code_lines)
+    violations += scan_wirecast(rel, raw_lines, code_lines)
+    violations += scan_includes(root / rel, root, raw_lines, code_lines)
+    return violations
+
+
+def run(root):
+    root = Path(root).resolve()
+    if not any((root / d).is_dir() for d in SOURCE_DIRS):
+        print(f"lint: no source directories under {root} "
+              f"(expected one of {', '.join(SOURCE_DIRS)})")
+        return 2
+    violations = []
+    for d in SOURCE_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                violations.extend(scan_file(path, root))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint: {len(violations)} violation(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+# ---------------------------------------------------------------- tests --
+
+SELF_TEST_CASES = [
+    # (rule, code, expect_violation)
+    ("bc-rawseq", "if (a_seq < b_seq) {}", True),
+    ("bc-rawseq", "if (tcp_seq <= limit) {}", True),
+    ("bc-rawseq", "while (seq >= end_seq) {}", True),
+    ("bc-rawseq", "if (util::seq_lt(a, b)) {}", False),
+    ("bc-rawseq", "auto p = std::make_unique<TcpSeqPolicy>();", False),
+    ("bc-rawseq", "std::vector<SeqEntry> v;", False),
+    ("bc-rawseq", "// seq < 100 in a comment", False),
+    ("bc-rawseq", "s << seq << other;", False),
+    ("bc-rawseq", "if (count < total) {}", False),
+    ("bc-rawseq", "if (a_seq < b) {}  // NOLINT(bc-rawseq)", False),
+    ("bc-rawseq", "bool r = seq <=> other;", False),
+    ("bc-rawseq", "if (limit < next_seq) {}", True),
+    ("bc-rawseq", "std::map<int, seq_t> m;", False),
+    ("bc-rawseq", "std::unordered_map<std::uint64_t, std::uint32_t> last_seq_;",
+     False),
+    ("bc-rawseq", "std::optional<std::uint32_t> tcp_seq;", False),
+    ("bc-wirecast",
+     "auto* h = reinterpret_cast<const Ipv4Header*>(buf);", True),
+    ("bc-wirecast",
+     "auto* h = reinterpret_cast<packet::TcpHeader*>(p);", True),
+    ("bc-wirecast",
+     "const char* s = reinterpret_cast<const char*>(b.data());", False),
+    ("bc-include", '#include <util/seqcmp.h>', True),
+    ("bc-include", '#include <vector>', False),
+    ("bc-include", '#include "../cache/packet_store.h"', True),
+]
+
+
+def self_test():
+    failures = 0
+    root = Path(".")
+    for rule, code, expect in SELF_TEST_CASES:
+        raw_lines = code.splitlines()
+        code_lines = strip_comments_and_strings(code).splitlines()
+        path = Path("tests/selftest_snippet.cc")
+        if rule == "bc-rawseq":
+            found = scan_rawseq(path, raw_lines, code_lines)
+        elif rule == "bc-wirecast":
+            found = scan_wirecast(path, raw_lines, code_lines)
+        else:
+            # Only the path-independent include checks are testable here.
+            found = [v for v in scan_includes(root / path, root, raw_lines,
+                                              code_lines)
+                     if "own header" not in v.message
+                     and "does not resolve" not in v.message
+                     and "#pragma once" not in v.message]
+        got = any(v.rule == rule for v in found)
+        if got != expect:
+            print(f"self-test FAIL [{rule}] expected "
+                  f"{'violation' if expect else 'clean'}: {code!r}")
+            failures += 1
+    if failures:
+        print(f"lint self-test: {failures} failure(s)")
+        return 1
+    print(f"lint self-test: {len(SELF_TEST_CASES)} cases ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root to scan (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in rule tests and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    sys.exit(run(args.root))
+
+
+if __name__ == "__main__":
+    main()
