@@ -4,13 +4,29 @@
 
 namespace bytecache::cache {
 
-ByteCache::ByteCache(std::size_t byte_budget) : store_(byte_budget) {}
+ByteCache::ByteCache(std::size_t byte_budget) : store_(byte_budget) {
+  store_.set_evict_listener(this);
+  if (byte_budget > 0) {
+    // One selected fingerprint per 2^select_bits = 16 payload bytes at the
+    // paper's parameters: pre-size the table so steady state never
+    // rehashes.
+    table_.reserve(byte_budget / 16);
+  }
+}
+
+void ByteCache::on_evict(const CachedPacket& pkt) {
+  // Purge only entries still owned by the evicted packet: a newer payload
+  // may have overwritten some of them, and those must survive.
+  for (rabin::Fingerprint fp : pkt.fps) {
+    if (table_.erase_if_owner(fp, pkt.id)) ++stats_.fingerprints_purged;
+  }
+}
 
 std::uint64_t ByteCache::update(util::BytesView payload,
                                 const std::vector<rabin::Anchor>& anchors,
                                 const PacketMeta& meta) {
   if (anchors.empty()) return 0;
-  const std::uint64_t id = store_.insert(payload, meta);
+  const std::uint64_t id = store_.insert(payload, meta, anchors);
   for (const rabin::Anchor& a : anchors) {
     table_.put(a.fp, FpEntry{id, a.offset});
   }
@@ -25,7 +41,8 @@ std::optional<CacheHit> ByteCache::find(rabin::Fingerprint fp) {
   if (!entry) return std::nullopt;
   const CachedPacket* pkt = store_.lookup(entry->packet_id);
   if (pkt == nullptr) {
-    // Packet evicted since the fingerprint was recorded.
+    // Unreachable while the eviction purge holds (see audit), but kept:
+    // a stale entry must never serve a hit.
     table_.erase(fp);
     ++stats_.stale_hits;
     return std::nullopt;
@@ -37,15 +54,19 @@ std::optional<CacheHit> ByteCache::find(rabin::Fingerprint fp) {
 bool ByteCache::invalidate(rabin::Fingerprint fp) {
   auto entry = table_.get(fp);
   if (!entry) return false;
-  store_.erase(entry->packet_id);
-  table_.erase(fp);
+  store_.erase(entry->packet_id);  // eviction hook purges fp and siblings
+  table_.erase(fp);                // no-op if the hook already removed it
   return true;
 }
 
 void ByteCache::audit() const {
   if (!util::kAuditEnabled) return;
   store_.audit();
-  table_.audit(store_);
+  const std::size_t stale = table_.audit(store_);
+  // The eviction purge removes every fingerprint of an evicted packet the
+  // moment it leaves the store, so staleness cannot accumulate.
+  BC_AUDIT(stale == 0) << stale << " stale fingerprint entries survived "
+                       << "the eviction purge";
   // (Snapshot restore bypasses the counters, so only intra-stat relations
   // can be asserted here, not stats against store contents.)
   BC_AUDIT(stats_.hits + stats_.stale_hits <= stats_.lookups)

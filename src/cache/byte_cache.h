@@ -1,12 +1,16 @@
 // The byte cache used by both the encoder and decoder gateways.
 //
 // Combines the packet store and the fingerprint table and keeps them
-// consistent: a fingerprint hit whose packet has been evicted is treated as
-// a miss and lazily erased.  Encoder and decoder run the *identical*
-// cache-update procedure over the same (original) payload bytes, so as long
-// as packets are delivered in order and undamaged the two caches evolve in
-// lockstep — the paper's core synchronization assumption, and exactly what
-// loss/reorder/corruption breaks (Section IV).
+// consistent: when the store evicts a payload (byte budget or NACK), the
+// eviction hook purges every fingerprint entry still pointing at it, so
+// the table's memory is bounded by the live cache contents.  A
+// fingerprint hit whose packet has nevertheless vanished is treated as a
+// miss and lazily erased (defense in depth).  Encoder and decoder run the
+// *identical* cache-update procedure over the same (original) payload
+// bytes, so as long as packets are delivered in order and undamaged the
+// two caches evolve in lockstep — the paper's core synchronization
+// assumption, and exactly what loss/reorder/corruption breaks
+// (Section IV).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +28,7 @@ struct CacheStats {
   std::uint64_t stale_hits = 0;  // fingerprint present, packet evicted
   std::uint64_t packets_inserted = 0;
   std::uint64_t fingerprints_inserted = 0;
+  std::uint64_t fingerprints_purged = 0;  // erased by the eviction hook
   std::uint64_t flushes = 0;
 };
 
@@ -33,10 +38,17 @@ struct CacheHit {
   std::uint16_t offset = 0;  // window start within packet->payload
 };
 
-class ByteCache {
+class ByteCache final : private EvictionListener {
  public:
-  /// `byte_budget` bounds stored payload bytes (0 = unbounded).
+  /// `byte_budget` bounds stored payload bytes (0 = unbounded); the
+  /// fingerprint table is pre-sized from it (about one selected anchor
+  /// per 16 payload bytes at the paper's parameters).
   explicit ByteCache(std::size_t byte_budget = 0);
+
+  // The store holds a pointer back to this object as its eviction
+  // listener; relocation would leave it dangling.
+  ByteCache(const ByteCache&) = delete;
+  ByteCache& operator=(const ByteCache&) = delete;
 
   /// Runs the cache-update procedure (paper Fig. 2 C): stores `payload`
   /// and points every anchor's fingerprint at it.  `anchors` must be the
@@ -54,9 +66,9 @@ class ByteCache {
   void flush();
 
   /// Reacts to a decoder NACK for `fp`: removes the fingerprint AND the
-  /// whole packet it points to, so no other fingerprint can reference the
-  /// packet the decoder reported missing (entries to it become stale and
-  /// are lazily dropped).  Returns true if an entry existed.
+  /// whole packet it points to (the eviction hook purges every other
+  /// fingerprint referencing that packet).  Returns true if an entry
+  /// existed.
   bool invalidate(rabin::Fingerprint fp);
 
   /// Deep invariant audit (BC_AUDIT; no-op unless the build enables
@@ -72,13 +84,18 @@ class ByteCache {
   }
 
   /// Snapshot-restore primitives (see cache/persist.h); bypass the
-  /// normal update path and statistics.
+  /// normal update path and statistics.  restore_fingerprint also records
+  /// the fingerprint on its packet so the eviction purge keeps working
+  /// after a warm restart.
   void restore_packet(CachedPacket entry) { store_.restore(std::move(entry)); }
   void restore_fingerprint(rabin::Fingerprint fp, FpEntry entry) {
     table_.put(fp, entry);
+    store_.note_fingerprint(entry.packet_id, fp);
   }
 
  private:
+  void on_evict(const CachedPacket& pkt) override;
+
   PacketStore store_;
   FingerprintTable table_;
   CacheStats stats_;

@@ -7,22 +7,10 @@
 
 namespace bytecache::cache {
 
-void FingerprintTable::put(rabin::Fingerprint fp, FpEntry entry) {
-  map_[fp] = entry;
-}
-
-std::optional<FpEntry> FingerprintTable::get(rabin::Fingerprint fp) const {
-  auto it = map_.find(fp);
-  if (it == map_.end()) return std::nullopt;
-  return it->second;
-}
-
-void FingerprintTable::erase(rabin::Fingerprint fp) { map_.erase(fp); }
-
 std::size_t FingerprintTable::audit(const PacketStore& store) const {
   if (!util::kAuditEnabled) return 0;
   std::size_t stale = 0;
-  for (const auto& [fp, entry] : map_) {
+  map_.for_each([&](std::uint64_t fp, const FpEntry& entry) {
     BC_AUDIT(entry.packet_id != 0 && entry.packet_id < store.next_id())
         << "fingerprint 0x" << std::hex << fp << std::dec
         << " references id " << entry.packet_id
@@ -30,16 +18,14 @@ std::size_t FingerprintTable::audit(const PacketStore& store) const {
     const CachedPacket* pkt = store.peek(entry.packet_id);
     if (pkt == nullptr) {
       ++stale;  // packet evicted since the entry was written: legal
-      continue;
+      return;
     }
     BC_AUDIT(entry.offset < pkt->payload.size())
         << "fingerprint 0x" << std::hex << fp << std::dec << " offset "
         << entry.offset << " outside payload of " << pkt->payload.size()
         << " bytes (id " << entry.packet_id << ")";
-  }
+  });
   return stale;
 }
-
-void FingerprintTable::clear() { map_.clear(); }
 
 }  // namespace bytecache::cache

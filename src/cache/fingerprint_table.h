@@ -5,12 +5,19 @@
 // offset of the window within that packet; inserting an existing
 // fingerprint overwrites the entry ("the encoder also updates its cache by
 // replacing the entry for r from Pstored to Pnew", Section III-A).
+//
+// Backed by the open-addressing FlatMap64 (see flat_map.h) rather than
+// std::unordered_map: one contiguous probe per lookup and no per-entry
+// allocation on the encoder's per-packet path.  Entries whose packet was
+// evicted are purged eagerly by ByteCache's eviction hook, so the table's
+// memory is bounded by the live cache contents; lazy invalidation at
+// lookup time remains as defense in depth.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
+#include "cache/flat_map.h"
 #include "rabin/rabin.h"
 
 namespace bytecache::cache {
@@ -24,36 +31,60 @@ struct FpEntry {
 
 class FingerprintTable {
  public:
-  /// Inserts or overwrites the entry for `fp`.
-  void put(rabin::Fingerprint fp, FpEntry entry);
+  /// Inserts or overwrites the entry for `fp`.  Entries must reference a
+  /// store-assigned id (never 0).
+  void put(rabin::Fingerprint fp, FpEntry entry) {
+    if (entry.packet_id == 0) return;
+    map_.put(fp, entry);
+  }
 
   /// Looks up `fp`; nullopt if absent.
-  [[nodiscard]] std::optional<FpEntry> get(rabin::Fingerprint fp) const;
+  [[nodiscard]] std::optional<FpEntry> get(rabin::Fingerprint fp) const {
+    const FpEntry* e = map_.find(fp);
+    if (e == nullptr) return std::nullopt;
+    return *e;
+  }
 
-  /// Removes the entry for `fp` if present (lazy invalidation of entries
-  /// whose packet was evicted).
-  void erase(rabin::Fingerprint fp);
+  /// Removes the entry for `fp` if present.
+  void erase(rabin::Fingerprint fp) { map_.erase(fp); }
 
-  void clear();
+  /// Removes the entry for `fp` only if it references `packet_id` (the
+  /// eviction-purge path: a newer packet may have overwritten the entry,
+  /// which must then survive the old packet's eviction).  Returns true if
+  /// an entry was removed.
+  bool erase_if_owner(rabin::Fingerprint fp, std::uint64_t packet_id) {
+    const FpEntry* e = map_.find(fp);
+    if (e == nullptr || e->packet_id != packet_id) return false;
+    map_.erase(fp);
+    return true;
+  }
+
+  void clear() { map_.clear(); }
+
+  /// Pre-sizes the table for `n` fingerprints (derived from the cache
+  /// byte budget by ByteCache) so steady-state inserts never rehash.
+  void reserve(std::size_t n) { map_.reserve(n); }
 
   /// Deep invariant audit against the store the entries point into
   /// (BC_AUDIT; no-op unless the build enables audits).  Every entry
   /// either resolves — its packet id was assigned by `store`, is present,
   /// and the recorded offset lies inside the payload — or is stale
   /// (packet evicted), which lazy invalidation permits.  Returns the
-  /// number of stale entries so callers can bound staleness if they wish.
+  /// number of stale entries so callers can bound staleness if they wish
+  /// (with eviction purging wired, it stays 0).
   std::size_t audit(const PacketStore& store) const;
 
   [[nodiscard]] std::size_t size() const { return map_.size(); }
 
-  /// Raw view for snapshots (unordered).
-  [[nodiscard]] const std::unordered_map<rabin::Fingerprint, FpEntry>&
-  entries() const {
-    return map_;
+  /// Visits every (fingerprint, entry) pair in unspecified order
+  /// (snapshots and audits).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each(fn);
   }
 
  private:
-  std::unordered_map<rabin::Fingerprint, FpEntry> map_;
+  FlatMap64<FpEntry> map_;
 };
 
 }  // namespace bytecache::cache

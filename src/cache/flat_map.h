@@ -1,0 +1,145 @@
+// Open-addressing hash map with 64-bit keys, shared by the data-plane
+// cache structures (FingerprintTable, PacketStore's id index).
+//
+// Why not std::unordered_map: the node-based layout costs one allocation
+// per insert and a pointer chase per probe — both on the encoder's
+// per-packet path.  This table stores slots contiguously, probes
+// linearly from a mixed hash (the keys are Rabin fingerprints whose low
+// `select_bits` bits are zero by construction, so the raw value must
+// never be used as an index), and deletes by backward shifting instead
+// of tombstones, so lookup cost never degrades with churn.  Capacity is
+// a power of two; the load factor is kept at or below 3/4.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bytecache::cache {
+
+/// Murmur3-style 64-bit finalizer: full-avalanche, so clustered or
+/// low-bit-zero keys spread uniformly over the slot array.
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+template <typename V>
+class FlatMap64 {
+ public:
+  FlatMap64() { rehash(kMinCapacity); }
+
+  /// Pre-sizes the table so `n` entries fit without growing.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 / 4 < n) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  /// Inserts or overwrites the value for `key`.
+  void put(std::uint64_t key, const V& value) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) rehash(slots_.size() * 2);
+    std::size_t i = mix64(key) & mask_;
+    while (slots_[i].used) {
+      if (slots_[i].key == key) {
+        slots_[i].value = value;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i].key = key;
+    slots_[i].value = value;
+    slots_[i].used = 1;
+    ++size_;
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.  Stable only
+  /// until the next put/erase.
+  [[nodiscard]] const V* find(std::uint64_t key) const {
+    std::size_t i = mix64(key) & mask_;
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] V* find(std::uint64_t key) {
+    return const_cast<V*>(static_cast<const FlatMap64*>(this)->find(key));
+  }
+
+  /// Removes `key` if present; backward-shifts the probe chain so no
+  /// tombstone is left behind.  Returns true if an entry was removed.
+  bool erase(std::uint64_t key) {
+    std::size_t i = mix64(key) & mask_;
+    while (true) {
+      if (!slots_[i].used) return false;
+      if (slots_[i].key == key) break;
+      i = (i + 1) & mask_;
+    }
+    // Knuth Vol. 3, 6.4 Algorithm R: refill the hole with any later
+    // element of the probe chain whose home slot does not lie cyclically
+    // inside (i, j], repeating until a gap terminates the chain.
+    std::size_t j = i;
+    while (true) {
+      slots_[i].used = 0;
+      while (true) {
+        j = (j + 1) & mask_;
+        if (!slots_[j].used) {
+          --size_;
+          return true;
+        }
+        const std::size_t home = mix64(slots_[j].key) & mask_;
+        const bool reachable = i <= j ? (home <= i || home > j)
+                                      : (home <= i && home > j);
+        if (reachable) break;
+      }
+      slots_[i] = slots_[j];
+      i = j;
+    }
+  }
+
+  void clear() {
+    for (Slot& s : slots_) s.used = 0;
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Visits every (key, value) pair in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.used) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  struct Slot {
+    std::uint64_t key = 0;
+    V value{};
+    std::uint8_t used = 0;
+  };
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.used) put(s.key, s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bytecache::cache

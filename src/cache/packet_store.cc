@@ -8,53 +8,127 @@ namespace bytecache::cache {
 
 PacketStore::PacketStore(std::size_t byte_budget) : byte_budget_(byte_budget) {}
 
+std::uint32_t PacketStore::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void PacketStore::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  // clear() keeps heap capacity: the next occupant reuses the buffers.
+  s.pkt.payload.clear();
+  s.pkt.fps.clear();
+  s.pkt.id = 0;
+  s.live = false;
+  free_.push_back(slot);
+}
+
+void PacketStore::link_front(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.prev = kNil;
+  s.next = head_;
+  if (head_ != kNil) slots_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+void PacketStore::link_back(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.next = kNil;
+  s.prev = tail_;
+  if (tail_ != kNil) slots_[tail_].next = slot;
+  tail_ = slot;
+  if (head_ == kNil) head_ = slot;
+}
+
+void PacketStore::unlink(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (s.prev != kNil) slots_[s.prev].next = s.next;
+  if (s.next != kNil) slots_[s.next].prev = s.prev;
+  if (head_ == slot) head_ = s.next;
+  if (tail_ == slot) tail_ = s.prev;
+  s.prev = s.next = kNil;
+}
+
 std::uint64_t PacketStore::insert(util::BytesView payload,
-                                  const PacketMeta& meta) {
-  CachedPacket entry;
-  entry.id = next_id_++;
-  entry.payload.assign(payload.begin(), payload.end());
-  entry.meta = meta;
-  bytes_used_ += entry.payload.size();
-  lru_.push_front(std::move(entry));
-  index_.emplace(lru_.front().id, lru_.begin());
+                                  const PacketMeta& meta,
+                                  const std::vector<rabin::Anchor>& anchors) {
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.pkt.id = next_id_++;
+  s.pkt.payload.assign(payload.begin(), payload.end());
+  s.pkt.meta = meta;
+  s.pkt.fps.clear();
+  s.pkt.fps.reserve(anchors.size());
+  for (const rabin::Anchor& a : anchors) s.pkt.fps.push_back(a.fp);
+  s.live = true;
+  bytes_used_ += s.pkt.payload.size();
+  link_front(slot);
+  index_.put(s.pkt.id, slot);
   evict_to_budget();
-  return lru_.empty() ? 0 : lru_.front().id;
+  return head_ == kNil ? 0 : slots_[head_].pkt.id;
 }
 
 const CachedPacket* PacketStore::lookup(std::uint64_t id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-  return &*it->second;
+  const std::uint32_t* slot = index_.find(id);
+  if (slot == nullptr) return nullptr;
+  if (head_ != *slot) {  // move to front
+    unlink(*slot);
+    link_front(*slot);
+  }
+  return &slots_[*slot].pkt;
 }
 
 const CachedPacket* PacketStore::peek(std::uint64_t id) const {
-  auto it = index_.find(id);
-  return it == index_.end() ? nullptr : &*it->second;
+  const std::uint32_t* slot = index_.find(id);
+  return slot == nullptr ? nullptr : &slots_[*slot].pkt;
 }
 
 bool PacketStore::contains(std::uint64_t id) const {
-  return index_.count(id) != 0;
+  return index_.find(id) != nullptr;
+}
+
+void PacketStore::note_fingerprint(std::uint64_t id, rabin::Fingerprint fp) {
+  const std::uint32_t* slot = index_.find(id);
+  if (slot != nullptr) slots_[*slot].pkt.fps.push_back(fp);
 }
 
 void PacketStore::restore(CachedPacket entry) {
   next_id_ = std::max(next_id_, entry.id + 1);
   bytes_used_ += entry.payload.size();
-  lru_.push_back(std::move(entry));
-  index_.emplace(lru_.back().id, std::prev(lru_.end()));
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.pkt = std::move(entry);
+  s.live = true;
+  link_back(slot);
+  index_.put(s.pkt.id, slot);
 }
 
 bool PacketStore::erase(std::uint64_t id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  bytes_used_ -= it->second->payload.size();
-  lru_.erase(it->second);
-  index_.erase(it);
+  const std::uint32_t* found = index_.find(id);
+  if (found == nullptr) return false;
+  const std::uint32_t slot = *found;
+  if (listener_ != nullptr) listener_->on_evict(slots_[slot].pkt);
+  bytes_used_ -= slots_[slot].pkt.payload.size();
+  unlink(slot);
+  index_.erase(id);
+  release_slot(slot);
   return true;
 }
 
 void PacketStore::clear() {
-  lru_.clear();
+  for (std::uint32_t s = head_; s != kNil;) {
+    const std::uint32_t next = slots_[s].next;
+    slots_[s].prev = slots_[s].next = kNil;
+    release_slot(s);
+    s = next;
+  }
+  head_ = tail_ = kNil;
   index_.clear();
   bytes_used_ = 0;
 }
@@ -63,26 +137,38 @@ void PacketStore::audit() const {
   if (!util::kAuditEnabled) return;
   std::size_t bytes = 0;
   std::size_t entries = 0;
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    bytes += it->payload.size();
+  std::uint32_t prev = kNil;
+  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+    const Slot& slot = slots_[s];
+    bytes += slot.pkt.payload.size();
     ++entries;
-    BC_AUDIT(it->id != 0 && it->id < next_id_)
-        << "stored id " << it->id << " was never assigned (next_id "
+    BC_AUDIT(slot.live) << "LRU chain reaches freed slot " << s;
+    BC_AUDIT(slot.prev == prev)
+        << "slot " << s << " back-link " << slot.prev
+        << " does not match predecessor " << prev;
+    BC_AUDIT(slot.pkt.id != 0 && slot.pkt.id < next_id_)
+        << "stored id " << slot.pkt.id << " was never assigned (next_id "
         << next_id_ << ")";
-    auto idx = index_.find(it->id);
-    BC_AUDIT(idx != index_.end())
-        << "LRU entry " << it->id << " missing from the id index";
-    if (idx != index_.end()) {
-      BC_AUDIT(idx->second == it)
-          << "index iterator for id " << it->id
-          << " does not point at its LRU node";
+    const std::uint32_t* idx = index_.find(slot.pkt.id);
+    BC_AUDIT(idx != nullptr)
+        << "LRU entry " << slot.pkt.id << " missing from the id index";
+    if (idx != nullptr) {
+      BC_AUDIT(*idx == s) << "index entry for id " << slot.pkt.id
+                          << " points at slot " << *idx << ", not " << s;
     }
+    prev = s;
   }
-  // Together with the per-entry lookups above this makes index_ <-> lru_ a
-  // bijection: every list node is indexed, and the sizes match.
+  BC_AUDIT(tail_ == prev)
+      << "LRU tail " << tail_ << " does not terminate the chain (" << prev
+      << ")";
+  // Together with the per-entry lookups above this makes index_ <-> chain
+  // a bijection: every chain node is indexed, and the sizes match.
   BC_AUDIT(entries == index_.size())
-      << "LRU list has " << entries << " entries but the index has "
+      << "LRU chain has " << entries << " entries but the index has "
       << index_.size();
+  BC_AUDIT(entries + free_.size() == slots_.size())
+      << entries << " live + " << free_.size() << " free slots != slab of "
+      << slots_.size();
   BC_AUDIT(bytes == bytes_used_)
       << "bytes_used_ " << bytes_used_ << " != sum of payload sizes "
       << bytes;
@@ -94,12 +180,15 @@ void PacketStore::audit() const {
 
 void PacketStore::evict_to_budget() {
   if (byte_budget_ == 0) return;
-  while (bytes_used_ > byte_budget_ && lru_.size() > 1) {
+  while (bytes_used_ > byte_budget_ && head_ != tail_) {
     // Never evict the entry just inserted (front).
-    const CachedPacket& victim = lru_.back();
-    bytes_used_ -= victim.payload.size();
-    index_.erase(victim.id);
-    lru_.pop_back();
+    const std::uint32_t victim = tail_;
+    const CachedPacket& pkt = slots_[victim].pkt;
+    if (listener_ != nullptr) listener_->on_evict(pkt);
+    bytes_used_ -= pkt.payload.size();
+    index_.erase(pkt.id);
+    unlink(victim);
+    release_slot(victim);
     ++evictions_;
   }
 }

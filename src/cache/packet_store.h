@@ -1,18 +1,28 @@
-// Byte-budgeted LRU store of packet payloads.
+// Byte-budgeted LRU store of packet payloads, backed by a slab of
+// reusable slots.
 //
 // Both gateway caches hold full copies of recently seen payloads, keyed by
 // a store-assigned id.  The store evicts least-recently-used payloads when
-// a byte budget is exceeded; fingerprint-table entries that point at an
-// evicted payload are invalidated lazily at lookup time (ByteCache checks
-// `contains`).  The paper sizes caches so eviction does not occur within an
-// experiment; the budget exists so the library is usable long-running.
+// a byte budget is exceeded.  Fingerprint-table entries pointing at an
+// evicted payload are purged eagerly through the EvictionListener hook
+// (ByteCache implements it); lazy invalidation at lookup time remains as
+// defense in depth.  The paper sizes caches so eviction does not occur
+// within an experiment; the budget exists so the library is usable
+// long-running.
+//
+// Layout: entries live in a slot vector with intrusive prev/next links
+// forming the LRU list, a freelist recycles slots, and the id index is an
+// open-addressing FlatMap64.  An evicted slot keeps its payload (and
+// fingerprint list) capacity, so steady-state insert/evict churn touches
+// the allocator only when a payload outgrows every buffer seen before —
+// the "pooled packet store" half of the zero-allocation data plane.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <optional>
-#include <unordered_map>
+#include <vector>
 
+#include "cache/flat_map.h"
+#include "rabin/window.h"
 #include "util/bytes.h"
 
 namespace bytecache::cache {
@@ -44,6 +54,19 @@ struct CachedPacket {
   std::uint64_t id = 0;
   util::Bytes payload;
   PacketMeta meta;
+  /// Selected fingerprints recorded for this payload at insert time; the
+  /// eviction purge erases exactly these from the fingerprint table.
+  std::vector<rabin::Fingerprint> fps;
+};
+
+/// Eviction hook: notified with each packet the store expels to meet its
+/// byte budget (NOT on clear(), whose callers reset the whole cache).
+/// A plain interface rather than std::function keeps the hot path free
+/// of type-erased dispatch and allocation (see tools/lint.py bc-hotpath).
+class EvictionListener {
+ public:
+  virtual ~EvictionListener() = default;
+  virtual void on_evict(const CachedPacket& pkt) = 0;
 };
 
 class PacketStore {
@@ -51,8 +74,17 @@ class PacketStore {
   /// `byte_budget` bounds the sum of stored payload sizes (0 = unbounded).
   explicit PacketStore(std::size_t byte_budget = 0);
 
-  /// Stores a payload copy; returns its id.  May evict LRU entries.
-  std::uint64_t insert(util::BytesView payload, const PacketMeta& meta);
+  /// Registers the eviction hook (at most one; nullptr detaches).
+  void set_evict_listener(EvictionListener* listener) {
+    listener_ = listener;
+  }
+
+  /// Stores a payload copy; returns its id.  May evict LRU entries (each
+  /// reported to the eviction listener).  `anchors` is the payload's
+  /// selected anchor set, whose fingerprints are retained for the
+  /// eviction purge.
+  std::uint64_t insert(util::BytesView payload, const PacketMeta& meta,
+                       const std::vector<rabin::Anchor>& anchors = {});
 
   /// Returns the packet and marks it most-recently-used; nullptr if absent.
   [[nodiscard]] const CachedPacket* lookup(std::uint64_t id);
@@ -62,19 +94,63 @@ class PacketStore {
 
   [[nodiscard]] bool contains(std::uint64_t id) const;
 
-  /// Removes one packet (e.g. after a decoder NACK names it as lost).
-  /// Returns true if it was present.
+  /// Removes one packet (e.g. after a decoder NACK names it as lost),
+  /// reporting it to the eviction listener so dependent fingerprint
+  /// entries are purged.  Returns true if it was present.
   bool erase(std::uint64_t id);
 
-  /// Drops everything (cache flush).
+  /// Drops everything (cache flush).  Slot buffers are retained for
+  /// reuse; the eviction listener is NOT notified (callers reset the
+  /// fingerprint table wholesale).
   void clear();
 
   [[nodiscard]] std::size_t size() const { return index_.size(); }
 
-  /// Entries from most- to least-recently used (snapshot/debug only).
-  [[nodiscard]] const std::list<CachedPacket>& entries() const {
-    return lru_;
-  }
+  /// Records `fp` as belonging to stored packet `id` (snapshot restore
+  /// path, which bypasses insert()); no-op if the id is absent.
+  void note_fingerprint(std::uint64_t id, rabin::Fingerprint fp);
+
+  /// Iterable view of the stored packets from most- to least-recently
+  /// used (snapshot/debug only).
+  class EntryView {
+   public:
+    class iterator {
+     public:
+      iterator(const PacketStore* store, std::uint32_t slot)
+          : store_(store), slot_(slot) {}
+      const CachedPacket& operator*() const {
+        return store_->slots_[slot_].pkt;
+      }
+      const CachedPacket* operator->() const {
+        return &store_->slots_[slot_].pkt;
+      }
+      iterator& operator++() {
+        slot_ = store_->slots_[slot_].next;
+        return *this;
+      }
+      bool operator==(const iterator& o) const { return slot_ == o.slot_; }
+      bool operator!=(const iterator& o) const { return slot_ != o.slot_; }
+
+     private:
+      const PacketStore* store_;
+      std::uint32_t slot_;
+    };
+
+    explicit EntryView(const PacketStore* store) : store_(store) {}
+    [[nodiscard]] iterator begin() const {
+      return iterator(store_, store_->head_);
+    }
+    [[nodiscard]] iterator end() const { return iterator(store_, kNil); }
+    [[nodiscard]] std::size_t size() const { return store_->size(); }
+    [[nodiscard]] const CachedPacket& front() const {
+      return store_->slots_[store_->head_].pkt;
+    }
+
+   private:
+    const PacketStore* store_;
+  };
+
+  [[nodiscard]] EntryView entries() const { return EntryView(this); }
 
   /// Re-inserts a snapshotted entry at the LRU tail; callers restore in
   /// MRU-to-LRU order so recency is preserved.  Ids are kept; the id
@@ -89,20 +165,38 @@ class PacketStore {
 
   /// Deep invariant audit (BC_AUDIT; no-op unless the build enables
   /// audits): byte accounting equals the sum of stored payload sizes, the
-  /// id index and the LRU list are a bijection, every id is one the store
-  /// assigned, and the byte budget holds whenever eviction can enforce it.
+  /// id index and the LRU chain are a bijection, live and free slots
+  /// partition the slab, every id is one the store assigned, and the byte
+  /// budget holds whenever eviction can enforce it.
   void audit() const;
 
  private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Slot {
+    CachedPacket pkt;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    bool live = false;
+  };
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void link_front(std::uint32_t slot);
+  void link_back(std::uint32_t slot);
+  void unlink(std::uint32_t slot);
   void evict_to_budget();
 
   std::size_t byte_budget_;
   std::size_t bytes_used_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t evictions_ = 0;
-  // Front = most recently used.
-  std::list<CachedPacket> lru_;
-  std::unordered_map<std::uint64_t, std::list<CachedPacket>::iterator> index_;
+  std::uint32_t head_ = kNil;  // most recently used
+  std::uint32_t tail_ = kNil;  // least recently used
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;      // recycled slot indices
+  FlatMap64<std::uint32_t> index_;       // id -> slot
+  EvictionListener* listener_ = nullptr;
 };
 
 }  // namespace bytecache::cache

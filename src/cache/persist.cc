@@ -24,11 +24,11 @@ util::Bytes serialize_cache(const ByteCache& cache) {
     util::append(out, p.payload);
   }
   util::put_u32(out, static_cast<std::uint32_t>(cache.table().size()));
-  for (const auto& [fp, entry] : cache.table().entries()) {
+  cache.table().for_each([&](rabin::Fingerprint fp, const FpEntry& entry) {
     util::put_u64(out, fp);
     util::put_u64(out, entry.packet_id);
     util::put_u16(out, entry.offset);
-  }
+  });
   return out;
 }
 

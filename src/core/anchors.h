@@ -14,20 +14,47 @@
 
 namespace bytecache::core {
 
-[[nodiscard]] inline std::vector<rabin::Anchor> compute_anchors(
+/// Reusable per-codec anchor buffers: the output vector plus the MAXP
+/// selection scratch.  Encoder and Decoder each own one, so steady-state
+/// anchor computation never touches the allocator.
+struct AnchorWorkspace {
+  std::vector<rabin::Anchor> anchors;
+  rabin::MaxpScratch maxp;
+};
+
+/// Fills `ws.anchors` with the payload's selected anchors and returns a
+/// reference to it.  The reference is invalidated by the next call with
+/// the same workspace.
+inline const std::vector<rabin::Anchor>& compute_anchors(
     const rabin::RabinTables& tables, util::BytesView payload,
-    const DreParams& params) {
+    const DreParams& params, AnchorWorkspace& ws) {
   switch (params.select_mode) {
     case SelectMode::kMaxp:
-      return rabin::selected_anchors_maxp(tables, payload, params.maxp_p);
+      rabin::selected_anchors_maxp_into(tables, payload, params.maxp_p,
+                                        ws.anchors, ws.maxp);
+      return ws.anchors;
     case SelectMode::kSampleByte:
-      return rabin::selected_anchors_samplebyte(tables, payload,
-                                                params.samplebyte_period,
-                                                params.samplebyte_skip);
+      rabin::selected_anchors_samplebyte_into(tables, payload,
+                                              params.samplebyte_period,
+                                              params.samplebyte_skip,
+                                              ws.anchors);
+      return ws.anchors;
     case SelectMode::kValueSampling:
       break;
   }
-  return rabin::selected_anchors(tables, payload, params.select_bits);
+  rabin::selected_anchors_into(tables, payload, params.select_bits,
+                               ws.anchors);
+  return ws.anchors;
+}
+
+/// By-value convenience for callers without a long-lived workspace
+/// (tests, one-shot analysis); the codecs use the workspace form.
+[[nodiscard]] inline std::vector<rabin::Anchor> compute_anchors(
+    const rabin::RabinTables& tables, util::BytesView payload,
+    const DreParams& params) {
+  AnchorWorkspace ws;
+  compute_anchors(tables, payload, params, ws);
+  return std::move(ws.anchors);
 }
 
 }  // namespace bytecache::core

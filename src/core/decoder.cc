@@ -51,8 +51,7 @@ bool Decoder::load_state(util::BytesView snapshot) {
 
 void Decoder::cache_update(util::BytesView payload) {
   if (payload.size() < params_.window || payload.size() > 0xFFFF) return;
-  const auto anchors =
-      compute_anchors(tables_, payload, params_);
+  const auto& anchors = compute_anchors(tables_, payload, params_, anchor_ws_);
   cache::PacketMeta meta;
   meta.stream_index = stream_index_++;
   cache_.update(payload, anchors, meta);
@@ -99,23 +98,24 @@ DecodeInfo Decoder::process_encoded(packet::Packet& pkt) {
   DecodeInfo info;
   info.received_size = pkt.payload.size();
 
-  auto enc = EncodedPayload::parse(pkt.payload);
-  if (!enc) {
+  const EncodedPayload& enc = enc_;
+  if (!EncodedPayload::parse_into(pkt.payload, enc_)) {
     info.status = DecodeStatus::kMalformedShim;
     return info;
   }
-  info.regions = enc->regions.size();
-  info.epoch = enc->epoch;
+  info.regions = enc.regions.size();
+  info.epoch = enc.epoch;
 
-  util::Bytes out;
-  out.reserve(enc->orig_len);
+  util::Bytes& out = reassembly_;
+  out.clear();
+  out.reserve(enc.orig_len);
   std::size_t lit = 0;  // cursor into literals
   std::size_t pos = 0;  // cursor into the reconstruction
-  for (const EncodedRegion& r : enc->regions) {
+  for (const EncodedRegion& r : enc.regions) {
     // Literal gap before the region.
     const std::size_t gap = r.offset_new - pos;
-    out.insert(out.end(), enc->literals.begin() + lit,
-               enc->literals.begin() + lit + gap);
+    out.insert(out.end(), enc.literals.begin() + lit,
+               enc.literals.begin() + lit + gap);
     lit += gap;
     pos += gap;
     // The region itself, from the cache.
@@ -134,15 +134,15 @@ DecodeInfo Decoder::process_encoded(packet::Packet& pkt) {
                stored.begin() + r.offset_stored + r.length);
     pos += r.length;
   }
-  out.insert(out.end(), enc->literals.begin() + lit, enc->literals.end());
+  out.insert(out.end(), enc.literals.begin() + lit, enc.literals.end());
 
-  if (util::crc32(out) != enc->crc) {
+  if (util::crc32(out) != enc.crc) {
     info.status = DecodeStatus::kCrcMismatch;
     return info;
   }
 
-  pkt.payload = std::move(out);
-  pkt.ip.protocol = enc->orig_proto;
+  pkt.payload.swap(out);
+  pkt.ip.protocol = enc.orig_proto;
   pkt.ip.total_length = static_cast<std::uint16_t>(
       packet::Ipv4Header::kSize + pkt.payload.size());
   info.status = DecodeStatus::kDecoded;

@@ -16,7 +16,9 @@
 #include <cstdint>
 
 #include "cache/byte_cache.h"
+#include "core/anchors.h"
 #include "core/params.h"
+#include "core/wire.h"
 #include "packet/packet.h"
 #include "rabin/window.h"
 
@@ -99,6 +101,13 @@ class Decoder {
   cache::ByteCache cache_;
   DecoderStats stats_;
   std::uint64_t stream_index_ = 0;
+
+  // Per-packet scratch, reused across process() calls (mirrors the
+  // encoder): anchor buffers, the parsed encoded form, and the
+  // reconstruction buffer swapped into the packet.
+  AnchorWorkspace anchor_ws_;
+  EncodedPayload enc_;
+  util::Bytes reassembly_;
 };
 
 }  // namespace bytecache::core

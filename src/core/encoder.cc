@@ -17,11 +17,14 @@ namespace {
 
 struct TcpInfo {
   std::uint32_t seq = 0;
+  std::uint32_t end_seq = 0;  // seq + data length
   std::uint64_t flow_key = 0;
 };
 
-/// TCP data segments carry their sequence number and flow identity;
+/// TCP data segments carry their sequence range and flow identity;
 /// everything else (pure ACKs, UDP, unknown protocols) yields nullopt.
+/// The single header parse per packet: everything downstream (policy
+/// context, cache meta) reads from this struct.
 std::optional<TcpInfo> data_tcp_info(const packet::Packet& pkt) {
   if (pkt.proto() != packet::IpProto::kTcp) return std::nullopt;
   auto h = packet::TcpHeader::parse_unchecked(pkt.payload);
@@ -29,6 +32,8 @@ std::optional<TcpInfo> data_tcp_info(const packet::Packet& pkt) {
   if (pkt.payload.size() <= packet::TcpHeader::kSize) return std::nullopt;
   TcpInfo info;
   info.seq = h->seq;
+  info.end_seq = h->seq + static_cast<std::uint32_t>(
+                              pkt.payload.size() - packet::TcpHeader::kSize);
   info.flow_key = flow_key_of(pkt.ip.src, pkt.ip.dst, h->src_port,
                               h->dst_port);
   return info;
@@ -150,12 +155,14 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
   }
 
   const util::BytesView payload(pkt.payload);
-  const auto anchors =
-      compute_anchors(tables_, payload, params_);
+  const auto& anchors = compute_anchors(tables_, payload, params_, anchor_ws_);
 
   // ---- Redundancy identification and elimination (Fig. 2 procedure B) ----
-  std::vector<EncodedRegion> regions;
-  std::vector<std::uint64_t> dep_ids;  // store ids, deduplicated
+  // Regions are built directly into the reusable encoded-form scratch.
+  std::vector<EncodedRegion>& regions = enc_.regions;
+  regions.clear();
+  std::vector<std::uint64_t>& dep_ids = dep_ids_;  // store ids, deduplicated
+  dep_ids.clear();
   if (decision.allow_encode) {
     std::size_t cursor = 0;  // end of the last emitted region
     for (const rabin::Anchor& a : anchors) {
@@ -197,10 +204,7 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
   cache::PacketMeta meta;
   meta.has_tcp_seq = tcp.has_value();
   meta.tcp_seq = tcp ? tcp->seq : 0;
-  meta.tcp_end_seq =
-      tcp ? tcp->seq + static_cast<std::uint32_t>(
-                           pkt.payload.size() - packet::TcpHeader::kSize)
-          : 0;
+  meta.tcp_end_seq = tcp ? tcp->end_seq : 0;
   meta.flow_key = ctx.flow_key;
   meta.stream_index = ctx.stream_index;
   meta.epoch = epoch_;
@@ -209,15 +213,13 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
 
   // ---- Substitute, if it actually shrinks the packet ----
   if (!regions.empty()) {
-    EncodedPayload enc;
+    EncodedPayload& enc = enc_;  // regions already built in place above
     enc.orig_proto = pkt.ip.protocol;
+    enc.flags = epoch_bumped_ ? kFlagFlushEpoch : 0;
     enc.epoch = epoch_;
-    if (epoch_bumped_) {
-      enc.flags |= kFlagFlushEpoch;
-    }
     enc.orig_len = static_cast<std::uint16_t>(pkt.payload.size());
     enc.crc = util::crc32(payload);
-    enc.regions = regions;
+    enc.literals.clear();
     std::size_t pos = 0;
     for (const EncodedRegion& r : regions) {
       enc.literals.insert(enc.literals.end(), pkt.payload.begin() + pos,
@@ -227,7 +229,8 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
     enc.literals.insert(enc.literals.end(), pkt.payload.begin() + pos,
                         pkt.payload.end());
     if (enc.wire_size() < pkt.payload.size()) {
-      pkt.payload = enc.serialize();
+      enc.serialize_into(wire_);
+      pkt.payload.swap(wire_);
       pkt.ip.protocol = static_cast<std::uint8_t>(packet::IpProto::kDre);
       pkt.ip.total_length = static_cast<std::uint16_t>(
           packet::Ipv4Header::kSize + pkt.payload.size());

@@ -19,9 +19,11 @@
 #include <vector>
 
 #include "cache/byte_cache.h"
+#include "core/anchors.h"
 #include "core/params.h"
 #include "core/policy.h"
 #include "core/region.h"
+#include "core/wire.h"
 #include "packet/packet.h"
 #include "rabin/window.h"
 
@@ -117,6 +119,16 @@ class Encoder {
   bool epoch_bumped_ = false;  // next encoded packet carries the flag
   // ack-gated mode: per-flow highest cumulative ACK seen.
   std::unordered_map<std::uint64_t, std::uint32_t> highest_ack_;
+
+  // Per-packet scratch, reused across process() calls so the steady-state
+  // hot path stays allocation-free: anchor buffers, the dependency-id
+  // dedup list, the encoded form under construction (its region and
+  // literal vectors keep their capacity), and the serialized wire bytes
+  // that are swapped into the packet.
+  AnchorWorkspace anchor_ws_;
+  std::vector<std::uint64_t> dep_ids_;
+  EncodedPayload enc_;
+  util::Bytes wire_;
 };
 
 }  // namespace bytecache::core

@@ -2,8 +2,8 @@
 
 namespace bytecache::core {
 
-util::Bytes EncodedPayload::serialize() const {
-  util::Bytes out;
+void EncodedPayload::serialize_into(util::Bytes& out) const {
+  out.clear();
   out.reserve(wire_size());
   util::put_u8(out, kShimMagic);
   util::put_u8(out, orig_proto);
@@ -19,14 +19,18 @@ util::Bytes EncodedPayload::serialize() const {
     util::put_u16(out, r.length);
   }
   util::append(out, literals);
+}
+
+util::Bytes EncodedPayload::serialize() const {
+  util::Bytes out;
+  serialize_into(out);
   return out;
 }
 
-std::optional<EncodedPayload> EncodedPayload::parse(util::BytesView wire) {
-  if (wire.size() < kShimBytes) return std::nullopt;
+bool EncodedPayload::parse_into(util::BytesView wire, EncodedPayload& p) {
+  if (wire.size() < kShimBytes) return false;
   std::size_t off = 0;
-  if (util::get_u8(wire, off) != kShimMagic) return std::nullopt;
-  EncodedPayload p;
+  if (util::get_u8(wire, off) != kShimMagic) return false;
   p.orig_proto = util::get_u8(wire, off);
   p.flags = util::get_u8(wire, off);
   const std::size_t count = util::get_u8(wire, off);
@@ -34,10 +38,11 @@ std::optional<EncodedPayload> EncodedPayload::parse(util::BytesView wire) {
   p.orig_len = util::get_u16(wire, off);
   p.crc = util::get_u32(wire, off);
   if (wire.size() < kShimBytes + count * EncodedRegion::kWireBytes) {
-    return std::nullopt;
+    return false;
   }
   std::size_t covered = 0;
   std::size_t prev_end = 0;
+  p.regions.clear();
   p.regions.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     EncodedRegion r;
@@ -46,10 +51,10 @@ std::optional<EncodedPayload> EncodedPayload::parse(util::BytesView wire) {
     r.offset_stored = util::get_u16(wire, off);
     r.length = util::get_u16(wire, off);
     // Regions must be non-overlapping, in order, and inside the original.
-    if (r.length == 0) return std::nullopt;
-    if (r.offset_new < prev_end) return std::nullopt;
+    if (r.length == 0) return false;
+    if (r.offset_new < prev_end) return false;
     if (static_cast<std::size_t>(r.offset_new) + r.length > p.orig_len) {
-      return std::nullopt;
+      return false;
     }
     prev_end = static_cast<std::size_t>(r.offset_new) + r.length;
     covered += r.length;
@@ -57,9 +62,15 @@ std::optional<EncodedPayload> EncodedPayload::parse(util::BytesView wire) {
   }
   const std::size_t literal_len = wire.size() - off;
   if (covered > p.orig_len || p.orig_len - covered != literal_len) {
-    return std::nullopt;
+    return false;
   }
   p.literals.assign(wire.begin() + off, wire.end());
+  return true;
+}
+
+std::optional<EncodedPayload> EncodedPayload::parse(util::BytesView wire) {
+  EncodedPayload p;
+  if (!parse_into(wire, p)) return std::nullopt;
   return p;
 }
 

@@ -55,10 +55,19 @@ struct EncodedPayload {
   /// Serializes to wire bytes.
   [[nodiscard]] util::Bytes serialize() const;
 
+  /// Serializes into `out`, clearing it first; reuses its capacity (the
+  /// encoder's wire scratch buffer).
+  void serialize_into(util::Bytes& out) const;
+
   /// Parses wire bytes; nullopt on malformed input (bad magic, truncated
   /// shim/regions, region out of the original bounds, or literal byte count
   /// inconsistent with orig_len and the region lengths).
   static std::optional<EncodedPayload> parse(util::BytesView wire);
+
+  /// Parse form that refills `out` in place, reusing the capacity of its
+  /// region and literal vectors (the decoder's parse scratch).  Returns
+  /// false on malformed input, in which case `out` is unspecified.
+  static bool parse_into(util::BytesView wire, EncodedPayload& out);
 };
 
 }  // namespace bytecache::core

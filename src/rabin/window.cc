@@ -1,92 +1,120 @@
 #include "rabin/window.h"
 
-#include <deque>
+#include <array>
+#include <bit>
 
 #include "util/rng.h"
 
 namespace bytecache::rabin {
 
 RollingWindow::RollingWindow(const RabinTables& tables)
-    : tables_(tables), ring_(tables.window(), 0) {}
-
-bool RollingWindow::feed(std::uint8_t b) {
-  if (fed_ < ring_.size()) {
-    fp_ = tables_.push(fp_, b);
-    ring_[fed_ % ring_.size()] = b;
-  } else {
-    const std::uint8_t out = ring_[head_];
-    fp_ = tables_.roll(fp_, out, b);
-    ring_[head_] = b;
-    head_ = (head_ + 1) % ring_.size();
-  }
-  ++fed_;
-  return full();
-}
+    : tables_(&tables),
+      ring_(std::bit_ceil(tables.window()), 0),
+      mask_(ring_.size() - 1),
+      window_(tables.window()) {}
 
 void RollingWindow::reset() {
-  head_ = 0;
   fed_ = 0;
   fp_ = kEmptyFingerprint;
   // ring contents are irrelevant until refilled
 }
 
-std::size_t scan(const RabinTables& tables, util::BytesView payload,
-                 const std::function<void(std::size_t, Fingerprint)>& sink) {
-  const std::size_t w = tables.window();
-  if (payload.size() < w) return 0;
-  RollingWindow win(tables);
-  std::size_t count = 0;
-  for (std::size_t i = 0; i < payload.size(); ++i) {
-    if (win.feed(payload[i])) {
-      sink(i + 1 - w, win.fingerprint());
-      ++count;
+std::size_t scan_erased(const RabinTables& tables, util::BytesView payload,
+                        ScanSink sink) {
+  return scan(tables, payload, sink);
+}
+
+void selected_anchors_into(const RabinTables& tables, util::BytesView payload,
+                           unsigned select_bits, std::vector<Anchor>& out) {
+  out.clear();
+  // Expected yield is one anchor per 2^select_bits positions; the small
+  // slack keeps a typical MSS payload from ever reallocating.
+  out.reserve((payload.size() >> select_bits) + 8);
+  scan(tables, payload, [&](std::size_t off, Fingerprint fp) {
+    if (selected(fp, select_bits)) {
+      out.push_back(Anchor{static_cast<std::uint16_t>(off), fp});
     }
-  }
-  return count;
+  });
+}
+
+std::vector<Anchor> selected_anchors(const RabinTables& tables,
+                                     util::BytesView payload,
+                                     unsigned select_bits) {
+  std::vector<Anchor> out;
+  selected_anchors_into(tables, payload, select_bits, out);
+  return out;
+}
+
+void selected_anchors_maxp_into(const RabinTables& tables,
+                                util::BytesView payload, std::size_t p,
+                                std::vector<Anchor>& out,
+                                MaxpScratch& scratch) {
+  out.clear();
+  const std::size_t w = tables.window();
+  if (payload.size() < w || p == 0) return;
+  const std::size_t positions = payload.size() - w + 1;
+  out.reserve(2 * positions / (p + 1) + 8);  // expected density 2/(p+1)
+
+  // Sliding-window maximum via a monotonic queue of candidates (front =
+  // current maximum; rightmost wins ties for content-defined stability),
+  // fused into the scan sink so selection is a single pass with no
+  // per-position fingerprint vector.  The queue holds at most p entries,
+  // so it lives in a power-of-two ring indexed by monotone head/tail
+  // counters — no deque, no modulo.  Each window [i-p+1, i] emits its
+  // argmax; consecutive windows usually share it, so duplicates are
+  // skipped.
+  std::vector<MaxpScratch::Candidate>& ring = scratch.ring;
+  const std::size_t cap = std::bit_ceil(p);
+  if (ring.size() < cap) ring.resize(cap);
+  const std::size_t mask = cap - 1;
+  std::size_t head = 0, tail = 0;  // queue occupies [head, tail)
+  constexpr std::uint32_t kNoneEmitted = 0xFFFFFFFFu;
+  std::uint32_t last_emitted = kNoneEmitted;
+  scan(tables, payload, [&](std::size_t i, Fingerprint fp) {
+    while (head != tail && ring[(tail - 1) & mask].fp <= fp) --tail;
+    ring[tail & mask] =
+        MaxpScratch::Candidate{static_cast<std::uint32_t>(i), fp};
+    ++tail;
+    if (ring[head & mask].idx + p <= i) ++head;
+    if (i + 1 >= p && ring[head & mask].idx != last_emitted) {
+      last_emitted = ring[head & mask].idx;
+      out.push_back(Anchor{static_cast<std::uint16_t>(last_emitted),
+                           ring[head & mask].fp});
+    }
+  });
 }
 
 std::vector<Anchor> selected_anchors_maxp(const RabinTables& tables,
                                           util::BytesView payload,
                                           std::size_t p) {
-  std::vector<Fingerprint> fps;
-  fps.reserve(payload.size());
-  scan(tables, payload,
-       [&](std::size_t, Fingerprint fp) { fps.push_back(fp); });
   std::vector<Anchor> out;
-  if (fps.empty() || p == 0) return out;
-
-  // Sliding-window maximum via a monotonic deque of candidate indices
-  // (front = current maximum; rightmost wins ties for content-defined
-  // stability).  Each window [i-p+1, i] emits its argmax; consecutive
-  // windows usually share it, so duplicates are skipped.
-  std::deque<std::size_t> dq;
-  std::size_t last_emitted = fps.size();  // sentinel: nothing emitted
-  for (std::size_t i = 0; i < fps.size(); ++i) {
-    while (!dq.empty() && fps[dq.back()] <= fps[i]) dq.pop_back();
-    dq.push_back(i);
-    if (dq.front() + p <= i) dq.pop_front();
-    if (i + 1 >= p && dq.front() != last_emitted) {
-      last_emitted = dq.front();
-      out.push_back(
-          Anchor{static_cast<std::uint16_t>(last_emitted), fps[last_emitted]});
-    }
-  }
+  MaxpScratch scratch;
+  selected_anchors_maxp_into(tables, payload, p, out, scratch);
   return out;
 }
 
-std::vector<Anchor> selected_anchors_samplebyte(const RabinTables& tables,
-                                                util::BytesView payload,
-                                                unsigned period,
-                                                std::size_t skip) {
-  std::vector<Anchor> out;
+void selected_anchors_samplebyte_into(const RabinTables& tables,
+                                      util::BytesView payload, unsigned period,
+                                      std::size_t skip,
+                                      std::vector<Anchor>& out) {
+  out.clear();
   const std::size_t w = tables.window();
-  if (payload.size() < w || period == 0) return out;
+  if (payload.size() < w || period == 0) return;
+  out.reserve(payload.size() / (period * (skip > 0 ? skip : 1)) + 8);
   // The sample set: byte values whose mixed hash lands in 1/period of the
-  // space.  Fixed (content-independent), so both gateways agree.
+  // space.  Fixed (content-independent), so both gateways agree.  Built
+  // as a 256-bit membership bitmap up front: the scan then tests one bit
+  // per position instead of paying a 64-bit mix and division per byte.
+  std::array<std::uint64_t, 4> sampled{};
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint64_t state = b;
+    if (util::splitmix64(state) % period == 0) {
+      sampled[b >> 6] |= std::uint64_t{1} << (b & 63u);
+    }
+  }
   for (std::size_t i = 0; i + w <= payload.size();) {
-    std::uint64_t state = payload[i];
-    const std::uint64_t mixed = util::splitmix64(state);
-    if (mixed % period == 0) {
+    const std::uint8_t b = payload[i];
+    if ((sampled[b >> 6] >> (b & 63u)) & 1u) {
       out.push_back(Anchor{static_cast<std::uint16_t>(i),
                            tables.of(payload.subspan(i, w))});
       i += skip > 0 ? skip : 1;
@@ -94,18 +122,14 @@ std::vector<Anchor> selected_anchors_samplebyte(const RabinTables& tables,
       ++i;
     }
   }
-  return out;
 }
 
-std::vector<Anchor> selected_anchors(const RabinTables& tables,
-                                     util::BytesView payload,
-                                     unsigned select_bits) {
+std::vector<Anchor> selected_anchors_samplebyte(const RabinTables& tables,
+                                                util::BytesView payload,
+                                                unsigned period,
+                                                std::size_t skip) {
   std::vector<Anchor> out;
-  scan(tables, payload, [&](std::size_t off, Fingerprint fp) {
-    if (selected(fp, select_bits)) {
-      out.push_back(Anchor{static_cast<std::uint16_t>(off), fp});
-    }
-  });
+  selected_anchors_samplebyte_into(tables, payload, period, skip, out);
   return out;
 }
 

@@ -2,12 +2,23 @@
 //
 // The encoder slides a w-byte window over each packet payload (paper
 // Fig. 2, procedure B) and needs the fingerprint at every byte position.
-// RollingWindow maintains the ring buffer; FingerprintScanner produces the
-// full (position, fingerprint) sequence for a payload in one pass.
+// This is the single hottest loop of the data plane, so `scan` is a
+// template that inlines its sink into the roll loop (one push-table and
+// one out-table lookup plus XORs per byte — see rabin.h) and reads the
+// outgoing byte straight from the payload instead of maintaining a ring.
+// A thin type-erased overload (`ScanSink`) remains for callers that need
+// a stable non-template entry point; it pays one indirect call per
+// position and exists mostly as the reference the equivalence tests pin
+// the inlined path against.
+//
+// RollingWindow serves the incremental (byte-at-a-time) use case where
+// the payload is not all in memory; its ring is sized to the next power
+// of two so indexing is a mask, not a division.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "rabin/rabin.h"
@@ -15,29 +26,42 @@
 
 namespace bytecache::rabin {
 
-/// Incremental w-byte rolling fingerprint.
+/// Incremental w-byte rolling fingerprint (ring-buffered; use `scan` when
+/// the whole payload is in memory).
 class RollingWindow {
  public:
   explicit RollingWindow(const RabinTables& tables);
 
   /// Feeds one byte; returns true once at least w bytes have been fed,
   /// i.e. fingerprint() covers a full window.
-  bool feed(std::uint8_t b);
+  bool feed(std::uint8_t b) {
+    if (fed_ < window_) {
+      fp_ = tables_->push(fp_, b);
+    } else {
+      // The byte fed exactly `window_` positions ago is still in the
+      // ring: capacity >= window_, so it has not been overwritten yet.
+      fp_ = tables_->roll(fp_, ring_[(fed_ - window_) & mask_], b);
+    }
+    ring_[fed_ & mask_] = b;
+    ++fed_;
+    return fed_ >= window_;
+  }
 
   /// Fingerprint of the last min(fed, w) bytes.
   [[nodiscard]] Fingerprint fingerprint() const { return fp_; }
 
   /// True once a full window has been fed.
-  [[nodiscard]] bool full() const { return fed_ >= ring_.size(); }
+  [[nodiscard]] bool full() const { return fed_ >= window_; }
 
   /// Resets to the empty state.
   void reset();
 
  private:
-  const RabinTables& tables_;
-  std::vector<std::uint8_t> ring_;
-  std::size_t head_ = 0;   // index of the oldest byte
-  std::size_t fed_ = 0;    // total bytes fed
+  const RabinTables* tables_;
+  std::vector<std::uint8_t> ring_;  // bit_ceil(window) bytes
+  std::size_t mask_ = 0;            // ring_.size() - 1 (power of two)
+  std::size_t window_ = 0;
+  std::size_t fed_ = 0;  // total bytes fed
   Fingerprint fp_ = kEmptyFingerprint;
 };
 
@@ -46,20 +70,79 @@ struct Anchor {
   /// Offset of the *first byte* of the window within the payload.
   std::uint16_t offset;
   Fingerprint fp;
+
+  friend bool operator==(const Anchor&, const Anchor&) = default;
 };
 
 /// Scans `payload` and invokes `sink(offset, fp)` for every full window
 /// position (offset = start of window, 0-based).  Returns the number of
-/// windows visited.
-std::size_t scan(const RabinTables& tables, util::BytesView payload,
-                 const std::function<void(std::size_t, Fingerprint)>& sink);
+/// windows visited.  The sink is inlined into the roll loop; it must not
+/// retain references into the scan state.
+template <typename Sink>
+inline std::size_t scan(const RabinTables& tables, util::BytesView payload,
+                        Sink&& sink) {
+  const std::size_t w = tables.window();
+  const std::size_t n = payload.size();
+  if (n < w) return 0;
+  const std::uint8_t* p = payload.data();
+  Fingerprint fp = kEmptyFingerprint;
+  for (std::size_t i = 0; i < w; ++i) fp = tables.push(fp, p[i]);
+  sink(std::size_t{0}, fp);
+  for (std::size_t i = w; i < n; ++i) {
+    fp = tables.roll(fp, p[i - w], p[i]);
+    sink(i - w + 1, fp);
+  }
+  return n - w + 1;
+}
+
+/// Non-owning type-erased sink (function_ref-style): two words, no
+/// allocation, no virtual dispatch beyond one function-pointer call.
+class ScanSink {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, ScanSink>>>
+  ScanSink(F&& f)  // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        fn_([](void* ctx, std::size_t off, Fingerprint fp) {
+          (*static_cast<std::remove_reference_t<F>*>(ctx))(off, fp);
+        }) {}
+
+  void operator()(std::size_t off, Fingerprint fp) const {
+    fn_(ctx_, off, fp);
+  }
+
+ private:
+  void* ctx_;
+  void (*fn_)(void*, std::size_t, Fingerprint);
+};
+
+/// Type-erased scan for callers that cannot (or should not) instantiate
+/// the template; one out-of-line indirect call per window position.
+std::size_t scan_erased(const RabinTables& tables, util::BytesView payload,
+                        ScanSink sink);
 
 /// Convenience: returns all *selected* anchors of `payload` (last
 /// `select_bits` bits of the fingerprint are zero) — MODP value sampling,
-/// the paper's scheme.
+/// the paper's scheme.  The `_into` form clears and refills `out`,
+/// reusing its capacity (the encoder's per-packet scratch buffer).
+void selected_anchors_into(const RabinTables& tables, util::BytesView payload,
+                           unsigned select_bits, std::vector<Anchor>& out);
 [[nodiscard]] std::vector<Anchor> selected_anchors(const RabinTables& tables,
                                                    util::BytesView payload,
                                                    unsigned select_bits);
+
+/// Reusable buffer for selected_anchors_maxp_into: the monotonic-maximum
+/// ring of (position, fingerprint) candidates — at most p live entries,
+/// so selection runs fused into the scan without materializing a
+/// per-position fingerprint vector.
+struct MaxpScratch {
+  struct Candidate {
+    std::uint32_t idx;
+    Fingerprint fp;
+  };
+  std::vector<Candidate> ring;
+};
 
 /// MAXP / winnowing selection (Anand et al., SIGMETRICS 2009; Schleimer
 /// et al.'s winnowing): every sliding window of `p` consecutive positions
@@ -67,6 +150,10 @@ std::size_t scan(const RabinTables& tables, util::BytesView payload,
 /// Unlike value sampling this GUARANTEES an anchor in every p positions —
 /// no unlucky gaps, and byte runs cannot go unanchored — at an expected
 /// density of 2/(p+1).
+void selected_anchors_maxp_into(const RabinTables& tables,
+                                util::BytesView payload, std::size_t p,
+                                std::vector<Anchor>& out,
+                                MaxpScratch& scratch);
 [[nodiscard]] std::vector<Anchor> selected_anchors_maxp(
     const RabinTables& tables, util::BytesView payload, std::size_t p);
 
@@ -77,6 +164,10 @@ std::size_t scan(const RabinTables& tables, util::BytesView payload,
 /// bytes.  Rabin fingerprints are computed ONLY at anchors (one of(w)
 /// per anchor instead of one push per byte), trading a little match
 /// coverage for a large CPU saving — see bench_micro_rabin.
+void selected_anchors_samplebyte_into(const RabinTables& tables,
+                                      util::BytesView payload, unsigned period,
+                                      std::size_t skip,
+                                      std::vector<Anchor>& out);
 [[nodiscard]] std::vector<Anchor> selected_anchors_samplebyte(
     const RabinTables& tables, util::BytesView payload, unsigned period,
     std::size_t skip);

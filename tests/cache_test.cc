@@ -176,16 +176,18 @@ TEST(ByteCache, NewerPacketOverwritesFingerprint) {
   EXPECT_EQ(hit->offset, 5u);
 }
 
-TEST(ByteCache, StaleEntryAfterEvictionIsMiss) {
+TEST(ByteCache, EvictedEntryIsPurgedEagerly) {
   ByteCache cache(150);  // one 100-byte payload + budget margin
   cache.update(payload_of('a', 100), anchors_at({{0, 0xA0}}), {});
   cache.update(payload_of('b', 100), anchors_at({{0, 0xB0}}), {});
-  // 'a' was evicted; its fingerprint is now stale.
+  // 'a' was evicted; the eviction hook purged its fingerprint immediately,
+  // so the lookup is a clean miss rather than a stale hit.
   auto hit = cache.find(0xA0);
   EXPECT_FALSE(hit.has_value());
-  EXPECT_EQ(cache.stats().stale_hits, 1u);
-  // The stale entry is lazily erased.
+  EXPECT_EQ(cache.stats().stale_hits, 0u);
+  EXPECT_EQ(cache.stats().fingerprints_purged, 1u);
   EXPECT_EQ(cache.fingerprint_count(), 1u);
+  cache.audit();  // asserts zero stale entries survive the purge
 }
 
 TEST(ByteCache, FlushClearsEverything) {

@@ -1,0 +1,329 @@
+// Randomized equivalence tests for the zero-allocation data plane.
+//
+// The fast paths (inlined scan, flat fingerprint table, pooled packet
+// store, per-codec scratch buffers) are drop-in replacements for simpler
+// reference implementations; these tests pin each one against its
+// reference on random inputs so a behavioural drift cannot hide behind a
+// performance win:
+//   - template scan vs the type-erased scan vs full recomputation,
+//   - RollingWindow vs RabinTables::of at every offset,
+//   - FlatMap64 / FingerprintTable vs std::unordered_map,
+//   - workspace-based anchor computation vs the by-value form,
+//   - encoder bit-determinism across independent instances, and
+//   - the eviction purge keeping the fingerprint table free of stale
+//     entries under heavy churn.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/byte_cache.h"
+#include "cache/flat_map.h"
+#include "core/anchors.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "core/policies.h"
+#include "tests/testutil.h"
+#include "util/rng.h"
+
+namespace bytecache {
+namespace {
+
+using testutil::make_encoder;
+using testutil::random_bytes;
+using testutil::segment_stream;
+using util::Bytes;
+using util::Rng;
+
+struct OffsetFp {
+  std::size_t offset;
+  rabin::Fingerprint fp;
+
+  friend bool operator==(const OffsetFp&, const OffsetFp&) = default;
+};
+
+// ----------------------------------------------------------- scanning --
+
+TEST(ScanEquiv, TemplateVsErasedVsRecompute) {
+  const rabin::RabinTables tables(16);
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Cover the degenerate sizes: empty, below, at, and above the window.
+    const std::size_t n = trial < 4 ? static_cast<std::size_t>(trial * 8)
+                                    : rng.uniform(1, 2000);
+    const Bytes payload = random_bytes(rng, n);
+
+    std::vector<OffsetFp> inlined;
+    const std::size_t count_inlined =
+        rabin::scan(tables, payload, [&](std::size_t off, rabin::Fingerprint fp) {
+          inlined.push_back({off, fp});
+        });
+
+    std::vector<OffsetFp> erased;
+    const std::size_t count_erased = rabin::scan_erased(
+        tables, payload, [&](std::size_t off, rabin::Fingerprint fp) {
+          erased.push_back({off, fp});
+        });
+
+    EXPECT_EQ(count_inlined, count_erased);
+    EXPECT_EQ(inlined, erased);
+    EXPECT_EQ(count_inlined, n < 16 ? 0 : n - 16 + 1);
+    // Every reported fingerprint equals a from-scratch recomputation of
+    // the window it covers.
+    for (const OffsetFp& a : inlined) {
+      EXPECT_EQ(a.fp, tables.of(util::BytesView(payload).subspan(a.offset, 16)))
+          << "offset " << a.offset;
+    }
+  }
+}
+
+TEST(RollingWindowEquiv, MatchesRecomputeAtEveryOffset) {
+  const rabin::RabinTables tables(16);
+  Rng rng(102);
+  const Bytes payload = random_bytes(rng, 700);
+  rabin::RollingWindow win(tables);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    const bool full = win.feed(payload[i]);
+    EXPECT_EQ(full, i + 1 >= 16);
+    EXPECT_EQ(full, win.full());
+    if (full) {
+      const std::size_t off = i + 1 - 16;
+      EXPECT_EQ(win.fingerprint(),
+                tables.of(util::BytesView(payload).subspan(off, 16)))
+          << "offset " << off;
+    }
+  }
+}
+
+TEST(RollingWindowEquiv, ResetMatchesFreshWindow) {
+  const rabin::RabinTables tables(16);
+  Rng rng(103);
+  const Bytes payload = random_bytes(rng, 64);
+  rabin::RollingWindow reused(tables);
+  for (std::uint8_t b : payload) reused.feed(b);
+  reused.reset();
+  EXPECT_FALSE(reused.full());
+  rabin::RollingWindow fresh(tables);
+  for (std::uint8_t b : payload) {
+    reused.feed(b);
+    fresh.feed(b);
+    EXPECT_EQ(reused.fingerprint(), fresh.fingerprint());
+  }
+}
+
+// ---------------------------------------------------------- flat table --
+
+TEST(FlatMapEquiv, RandomOpsMatchUnorderedMap) {
+  cache::FlatMap64<std::uint64_t> flat;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(104);
+  for (int op = 0; op < 20000; ++op) {
+    // A small key pool (with the low bits zeroed, like real selected
+    // fingerprints) forces overwrites, hits, and probe-chain collisions.
+    const std::uint64_t key = rng.uniform(0, 300) << 4;
+    switch (rng.uniform(0, 3)) {
+      case 0:
+      case 1: {  // put (biased: tables grow)
+        const std::uint64_t value = rng.next_u64();
+        flat.put(key, value);
+        ref[key] = value;
+        break;
+      }
+      case 2: {  // find
+        const std::uint64_t* v = flat.find(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(v != nullptr, it != ref.end());
+        if (v != nullptr) {
+          ASSERT_EQ(*v, it->second);
+        }
+        break;
+      }
+      case 3: {  // erase
+        ASSERT_EQ(flat.erase(key), ref.erase(key) > 0);
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  // Full-content sweep: every surviving pair matches the reference.
+  std::size_t visited = 0;
+  flat.for_each([&](std::uint64_t key, std::uint64_t value) {
+    ++visited;
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end()) << "key " << key << " not in reference";
+    ASSERT_EQ(value, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FingerprintTableEquiv, RandomOpsMatchReferenceModel) {
+  cache::FingerprintTable table;
+  std::unordered_map<std::uint64_t, cache::FpEntry> ref;
+  Rng rng(105);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t fp = rng.uniform(0, 400) << 4;
+    switch (rng.uniform(0, 4)) {
+      case 0:
+      case 1: {  // put
+        cache::FpEntry e;
+        e.packet_id = rng.uniform(1, 50);
+        e.offset = static_cast<std::uint16_t>(rng.uniform(0, 1459));
+        table.put(fp, e);
+        ref[fp] = e;
+        break;
+      }
+      case 2: {  // get
+        auto got = table.get(fp);
+        auto it = ref.find(fp);
+        ASSERT_EQ(got.has_value(), it != ref.end());
+        if (got) {
+          ASSERT_EQ(got->packet_id, it->second.packet_id);
+          ASSERT_EQ(got->offset, it->second.offset);
+        }
+        break;
+      }
+      case 3: {  // erase
+        table.erase(fp);
+        ref.erase(fp);
+        break;
+      }
+      case 4: {  // erase_if_owner: only removes a matching owner
+        const std::uint64_t owner = rng.uniform(1, 50);
+        auto it = ref.find(fp);
+        const bool expect =
+            it != ref.end() && it->second.packet_id == owner;
+        ASSERT_EQ(table.erase_if_owner(fp, owner), expect);
+        if (expect) ref.erase(it);
+        break;
+      }
+    }
+    ASSERT_EQ(table.size(), ref.size());
+  }
+}
+
+// ------------------------------------------------------------- anchors --
+
+TEST(AnchorEquiv, WorkspaceMatchesByValueForEverySelectMode) {
+  const rabin::RabinTables tables(16);
+  Rng rng(106);
+  core::AnchorWorkspace ws;  // deliberately reused across payloads/modes
+  for (int trial = 0; trial < 30; ++trial) {
+    const Bytes payload = random_bytes(rng, rng.uniform(1, 1460));
+    for (core::SelectMode mode :
+         {core::SelectMode::kValueSampling, core::SelectMode::kMaxp,
+          core::SelectMode::kSampleByte}) {
+      core::DreParams params;
+      params.select_mode = mode;
+      const auto by_value = core::compute_anchors(tables, payload, params);
+      const auto& via_ws = core::compute_anchors(tables, payload, params, ws);
+      EXPECT_EQ(by_value, via_ws) << "mode " << static_cast<int>(mode)
+                                  << " payload " << payload.size();
+    }
+  }
+}
+
+// ------------------------------------------------------ codec identity --
+
+// Two independent encoder instances fed the same stream must emit
+// bit-identical packets (scratch-buffer reuse cannot leak state between
+// packets or instances), and a fresh decoder must reconstruct the
+// original bytes exactly.
+TEST(CodecEquiv, EncodingBitIdenticalAcrossInstances) {
+  Rng rng(107);
+  // A redundant stream: random chunks, many repeated, so real regions and
+  // multi-region packets are produced.
+  Bytes object;
+  std::vector<Bytes> chunks;
+  for (int i = 0; i < 8; ++i) {
+    chunks.push_back(random_bytes(rng, 400 + 80 * static_cast<std::size_t>(i)));
+  }
+  for (int i = 0; i < 120; ++i) {
+    const Bytes& c = chunks[rng.zipf(chunks.size(), 1.0)];
+    object.insert(object.end(), c.begin(), c.end());
+  }
+
+  auto enc_a = make_encoder(core::PolicyKind::kNaive);
+  auto enc_b = make_encoder(core::PolicyKind::kNaive);
+  core::Decoder dec{core::DreParams{}};
+  std::size_t encoded_packets = 0;
+  for (const auto& pkt : segment_stream(object)) {
+    const Bytes original = pkt->payload;
+    auto copy_a = packet::make_packet(pkt->ip.src, pkt->ip.dst,
+                                      pkt->proto(), Bytes(original));
+    auto copy_b = packet::make_packet(pkt->ip.src, pkt->ip.dst,
+                                      pkt->proto(), Bytes(original));
+    const auto info_a = enc_a.process(*copy_a);
+    const auto info_b = enc_b.process(*copy_b);
+    ASSERT_EQ(info_a.encoded, info_b.encoded);
+    ASSERT_EQ(copy_a->payload, copy_b->payload);
+    encoded_packets += info_a.encoded ? 1 : 0;
+    const auto dinfo = dec.process(*copy_a);
+    ASSERT_FALSE(core::is_drop(dinfo.status));
+    ASSERT_EQ(copy_a->payload, original);
+  }
+  EXPECT_GT(encoded_packets, 0u);  // the stream must exercise encoding
+  enc_a.audit();
+  dec.audit();
+}
+
+// ------------------------------------------------------ eviction purge --
+
+/// Counts fingerprint entries whose packet is gone, independent of the
+/// build's BC_AUDIT setting (the audit() form is a no-op in plain
+/// Release).
+std::size_t stale_entries(const cache::ByteCache& cache) {
+  std::size_t stale = 0;
+  cache.table().for_each(
+      [&](rabin::Fingerprint, const cache::FpEntry& entry) {
+        if (cache.store().peek(entry.packet_id) == nullptr) ++stale;
+      });
+  return stale;
+}
+
+TEST(EvictionPurge, NoStaleEntriesUnderChurn) {
+  const rabin::RabinTables tables(16);
+  cache::ByteCache cache(8 * 1024);  // tiny budget: constant eviction
+  Rng rng(108);
+  for (int i = 0; i < 400; ++i) {
+    const Bytes payload = random_bytes(rng, rng.uniform(64, 1460));
+    const auto anchors = rabin::selected_anchors(tables, payload, 4);
+    cache::PacketMeta meta;
+    meta.stream_index = static_cast<std::uint64_t>(i);
+    cache.update(payload, anchors, meta);
+    ASSERT_EQ(stale_entries(cache), 0u) << "after update " << i;
+  }
+  EXPECT_GT(cache.store().evictions(), 0u);
+  EXPECT_GT(cache.stats().fingerprints_purged, 0u);
+  EXPECT_EQ(cache.stats().stale_hits, 0u);
+  cache.audit();  // BC_AUDIT asserts stale == 0 in audit-enabled builds
+}
+
+TEST(EvictionPurge, BoundedEncoderDecoderStayInSync) {
+  core::DreParams params;
+  params.cache_bytes = 64 * 1024;  // far smaller than the stream
+  auto enc = make_encoder(core::PolicyKind::kNaive, params);
+  core::Decoder dec{params};
+  Rng rng(109);
+  Bytes object;
+  const Bytes chunk = random_bytes(rng, 4000);
+  for (int i = 0; i < 80; ++i) {
+    const Bytes noise = random_bytes(rng, rng.uniform(100, 3000));
+    object.insert(object.end(), noise.begin(), noise.end());
+    object.insert(object.end(), chunk.begin(), chunk.end());
+  }
+  for (const auto& pkt : segment_stream(object)) {
+    const Bytes original = pkt->payload;
+    enc.process(*pkt);
+    const auto dinfo = dec.process(*pkt);
+    ASSERT_FALSE(core::is_drop(dinfo.status));
+    ASSERT_EQ(pkt->payload, original);
+  }
+  EXPECT_GT(enc.cache().store().evictions(), 0u);
+  EXPECT_EQ(stale_entries(enc.cache()), 0u);
+  EXPECT_EQ(stale_entries(dec.cache()), 0u);
+  enc.audit();
+  dec.audit();
+}
+
+}  // namespace
+}  // namespace bytecache

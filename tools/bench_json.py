@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Data-plane benchmark runner: emits / updates BENCH_dataplane.json.
+
+Runs the tracked data-plane benchmarks from a Release build tree:
+
+  bench_throughput       end-to-end Encoder->Decoder packets/sec and MB/s
+                         (its own JSON output is embedded verbatim)
+  bench_micro_rabin      google-benchmark scan/selection microbenches
+                         (bytes_per_second extracted per benchmark)
+
+and merges the numbers into the output JSON under `--label` (default:
+"current"), preserving any other labels already present.  The committed
+convention (see DESIGN.md "Performance"):
+
+  {
+    "baseline": { ... numbers before a data-plane PR ... },
+    "current":  { ... numbers after it, same machine ... }
+  }
+
+`--repeat N` runs each bench binary N times and keeps the fastest
+result per benchmark, which (together with bench_throughput's own
+warm-up + best-of-passes scheme) makes the numbers reproducible on
+shared or single-core machines.
+
+Usage:
+  python3 tools/bench_json.py --build build-release --out BENCH_dataplane.json
+  python3 tools/bench_json.py --build build-release --label baseline --repeat 5
+"""
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+
+def run_bench_throughput(build, repeat):
+    exe = Path(build) / "bench" / "bench_throughput"
+    if not exe.exists():
+        sys.exit(f"bench_json: {exe} not found (build the bench targets)")
+    best = None
+    for _ in range(repeat):
+        proc = subprocess.run([str(exe)], capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.exit(f"bench_json: {exe} failed (decode failures?):\n"
+                     f"{proc.stdout}\n{proc.stderr}")
+        doc = json.loads(proc.stdout)
+        if best is None:
+            best = doc
+            continue
+        # Keep, per workload, the run with the higher MB/s (lower noise).
+        for cur, new in zip(best["results"], doc["results"]):
+            assert cur["name"] == new["name"]
+            if new["mb_per_s"] > cur["mb_per_s"]:
+                cur.update(new)
+    return best
+
+
+def run_bench_micro_rabin(build, repeat):
+    exe = Path(build) / "bench" / "bench_micro_rabin"
+    if not exe.exists():
+        sys.exit(f"bench_json: {exe} not found (build the bench targets)")
+    out = {}
+    for _ in range(repeat):
+        proc = subprocess.run(
+            [str(exe), "--benchmark_format=json", "--benchmark_min_time=0.2"],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.exit(f"bench_json: {exe} failed:\n{proc.stderr}")
+        data = json.loads(proc.stdout)
+        for b in data.get("benchmarks", []):
+            entry = {"real_time_ns": round(b.get("real_time", 0.0), 1)}
+            if "bytes_per_second" in b:
+                entry["mb_per_s"] = round(b["bytes_per_second"] / 1e6, 2)
+            prev = out.get(b["name"])
+            if prev is None or entry["real_time_ns"] < prev["real_time_ns"]:
+                out[b["name"]] = entry
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", default="build",
+                        help="build tree holding bench/ binaries")
+    parser.add_argument("--out", default="BENCH_dataplane.json",
+                        help="JSON file to create or merge into")
+    parser.add_argument("--label", default="current",
+                        help="top-level key to write (baseline/current/...)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="run each bench N times, keep the fastest")
+    args = parser.parse_args()
+
+    entry = {
+        "machine": platform.machine(),
+        "bench_throughput": run_bench_throughput(args.build, args.repeat),
+        "bench_micro_rabin": run_bench_micro_rabin(args.build, args.repeat),
+    }
+
+    out_path = Path(args.out)
+    doc = {}
+    if out_path.exists():
+        doc = json.loads(out_path.read_text())
+    doc[args.label] = entry
+    out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    tp = entry["bench_throughput"]["results"]
+    print(f"bench_json: wrote {out_path} [{args.label}]")
+    for r in tp:
+        print(f"  {r['name']:32s} {r['mb_per_s']:8.2f} MB/s "
+              f"{r['packets_per_s']:10.0f} pkt/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,18 @@ Rules (see DESIGN.md "Correctness tooling"):
                 with #pragma once; a .cc file under src/ includes its own
                 header first.
 
+  bc-hotpath    `std::function` or `std::deque` in a header under
+                src/rabin/ or src/cache/.  Those layers are the
+                per-packet, per-byte data plane: std::function costs a
+                type-erased indirect call (and possibly an allocation) at
+                every invocation, and std::deque costs a chunk map
+                indirection per access plus chunked allocation.  Use a
+                template sink / function_ref-style wrapper / plain
+                interface (see rabin/window.h, cache/packet_store.h) and
+                contiguous ring buffers instead.  Suppress a deliberate
+                use with a `NOLINT(bc-hotpath)` comment on the line or
+                the line above.
+
 Exit status 0 when clean, 1 when violations were found.  `--self-test`
 runs the built-in positive/negative cases instead of scanning the tree.
 """
@@ -55,6 +67,8 @@ WIRECAST_RE = re.compile(
     r"reinterpret_cast\s*<[^<>]*\b(\w*Header\w*)\b[^<>]*>"
 )
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(?P<form>["<])(?P<path>[^">]+)[">]')
+HOTPATH_RE = re.compile(r"std\s*::\s*(?P<type>function|deque)\b")
+HOTPATH_DIRS = ("src/rabin/", "src/cache/")
 
 
 class Violation:
@@ -211,6 +225,29 @@ def scan_wirecast(path, raw_lines, code_lines):
     return violations
 
 
+def scan_hotpath(path, raw_lines, code_lines):
+    if path.suffix not in (".h", ".hpp"):
+        return []
+    posix = path.as_posix()
+    if not any(posix.startswith(d) or f"/{d}" in posix
+               for d in HOTPATH_DIRS):
+        return []
+    suppressed = nolint_lines(raw_lines, "bc-hotpath")
+    violations = []
+    for lineno, line in enumerate(code_lines, start=1):
+        if lineno in suppressed:
+            continue
+        m = HOTPATH_RE.search(line)
+        if m:
+            violations.append(Violation(
+                "bc-hotpath", path, lineno,
+                f"std::{m.group('type')} in a data-plane header; use a "
+                f"template sink, a function_ref-style wrapper, a plain "
+                f"interface, or a contiguous ring instead (or annotate "
+                f"NOLINT(bc-hotpath))"))
+    return violations
+
+
 def scan_includes(path, root, raw_lines, code_lines):
     del code_lines  # include paths live inside string-like tokens: use raw
     violations = []
@@ -274,6 +311,7 @@ def scan_file(path, root):
     violations = []
     violations += scan_rawseq(rel, raw_lines, code_lines)
     violations += scan_wirecast(rel, raw_lines, code_lines)
+    violations += scan_hotpath(rel, raw_lines, code_lines)
     violations += scan_includes(root / rel, root, raw_lines, code_lines)
     return violations
 
@@ -330,6 +368,14 @@ SELF_TEST_CASES = [
     ("bc-include", '#include <util/seqcmp.h>', True),
     ("bc-include", '#include <vector>', False),
     ("bc-include", '#include "../cache/packet_store.h"', True),
+    ("bc-hotpath", "std::function<void(std::size_t)> sink_;", True),
+    ("bc-hotpath", "std::deque<std::uint8_t> window_;", True),
+    ("bc-hotpath", "std :: function<void()> cb;", True),
+    ("bc-hotpath", "void (*fn_)(void*, std::size_t, Fingerprint);", False),
+    ("bc-hotpath", "// std::function is banned here, see bc-hotpath", False),
+    ("bc-hotpath",
+     "std::function<void()> cb;  // NOLINT(bc-hotpath)", False),
+    ("bc-hotpath", "my_function<int> f;", False),
 ]
 
 
@@ -344,6 +390,10 @@ def self_test():
             found = scan_rawseq(path, raw_lines, code_lines)
         elif rule == "bc-wirecast":
             found = scan_wirecast(path, raw_lines, code_lines)
+        elif rule == "bc-hotpath":
+            # The rule only fires in data-plane headers.
+            found = scan_hotpath(Path("src/cache/selftest_snippet.h"),
+                                 raw_lines, code_lines)
         else:
             # Only the path-independent include checks are testable here.
             found = [v for v in scan_includes(root / path, root, raw_lines,
