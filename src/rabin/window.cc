@@ -58,13 +58,15 @@ void selected_anchors_maxp_into(const RabinTables& tables,
   // Sliding-window maximum via a monotonic queue of candidates (front =
   // current maximum; rightmost wins ties for content-defined stability),
   // fused into the scan sink so selection is a single pass with no
-  // per-position fingerprint vector.  The queue holds at most p entries,
-  // so it lives in a power-of-two ring indexed by monotone head/tail
-  // counters — no deque, no modulo.  Each window [i-p+1, i] emits its
-  // argmax; consecutive windows usually share it, so duplicates are
-  // skipped.
+  // per-position fingerprint vector.  The queue lives in a power-of-two
+  // ring indexed by monotone head/tail counters — no deque, no modulo.
+  // It transiently holds p+1 entries (the new candidate is pushed before
+  // the expired front is evicted), so the ring must be sized for p+1 or
+  // a power-of-two p would overwrite the live front on push.  Each
+  // window [i-p+1, i] emits its argmax; consecutive windows usually
+  // share it, so duplicates are skipped.
   std::vector<MaxpScratch::Candidate>& ring = scratch.ring;
-  const std::size_t cap = std::bit_ceil(p);
+  const std::size_t cap = std::bit_ceil(p + 1);
   if (ring.size() < cap) ring.resize(cap);
   const std::size_t mask = cap - 1;
   std::size_t head = 0, tail = 0;  // queue occupies [head, tail)

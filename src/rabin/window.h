@@ -133,9 +133,9 @@ void selected_anchors_into(const RabinTables& tables, util::BytesView payload,
                                                    unsigned select_bits);
 
 /// Reusable buffer for selected_anchors_maxp_into: the monotonic-maximum
-/// ring of (position, fingerprint) candidates — at most p live entries,
-/// so selection runs fused into the scan without materializing a
-/// per-position fingerprint vector.
+/// ring of (position, fingerprint) candidates — at most p+1 entries live
+/// transiently, so selection runs fused into the scan without
+/// materializing a per-position fingerprint vector.
 struct MaxpScratch {
   struct Candidate {
     std::uint32_t idx;

@@ -8,6 +8,10 @@
 //   - template scan vs the type-erased scan vs full recomputation,
 //   - RollingWindow vs RabinTables::of at every offset,
 //   - FlatMap64 / FingerprintTable vs std::unordered_map,
+//   - each selection scheme vs a naive reference across a parameter
+//     sweep (maxp_p including powers of two, select_bits, SAMPLEBYTE
+//     period/skip) — parameter-dependent paths like the MAXP ring sizing
+//     only misbehave at non-default values,
 //   - workspace-based anchor computation vs the by-value form,
 //   - encoder bit-determinism across independent instances, and
 //   - the eviction purge keeping the fingerprint table free of stale
@@ -201,6 +205,118 @@ TEST(FingerprintTableEquiv, RandomOpsMatchReferenceModel) {
   }
 }
 
+// ---------------------------------------------------- selection sweeps --
+
+/// Brute-force MAXP reference: for every window of `p` consecutive
+/// positions, take the rightmost maximum-fingerprint position by direct
+/// argmax over recomputed fingerprints (O(n*p); no monotonic queue, so
+/// it shares no machinery with the implementation under test).
+std::vector<rabin::Anchor> maxp_reference(const rabin::RabinTables& tables,
+                                          util::BytesView payload,
+                                          std::size_t p) {
+  std::vector<rabin::Anchor> out;
+  const std::size_t w = tables.window();
+  if (payload.size() < w || p == 0) return out;
+  std::vector<rabin::Fingerprint> fps;
+  for (std::size_t i = 0; i + w <= payload.size(); ++i) {
+    fps.push_back(tables.of(payload.subspan(i, w)));
+  }
+  std::size_t last = fps.size();  // sentinel: no anchor emitted yet
+  for (std::size_t end = p - 1; end < fps.size(); ++end) {
+    std::size_t best = end + 1 - p;
+    for (std::size_t j = best + 1; j <= end; ++j) {
+      if (fps[j] >= fps[best]) best = j;  // >=: rightmost wins ties
+    }
+    if (best != last) {
+      last = best;
+      out.push_back(rabin::Anchor{static_cast<std::uint16_t>(best), fps[best]});
+    }
+  }
+  return out;
+}
+
+// Sweeps p across powers of two (where a ring sized bit_ceil(p) == p
+// would be overwritten by the transient p+1-th candidate), their
+// neighbours, and the default 31.
+TEST(MaxpEquiv, MatchesBruteForceReferenceAcrossP) {
+  const rabin::RabinTables tables(16);
+  Rng rng(110);
+  rabin::MaxpScratch scratch;  // reused across p values, like the codecs
+  std::vector<rabin::Anchor> out;
+  for (const std::size_t p : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{4}, std::size_t{5}, std::size_t{7},
+                              std::size_t{8}, std::size_t{9}, std::size_t{15},
+                              std::size_t{16}, std::size_t{17},
+                              std::size_t{31}, std::size_t{32},
+                              std::size_t{33}, std::size_t{64},
+                              std::size_t{65}}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      // Narrow byte alphabet: repeated values produce fingerprint ties,
+      // exercising the rightmost-wins rule.
+      std::size_t n = rng.uniform(1, 1460);
+      Bytes payload(n);
+      for (auto& b : payload) {
+        b = static_cast<std::uint8_t>(rng.uniform(0, trial % 2 ? 3 : 255));
+      }
+      const auto expected = maxp_reference(tables, payload, p);
+      rabin::selected_anchors_maxp_into(tables, payload, p, out, scratch);
+      ASSERT_EQ(out, expected) << "p=" << p << " n=" << n;
+      ASSERT_EQ(out, rabin::selected_anchors_maxp(tables, payload, p))
+          << "p=" << p << " n=" << n;
+    }
+  }
+}
+
+TEST(ValueSamplingEquiv, MatchesRecomputeReferenceAcrossSelectBits) {
+  const rabin::RabinTables tables(16);
+  Rng rng(111);
+  for (const unsigned bits : {0u, 1u, 2u, 4u, 8u, 12u}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const Bytes payload = random_bytes(rng, rng.uniform(1, 1460));
+      std::vector<rabin::Anchor> expected;
+      for (std::size_t i = 0; i + 16 <= payload.size(); ++i) {
+        const auto fp = tables.of(util::BytesView(payload).subspan(i, 16));
+        if (rabin::selected(fp, bits)) {
+          expected.push_back(rabin::Anchor{static_cast<std::uint16_t>(i), fp});
+        }
+      }
+      ASSERT_EQ(rabin::selected_anchors(tables, payload, bits), expected)
+          << "bits=" << bits << " n=" << payload.size();
+    }
+  }
+}
+
+TEST(SampleByteEquiv, MatchesNaiveReferenceAcrossPeriodAndSkip) {
+  const rabin::RabinTables tables(16);
+  Rng rng(112);
+  for (const unsigned period : {1u, 2u, 4u, 16u, 64u, 256u}) {
+    for (const std::size_t skip :
+         {std::size_t{0}, std::size_t{1}, std::size_t{8}, std::size_t{16},
+          std::size_t{300}}) {
+      for (int trial = 0; trial < 5; ++trial) {
+        const Bytes payload = random_bytes(rng, rng.uniform(1, 1460));
+        // Naive reference: per-byte hash + division, no membership bitmap.
+        std::vector<rabin::Anchor> expected;
+        for (std::size_t i = 0; i + 16 <= payload.size();) {
+          std::uint64_t state = payload[i];
+          if (util::splitmix64(state) % period == 0) {
+            expected.push_back(rabin::Anchor{
+                static_cast<std::uint16_t>(i),
+                tables.of(util::BytesView(payload).subspan(i, 16))});
+            i += skip > 0 ? skip : 1;
+          } else {
+            ++i;
+          }
+        }
+        ASSERT_EQ(
+            rabin::selected_anchors_samplebyte(tables, payload, period, skip),
+            expected)
+            << "period=" << period << " skip=" << skip;
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------------- anchors --
 
 TEST(AnchorEquiv, WorkspaceMatchesByValueForEverySelectMode) {
@@ -214,10 +330,21 @@ TEST(AnchorEquiv, WorkspaceMatchesByValueForEverySelectMode) {
           core::SelectMode::kSampleByte}) {
       core::DreParams params;
       params.select_mode = mode;
-      const auto by_value = core::compute_anchors(tables, payload, params);
-      const auto& via_ws = core::compute_anchors(tables, payload, params, ws);
-      EXPECT_EQ(by_value, via_ws) << "mode " << static_cast<int>(mode)
-                                  << " payload " << payload.size();
+      // Sweep away from the defaults (select_bits=4, maxp_p=31,
+      // period=16/skip=8) so parameter-dependent paths — notably the
+      // power-of-two MAXP ring — are hit too.
+      for (const unsigned variant : {0u, 1u, 2u}) {
+        params.select_bits = 2 + 2 * variant;
+        params.maxp_p = std::size_t{8} << variant;  // 8, 16, 32: powers of two
+        params.samplebyte_period = 4u << variant;
+        params.samplebyte_skip = variant * 8;
+        const auto by_value = core::compute_anchors(tables, payload, params);
+        const auto& via_ws =
+            core::compute_anchors(tables, payload, params, ws);
+        EXPECT_EQ(by_value, via_ws)
+            << "mode " << static_cast<int>(mode) << " variant " << variant
+            << " payload " << payload.size();
+      }
     }
   }
 }
