@@ -32,6 +32,18 @@ struct CacheStats {
   std::uint64_t flushes = 0;
 };
 
+/// Accumulates `from` into `into` — aggregation across the per-shard
+/// caches of a sharded gateway (gateway/sharded_gateways.h).
+inline void merge_into(CacheStats& into, const CacheStats& from) {
+  into.lookups += from.lookups;
+  into.hits += from.hits;
+  into.stale_hits += from.stale_hits;
+  into.packets_inserted += from.packets_inserted;
+  into.fingerprints_inserted += from.fingerprints_inserted;
+  into.fingerprints_purged += from.fingerprints_purged;
+  into.flushes += from.flushes;
+}
+
 /// Result of a successful fingerprint lookup.
 struct CacheHit {
   const CachedPacket* packet = nullptr;

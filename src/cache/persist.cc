@@ -59,6 +59,12 @@ bool deserialize_cache(util::BytesView snapshot, ByteCache& cache) {
     }
     p.payload.assign(snapshot.begin() + off, snapshot.begin() + off + len);
     off += len;
+    // PacketStore::restore trusts its input: a zero or duplicate id would
+    // corrupt the id index, so reject the snapshot instead.
+    if (p.id == 0 || cache.store().contains(p.id)) {
+      cache.flush();
+      return false;
+    }
     cache.restore_packet(std::move(p));
   }
   if (!have(4)) {
@@ -75,9 +81,24 @@ bool deserialize_cache(util::BytesView snapshot, ByteCache& cache) {
     FpEntry entry;
     entry.packet_id = util::get_u64(snapshot, off);
     entry.offset = util::get_u16(snapshot, off);
+    // A fingerprint naming an absent packet (or a window starting past
+    // the owner's payload) breaks the table invariants that audit() and
+    // the hit-expansion path rely on; a corrupted or truncated snapshot
+    // must come back empty, not subtly wrong.
+    const CachedPacket* owner = cache.store().peek(entry.packet_id);
+    if (owner == nullptr || entry.offset >= owner->payload.size()) {
+      cache.flush();
+      return false;
+    }
     cache.restore_fingerprint(fp, entry);
   }
-  return off == snapshot.size();
+  if (off != snapshot.size()) {
+    // Trailing garbage: reject fully — a failed restore must leave the
+    // cache empty, never partially populated.
+    cache.flush();
+    return false;
+  }
+  return true;
 }
 
 }  // namespace bytecache::cache

@@ -66,6 +66,20 @@ struct DecoderStats {
   }
 };
 
+/// Accumulates `from` into `into` — aggregation across the per-shard
+/// decoders of a sharded gateway (gateway/sharded_gateways.h).
+inline void merge_into(DecoderStats& into, const DecoderStats& from) {
+  into.packets += from.packets;
+  into.passthrough += from.passthrough;
+  into.decoded += from.decoded;
+  into.drops_malformed += from.drops_malformed;
+  into.drops_missing_fp += from.drops_missing_fp;
+  into.drops_bad_bounds += from.drops_bad_bounds;
+  into.drops_crc += from.drops_crc;
+  into.bytes_received += from.bytes_received;
+  into.bytes_restored += from.bytes_restored;
+}
+
 class Decoder {
  public:
   explicit Decoder(const DreParams& params);

@@ -67,6 +67,24 @@ struct EncoderStats {
   }
 };
 
+/// Accumulates `from` into `into` — aggregation across the per-shard
+/// encoders of a sharded gateway (gateway/sharded_gateways.h).
+inline void merge_into(EncoderStats& into, const EncoderStats& from) {
+  into.packets += from.packets;
+  into.data_packets += from.data_packets;
+  into.encoded_packets += from.encoded_packets;
+  into.references += from.references;
+  into.retransmissions += from.retransmissions;
+  into.flushes += from.flushes;
+  into.regions += from.regions;
+  into.bytes_in += from.bytes_in;
+  into.bytes_out += from.bytes_out;
+  into.nacks_received += from.nacks_received;
+  into.nack_invalidations += from.nack_invalidations;
+  into.ack_gate_rejections += from.ack_gate_rejections;
+  into.dependency_links += from.dependency_links;
+}
+
 class Encoder {
  public:
   Encoder(const DreParams& params, std::unique_ptr<EncodingPolicy> policy);

@@ -23,6 +23,18 @@ std::unique_ptr<EncodingPolicy> make_policy(PolicyKind kind,
   return nullptr;
 }
 
+std::unique_ptr<Encoder> make_encoder(PolicyKind kind,
+                                      const DreParams& params) {
+  auto policy = make_policy(kind, params);
+  if (policy == nullptr) return nullptr;
+  return std::make_unique<Encoder>(params, std::move(policy));
+}
+
+std::unique_ptr<Decoder> make_decoder(bool enabled, const DreParams& params) {
+  if (!enabled) return nullptr;
+  return std::make_unique<Decoder>(params);
+}
+
 std::string_view to_string(PolicyKind kind) {
   switch (kind) {
     case PolicyKind::kNone: return "none";

@@ -1,10 +1,12 @@
-// Construction of encoding policies by name.
+// Construction of encoding policies and codecs by name.
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <string_view>
 
+#include "core/decoder.h"
+#include "core/encoder.h"
 #include "core/params.h"
 #include "core/policy.h"
 
@@ -22,6 +24,17 @@ enum class PolicyKind {
 /// Creates the policy; returns nullptr for kNone.
 [[nodiscard]] std::unique_ptr<EncodingPolicy> make_policy(
     PolicyKind kind, const DreParams& params);
+
+/// Creates an encoder running `kind`'s policy; nullptr for kNone (the
+/// gateways treat a null codec as transparent pass-through).  The single
+/// construction point the sharded gateways use per shard, so every shard
+/// of one gateway is configured identically.
+[[nodiscard]] std::unique_ptr<Encoder> make_encoder(PolicyKind kind,
+                                                    const DreParams& params);
+
+/// Creates the matching decoder; nullptr when `enabled` is false.
+[[nodiscard]] std::unique_ptr<Decoder> make_decoder(bool enabled,
+                                                    const DreParams& params);
 
 [[nodiscard]] std::string_view to_string(PolicyKind kind);
 

@@ -7,12 +7,8 @@
 namespace bytecache::gateway {
 
 EncoderGateway::EncoderGateway(core::PolicyKind kind,
-                               const core::DreParams& params) {
-  auto policy = core::make_policy(kind, params);
-  if (policy != nullptr) {
-    encoder_ = std::make_unique<core::Encoder>(params, std::move(policy));
-  }
-}
+                               const core::DreParams& params)
+    : encoder_(core::make_encoder(kind, params)) {}
 
 void EncoderGateway::receive(packet::PacketPtr pkt) {
   ++stats_.packets;
@@ -57,9 +53,8 @@ void EncoderGateway::observe_reverse(const packet::Packet& pkt) {
   }
 }
 
-DecoderGateway::DecoderGateway(bool enabled, const core::DreParams& params) {
-  if (enabled) decoder_ = std::make_unique<core::Decoder>(params);
-}
+DecoderGateway::DecoderGateway(bool enabled, const core::DreParams& params)
+    : decoder_(core::make_decoder(enabled, params)) {}
 
 void DecoderGateway::receive(packet::PacketPtr pkt) {
   ++stats_.packets;

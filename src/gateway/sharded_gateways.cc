@@ -1,0 +1,478 @@
+#include "gateway/sharded_gateways.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace bytecache::gateway {
+
+std::uint64_t shard_key_of(const packet::Packet& pkt) {
+  // Unordered endpoint pair: forward data, reverse ACKs, and NACK
+  // control packets of one host pair all hash identically.
+  const std::uint32_t lo = pkt.ip.src < pkt.ip.dst ? pkt.ip.src : pkt.ip.dst;
+  const std::uint32_t hi = pkt.ip.src < pkt.ip.dst ? pkt.ip.dst : pkt.ip.src;
+  std::uint64_t state = (std::uint64_t{hi} << 32) | lo;
+  const std::uint64_t mixed = util::splitmix64(state);
+  return mixed == 0 ? 1 : mixed;
+}
+
+std::size_t shard_index_of(std::uint64_t key, std::size_t shards) {
+  BC_CHECK(shards > 0) << "shard_index_of with zero shards";
+  return static_cast<std::size_t>(key % shards);
+}
+
+namespace {
+
+/// Blocking ring push for the worker-side output path: spins politely;
+/// drops the element if the gateway is being torn down (`abort`).
+template <typename T>
+void push_or_abort(util::SpscRing<T>& ring, T v,
+                   const std::atomic<bool>& abort) {
+  util::Backoff backoff;
+  while (!ring.try_push(v)) {
+    if (abort.load(std::memory_order_acquire)) return;
+    backoff.pause();
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- encoder --
+
+ShardedEncoderGateway::ShardedEncoderGateway(core::PolicyKind kind,
+                                             const core::DreParams& params,
+                                             const ShardedOptions& options)
+    : threaded_(options.threaded) {
+  BC_CHECK(options.shards >= 1) << "a sharded gateway needs at least 1 shard";
+  shards_.reserve(options.shards);
+  for (std::size_t i = 0; i < options.shards; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(kind, params, options.ring_capacity));
+    Shard& s = *shards_.back();
+    // The per-shard gateway's sink runs wherever the shard's codec runs:
+    // on the worker (threaded) or on the driver thread (inline mode).
+    s.gw.set_sink([this, &s, i](packet::PacketPtr pkt) {
+      if (worker_sink_) {
+        worker_sink_(i, std::move(pkt));
+      } else if (threaded_) {
+        push_or_abort(s.out, std::move(pkt), s.abort);
+      } else if (sink_) {
+        sink_(std::move(pkt));
+      }
+    });
+  }
+  if (threaded_) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard* s = shards_[i].get();
+      s->thread = std::thread([this, s] { run_worker(*s); });
+    }
+  }
+}
+
+ShardedEncoderGateway::~ShardedEncoderGateway() {
+  for (auto& s : shards_) {
+    s->abort.store(true, std::memory_order_release);
+    s->stop.store(true, std::memory_order_release);
+  }
+  for (auto& s : shards_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+void ShardedEncoderGateway::set_worker_sink(ShardPacketSink sink) {
+  worker_sink_ = std::move(sink);
+}
+
+void ShardedEncoderGateway::process(Shard& s, Cmd& cmd) {
+  switch (cmd.kind) {
+    case Cmd::Kind::kData:
+      s.gw.receive(std::move(cmd.pkt));
+      break;
+    case Cmd::Kind::kControl:
+      s.gw.receive_control(*cmd.pkt);
+      cmd.pkt.reset();
+      break;
+    case Cmd::Kind::kReverse:
+      s.gw.observe_reverse(*cmd.pkt);
+      cmd.pkt.reset();
+      break;
+  }
+}
+
+void ShardedEncoderGateway::run_worker(Shard& s) {
+  util::Backoff backoff;
+  Cmd cmd;
+  for (;;) {
+    if (s.in.try_pop(cmd)) {
+      backoff.reset();
+      process(s, cmd);
+      s.completed.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    if (s.stop.load(std::memory_order_acquire)) {
+      // The driver stops submitting before setting `stop`; one final pop
+      // catches a push that raced the flag.
+      if (!s.in.try_pop(cmd)) break;
+      backoff.reset();
+      process(s, cmd);
+      s.completed.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    backoff.pause();
+  }
+}
+
+void ShardedEncoderGateway::enqueue(Shard& s, Cmd cmd) {
+  if (!threaded_) {
+    s.submitted.fetch_add(1, std::memory_order_relaxed);
+    process(s, cmd);
+    s.completed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  s.submitted.fetch_add(1, std::memory_order_relaxed);
+  util::Backoff backoff;
+  while (!s.in.try_push(cmd)) {
+    // Keep the output stage moving while we wait: the driver thread is
+    // also the drain consumer, so a full pipeline backs up here instead
+    // of deadlocking.
+    if (drain() == 0) backoff.pause();
+  }
+}
+
+void ShardedEncoderGateway::submit(packet::PacketPtr pkt) {
+  Shard& s = shard_for(*pkt);
+  enqueue(s, Cmd{std::move(pkt), Cmd::Kind::kData});
+}
+
+bool ShardedEncoderGateway::try_submit(packet::PacketPtr& pkt) {
+  Shard& s = shard_for(*pkt);
+  if (!threaded_) {
+    enqueue(s, Cmd{std::move(pkt), Cmd::Kind::kData});
+    return true;
+  }
+  Cmd cmd{std::move(pkt), Cmd::Kind::kData};
+  if (s.in.try_push(cmd)) {
+    s.submitted.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  pkt = std::move(cmd.pkt);
+  return false;
+}
+
+void ShardedEncoderGateway::submit_control(packet::PacketPtr pkt) {
+  Shard& s = shard_for(*pkt);
+  enqueue(s, Cmd{std::move(pkt), Cmd::Kind::kControl});
+}
+
+void ShardedEncoderGateway::submit_reverse(packet::PacketPtr pkt) {
+  Shard& s = shard_for(*pkt);
+  enqueue(s, Cmd{std::move(pkt), Cmd::Kind::kReverse});
+}
+
+std::size_t ShardedEncoderGateway::drain() {
+  std::size_t delivered = 0;
+  packet::PacketPtr pkt;
+  for (auto& s : shards_) {
+    while (s->out.try_pop(pkt)) {
+      ++delivered;
+      if (sink_) sink_(std::move(pkt));
+      pkt.reset();
+    }
+  }
+  return delivered;
+}
+
+void ShardedEncoderGateway::drain_until_idle() {
+  util::Backoff backoff;
+  for (;;) {
+    if (drain() > 0) backoff.reset();
+    bool idle = true;
+    for (auto& s : shards_) {
+      // Acquire on `completed` orders the check after the worker's last
+      // output push, so the final drain below observes everything.
+      if (s->completed.load(std::memory_order_acquire) !=
+          s->submitted.load(std::memory_order_relaxed)) {
+        idle = false;
+        break;
+      }
+    }
+    if (idle) {
+      drain();
+      bool empty = true;
+      for (auto& s : shards_) {
+        if (!s->out.empty()) empty = false;
+      }
+      if (empty) return;
+    }
+    backoff.pause();
+  }
+}
+
+EncoderGatewayStats ShardedEncoderGateway::stats() const {
+  EncoderGatewayStats total;
+  for (const auto& s : shards_) {
+    total.packets += s->gw.stats().packets;
+    total.wire_bytes_out += s->gw.stats().wire_bytes_out;
+  }
+  return total;
+}
+
+core::EncoderStats ShardedEncoderGateway::encoder_stats() const {
+  core::EncoderStats total;
+  for (const auto& s : shards_) {
+    if (s->gw.encoder() != nullptr) {
+      core::merge_into(total, s->gw.encoder()->stats());
+    }
+  }
+  return total;
+}
+
+cache::CacheStats ShardedEncoderGateway::cache_stats() const {
+  cache::CacheStats total;
+  for (const auto& s : shards_) {
+    if (s->gw.encoder() != nullptr) {
+      cache::merge_into(total, s->gw.encoder()->cache().stats());
+    }
+  }
+  return total;
+}
+
+void ShardedEncoderGateway::audit() const {
+  if (!util::kAuditEnabled) return;
+  std::uint64_t packets = 0;
+  for (const auto& s : shards_) {
+    s->in.audit();
+    s->out.audit();
+    if (s->gw.encoder() != nullptr) s->gw.encoder()->audit();
+    const std::uint64_t submitted =
+        s->submitted.load(std::memory_order_acquire);
+    const std::uint64_t completed =
+        s->completed.load(std::memory_order_acquire);
+    BC_AUDIT(completed <= submitted)
+        << "shard completed " << completed << " of " << submitted
+        << " submitted commands";
+    packets += s->gw.stats().packets;
+  }
+  const EncoderGatewayStats total = stats();
+  BC_AUDIT(total.packets == packets)
+      << "aggregated packet count " << total.packets
+      << " disagrees with per-shard sum " << packets;
+}
+
+// --------------------------------------------------------------- decoder --
+
+ShardedDecoderGateway::ShardedDecoderGateway(bool enabled,
+                                             const core::DreParams& params,
+                                             const ShardedOptions& options)
+    : threaded_(options.threaded) {
+  BC_CHECK(options.shards >= 1) << "a sharded gateway needs at least 1 shard";
+  shards_.reserve(options.shards);
+  for (std::size_t i = 0; i < options.shards; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(enabled, params, options.ring_capacity));
+    Shard& s = *shards_.back();
+    s.gw.set_sink([this, &s, i](packet::PacketPtr pkt) {
+      if (worker_sink_) {
+        worker_sink_(i, std::move(pkt));
+      } else if (threaded_) {
+        push_or_abort(s.out, std::move(pkt), s.abort);
+      } else if (sink_) {
+        sink_(std::move(pkt));
+      }
+    });
+    s.gw.set_feedback([this, &s](packet::PacketPtr pkt) {
+      if (threaded_) {
+        push_or_abort(s.feedback, std::move(pkt), s.abort);
+      } else if (feedback_) {
+        feedback_(std::move(pkt));
+      }
+    });
+  }
+  if (threaded_) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard* s = shards_[i].get();
+      s->thread = std::thread([this, s] { run_worker(*s); });
+    }
+  }
+}
+
+ShardedDecoderGateway::~ShardedDecoderGateway() {
+  for (auto& s : shards_) {
+    s->abort.store(true, std::memory_order_release);
+    s->stop.store(true, std::memory_order_release);
+  }
+  for (auto& s : shards_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+void ShardedDecoderGateway::set_worker_sink(ShardPacketSink sink) {
+  worker_sink_ = std::move(sink);
+}
+
+void ShardedDecoderGateway::run_worker(Shard& s) {
+  util::Backoff backoff;
+  packet::PacketPtr pkt;
+  for (;;) {
+    if (s.in.try_pop(pkt)) {
+      backoff.reset();
+      s.gw.receive(std::move(pkt));
+      s.completed.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    if (s.stop.load(std::memory_order_acquire)) {
+      if (!s.in.try_pop(pkt)) break;
+      backoff.reset();
+      s.gw.receive(std::move(pkt));
+      s.completed.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    backoff.pause();
+  }
+}
+
+void ShardedDecoderGateway::enqueue(Shard& s, packet::PacketPtr pkt) {
+  if (!threaded_) {
+    s.submitted.fetch_add(1, std::memory_order_relaxed);
+    s.gw.receive(std::move(pkt));
+    s.completed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  s.submitted.fetch_add(1, std::memory_order_relaxed);
+  util::Backoff backoff;
+  while (!s.in.try_push(pkt)) {
+    if (drain() == 0) backoff.pause();
+  }
+}
+
+void ShardedDecoderGateway::submit(packet::PacketPtr pkt) {
+  Shard& s = *shards_[shard_index_of(shard_key_of(*pkt), shards_.size())];
+  enqueue(s, std::move(pkt));
+}
+
+bool ShardedDecoderGateway::try_submit(packet::PacketPtr& pkt) {
+  Shard& s = *shards_[shard_index_of(shard_key_of(*pkt), shards_.size())];
+  if (!threaded_) {
+    enqueue(s, std::move(pkt));
+    return true;
+  }
+  if (s.in.try_push(pkt)) {
+    s.submitted.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ShardedDecoderGateway::submit_to_shard(std::size_t i,
+                                            packet::PacketPtr pkt) {
+  Shard& s = *shards_[i];
+  if (!threaded_) {
+    // Inline decode on the calling thread — the caller owns shard i's
+    // threading (e.g. the matching encoder shard's worker).
+    s.submitted.fetch_add(1, std::memory_order_relaxed);
+    s.gw.receive(std::move(pkt));
+    s.completed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  s.submitted.fetch_add(1, std::memory_order_relaxed);
+  util::Backoff backoff;
+  while (!s.in.try_push(pkt)) {
+    if (s.abort.load(std::memory_order_acquire)) return;
+    backoff.pause();
+  }
+}
+
+std::size_t ShardedDecoderGateway::drain() {
+  std::size_t delivered = 0;
+  packet::PacketPtr pkt;
+  for (auto& s : shards_) {
+    while (s->out.try_pop(pkt)) {
+      ++delivered;
+      if (sink_) sink_(std::move(pkt));
+      pkt.reset();
+    }
+    while (s->feedback.try_pop(pkt)) {
+      if (feedback_) feedback_(std::move(pkt));
+      pkt.reset();
+    }
+  }
+  return delivered;
+}
+
+void ShardedDecoderGateway::drain_until_idle() {
+  util::Backoff backoff;
+  for (;;) {
+    if (drain() > 0) backoff.reset();
+    bool idle = true;
+    for (auto& s : shards_) {
+      if (s->completed.load(std::memory_order_acquire) !=
+          s->submitted.load(std::memory_order_relaxed)) {
+        idle = false;
+        break;
+      }
+    }
+    if (idle) {
+      drain();
+      bool empty = true;
+      for (auto& s : shards_) {
+        if (!s->out.empty() || !s->feedback.empty()) empty = false;
+      }
+      if (empty) return;
+    }
+    backoff.pause();
+  }
+}
+
+DecoderGatewayStats ShardedDecoderGateway::stats() const {
+  DecoderGatewayStats total;
+  for (const auto& s : shards_) {
+    total.packets += s->gw.stats().packets;
+    total.dropped += s->gw.stats().dropped;
+    total.nacks_sent += s->gw.stats().nacks_sent;
+  }
+  return total;
+}
+
+core::DecoderStats ShardedDecoderGateway::decoder_stats() const {
+  core::DecoderStats total;
+  for (const auto& s : shards_) {
+    if (s->gw.decoder() != nullptr) {
+      core::merge_into(total, s->gw.decoder()->stats());
+    }
+  }
+  return total;
+}
+
+cache::CacheStats ShardedDecoderGateway::cache_stats() const {
+  cache::CacheStats total;
+  for (const auto& s : shards_) {
+    if (s->gw.decoder() != nullptr) {
+      cache::merge_into(total, s->gw.decoder()->cache().stats());
+    }
+  }
+  return total;
+}
+
+void ShardedDecoderGateway::audit() const {
+  if (!util::kAuditEnabled) return;
+  std::uint64_t packets = 0;
+  for (const auto& s : shards_) {
+    s->in.audit();
+    s->out.audit();
+    s->feedback.audit();
+    if (s->gw.decoder() != nullptr) s->gw.decoder()->audit();
+    const std::uint64_t submitted =
+        s->submitted.load(std::memory_order_acquire);
+    const std::uint64_t completed =
+        s->completed.load(std::memory_order_acquire);
+    BC_AUDIT(completed <= submitted)
+        << "shard completed " << completed << " of " << submitted
+        << " submitted packets";
+    packets += s->gw.stats().packets;
+  }
+  const DecoderGatewayStats total = stats();
+  BC_AUDIT(total.packets == packets)
+      << "aggregated packet count " << total.packets
+      << " disagrees with per-shard sum " << packets;
+}
+
+}  // namespace bytecache::gateway

@@ -1,0 +1,242 @@
+// Sharded multi-worker DRE gateways: the data plane scaled across cores.
+//
+// Traffic is partitioned by a stable flow-key hash into N shared-nothing
+// shards, each owning a private EncoderGateway / DecoderGateway (and so
+// a private ByteCache), driven by one worker thread per shard and fed
+// through fixed-capacity SPSC rings (util/spsc_ring.h).  A shard's codec
+// is touched by exactly one thread, so the allocation-free hot path runs
+// unmodified and lock-free inside it; the wire format is untouched, and
+// with one shard the packet sequence through the codec is exactly the
+// single-gateway sequence, so N=1 is bit-identical to EncoderGateway /
+// DecoderGateway (pinned by tests/sharded_gateway_test.cc).
+//
+// Shard key: the unordered IP endpoint pair, NOT the TCP ports — the
+// DRE shim replaces the payload, so ports are not parseable at the
+// decoder, and the paper's gains lean on inter-flow sharing, so every
+// flow whose bytes may reference each other (the host pair) must share
+// one cache.  Symmetry routes reverse-direction packets (cumulative
+// ACKs, NACK control) to the shard owning the forward flow.  A flow
+// maps to exactly one shard and every stage is FIFO, so per-flow order
+// is preserved end to end; cross-shard order is unspecified, as between
+// unrelated flows on any real network.
+//
+// Threading contract: one thread calls submit*()/drain*() (the
+// "driver"); workers are internal.  With Options::threaded == false no
+// threads or rings exist and submit*() runs the codec inline — the
+// deterministic mode for tests, and the building block for callers that
+// run shards on their own threads via submit_to_shard() (each shard
+// index then owned by one calling thread).  Statistics and audits
+// require quiescence: call drain_until_idle() first.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gateway/gateways.h"
+#include "util/spsc_ring.h"
+#include "util/worker.h"
+
+namespace bytecache::gateway {
+
+/// Stable, direction-symmetric shard key of a packet: a mixed hash of
+/// the unordered {ip.src, ip.dst} pair.  Identical before and after DRE
+/// encoding (the IP addresses survive; the protocol field does not
+/// contribute).  Never returns 0.
+[[nodiscard]] std::uint64_t shard_key_of(const packet::Packet& pkt);
+
+/// Maps a shard key to a shard index in [0, shards).
+[[nodiscard]] std::size_t shard_index_of(std::uint64_t key,
+                                         std::size_t shards);
+
+struct ShardedOptions {
+  /// Number of shared-nothing shards (>= 1), each with a private codec.
+  std::size_t shards = 1;
+  /// Capacity of each SPSC ring (rounded up to a power of two).
+  std::size_t ring_capacity = 1024;
+  /// false: no worker threads; submit*() processes inline on the caller
+  /// thread and sinks fire immediately.  Deterministic, zero-thread mode.
+  bool threaded = true;
+};
+
+/// Sink invoked on a shard's worker thread with that shard's index;
+/// installing it bypasses the output ring (see set_worker_sink).
+using ShardPacketSink = std::function<void(std::size_t, packet::PacketPtr)>;
+
+class ShardedEncoderGateway {
+ public:
+  ShardedEncoderGateway(core::PolicyKind kind, const core::DreParams& params,
+                        const ShardedOptions& options = {});
+  /// Stops the workers; output still in the rings is dropped (call
+  /// drain_until_idle() first for a clean shutdown).
+  ~ShardedEncoderGateway();
+
+  ShardedEncoderGateway(const ShardedEncoderGateway&) = delete;
+  ShardedEncoderGateway& operator=(const ShardedEncoderGateway&) = delete;
+
+  /// Ordinary output: encoded packets are delivered by drain() on the
+  /// driver thread, shard by shard (per-flow FIFO).  Set before the
+  /// first submit.
+  void set_sink(PacketSink sink) { sink_ = std::move(sink); }
+
+  /// Worker-side output: each shard's packets are handed to `sink` on
+  /// that shard's worker thread, bypassing the output ring (the bench
+  /// chains the decoder shard here).  The sink must be thread-safe
+  /// across shard indices (typically it only touches per-shard state).
+  /// Set before the first submit; drain() then has nothing to do.
+  void set_worker_sink(ShardPacketSink sink);
+
+  /// Routes a forward data packet to its shard.  Blocks (draining the
+  /// output stage meanwhile, so a full pipeline cannot deadlock) until
+  /// the shard's input ring accepts it.  Driver thread only.
+  void submit(packet::PacketPtr pkt);
+
+  /// Non-blocking form: false (packet untouched) if the shard's input
+  /// ring is full.  Driver thread only.
+  bool try_submit(packet::PacketPtr& pkt);
+
+  /// Reverse-path DRE control packet (NACK feedback) or reverse data/ACK
+  /// packet to observe (ack-gated policy).  Routed through the owning
+  /// shard's input ring so control actions stay ordered with the shard's
+  /// data stream.  Driver thread only.
+  void submit_control(packet::PacketPtr pkt);
+  void submit_reverse(packet::PacketPtr pkt);
+
+  /// Pops every completed packet from the per-shard output rings into
+  /// the sink; returns the number delivered.  Driver thread only.
+  std::size_t drain();
+
+  /// Drains until every shard has consumed its input and the output
+  /// rings are empty — the quiescence point for stats/audit/shutdown.
+  void drain_until_idle();
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const EncoderGateway& shard(std::size_t i) const {
+    return shards_[i]->gw;
+  }
+  [[nodiscard]] EncoderGateway& shard(std::size_t i) { return shards_[i]->gw; }
+
+  /// Aggregates across shards (quiescent callers only).
+  [[nodiscard]] EncoderGatewayStats stats() const;
+  [[nodiscard]] core::EncoderStats encoder_stats() const;
+  [[nodiscard]] cache::CacheStats cache_stats() const;
+
+  /// Deep invariant audit (BC_AUDIT; quiescent callers only): every
+  /// shard's encoder and rings, plus the submit/complete accounting.
+  void audit() const;
+
+ private:
+  struct Cmd {
+    enum class Kind : std::uint8_t { kData, kControl, kReverse };
+    packet::PacketPtr pkt;
+    Kind kind = Kind::kData;
+  };
+
+  struct Shard {
+    Shard(core::PolicyKind kind, const core::DreParams& params,
+          std::size_t ring_capacity)
+        : in(ring_capacity), out(ring_capacity), gw(kind, params) {}
+    util::SpscRing<Cmd> in;
+    util::SpscRing<packet::PacketPtr> out;
+    EncoderGateway gw;
+    std::thread thread;
+    std::atomic<std::uint64_t> submitted{0};  // driver-thread writes
+    std::atomic<std::uint64_t> completed{0};  // worker writes
+    std::atomic<bool> stop{false};
+    std::atomic<bool> abort{false};  // destructor: drop instead of block
+  };
+
+  void enqueue(Shard& s, Cmd cmd);
+  void run_worker(Shard& s);
+  void process(Shard& s, Cmd& cmd);
+  [[nodiscard]] Shard& shard_for(const packet::Packet& pkt) {
+    return *shards_[shard_index_of(shard_key_of(pkt), shards_.size())];
+  }
+
+  bool threaded_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  PacketSink sink_;
+  ShardPacketSink worker_sink_;
+};
+
+class ShardedDecoderGateway {
+ public:
+  ShardedDecoderGateway(bool enabled, const core::DreParams& params,
+                        const ShardedOptions& options = {});
+  ~ShardedDecoderGateway();
+
+  ShardedDecoderGateway(const ShardedDecoderGateway&) = delete;
+  ShardedDecoderGateway& operator=(const ShardedDecoderGateway&) = delete;
+
+  /// Decoded output, delivered by drain() on the driver thread.
+  void set_sink(PacketSink sink) { sink_ = std::move(sink); }
+
+  /// Worker-side decoded output (see ShardedEncoderGateway equivalent).
+  void set_worker_sink(ShardPacketSink sink);
+
+  /// Reverse-path sink for NACK control packets, delivered by drain()
+  /// on the driver thread.
+  void set_feedback(PacketSink feedback) { feedback_ = std::move(feedback); }
+
+  /// Routes an incoming (possibly encoded) packet to its shard.  Blocks
+  /// draining until the shard accepts it.  Driver thread only.
+  void submit(packet::PacketPtr pkt);
+  bool try_submit(packet::PacketPtr& pkt);
+
+  /// Pushes a packet directly into shard `i`'s input, bypassing key
+  /// derivation — for upstream stages that are themselves sharded with
+  /// the same key (an encoder shard's worker feeds its decoder twin).
+  /// Each shard index must be fed by exactly one thread.  In non-threaded
+  /// mode the packet is decoded inline on the calling thread.
+  void submit_to_shard(std::size_t i, packet::PacketPtr pkt);
+
+  /// Delivers decoded packets (and NACK feedback) from the per-shard
+  /// output rings; returns packets delivered.  Driver thread only.
+  std::size_t drain();
+  void drain_until_idle();
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const DecoderGateway& shard(std::size_t i) const {
+    return shards_[i]->gw;
+  }
+  [[nodiscard]] DecoderGateway& shard(std::size_t i) { return shards_[i]->gw; }
+
+  [[nodiscard]] DecoderGatewayStats stats() const;
+  [[nodiscard]] core::DecoderStats decoder_stats() const;
+  [[nodiscard]] cache::CacheStats cache_stats() const;
+
+  void audit() const;
+
+ private:
+  struct Shard {
+    Shard(bool enabled, const core::DreParams& params,
+          std::size_t ring_capacity)
+        : in(ring_capacity),
+          out(ring_capacity),
+          feedback(ring_capacity),
+          gw(enabled, params) {}
+    util::SpscRing<packet::PacketPtr> in;
+    util::SpscRing<packet::PacketPtr> out;
+    util::SpscRing<packet::PacketPtr> feedback;
+    DecoderGateway gw;
+    std::thread thread;
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<bool> stop{false};
+    std::atomic<bool> abort{false};
+  };
+
+  void enqueue(Shard& s, packet::PacketPtr pkt);
+  void run_worker(Shard& s);
+
+  bool threaded_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  PacketSink sink_;
+  ShardPacketSink worker_sink_;
+  PacketSink feedback_;
+};
+
+}  // namespace bytecache::gateway

@@ -20,8 +20,16 @@ void ChecksumAccumulator::add(util::BytesView data) {
 }
 
 void ChecksumAccumulator::add_u16(std::uint16_t v) {
-  // Word-aligned add; only valid when no odd byte is pending.
-  sum_ += v;
+  if (odd_) {
+    // A pending odd byte occupies the high half of the current word: the
+    // value's high byte completes that word and its low byte becomes the
+    // new pending high half, exactly as add() would fold the same two
+    // bytes.
+    sum_ += static_cast<std::uint8_t>(v >> 8);
+    sum_ += static_cast<std::uint64_t>(static_cast<std::uint8_t>(v)) << 8;
+  } else {
+    sum_ += v;
+  }
 }
 
 void ChecksumAccumulator::add_u32(std::uint32_t v) {

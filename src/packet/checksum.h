@@ -12,6 +12,9 @@ namespace bytecache::packet {
 class ChecksumAccumulator {
  public:
   void add(util::BytesView data);
+  /// Equivalent to add()ing the value's two (resp. four) big-endian
+  /// bytes — correct at any alignment, including with an odd byte
+  /// pending from a previous add().
   void add_u16(std::uint16_t v);
   void add_u32(std::uint32_t v);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace bytecache::sim {
 
 bool GilbertElliottLoss::drop(util::Rng& rng) {
@@ -23,17 +25,26 @@ double GilbertElliottLoss::average_loss() const {
 
 std::unique_ptr<GilbertElliottLoss> GilbertElliottLoss::with_average_loss(
     double p) {
-  // Keep p_bg (burst length ~3.3 packets) and loss_bad fixed; solve for
-  // p_gb such that pi_bad * loss_bad = p.
+  // Keep the default burstiness and solve for p_gb such that
+  // pi_bad * loss_bad = p.  High targets used to be silently clamped
+  // (the old cap delivered at most ~47.5% regardless of p); instead the
+  // Bad state is made lossier (loss_bad = p / 0.95, still a valid
+  // probability for p <= 0.95), and when the required p_gb would exceed
+  // 1 — not a probability — it is pinned at 1 and the bursts lengthened
+  // (p_bg lowered) to hit the same stationary mix exactly.
+  BC_CHECK(p >= 0.0 && p <= 0.95)
+      << "with_average_loss(" << p << "): average loss must be in [0, 0.95]";
   Params params;
   params.loss_good = 0.0;
-  params.loss_bad = 0.5;
+  params.loss_bad = std::max(0.5, p / 0.95);
   params.p_bg = 0.3;
-  const double target_pi_bad = std::clamp(p / params.loss_bad, 0.0, 0.95);
+  const double target_pi_bad = p / params.loss_bad;  // <= 0.95
   // pi_bad = p_gb / (p_gb + p_bg)  =>  p_gb = pi_bad * p_bg / (1 - pi_bad).
-  params.p_gb = target_pi_bad >= 1.0
-                    ? 1.0
-                    : target_pi_bad * params.p_bg / (1.0 - target_pi_bad);
+  params.p_gb = target_pi_bad * params.p_bg / (1.0 - target_pi_bad);
+  if (params.p_gb > 1.0) {
+    params.p_gb = 1.0;
+    params.p_bg = (1.0 - target_pi_bad) / target_pi_bad;
+  }
   return std::make_unique<GilbertElliottLoss>(params);
 }
 

@@ -57,8 +57,11 @@ class GilbertElliottLoss final : public LossProcess {
   /// Stationary average loss rate of the chain.
   [[nodiscard]] double average_loss() const;
 
-  /// Builds a GE process with the given average loss rate, keeping the
-  /// default burstiness (useful for apples-to-apples sweeps vs Bernoulli).
+  /// Builds a GE process whose stationary average_loss() equals `p`
+  /// exactly, keeping the default burstiness (useful for apples-to-apples
+  /// sweeps vs Bernoulli).  `p` must be in [0, 0.95] (BC_CHECK); for
+  /// targets above the default Bad-state loss rate the Bad state is made
+  /// lossier rather than stretching the chain toward always-Bad.
   static std::unique_ptr<GilbertElliottLoss> with_average_loss(double p);
 
  private:

@@ -1,0 +1,114 @@
+// Fixed-capacity single-producer / single-consumer ring.
+//
+// The sharded gateways (gateway/sharded_gateways.h) move packets between
+// the submitting thread and the per-shard workers through these rings:
+// one producer thread pushes, one consumer thread pops, and the only
+// shared state is a pair of monotonic indices.  The classic Lamport
+// queue with cached counterpart indices: the producer re-reads the
+// consumer's index (an acquire load) only when the ring looks full, and
+// vice versa, so the steady-state cost per transfer is one relaxed load,
+// one move, and one release store — no locks, no allocation after
+// construction, wait-free for both sides.
+//
+// Indices never wrap in practice (2^64 pushes at one per nanosecond is
+// five centuries); the slot index is the low bits of the monotonic
+// counter, which requires the capacity to be a power of two.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace bytecache::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  // The producer and consumer sides hold raw pointers to the atomics;
+  // relocation would tear the ring out from under a peer thread.
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  Moves `v` into the ring and returns true, or leaves
+  /// it untouched and returns false when the ring is full.
+  bool try_push(T& v) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (t - head_cache_ > mask_) return false;
+    }
+    slots_[static_cast<std::size_t>(t) & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Moves the oldest element into `out` and returns
+  /// true, or returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return false;
+    }
+    out = std::move(slots_[static_cast<std::size_t>(h) & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (exact for the consumer; a snapshot
+  /// for anyone else).
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Elements currently in the ring (snapshot; exact only when one side
+  /// is quiescent).
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Deep invariant audit (BC_AUDIT; call only while both sides are
+  /// quiescent): the indices are ordered, their distance fits the
+  /// capacity, and the capacity is the promised power of two.
+  void audit() const {
+    if (!kAuditEnabled) return;
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    BC_AUDIT(h <= t) << "consumer index " << h << " passed producer " << t;
+    BC_AUDIT(t - h <= mask_ + 1)
+        << "ring holds " << (t - h) << " elements but capacity is "
+        << (mask_ + 1);
+    BC_AUDIT((slots_.size() & (slots_.size() - 1)) == 0)
+        << "capacity " << slots_.size() << " is not a power of two";
+  }
+
+ private:
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::size_t mask_ = 0;
+  std::vector<T> slots_;
+  // Producer-owned line: its index plus its cached view of the consumer.
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
+  // Consumer-owned line.
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+};
+
+}  // namespace bytecache::util

@@ -1,0 +1,30 @@
+#include "util/worker.h"
+
+#include <chrono>
+#include <thread>
+
+namespace bytecache::util {
+
+void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+void Backoff::pause() {
+  ++spins_;
+  if (spins_ < 64) {
+    cpu_relax();
+  } else if (spins_ < 128) {
+    std::this_thread::yield();
+  } else {
+    // Saturate here: long waits (a peer descheduled, a ring drained only
+    // between benchmark passes) should cost microseconds of latency, not
+    // a spinning core.
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace bytecache::util

@@ -1,0 +1,33 @@
+// Small helpers for the gateway worker threads.
+//
+// Concurrency in this codebase lives only at the gateway/ring layer (see
+// tools/lint.py bc-nolock); these are the few primitives that layer
+// needs: a polite CPU pause for spin loops and an adaptive backoff that
+// escalates from pausing through yielding to napping, so a worker
+// waiting on an empty ring neither burns a core nor adds milliseconds of
+// wake-up latency.
+#pragma once
+
+#include <cstdint>
+
+namespace bytecache::util {
+
+/// Architecture-appropriate spin-loop hint (x86 `pause`, arm `yield`);
+/// a no-op elsewhere.
+void cpu_relax();
+
+/// Adaptive spin-wait: call pause() each time an expected condition has
+/// not happened yet, reset() when it has.  Escalates from cpu_relax()
+/// (cheap, keeps the pipeline polite) through std::this_thread::yield()
+/// to a short sleep, so a stalled peer cannot make the caller burn a
+/// full core — which matters when the shards outnumber the cores.
+class Backoff {
+ public:
+  void pause();
+  void reset() { spins_ = 0; }
+
+ private:
+  std::uint32_t spins_ = 0;
+};
+
+}  // namespace bytecache::util

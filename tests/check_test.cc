@@ -193,7 +193,7 @@ TEST(ByteCacheAudit, StaleEntriesAreLegal) {
 TEST(CodecAudit, EncoderAndDecoderStayCleanOverAStream) {
   util::Rng rng(11);
   core::DreParams params;
-  core::Encoder enc = testutil::make_encoder(core::PolicyKind::kNaive, params);
+  core::Encoder enc = testutil::test_encoder(core::PolicyKind::kNaive, params);
   core::Decoder dec(params);
   // Redundant traffic (repeated halves) so regions actually get encoded.
   const util::Bytes base = testutil::random_bytes(rng, 1200);

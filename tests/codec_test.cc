@@ -11,7 +11,7 @@
 namespace bytecache::core {
 namespace {
 
-using testutil::make_encoder;
+using testutil::test_encoder;
 using testutil::make_tcp_packet;
 using testutil::random_bytes;
 using testutil::segment_stream;
@@ -74,7 +74,7 @@ TEST(Matcher, IdenticalPayloadsFullLength) {
 // ---------------------------------------------- encoder/decoder basics --
 
 TEST(Codec, FirstPacketNeverEncoded) {
-  auto enc = make_encoder(PolicyKind::kNaive);
+  auto enc = test_encoder(PolicyKind::kNaive);
   Rng rng(2);
   auto pkt = make_tcp_packet(random_bytes(rng, 1000), 1000);
   const EncodeInfo info = enc.process(*pkt);
@@ -85,7 +85,7 @@ TEST(Codec, FirstPacketNeverEncoded) {
 
 TEST(Codec, DuplicatePayloadIsEncodedAndDecodedExactly) {
   DreParams params;
-  auto enc = make_encoder(PolicyKind::kNaive, params);
+  auto enc = test_encoder(PolicyKind::kNaive, params);
   Decoder dec(params);
   Rng rng(3);
   const Bytes data = random_bytes(rng, 1000);
@@ -109,7 +109,7 @@ TEST(Codec, DuplicatePayloadIsEncodedAndDecodedExactly) {
 }
 
 TEST(Codec, SmallPacketsSkipped) {
-  auto enc = make_encoder(PolicyKind::kNaive);
+  auto enc = test_encoder(PolicyKind::kNaive);
   auto pkt = packet::make_packet(1, 2, packet::IpProto::kUdp, Bytes(10, 'a'));
   const EncodeInfo info = enc.process(*pkt);
   EXPECT_FALSE(info.data_packet);
@@ -117,7 +117,7 @@ TEST(Codec, SmallPacketsSkipped) {
 }
 
 TEST(Codec, PureAckSkipped) {
-  auto enc = make_encoder(PolicyKind::kNaive);
+  auto enc = test_encoder(PolicyKind::kNaive);
   // TCP header only, no data.
   packet::TcpHeader h;
   h.seq = 5;
@@ -131,7 +131,7 @@ TEST(Codec, PureAckSkipped) {
 }
 
 TEST(Codec, IncompressibleStreamNeverEncoded) {
-  auto enc = make_encoder(PolicyKind::kNaive);
+  auto enc = test_encoder(PolicyKind::kNaive);
   Rng rng(4);
   const Bytes object = random_bytes(rng, 50 * 1460);
   for (auto& pkt : segment_stream(object)) {
@@ -145,7 +145,7 @@ TEST(Codec, StreamRoundTripBitExact) {
   // Property: for ANY stream, encode->decode in order reproduces every
   // payload bit-exactly.
   DreParams params;
-  auto enc = make_encoder(PolicyKind::kNaive, params);
+  auto enc = test_encoder(PolicyKind::kNaive, params);
   Decoder dec(params);
   Rng rng(5);
   const Bytes object = workload::make_file1(rng, 200 * 1460);
@@ -162,7 +162,7 @@ TEST(Codec, StreamRoundTripBitExact) {
 }
 
 TEST(Codec, RedundantWorkloadSavesBytes) {
-  auto enc = make_encoder(PolicyKind::kNaive);
+  auto enc = test_encoder(PolicyKind::kNaive);
   Rng rng(6);
   const Bytes object = workload::make_file1(rng, 300 * 1460);
   for (auto& pkt : segment_stream(object)) enc.process(*pkt);
@@ -175,7 +175,7 @@ TEST(Codec, RedundantWorkloadSavesBytes) {
 
 TEST(Codec, DecoderDropsWhenReferenceMissing) {
   DreParams params;
-  auto enc = make_encoder(PolicyKind::kNaive, params);
+  auto enc = test_encoder(PolicyKind::kNaive, params);
   Decoder dec(params);
   Rng rng(7);
   const Bytes data = random_bytes(rng, 1000);
@@ -194,7 +194,7 @@ TEST(Codec, DecoderDropsWhenReferenceMissing) {
 
 TEST(Codec, CorruptedEncodedPacketDropsNotCorrupts) {
   DreParams params;
-  auto enc = make_encoder(PolicyKind::kNaive, params);
+  auto enc = test_encoder(PolicyKind::kNaive, params);
   Decoder dec(params);
   Rng rng(8);
   const Bytes data = random_bytes(rng, 1000);
@@ -226,7 +226,7 @@ TEST(Codec, CorruptedEncodedPacketDropsNotCorrupts) {
 
 TEST(Codec, EncoderNeverInflatesPayload) {
   DreParams params;
-  auto enc = make_encoder(PolicyKind::kNaive, params);
+  auto enc = test_encoder(PolicyKind::kNaive, params);
   Rng rng(10);
   // A stream with tiny repeated snippets (too small to pay for fields).
   Bytes object;
@@ -243,7 +243,7 @@ TEST(Codec, EncoderNeverInflatesPayload) {
 
 TEST(Codec, MultipleRegionsPerPacket) {
   DreParams params;
-  auto enc = make_encoder(PolicyKind::kNaive, params);
+  auto enc = test_encoder(PolicyKind::kNaive, params);
   Decoder dec(params);
   Rng rng(11);
   const Bytes a = random_bytes(rng, 300);
@@ -279,7 +279,7 @@ TEST(Codec, MultipleRegionsPerPacket) {
 
 TEST(Codec, CachesStayInLockstepOverLongStream) {
   DreParams params;
-  auto enc = make_encoder(PolicyKind::kNaive, params);
+  auto enc = test_encoder(PolicyKind::kNaive, params);
   Decoder dec(params);
   Rng rng(12);
   const Bytes object = workload::make_file2(rng, 400 * 1460);
@@ -294,7 +294,7 @@ TEST(Codec, CachesStayInLockstepOverLongStream) {
 
 TEST(Codec, UdpPayloadsEncodeToo) {
   DreParams params;
-  auto enc = make_encoder(PolicyKind::kNaive, params);
+  auto enc = test_encoder(PolicyKind::kNaive, params);
   Decoder dec(params);
   Rng rng(13);
   const Bytes data = random_bytes(rng, 800);
@@ -311,7 +311,7 @@ TEST(Codec, UdpPayloadsEncodeToo) {
 
 TEST(Codec, DependencyTrackingCountsDistinctSources) {
   DreParams params;
-  auto enc = make_encoder(PolicyKind::kNaive, params);
+  auto enc = test_encoder(PolicyKind::kNaive, params);
   Rng rng(14);
   const Bytes a = random_bytes(rng, 400);
   const Bytes b = random_bytes(rng, 400);
@@ -332,7 +332,7 @@ TEST(Codec, DependencyTrackingCountsDistinctSources) {
 
 TEST(Codec, FlushPreventsEncodingAgainstPreFlushPackets) {
   DreParams params;
-  auto enc = make_encoder(PolicyKind::kNaive, params);
+  auto enc = test_encoder(PolicyKind::kNaive, params);
   Rng rng(15);
   const Bytes data = random_bytes(rng, 1000);
   auto p1 = make_tcp_packet(data, 1000);

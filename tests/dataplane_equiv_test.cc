@@ -33,7 +33,7 @@
 namespace bytecache {
 namespace {
 
-using testutil::make_encoder;
+using testutil::test_encoder;
 using testutil::random_bytes;
 using testutil::segment_stream;
 using util::Bytes;
@@ -369,8 +369,8 @@ TEST(CodecEquiv, EncodingBitIdenticalAcrossInstances) {
     object.insert(object.end(), c.begin(), c.end());
   }
 
-  auto enc_a = make_encoder(core::PolicyKind::kNaive);
-  auto enc_b = make_encoder(core::PolicyKind::kNaive);
+  auto enc_a = test_encoder(core::PolicyKind::kNaive);
+  auto enc_b = test_encoder(core::PolicyKind::kNaive);
   core::Decoder dec{core::DreParams{}};
   std::size_t encoded_packets = 0;
   for (const auto& pkt : segment_stream(object)) {
@@ -428,7 +428,7 @@ TEST(EvictionPurge, NoStaleEntriesUnderChurn) {
 TEST(EvictionPurge, BoundedEncoderDecoderStayInSync) {
   core::DreParams params;
   params.cache_bytes = 64 * 1024;  // far smaller than the stream
-  auto enc = make_encoder(core::PolicyKind::kNaive, params);
+  auto enc = test_encoder(core::PolicyKind::kNaive, params);
   core::Decoder dec{params};
   Rng rng(109);
   Bytes object;

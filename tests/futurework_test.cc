@@ -18,7 +18,7 @@
 namespace bytecache {
 namespace {
 
-using testutil::make_encoder;
+using testutil::test_encoder;
 using testutil::make_tcp_packet;
 using testutil::random_bytes;
 using util::Bytes;
@@ -83,7 +83,7 @@ TEST(ByteCacheInvalidate, UnknownFingerprintIsNoop) {
 
 TEST(NackFeedback, EncoderStopsReferencingNackedPacket) {
   core::DreParams params;
-  auto enc = make_encoder(core::PolicyKind::kNaive, params);
+  auto enc = test_encoder(core::PolicyKind::kNaive, params);
   Rng rng(1);
   const Bytes data = random_bytes(rng, 1000);
 
@@ -179,7 +179,7 @@ TEST(NackFeedback, WorksUnderHeavyLoss) {
 TEST(AckGated, NoReferencesBeforeAnyAck) {
   core::DreParams params;
   params.ack_gated = true;
-  auto enc = make_encoder(core::PolicyKind::kNaive, params);
+  auto enc = test_encoder(core::PolicyKind::kNaive, params);
   Rng rng(5);
   const Bytes data = random_bytes(rng, 1000);
   enc.process(*make_tcp_packet(data, 1000));
@@ -191,7 +191,7 @@ TEST(AckGated, NoReferencesBeforeAnyAck) {
 TEST(AckGated, ReferencesOpenUpAfterAck) {
   core::DreParams params;
   params.ack_gated = true;
-  auto enc = make_encoder(core::PolicyKind::kNaive, params);
+  auto enc = test_encoder(core::PolicyKind::kNaive, params);
   const std::uint64_t flow =
       core::flow_key_of(testutil::kSrcIp, testutil::kDstIp, 80, 40000);
   Rng rng(6);
@@ -216,7 +216,7 @@ TEST(AckGated, ReferencesOpenUpAfterAck) {
 TEST(AckGated, AckRegressionIgnored) {
   core::DreParams params;
   params.ack_gated = true;
-  auto enc = make_encoder(core::PolicyKind::kNaive, params);
+  auto enc = test_encoder(core::PolicyKind::kNaive, params);
   const std::uint64_t flow =
       core::flow_key_of(testutil::kSrcIp, testutil::kDstIp, 80, 40000);
   Rng rng(7);

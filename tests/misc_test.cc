@@ -127,7 +127,7 @@ TEST(MultiPipelineRouting, NonTcpAndUnknownPortsIgnoredGracefully) {
 
 TEST(EpochFlag, FirstEncodedPacketAfterFlushCarriesIt) {
   core::DreParams params;
-  auto enc = testutil::make_encoder(core::PolicyKind::kNaive, params);
+  auto enc = testutil::test_encoder(core::PolicyKind::kNaive, params);
   Rng rng(3);
   const Bytes data = testutil::random_bytes(rng, 800);
 
@@ -173,7 +173,7 @@ TEST(DecoderStats, EachDropKindCounted) {
   EXPECT_EQ(dec.stats().drops_malformed, 1u);
 
   // Missing fingerprint.
-  auto enc = testutil::make_encoder(core::PolicyKind::kNaive, params);
+  auto enc = testutil::test_encoder(core::PolicyKind::kNaive, params);
   const Bytes data = testutil::random_bytes(rng, 600);
   auto lost = testutil::make_udp_packet(data);
   enc.process(*lost);

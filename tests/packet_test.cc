@@ -37,6 +37,55 @@ TEST(Checksum, OddLength) {
             static_cast<std::uint16_t>(~0xAB00));
 }
 
+TEST(Checksum, AddU16AfterOddByteMatchesByteStream) {
+  // add_u16 must fold its value exactly as add() would fold the same two
+  // big-endian bytes, even with an odd byte pending from a previous add().
+  ChecksumAccumulator words;
+  words.add(Bytes{0xAB});
+  words.add_u16(0x1234);
+  words.add(Bytes{0xCD});  // pairs with the pending 0x34
+
+  EXPECT_EQ(words.finish(), internet_checksum(Bytes{0xAB, 0x12, 0x34, 0xCD}));
+}
+
+TEST(Checksum, InterleavedAddsMatchByteSerializedReference) {
+  // Random interleavings of odd-length add() with add_u16/add_u32 must
+  // always equal the checksum of the byte-serialized equivalent.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 64; ++trial) {
+    ChecksumAccumulator acc;
+    Bytes flat;
+    const int ops = 2 + static_cast<int>(rng.next_u64() % 10);
+    for (int op = 0; op < ops; ++op) {
+      switch (rng.next_u64() % 3) {
+        case 0: {
+          Bytes chunk(1 + rng.next_u64() % 9);
+          for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next_u64());
+          acc.add(chunk);
+          flat.insert(flat.end(), chunk.begin(), chunk.end());
+          break;
+        }
+        case 1: {
+          const auto v = static_cast<std::uint16_t>(rng.next_u64());
+          acc.add_u16(v);
+          flat.push_back(static_cast<std::uint8_t>(v >> 8));
+          flat.push_back(static_cast<std::uint8_t>(v));
+          break;
+        }
+        default: {
+          const auto v = static_cast<std::uint32_t>(rng.next_u64());
+          acc.add_u32(v);
+          for (int s = 24; s >= 0; s -= 8) {
+            flat.push_back(static_cast<std::uint8_t>(v >> s));
+          }
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(acc.finish(), internet_checksum(flat)) << "trial " << trial;
+  }
+}
+
 TEST(Checksum, AccumulatorPiecewiseEqualsWhole) {
   util::Rng rng(1);
   Bytes data(101);  // odd length to exercise the pairing logic

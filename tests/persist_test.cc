@@ -187,5 +187,122 @@ TEST(Persist, ColdVsWarmRestartCompressionGap) {
   EXPECT_LT(run_second_half(true), run_second_half(false));
 }
 
+// ----------------------------------------------- snapshot validation --
+
+/// A failed restore must leave the target empty and audit-clean.
+void expect_rejected_clean(util::BytesView snap) {
+  cache::ByteCache restored;
+  EXPECT_FALSE(cache::deserialize_cache(snap, restored));
+  EXPECT_EQ(restored.store().size(), 0u);
+  EXPECT_EQ(restored.fingerprint_count(), 0u);
+  restored.audit();
+}
+
+TEST(Persist, RejectsDanglingFingerprint) {
+  // A snapshot whose fingerprint table names a packet id the store does
+  // not hold would break the table invariants the hit-expansion path
+  // relies on; it must be rejected, not restored subtly wrong.
+  cache::ByteCache bad;
+  bad.restore_fingerprint(0xF00D, cache::FpEntry{/*packet_id=*/42,
+                                                 /*offset=*/0});
+  expect_rejected_clean(cache::serialize_cache(bad));
+}
+
+TEST(Persist, RejectsFingerprintOffsetBeyondPayload) {
+  cache::ByteCache bad;
+  bad.update(Bytes(64, 'x'), {{0, 0xBEEF}}, {});
+  Bytes snap = cache::serialize_cache(bad);
+  // The last fingerprint record's trailing u16 is its offset; point it
+  // past the 64-byte payload.
+  snap[snap.size() - 2] = 0;
+  snap[snap.size() - 1] = 200;
+  expect_rejected_clean(snap);
+}
+
+TEST(Persist, RejectsZeroAndDuplicatePacketIds) {
+  // PacketStore::restore trusts its input, so deserialize_cache must
+  // screen ids: 0 is the "absent" sentinel and duplicates would corrupt
+  // the id index.  Craft the snapshots byte by byte.
+  auto make_snapshot = [](const std::vector<std::uint64_t>& ids) {
+    Bytes snap;
+    util::put_u32(snap, 0x42434331);  // magic "BCC1"
+    util::put_u32(snap, static_cast<std::uint32_t>(ids.size()));
+    for (std::uint64_t id : ids) {
+      util::put_u64(snap, id);
+      util::put_u64(snap, 0);  // flow_key
+      util::put_u64(snap, 0);  // src_uid
+      util::put_u64(snap, 0);  // stream_index
+      util::put_u32(snap, 0);  // tcp_seq
+      util::put_u32(snap, 0);  // tcp_end_seq
+      util::put_u32(snap, 0);  // epoch
+      util::put_u8(snap, 0);   // has_tcp_seq
+      util::put_u32(snap, 4);  // payload length
+      util::append(snap, Bytes{'a', 'b', 'c', 'd'});
+    }
+    util::put_u32(snap, 0);  // fingerprint count
+    return snap;
+  };
+  cache::ByteCache ok;
+  EXPECT_TRUE(cache::deserialize_cache(make_snapshot({5, 9}), ok));
+  expect_rejected_clean(make_snapshot({0}));
+  expect_rejected_clean(make_snapshot({5, 5}));
+}
+
+TEST(Persist, CorruptedSnapshotNeverRestoresInvalidState) {
+  // Flip every byte of a real snapshot in turn (and try truncations):
+  // each mutation must either restore an audit-clean cache or be
+  // rejected with the cache left empty.
+  cache::ByteCache cache;
+  Rng rng(11);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<rabin::Anchor> anchors = {
+        {static_cast<std::uint16_t>(i * 3),
+         static_cast<rabin::Fingerprint>(0x1000 + i)}};
+    cache.update(testutil::random_bytes(rng, 96 + i * 17), anchors, {});
+  }
+  const Bytes snap = cache::serialize_cache(cache);
+
+  for (std::size_t pos = 0; pos < snap.size(); ++pos) {
+    Bytes mutated = snap;
+    mutated[pos] ^= 0x40;
+    cache::ByteCache restored;
+    const bool ok = cache::deserialize_cache(mutated, restored);
+    if (!ok) {
+      EXPECT_EQ(restored.store().size(), 0u) << "flip at " << pos;
+      EXPECT_EQ(restored.fingerprint_count(), 0u) << "flip at " << pos;
+    }
+    restored.audit();
+  }
+  for (std::size_t len = 0; len < snap.size(); len += 13) {
+    cache::ByteCache restored;
+    EXPECT_FALSE(cache::deserialize_cache(
+        util::BytesView(snap.data(), len), restored))
+        << "truncation to " << len;
+    EXPECT_EQ(restored.store().size(), 0u);
+    EXPECT_EQ(restored.fingerprint_count(), 0u);
+    restored.audit();
+  }
+}
+
+TEST(Persist, IntactSnapshotStillRoundTripsAfterValidation) {
+  // The validation must not reject healthy snapshots: a cache with
+  // cross-referencing fingerprints round-trips exactly.
+  cache::ByteCache cache;
+  Rng rng(12);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<rabin::Anchor> anchors = {
+        {0, static_cast<rabin::Fingerprint>(0x2000 + i)},
+        {32, static_cast<rabin::Fingerprint>(0x3000 + i)}};
+    cache.update(testutil::random_bytes(rng, 128), anchors, {});
+  }
+  cache::ByteCache restored;
+  ASSERT_TRUE(
+      cache::deserialize_cache(cache::serialize_cache(cache), restored));
+  EXPECT_EQ(restored.store().size(), cache.store().size());
+  EXPECT_EQ(restored.fingerprint_count(), cache.fingerprint_count());
+  EXPECT_EQ(cache::serialize_cache(restored), cache::serialize_cache(cache));
+  restored.audit();
+}
+
 }  // namespace
 }  // namespace bytecache

@@ -12,7 +12,7 @@
 namespace bytecache::core {
 namespace {
 
-using testutil::make_encoder;
+using testutil::test_encoder;
 using testutil::make_tcp_packet;
 using testutil::make_udp_packet;
 using testutil::random_bytes;
@@ -93,7 +93,7 @@ TEST(CacheFlushPolicy, NonTcpPacketsIgnored) {
 
 TEST(CacheFlushPolicy, EndToEndRetransmissionGoesUnencoded) {
   DreParams params;
-  auto enc = make_encoder(PolicyKind::kCacheFlush, params);
+  auto enc = test_encoder(PolicyKind::kCacheFlush, params);
   Rng rng(1);
   const Bytes data = random_bytes(rng, 1000);
 
@@ -144,7 +144,7 @@ TEST(TcpSeqPolicy, NeverFlushes) {
 
 TEST(TcpSeqPolicy, EndToEndRetransmissionEncodedAgainstPredecessorOnly) {
   DreParams params;
-  auto enc = make_encoder(PolicyKind::kTcpSeq, params);
+  auto enc = test_encoder(PolicyKind::kTcpSeq, params);
   Decoder dec(params);
   Rng rng(2);
   const Bytes a = random_bytes(rng, 1000);
@@ -226,7 +226,7 @@ TEST(KDistancePolicy, EndToEndCascadeBoundedByK) {
   // the next reference resynchronizes the caches.
   DreParams params;
   params.k_distance = 5;
-  auto enc = make_encoder(PolicyKind::kKDistance, params);
+  auto enc = test_encoder(PolicyKind::kKDistance, params);
   Decoder dec(params);
   Rng rng(3);
   // Highly redundant stream: every packet shares content with recent ones.

@@ -7,6 +7,7 @@
 #include "sim/loss_model.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace bytecache::sim {
@@ -131,6 +132,39 @@ TEST(LossModel, GilbertElliottAverageMatchesTarget) {
       if (ge->drop(rng)) ++drops;
     }
     EXPECT_NEAR(static_cast<double>(drops) / n, target, 0.01);
+  }
+}
+
+TEST(LossModel, GilbertElliottAverageExactAcrossFullRange) {
+  // The constructor used to clamp the stationary Bad fraction and
+  // silently deliver less loss than asked above ~47.5%; every target in
+  // the supported range must now be met exactly.
+  for (double target : {0.0, 0.05, 0.20, 0.40, 0.475, 0.60, 0.90, 0.95}) {
+    auto ge = GilbertElliottLoss::with_average_loss(target);
+    EXPECT_NEAR(ge->average_loss(), target, 1e-9) << "target " << target;
+  }
+}
+
+TEST(LossModel, GilbertElliottHighTargetConvergesEmpirically) {
+  auto ge = GilbertElliottLoss::with_average_loss(0.40);
+  util::Rng rng(5);
+  int drops = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    if (ge->drop(rng)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.40, 0.01);
+}
+
+TEST(LossModel, GilbertElliottRejectsOutOfRangeTarget) {
+  for (double bad : {-0.01, 0.96, 1.5}) {
+    int failures = 0;
+    auto prev = util::set_check_failure_handler(
+        [&](const util::CheckFailure&) { ++failures; });
+    auto ge = GilbertElliottLoss::with_average_loss(bad);
+    util::set_check_failure_handler(std::move(prev));
+    EXPECT_EQ(failures, 1) << "target " << bad;
+    EXPECT_NE(ge, nullptr);
   }
 }
 

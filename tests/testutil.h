@@ -61,7 +61,7 @@ inline util::Bytes random_bytes(util::Rng& rng, std::size_t n) {
 }
 
 /// Creates an encoder with the given policy kind.
-inline core::Encoder make_encoder(core::PolicyKind kind,
+inline core::Encoder test_encoder(core::PolicyKind kind,
                                   core::DreParams params = {}) {
   return core::Encoder(params, core::make_policy(kind, params));
 }

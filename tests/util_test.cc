@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <set>
+#include <thread>
 
 #include "util/bytes.h"
 #include "util/crc32.h"
@@ -9,6 +11,8 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/seqcmp.h"
+#include "util/spsc_ring.h"
+#include "util/worker.h"
 
 namespace bytecache::util {
 namespace {
@@ -261,6 +265,79 @@ TEST(Logging, LevelGate) {
   EXPECT_EQ(log_level(), LogLevel::kError);
   BC_DEBUG() << "this must not be evaluated at error level";
   set_log_level(before);
+}
+
+// --------------------------------------------------------- spsc_ring.h --
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRing<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscRing, FifoWithWraparoundAndFullEmptyEdges) {
+  SpscRing<int> ring(4);
+  int v = 0;
+  EXPECT_FALSE(ring.try_pop(v));  // empty
+  // Push/pop far past the capacity so the indices wrap the slot array.
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 50; ++round) {
+    while (true) {
+      v = next_in;
+      if (!ring.try_push(v)) break;
+      ++next_in;
+    }
+    EXPECT_EQ(ring.size(), ring.capacity());  // full
+    v = next_in;
+    EXPECT_FALSE(ring.try_push(v));
+    EXPECT_EQ(v, next_in);  // a failed push leaves the value untouched
+    while (ring.try_pop(v)) {
+      EXPECT_EQ(v, next_out);
+      ++next_out;
+    }
+    EXPECT_TRUE(ring.empty());
+    ring.audit();
+  }
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(SpscRing, MovesOwnershipThrough) {
+  SpscRing<std::unique_ptr<int>> ring(8);
+  auto p = std::make_unique<int>(41);
+  ASSERT_TRUE(ring.try_push(p));
+  EXPECT_EQ(p, nullptr);  // moved in
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 41);
+}
+
+TEST(SpscRing, CrossThreadTransferPreservesOrder) {
+  // One producer thread, one consumer thread (this one), a deliberately
+  // tiny ring: every value must arrive exactly once, in order.
+  constexpr std::uint64_t kCount = 200000;
+  SpscRing<std::uint64_t> ring(16);
+  std::thread producer([&ring] {
+    Backoff backoff;
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      std::uint64_t v = i;
+      while (!ring.try_push(v)) backoff.pause();
+      backoff.reset();
+    }
+  });
+  Backoff backoff;
+  for (std::uint64_t expect = 0; expect < kCount; ++expect) {
+    std::uint64_t v = 0;
+    while (!ring.try_pop(v)) backoff.pause();
+    backoff.reset();
+    ASSERT_EQ(v, expect);
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+  ring.audit();
 }
 
 }  // namespace

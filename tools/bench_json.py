@@ -5,6 +5,10 @@ Runs the tracked data-plane benchmarks from a Release build tree:
 
   bench_throughput       end-to-end Encoder->Decoder packets/sec and MB/s
                          (its own JSON output is embedded verbatim)
+  bench_mt_throughput    sharded-gateway scaling sweep (1/2/4/8 shards);
+                         embedded verbatim, one entry per shard count plus
+                         a single-flow wire-identity probe whose wire_ratio
+                         must equal bench_throughput's file1 baseline
   bench_micro_rabin      google-benchmark scan/selection microbenches
                          (bytes_per_second extracted per benchmark)
 
@@ -35,8 +39,10 @@ import sys
 from pathlib import Path
 
 
-def run_bench_throughput(build, repeat):
-    exe = Path(build) / "bench" / "bench_throughput"
+def run_json_bench(build, name, repeat):
+    """Runs a bench binary that prints one JSON doc with a `results` list,
+    keeping per-workload the run with the higher MB/s (lower noise)."""
+    exe = Path(build) / "bench" / name
     if not exe.exists():
         sys.exit(f"bench_json: {exe} not found (build the bench targets)")
     best = None
@@ -49,12 +55,27 @@ def run_bench_throughput(build, repeat):
         if best is None:
             best = doc
             continue
-        # Keep, per workload, the run with the higher MB/s (lower noise).
         for cur, new in zip(best["results"], doc["results"]):
             assert cur["name"] == new["name"]
             if new["mb_per_s"] > cur["mb_per_s"]:
                 cur.update(new)
     return best
+
+
+def check_wire_identity(entry):
+    """The 1-shard/1-flow sharded run replays bench_throughput's exact
+    file1 stream; a wire_ratio mismatch means sharding changed the wire
+    format, which the design forbids — fail loudly rather than record it."""
+    by_name = {r["name"]: r for r in entry["bench_throughput"]["results"]}
+    base = by_name.get("file1_naive_valuesampling")
+    probe = {r["name"]: r for r in entry["bench_mt_throughput"]["results"]}
+    one = probe.get("file1_1flow_1shard")
+    if base is None or one is None:
+        return
+    if abs(base["wire_ratio"] - one["wire_ratio"]) > 1e-9:
+        sys.exit("bench_json: sharded 1-shard wire_ratio "
+                 f"{one['wire_ratio']} != plain baseline "
+                 f"{base['wire_ratio']} — wire format drifted")
 
 
 def run_bench_micro_rabin(build, repeat):
@@ -93,9 +114,13 @@ def main():
 
     entry = {
         "machine": platform.machine(),
-        "bench_throughput": run_bench_throughput(args.build, args.repeat),
+        "bench_throughput": run_json_bench(
+            args.build, "bench_throughput", args.repeat),
+        "bench_mt_throughput": run_json_bench(
+            args.build, "bench_mt_throughput", args.repeat),
         "bench_micro_rabin": run_bench_micro_rabin(args.build, args.repeat),
     }
+    check_wire_identity(entry)
 
     out_path = Path(args.out)
     doc = {}
@@ -104,11 +129,11 @@ def main():
     doc[args.label] = entry
     out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
-    tp = entry["bench_throughput"]["results"]
     print(f"bench_json: wrote {out_path} [{args.label}]")
-    for r in tp:
-        print(f"  {r['name']:32s} {r['mb_per_s']:8.2f} MB/s "
-              f"{r['packets_per_s']:10.0f} pkt/s")
+    for bench in ("bench_throughput", "bench_mt_throughput"):
+        for r in entry[bench]["results"]:
+            print(f"  {r['name']:32s} {r['mb_per_s']:8.2f} MB/s "
+                  f"{r['packets_per_s']:10.0f} pkt/s")
 
 
 if __name__ == "__main__":

@@ -36,6 +36,18 @@ Rules (see DESIGN.md "Correctness tooling"):
                 use with a `NOLINT(bc-hotpath)` comment on the line or
                 the line above.
 
+  bc-nolock     std::mutex (and friends: shared/recursive/timed mutexes,
+                lock_guard, scoped_lock, unique_lock, shared_lock,
+                condition_variable) anywhere under src/rabin/, src/cache/,
+                or src/core/.  Those layers are the per-shard data plane:
+                the sharded gateways guarantee exactly one thread touches
+                each Encoder/Decoder and its caches, so a lock there is
+                either dead weight on every packet or a sign that state is
+                about to be shared across shards — both are design bugs.
+                Synchronization belongs in src/gateway/ and src/util/
+                (SPSC rings, atomics).  Suppress a deliberate use with a
+                `NOLINT(bc-nolock)` comment on the line or the line above.
+
 Exit status 0 when clean, 1 when violations were found.  `--self-test`
 runs the built-in positive/negative cases instead of scanning the tree.
 """
@@ -69,6 +81,12 @@ WIRECAST_RE = re.compile(
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(?P<form>["<])(?P<path>[^">]+)[">]')
 HOTPATH_RE = re.compile(r"std\s*::\s*(?P<type>function|deque)\b")
 HOTPATH_DIRS = ("src/rabin/", "src/cache/")
+NOLOCK_RE = re.compile(
+    r"std\s*::\s*(?P<type>mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"recursive_timed_mutex|lock_guard|scoped_lock|unique_lock|shared_lock|"
+    r"condition_variable|condition_variable_any)\b"
+)
+NOLOCK_DIRS = ("src/rabin/", "src/cache/", "src/core/")
 
 
 class Violation:
@@ -248,6 +266,27 @@ def scan_hotpath(path, raw_lines, code_lines):
     return violations
 
 
+def scan_nolock(path, raw_lines, code_lines):
+    posix = path.as_posix()
+    if not any(posix.startswith(d) or f"/{d}" in posix
+               for d in NOLOCK_DIRS):
+        return []
+    suppressed = nolint_lines(raw_lines, "bc-nolock")
+    violations = []
+    for lineno, line in enumerate(code_lines, start=1):
+        if lineno in suppressed:
+            continue
+        m = NOLOCK_RE.search(line)
+        if m:
+            violations.append(Violation(
+                "bc-nolock", path, lineno,
+                f"std::{m.group('type')} in single-threaded data-plane code; "
+                f"each shard owns its codec exclusively — synchronization "
+                f"belongs in src/gateway/ or src/util/ (or annotate "
+                f"NOLINT(bc-nolock))"))
+    return violations
+
+
 def scan_includes(path, root, raw_lines, code_lines):
     del code_lines  # include paths live inside string-like tokens: use raw
     violations = []
@@ -312,6 +351,7 @@ def scan_file(path, root):
     violations += scan_rawseq(rel, raw_lines, code_lines)
     violations += scan_wirecast(rel, raw_lines, code_lines)
     violations += scan_hotpath(rel, raw_lines, code_lines)
+    violations += scan_nolock(rel, raw_lines, code_lines)
     violations += scan_includes(root / rel, root, raw_lines, code_lines)
     return violations
 
@@ -376,6 +416,15 @@ SELF_TEST_CASES = [
     ("bc-hotpath",
      "std::function<void()> cb;  // NOLINT(bc-hotpath)", False),
     ("bc-hotpath", "my_function<int> f;", False),
+    ("bc-nolock", "std::mutex table_mutex_;", True),
+    ("bc-nolock", "std::lock_guard<std::mutex> lk(m_);", True),
+    ("bc-nolock", "std::shared_mutex rw_;", True),
+    ("bc-nolock", "std::condition_variable cv_;", True),
+    ("bc-nolock", "std :: unique_lock<std::mutex> lk(m_);", True),
+    ("bc-nolock", "std::atomic<std::uint64_t> completed_{0};", False),
+    ("bc-nolock", "// std::mutex would violate bc-nolock here", False),
+    ("bc-nolock", "std::mutex m_;  // NOLINT(bc-nolock)", False),
+    ("bc-nolock", "my_mutex m_;", False),
 ]
 
 
@@ -394,6 +443,10 @@ def self_test():
             # The rule only fires in data-plane headers.
             found = scan_hotpath(Path("src/cache/selftest_snippet.h"),
                                  raw_lines, code_lines)
+        elif rule == "bc-nolock":
+            # The rule only fires under the single-threaded codec dirs.
+            found = scan_nolock(Path("src/core/selftest_snippet.cc"),
+                                raw_lines, code_lines)
         else:
             # Only the path-independent include checks are testable here.
             found = [v for v in scan_includes(root / path, root, raw_lines,
