@@ -1,0 +1,65 @@
+// Resilience controller sweep (EXPERIMENTS.md "Figure 13 + controller"):
+// the Fig. 13 perceived-loss axis, extended with the adaptive resilience
+// layer.  For each actual loss rate it compares the resilient policy
+// (perceived-loss estimator + degradation ladder + epoch resync) against
+// the fixed rungs it moves between — CacheFlush (always safe), plain
+// naive caching (maximal savings, stalls under loss), and pass-through —
+// reporting download time, wire bytes, the encoder-side loss estimate,
+// and the worst ladder rung the controller reached.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace bytecache;
+
+int main(int argc, char** argv) {
+  std::size_t trials = 6;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") trials = 2;
+  }
+
+  harness::print_heading(
+      "Resilience sweep: degradation controller vs fixed policies (File 1)");
+  bench::print_paper_note(
+      "Fig. 13 frames perceived loss; the controller should track the "
+      "CacheFlush curve on delay while spending no more bytes than "
+      "pass-through at any loss rate");
+
+  const auto& file = bench::file1();
+  harness::Table table({"actual loss %", "policy", "completion %",
+                        "duration s", "wire MB", "est. loss %", "worst rung",
+                        "resyncs"});
+  for (double loss : {0.01, 0.02, 0.05, 0.08, 0.10}) {
+    for (auto kind : {core::PolicyKind::kResilient,
+                      core::PolicyKind::kCacheFlush, core::PolicyKind::kNaive,
+                      core::PolicyKind::kNone}) {
+      auto cfg = bench::default_config(kind, loss, trials);
+      if (kind == core::PolicyKind::kResilient ||
+          kind == core::PolicyKind::kNaive) {
+        // Naive runs with the resync layer too: the sweep shows epoch
+        // recovery turning the paper's Section IV stall into bounded
+        // degradation even without the controller.
+        cfg.dre.epoch_resync = true;
+      }
+      auto agg = harness::run_experiment(cfg, file);
+      double est_loss = 0.0, resyncs = 0.0;
+      const char* rung = "-";
+      for (const harness::TrialResult& t : agg.trials) {
+        est_loss = std::max(est_loss, t.estimated_loss);
+        resyncs += static_cast<double>(t.resyncs_honored);
+        if (t.degradation_level[0] != '-') rung = t.degradation_level;
+      }
+      table.add_row({harness::Table::num(loss * 100, 0),
+                     std::string(core::to_string(kind)),
+                     harness::Table::pct(agg.completion_rate * 100, 0),
+                     harness::Table::num(agg.duration_s.mean(), 2),
+                     harness::Table::num(agg.wire_bytes.mean() / 1e6, 2),
+                     harness::Table::pct(est_loss * 100, 1), rung,
+                     harness::Table::num(resyncs / trials, 1)});
+    }
+  }
+  table.print();
+  std::printf("\n(CSV)\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -176,6 +176,8 @@ int main(int argc, char** argv) {
   samplebyte.select_mode = core::SelectMode::kSampleByte;
   core::DreParams bounded = value_sampling;  // eviction-active configuration
   bounded.cache_bytes = 256 * 1024;
+  core::DreParams resilient = value_sampling;  // full resilience layer on
+  resilient.epoch_resync = true;
 
   std::vector<Result> results;
   results.push_back(
@@ -195,6 +197,15 @@ int main(int argc, char** argv) {
   results.push_back(
       run_pipeline("file1_naive_bounded256k", s1, core::PolicyKind::kNaive,
                    bounded, passes));
+  // Resilience-layer probe: the resilient policy with epoch resync on a
+  // lossless in-memory stream.  The estimator sees no loss so the ladder
+  // stays on its k-distance rung, whose admit rule refuses same-flow
+  // self-matches (see KDistancePolicy::admit) — on this single-flow
+  // replay that caps compression, so the tracked number here is CPU cost
+  // and the v2 shim overhead, not the naive-policy wire ratio.
+  results.push_back(
+      run_pipeline("file1_resilient_valuesampling", s1,
+                   core::PolicyKind::kResilient, resilient, passes));
 
   std::size_t failures = 0;
   std::printf("{\n  \"bench\": \"bench_throughput\", \"passes\": %zu,\n"

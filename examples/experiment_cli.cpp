@@ -4,7 +4,7 @@
 //         --file=file1 --size-kb=574 --csv
 //
 // Flags (all optional):
-//   --policy=none|naive|cache_flush|tcp_seq|k_distance|adaptive
+//   --policy=none|naive|cache_flush|tcp_seq|k_distance|adaptive|resilient
 //   --loss=<percent>          forward-link loss rate     (default 1)
 //   --bursty                  Gilbert-Elliott loss instead of Bernoulli
 //   --corrupt=<percent>       corruption probability     (default 0)
@@ -16,6 +16,7 @@
 //   --seed=<n>                base seed                  (default 1)
 //   --nack                    enable decoder NACK feedback
 //   --ack-gated               enable ACK-gated references
+//   --epoch-resync            epoch-stamped cache resync (DESIGN.md §9)
 //   --csv                     machine-readable one-line-per-trial output
 //   --json                    one JSON object per trial
 #include <cstdio>
@@ -44,6 +45,7 @@ struct Options {
   std::uint64_t seed = 1;
   bool nack = false;
   bool ack_gated = false;
+  bool epoch_resync = false;
   bool csv = false;
   bool json = false;
 };
@@ -79,6 +81,7 @@ Options parse_options(int argc, char** argv) {
     else if (parse_flag(a, "--seed", v)) opt.seed = std::atoll(v.c_str());
     else if (std::strcmp(a, "--nack") == 0) opt.nack = true;
     else if (std::strcmp(a, "--ack-gated") == 0) opt.ack_gated = true;
+    else if (std::strcmp(a, "--epoch-resync") == 0) opt.epoch_resync = true;
     else if (std::strcmp(a, "--csv") == 0) opt.csv = true;
     else if (std::strcmp(a, "--json") == 0) opt.json = true;
     else usage_error(a);
@@ -132,6 +135,7 @@ int main(int argc, char** argv) {
   cfg.dre.k_distance = opt.k;
   cfg.dre.nack_feedback = opt.nack;
   cfg.dre.ack_gated = opt.ack_gated;
+  cfg.dre.epoch_resync = opt.epoch_resync;
   cfg.trials = opt.trials;
   cfg.seed = opt.seed;
 

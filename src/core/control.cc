@@ -4,29 +4,55 @@ namespace bytecache::core {
 
 util::Bytes ControlMessage::serialize() const {
   util::Bytes out;
-  out.reserve(3 + fingerprints.size() * 8);
   util::put_u8(out, kControlMagic);
   util::put_u8(out, static_cast<std::uint8_t>(type));
-  util::put_u8(out, static_cast<std::uint8_t>(fingerprints.size()));
-  for (rabin::Fingerprint fp : fingerprints) util::put_u64(out, fp);
+  switch (type) {
+    case Type::kNack:
+      util::put_u8(out, static_cast<std::uint8_t>(fingerprints.size()));
+      for (rabin::Fingerprint fp : fingerprints) util::put_u64(out, fp);
+      break;
+    case Type::kResyncRequest:
+      util::put_u16(out, epoch);
+      break;
+    case Type::kLossReport:
+      util::put_u64(out, host_key);
+      util::put_u16(out, count);
+      break;
+  }
   return out;
 }
 
 std::optional<ControlMessage> ControlMessage::parse(util::BytesView wire) {
-  if (wire.size() < 3) return std::nullopt;
+  if (wire.size() < 2) return std::nullopt;
   std::size_t off = 0;
   if (util::get_u8(wire, off) != kControlMagic) return std::nullopt;
   ControlMessage msg;
-  const std::uint8_t type = util::get_u8(wire, off);
-  if (type != static_cast<std::uint8_t>(Type::kNack)) return std::nullopt;
-  msg.type = Type::kNack;
-  const std::size_t count = util::get_u8(wire, off);
-  if (wire.size() != 3 + count * 8) return std::nullopt;
-  msg.fingerprints.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    msg.fingerprints.push_back(util::get_u64(wire, off));
+  switch (util::get_u8(wire, off)) {
+    case static_cast<std::uint8_t>(Type::kNack): {
+      msg.type = Type::kNack;
+      if (wire.size() < 3) return std::nullopt;
+      const std::size_t count = util::get_u8(wire, off);
+      if (wire.size() != 3 + count * 8) return std::nullopt;
+      msg.fingerprints.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        msg.fingerprints.push_back(util::get_u64(wire, off));
+      }
+      return msg;
+    }
+    case static_cast<std::uint8_t>(Type::kResyncRequest):
+      msg.type = Type::kResyncRequest;
+      if (wire.size() != 4) return std::nullopt;
+      msg.epoch = util::get_u16(wire, off);
+      return msg;
+    case static_cast<std::uint8_t>(Type::kLossReport):
+      msg.type = Type::kLossReport;
+      if (wire.size() != 12) return std::nullopt;
+      msg.host_key = util::get_u64(wire, off);
+      msg.count = util::get_u16(wire, off);
+      return msg;
+    default:
+      return std::nullopt;
   }
-  return msg;
 }
 
 }  // namespace bytecache::core

@@ -3,10 +3,22 @@
 // Implements the first "potential approach" of the paper's Section VIII:
 // "having the decoder – upon detecting a missing packet – sending a
 // notification message to the encoder", in the spirit of Lumezanu et
-// al.'s *informed marking*: the NACK carries the fingerprint whose packet
-// the decoder does not have; the encoder stops using that packet for
-// future encodings.  Control messages travel on the reverse path with
-// their own IP protocol value and are tiny (3 + 8n bytes).
+// al.'s *informed marking*, plus the feedback the resilience layer
+// (DESIGN.md §9) needs.  Three message types share the magic byte:
+//
+//   kNack          — the fingerprint whose packet the decoder does not
+//                    have; the encoder stops using that packet
+//                    (3 + 8n bytes).
+//   kResyncRequest — the decoder's adopted epoch; if it matches the
+//                    encoder's current epoch the encoder flushes (bumping
+//                    the epoch), breaking a cache desync (4 bytes).
+//   kLossReport    — `count` undecodable packets of `host_key` were
+//                    dropped; a failure sample for the encoder-side
+//                    perceived-loss estimator (12 bytes).
+//
+// Control messages travel on the reverse path with their own IP protocol
+// value.  Parsing is strict: any size mismatch for the claimed type is
+// rejected.
 #pragma once
 
 #include <cstdint>
@@ -24,10 +36,24 @@ inline constexpr std::uint8_t kControlMagic = 0xDC;
 inline constexpr std::uint8_t kControlProto = 254;
 
 struct ControlMessage {
-  enum class Type : std::uint8_t { kNack = 1 };
+  enum class Type : std::uint8_t {
+    kNack = 1,
+    kResyncRequest = 2,
+    kLossReport = 3,
+  };
 
   Type type = Type::kNack;
+
+  /// kNack: fingerprints whose owning packets are missing at the decoder.
   std::vector<rabin::Fingerprint> fingerprints;
+
+  /// kResyncRequest: the epoch the decoder has adopted.
+  std::uint16_t epoch = 0;
+
+  /// kLossReport: the host pair (core::host_key_of) and how many of its
+  /// packets were dropped as undecodable since the last report.
+  std::uint64_t host_key = 0;
+  std::uint16_t count = 0;
 
   [[nodiscard]] util::Bytes serialize() const;
   static std::optional<ControlMessage> parse(util::BytesView wire);

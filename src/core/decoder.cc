@@ -7,11 +7,26 @@
 #include "util/crc32.h"
 
 namespace bytecache::core {
+namespace {
+
+/// Drops that indicate the caches may be out of step (as opposed to a
+/// malformed or corrupted packet that happens to parse) — these feed the
+/// resync synchronizer.  CRC mismatches are included because a desync via
+/// fingerprint aliasing (the entry exists but holds different bytes)
+/// manifests exactly as a CRC failure.
+constexpr bool is_desync_drop(DecodeStatus s) {
+  return s == DecodeStatus::kMissingFingerprint ||
+         s == DecodeStatus::kStaleReference ||
+         s == DecodeStatus::kCrcMismatch;
+}
+
+}  // namespace
 
 Decoder::Decoder(const DreParams& params)
     : params_(params),
       tables_(params.window, params.poly),
-      cache_(params.cache_bytes) {}
+      cache_(params.cache_bytes),
+      sync_(params.epoch_sync) {}
 
 void Decoder::flush() { cache_.flush(); }
 
@@ -25,12 +40,18 @@ void Decoder::audit() const {
         << "stored packet id " << p.id << " has stream index "
         << p.meta.stream_index << " but the decoder is only at "
         << stream_index_;
+    BC_AUDIT(p.meta.epoch <= 0xFFFF)
+        << "stored packet id " << p.id << " carries epoch " << p.meta.epoch
+        << " outside the 16-bit wire range";
   }
   BC_AUDIT(stats_.passthrough + stats_.decoded + stats_.drops() ==
            stats_.packets)
       << "outcome counters (" << stats_.passthrough << " passthrough + "
       << stats_.decoded << " decoded + " << stats_.drops()
       << " drops) do not partition " << stats_.packets << " packets";
+  BC_AUDIT(epoch_locked_ || epoch_ == 0)
+      << "epoch " << epoch_ << " set without a v2 packet having been seen";
+  sync_.audit();
 }
 
 util::Bytes Decoder::save_state() const {
@@ -46,6 +67,13 @@ bool Decoder::load_state(util::BytesView snapshot) {
   const std::uint64_t stream_index = util::get_u64(snapshot, off);
   if (!cache::deserialize_cache(snapshot.subspan(off), cache_)) return false;
   stream_index_ = stream_index;
+  // The adopted epoch is deliberately not persisted: the encoder may have
+  // flushed while we were down.  Re-adopt from the next v2 packet; stale
+  // restored entries then fail the epoch-distance check and trigger a
+  // clean resync instead of CRC-gambling.
+  epoch_ = 0;
+  epoch_locked_ = false;
+  sync_.on_epoch_adopted();
   return true;
 }
 
@@ -54,6 +82,7 @@ void Decoder::cache_update(util::BytesView payload) {
   const auto& anchors = compute_anchors(tables_, payload, params_, anchor_ws_);
   cache::PacketMeta meta;
   meta.stream_index = stream_index_++;
+  meta.epoch = epoch_;
   cache_.update(payload, anchors, meta);
 }
 
@@ -88,8 +117,28 @@ DecodeInfo Decoder::process(packet::Packet& pkt) {
     case DecodeStatus::kCrcMismatch:
       ++stats_.drops_crc;
       break;
+    case DecodeStatus::kStaleEpoch:
+      ++stats_.drops_stale_epoch;
+      break;
+    case DecodeStatus::kStaleReference:
+      ++stats_.drops_stale_ref;
+      break;
     case DecodeStatus::kPassthrough:
       break;  // unreachable
+  }
+  if (info.status == DecodeStatus::kDecoded) {
+    sync_.on_progress();
+  } else if (params_.epoch_resync && is_desync_drop(info.status)) {
+    if (sync_.on_undecodable(info.epoch)) {
+      info.resync = true;
+      // Ask with the *failing packet's* epoch, not the adopted one: the
+      // encoder honors a request naming its current epoch, and the
+      // packet it just sent carries exactly that — whereas the adopted
+      // epoch lags during the very desyncs this recovers from (e.g. a
+      // warm restart that resumed at a later epoch than we ever saw).
+      info.resync_epoch = info.epoch;
+      ++stats_.resync_signals;
+    }
   }
   return info;
 }
@@ -104,7 +153,20 @@ DecodeInfo Decoder::process_encoded(packet::Packet& pkt) {
     return info;
   }
   info.regions = enc.regions.size();
+  info.version = enc.version;
   info.epoch = enc.epoch;
+
+  if (enc.version >= kWireVersion2 && epoch_locked_ &&
+      resilience::epoch_newer(epoch_, enc.epoch)) {
+    // Behind the adopted epoch: a reordered or long-delayed leftover of a
+    // pre-flush encoding.  Its references are meaningless now.  (A packet
+    // *ahead* of the adopted epoch is decoded normally — the grace window
+    // below admits its references — and its epoch is adopted only if the
+    // CRC proves the packet authentic, so a corrupted epoch field cannot
+    // poison the adopted state.)
+    info.status = DecodeStatus::kStaleEpoch;
+    return info;
+  }
 
   util::Bytes& out = reassembly_;
   out.clear();
@@ -125,6 +187,26 @@ DecodeInfo Decoder::process_encoded(packet::Packet& pkt) {
       info.missing_fp = r.fp;
       return info;
     }
+    if (enc.version >= kWireVersion2 && epoch_locked_) {
+      // Reject references into entries cached two or more adopted flushes
+      // ago: each adoption proves the encoder flushed, so an entry still
+      // stamped >= 2 epochs behind predates a flush the encoder no longer
+      // remembers — using it would be a silent-corruption gamble.  The
+      // staleness is measured against the *adopted* (CRC-verified) epoch,
+      // never the packet's own claim: entries the decoder cached between
+      // an encoder flush and our adoption of it carry a lagging stamp at
+      // distance <= 1, and packets running ahead of the adopted epoch
+      // (multi-flush bursts we have not verified yet) must stay decodable
+      // or adoption could never catch up.  The CRC backstops both graces.
+      const std::uint16_t entry_epoch =
+          static_cast<std::uint16_t>(hit->packet->meta.epoch);
+      if (resilience::epoch_newer(epoch_, entry_epoch) &&
+          resilience::epoch_distance(epoch_, entry_epoch) > 1) {
+        info.status = DecodeStatus::kStaleReference;
+        info.missing_fp = r.fp;
+        return info;
+      }
+    }
     const util::Bytes& stored = hit->packet->payload;
     if (static_cast<std::size_t>(r.offset_stored) + r.length > stored.size()) {
       info.status = DecodeStatus::kBadRegionBounds;
@@ -139,6 +221,28 @@ DecodeInfo Decoder::process_encoded(packet::Packet& pkt) {
   if (util::crc32(out) != enc.crc) {
     info.status = DecodeStatus::kCrcMismatch;
     return info;
+  }
+
+  if (enc.version >= kWireVersion2 &&
+      (!epoch_locked_ || resilience::epoch_newer(enc.epoch, epoch_))) {
+    // First verified v2 packet, or the encoder flushed: adopt.  Done
+    // before the cache update below so the reconstruction is stamped
+    // with the new epoch; entries already cached keep their old stamps
+    // and age out of referenceability.  Jumps beyond the plausibility
+    // window are NOT adopted (the payload was still delivered — the CRC
+    // held — but an in-flight bit flip in the epoch field also survives
+    // the CRC, which only covers the original payload; bounding the jump
+    // keeps one such flip from poisoning the adopted state and stale-
+    // dropping all legitimate traffic until the encoder catches up).
+    if (!epoch_locked_ || resilience::epoch_distance(enc.epoch, epoch_) <=
+                              params_.epoch_sync.adopt_window) {
+      if (epoch_locked_) ++stats_.epoch_adoptions;
+      epoch_ = enc.epoch;
+      epoch_locked_ = true;
+      sync_.on_epoch_adopted();
+    } else {
+      ++stats_.epoch_rejections;
+    }
   }
 
   pkt.payload.swap(out);

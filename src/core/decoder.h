@@ -11,6 +11,19 @@
 // t3: "the cache has no entry corresponding to r. As such, IPi cannot be
 // decoded, and the packet is dropped").  These drops are what the paper
 // calls the extra component of the *perceived* packet loss rate.
+//
+// With DreParams::epoch_resync (v2 wire format, DESIGN.md §9) the decoder
+// additionally *enforces* the encoder's flush epoch: it adopts the newest
+// epoch seen, drops packets from older epochs (kStaleEpoch) and packets
+// whose references reach into entries cached two or more epochs ago
+// (kStaleReference), and — via an embedded resilience::EpochSynchronizer —
+// signals when a resync request should be sent back to the encoder
+// (DecodeInfo::resync) instead of stalling on an undecodable
+// retransmission loop.  Entries cached during the *previous* epoch stay
+// referenceable (grace of one): packets the decoder caches between the
+// encoder's flush and its own adoption of the new epoch carry the old
+// stamp, yet the encoder re-cached the same payloads post-flush; the CRC
+// remains the correctness backstop inside that window.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +34,7 @@
 #include "core/wire.h"
 #include "packet/packet.h"
 #include "rabin/window.h"
+#include "resilience/epoch_sync.h"
 
 namespace bytecache::core {
 
@@ -31,6 +45,8 @@ enum class DecodeStatus {
   kMissingFingerprint,  // referenced fingerprint absent (cache desync)
   kBadRegionBounds,     // region exceeds the stored payload
   kCrcMismatch,         // reconstruction does not match the original
+  kStaleEpoch,          // v2: packet older than the adopted epoch
+  kStaleReference,      // v2: reference into an entry >= 2 epochs old
 };
 
 /// True if the packet must be dropped.
@@ -43,11 +59,17 @@ struct DecodeInfo {
   std::size_t regions = 0;
   std::size_t received_size = 0;  // payload bytes on the wire
   std::size_t restored_size = 0;  // payload bytes after reconstruction
+  std::uint8_t version = 0;       // shim version, if encoded
   std::uint16_t epoch = 0;        // encoder epoch, if encoded
 
-  /// On kMissingFingerprint: the fingerprint that had no cache entry
-  /// (what a NACK reports back to the encoder).
+  /// On kMissingFingerprint / kStaleReference: the fingerprint that could
+  /// not be resolved (what a NACK reports back to the encoder).
   rabin::Fingerprint missing_fp = 0;
+
+  /// The synchronizer asks for a resync request carrying `resync_epoch`
+  /// to be sent to the encoder (gateway/gateways.h does the sending).
+  bool resync = false;
+  std::uint16_t resync_epoch = 0;
 };
 
 struct DecoderStats {
@@ -58,11 +80,17 @@ struct DecoderStats {
   std::uint64_t drops_missing_fp = 0;
   std::uint64_t drops_bad_bounds = 0;
   std::uint64_t drops_crc = 0;
+  std::uint64_t drops_stale_epoch = 0;
+  std::uint64_t drops_stale_ref = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t bytes_restored = 0;
+  std::uint64_t epoch_adoptions = 0;  // v2 epoch changes after the first
+  std::uint64_t epoch_rejections = 0; // implausible jumps not adopted
+  std::uint64_t resync_signals = 0;   // resync requests asked for
 
   [[nodiscard]] std::uint64_t drops() const {
-    return drops_malformed + drops_missing_fp + drops_bad_bounds + drops_crc;
+    return drops_malformed + drops_missing_fp + drops_bad_bounds +
+           drops_crc + drops_stale_epoch + drops_stale_ref;
   }
 };
 
@@ -76,8 +104,13 @@ inline void merge_into(DecoderStats& into, const DecoderStats& from) {
   into.drops_missing_fp += from.drops_missing_fp;
   into.drops_bad_bounds += from.drops_bad_bounds;
   into.drops_crc += from.drops_crc;
+  into.drops_stale_epoch += from.drops_stale_epoch;
+  into.drops_stale_ref += from.drops_stale_ref;
   into.bytes_received += from.bytes_received;
   into.bytes_restored += from.bytes_restored;
+  into.epoch_adoptions += from.epoch_adoptions;
+  into.epoch_rejections += from.epoch_rejections;
+  into.resync_signals += from.resync_signals;
 }
 
 class Decoder {
@@ -90,6 +123,15 @@ class Decoder {
 
   [[nodiscard]] const DecoderStats& stats() const { return stats_; }
   [[nodiscard]] const cache::ByteCache& cache() const { return cache_; }
+  [[nodiscard]] const DreParams& params() const { return params_; }
+
+  /// The adopted encoder epoch (0 until the first v2 packet).
+  [[nodiscard]] std::uint16_t epoch() const { return epoch_; }
+
+  /// Resync pacing state (params.epoch_resync).
+  [[nodiscard]] const resilience::EpochSynchronizer& synchronizer() const {
+    return sync_;
+  }
 
   /// Deep invariant audit (BC_AUDIT; no-op unless the build enables
   /// audits): audits the cache, checks that no fingerprint references a
@@ -102,7 +144,9 @@ class Decoder {
   void flush();
 
   /// Snapshot / warm-restore of the decoder cache (pair with the
-  /// encoder's snapshot taken at the same stream position).
+  /// encoder's snapshot taken at the same stream position).  The adopted
+  /// epoch is not part of the snapshot: after a restore the decoder
+  /// re-adopts from the next v2 packet it sees.
   [[nodiscard]] util::Bytes save_state() const;
   bool load_state(util::BytesView snapshot);
 
@@ -115,6 +159,9 @@ class Decoder {
   cache::ByteCache cache_;
   DecoderStats stats_;
   std::uint64_t stream_index_ = 0;
+  std::uint16_t epoch_ = 0;    // adopted encoder epoch (v2)
+  bool epoch_locked_ = false;  // a v2 packet has been seen
+  resilience::EpochSynchronizer sync_;
 
   // Per-packet scratch, reused across process() calls (mirrors the
   // encoder): anchor buffers, the parsed encoded form, and the

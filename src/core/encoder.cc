@@ -78,6 +78,12 @@ void Encoder::audit() const {
   BC_AUDIT(stats_.nack_invalidations <= stats_.nacks_received)
       << stats_.nack_invalidations << " invalidations from "
       << stats_.nacks_received << " NACKs";
+  BC_AUDIT(stats_.resyncs_honored <= stats_.resync_requests)
+      << stats_.resyncs_honored << " honored resyncs from "
+      << stats_.resync_requests << " requests";
+  BC_AUDIT(stats_.resyncs_honored <= stats_.flushes)
+      << stats_.resyncs_honored << " resync flushes but only "
+      << stats_.flushes << " flushes total";
 }
 
 util::Bytes Encoder::save_state() const {
@@ -102,6 +108,14 @@ bool Encoder::load_state(util::BytesView snapshot) {
 void Encoder::on_nack(rabin::Fingerprint fp) {
   ++stats_.nacks_received;
   if (cache_.invalidate(fp)) ++stats_.nack_invalidations;
+}
+
+void Encoder::on_resync_request(std::uint16_t decoder_epoch) {
+  ++stats_.resync_requests;
+  if (decoder_epoch != epoch_) return;
+  flush();
+  ++stats_.flushes;
+  ++stats_.resyncs_honored;
 }
 
 void Encoder::on_reverse_ack(std::uint64_t flow_key, std::uint32_t ack) {
@@ -136,6 +150,7 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
   PacketContext ctx;
   if (tcp) ctx.tcp_seq = tcp->seq;
   ctx.flow_key = tcp ? tcp->flow_key : 0;
+  ctx.host_key = host_key_of(pkt.ip.src, pkt.ip.dst);
   ctx.stream_index = stream_index_++;
   ctx.payload_size = pkt.payload.size();
 
@@ -214,6 +229,7 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
   // ---- Substitute, if it actually shrinks the packet ----
   if (!regions.empty()) {
     EncodedPayload& enc = enc_;  // regions already built in place above
+    enc.version = params_.epoch_resync ? kWireVersion2 : 1;
     enc.orig_proto = pkt.ip.protocol;
     enc.flags = epoch_bumped_ ? kFlagFlushEpoch : 0;
     enc.epoch = epoch_;

@@ -57,6 +57,8 @@ struct EncoderStats {
   std::uint64_t nacks_received = 0;
   std::uint64_t nack_invalidations = 0;
   std::uint64_t ack_gate_rejections = 0;  // matches skipped as un-ACKed
+  std::uint64_t resync_requests = 0;      // decoder resync requests received
+  std::uint64_t resyncs_honored = 0;      // ... that triggered a flush
   /// Sum over encoded packets of the number of distinct packets referenced
   /// (avg dependencies = dependency_links / encoded_packets; the paper's
   /// File 1 / File 2 differ on exactly this statistic).
@@ -82,6 +84,8 @@ inline void merge_into(EncoderStats& into, const EncoderStats& from) {
   into.nacks_received += from.nacks_received;
   into.nack_invalidations += from.nack_invalidations;
   into.ack_gate_rejections += from.ack_gate_rejections;
+  into.resync_requests += from.resync_requests;
+  into.resyncs_honored += from.resyncs_honored;
   into.dependency_links += from.dependency_links;
 }
 
@@ -125,6 +129,13 @@ class Encoder {
   /// admission.  The caller derives the key from the *forward* direction
   /// of the connection (core/flow.h).
   void on_reverse_ack(std::uint64_t flow_key, std::uint32_t ack);
+
+  /// Decoder resync request (params.epoch_resync): the decoder is stuck
+  /// at `decoder_epoch`.  Honored — the cache is flushed, bumping the
+  /// epoch — only when that *is* our current epoch: if the decoder is
+  /// behind, a bump is already in flight towards it and flushing again
+  /// for every straggling request would discard the cache over and over.
+  void on_resync_request(std::uint16_t decoder_epoch);
 
  private:
   DreParams params_;

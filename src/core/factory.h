@@ -19,6 +19,7 @@ enum class PolicyKind {
   kTcpSeq,      // paper Section V-B
   kKDistance,   // paper Section V-C
   kAdaptive,    // extension: loss-adaptive k-distance
+  kResilient,   // extension: perceived-loss degradation ladder (DESIGN.md §9)
 };
 
 /// Creates the policy; returns nullptr for kNone.

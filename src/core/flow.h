@@ -24,4 +24,21 @@ namespace bytecache::core {
   return mixed == 0 ? 1 : mixed;
 }
 
+/// Key of the *unordered* IP endpoint pair: both directions of every
+/// connection between two hosts hash identically, so forward data,
+/// reverse ACKs, and control packets all agree on it.  This is the
+/// granularity of the sharded gateways (gateway/sharded_gateways.h) and
+/// of the resilience layer's perceived-loss accounting — the decoder can
+/// name only the IP pair of an undecodable packet, not its TCP ports,
+/// because the transport header is inside the undecodable payload.
+/// Never returns 0.
+[[nodiscard]] inline std::uint64_t host_key_of(std::uint32_t ip_a,
+                                               std::uint32_t ip_b) {
+  const std::uint32_t lo = ip_a < ip_b ? ip_a : ip_b;
+  const std::uint32_t hi = ip_a < ip_b ? ip_b : ip_a;
+  std::uint64_t state = (std::uint64_t{hi} << 32) | lo;
+  const std::uint64_t mixed = util::splitmix64(state);
+  return mixed == 0 ? 1 : mixed;
+}
+
 }  // namespace bytecache::core

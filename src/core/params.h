@@ -5,6 +5,9 @@
 #include <cstdint>
 
 #include "rabin/polynomial.h"
+#include "resilience/degradation.h"
+#include "resilience/epoch_sync.h"
+#include "resilience/perceived_loss.h"
 
 namespace bytecache::core {
 
@@ -63,6 +66,22 @@ struct DreParams {
   /// names the missing fingerprint and the encoder stops referencing the
   /// packet that owns it.  Composes with any policy.
   bool nack_feedback = false;
+
+  /// Epoch-stamped cache resynchronization (DESIGN.md §9): encoded
+  /// packets use the v2 shim carrying the encoder's flush epoch; the
+  /// decoder enforces epochs (adopts the newest, drops stale packets and
+  /// stale references) and requests a resync — an encoder flush, i.e. an
+  /// epoch bump — over the control channel with bounded retry/backoff
+  /// instead of stalling on an undecodable retransmission.  Off by
+  /// default: the v1 wire format stays bit-identical.  Composes with any
+  /// policy.  Both gateways must agree.
+  bool epoch_resync = false;
+  resilience::EpochSyncConfig epoch_sync;
+
+  /// Resilient policy (PolicyKind::kResilient): perceived-loss EWMA and
+  /// degradation-ladder thresholds.
+  resilience::LossEstimatorConfig loss_estimator;
+  resilience::DegradationConfig degradation;
 
   /// ACK-gated references (paper Section VIII, second potential
   /// approach): the encoder may only reference TCP segments already

@@ -144,4 +144,81 @@ bool AdaptivePolicy::admit(const PacketContext& ctx,
   return inner_.admit(ctx, stored);
 }
 
+// ------------------------------------------------------------ Resilient --
+
+ResilientPolicy::ResilientPolicy(const DreParams& params)
+    : estimator_config_(params.loss_estimator),
+      degradation_config_(params.degradation),
+      estimator_(params.loss_estimator),
+      k_distance_(params.k_distance) {}
+
+resilience::DegradationController& ResilientPolicy::controller_for(
+    std::uint64_t host_key) {
+  auto it = controllers_.find(host_key);
+  if (it == controllers_.end()) {
+    it = controllers_
+             .emplace(host_key,
+                      resilience::DegradationController(degradation_config_))
+             .first;
+  }
+  return it->second;
+}
+
+PolicyDecision ResilientPolicy::before_encode(const PacketContext& ctx) {
+  estimator_.on_offered(ctx.host_key);
+  current_ =
+      controller_for(ctx.host_key).on_sample(estimator_.loss(ctx.host_key));
+  switch (current_) {
+    case resilience::DegradationLevel::kKDistance:
+      return k_distance_.before_encode(ctx);
+    case resilience::DegradationLevel::kTcpSeq:
+      return tcp_seq_.before_encode(ctx);
+    case resilience::DegradationLevel::kCacheFlush:
+      return cache_flush_.before_encode(ctx);
+    case resilience::DegradationLevel::kPassthrough:
+      break;
+  }
+  // Pass-through: the packet is sent unencoded (it still enters the
+  // cache, keeping both ends warm for the upgrade back).
+  PolicyDecision d;
+  d.allow_encode = false;
+  return d;
+}
+
+bool ResilientPolicy::admit(const PacketContext& ctx,
+                            const cache::PacketMeta& stored) const {
+  switch (current_) {
+    case resilience::DegradationLevel::kKDistance:
+      return k_distance_.admit(ctx, stored);
+    case resilience::DegradationLevel::kTcpSeq:
+      return tcp_seq_.admit(ctx, stored);
+    case resilience::DegradationLevel::kCacheFlush:
+      return cache_flush_.admit(ctx, stored);
+    case resilience::DegradationLevel::kPassthrough:
+      break;
+  }
+  return false;  // pass-through never encodes
+}
+
+resilience::DegradationLevel ResilientPolicy::level_of(
+    std::uint64_t host_key) const {
+  auto it = controllers_.find(host_key);
+  return it == controllers_.end() ? resilience::DegradationLevel::kKDistance
+                                  : it->second.level();
+}
+
+resilience::DegradationLevel ResilientPolicy::worst_level() const {
+  auto worst = resilience::DegradationLevel::kKDistance;
+  for (const auto& [key, c] : controllers_) {
+    if (c.level() > worst) worst = c.level();
+  }
+  return worst;
+}
+
+std::uint64_t ResilientPolicy::transitions() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, c] : controllers_) total += c.transitions();
+  return total;
+}
+
 }  // namespace bytecache::core

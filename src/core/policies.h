@@ -6,6 +6,8 @@
 
 #include "core/params.h"
 #include "core/policy.h"
+#include "resilience/degradation.h"
+#include "resilience/perceived_loss.h"
 
 namespace bytecache::core {
 
@@ -113,6 +115,65 @@ class AdaptivePolicy final : public EncodingPolicy {
   std::size_t k_max_;
   double loss_estimate_ = 0.0;
   std::unordered_map<std::uint64_t, std::uint32_t> last_seq_;  // per flow
+};
+
+/// Adaptive resilience (DESIGN.md §9): the paper's Section VII argument
+/// as a runtime control loop.  A per-host-pair DegradationController
+/// consumes the perceived-loss EWMA — fed by the encoder gateway from
+/// link drop reports and decoder loss reports (ControlMessage
+/// kLossReport) — and walks the pair along the ladder
+///
+///     k-distance -> TCP-seq -> Cache Flush -> pass-through
+///
+/// as the estimate crosses the configured thresholds.  Each rung
+/// delegates to the corresponding paper policy, so a flow under a
+/// resilient encoder behaves exactly like that policy until the loss
+/// picture changes.  Pairs with policy-kind kResilient and, usually,
+/// params.epoch_resync for the decoder-side recovery half.
+class ResilientPolicy final : public EncodingPolicy {
+ public:
+  explicit ResilientPolicy(const DreParams& params);
+
+  [[nodiscard]] std::string_view name() const override { return "resilient"; }
+  PolicyDecision before_encode(const PacketContext& ctx) override;
+  [[nodiscard]] bool admit(const PacketContext& ctx,
+                           const cache::PacketMeta& stored) const override;
+
+  /// The estimator the gateway feeds drop reports into.
+  [[nodiscard]] resilience::PerceivedLossEstimator& estimator() {
+    return estimator_;
+  }
+  [[nodiscard]] const resilience::PerceivedLossEstimator& estimator() const {
+    return estimator_;
+  }
+
+  /// Current ladder rung of one host pair (kKDistance if never seen).
+  [[nodiscard]] resilience::DegradationLevel level_of(
+      std::uint64_t host_key) const;
+
+  /// Most-degraded rung across all host pairs.
+  [[nodiscard]] resilience::DegradationLevel worst_level() const;
+
+  /// Ladder transitions across all host pairs.
+  [[nodiscard]] std::uint64_t transitions() const;
+
+ private:
+  resilience::DegradationController& controller_for(std::uint64_t host_key);
+
+  resilience::LossEstimatorConfig estimator_config_;
+  resilience::DegradationConfig degradation_config_;
+  resilience::PerceivedLossEstimator estimator_;
+  std::unordered_map<std::uint64_t, resilience::DegradationController>
+      controllers_;
+  // The rung picked in before_encode(), read by admit() for the same
+  // packet (the encoder always calls them in that order).
+  resilience::DegradationLevel current_ =
+      resilience::DegradationLevel::kKDistance;
+  // One shared instance per rung: policy-internal per-flow state (retx
+  // trackers, reference spacing) persists across rung changes.
+  KDistancePolicy k_distance_;
+  TcpSeqPolicy tcp_seq_;
+  CacheFlushPolicy cache_flush_;
 };
 
 }  // namespace bytecache::core

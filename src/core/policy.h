@@ -39,6 +39,13 @@ struct PacketContext {
   /// paper's inter-flow redundancy), so seq-based policies key their
   /// state by this.
   std::uint64_t flow_key = 0;
+
+  /// Identifies the unordered IP endpoint pair (core::host_key_of);
+  /// set for every data packet.  The resilience layer keys its
+  /// perceived-loss estimate and degradation state by this — the same
+  /// granularity the sharded gateways partition on, so feedback always
+  /// reaches the shard owning the state.
+  std::uint64_t host_key = 0;
 };
 
 /// Decision made once per outgoing packet, before matching.

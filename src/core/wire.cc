@@ -5,7 +5,12 @@ namespace bytecache::core {
 void EncodedPayload::serialize_into(util::Bytes& out) const {
   out.clear();
   out.reserve(wire_size());
-  util::put_u8(out, kShimMagic);
+  if (version >= kWireVersion2) {
+    util::put_u8(out, kShimMagicV2);
+    util::put_u8(out, version);
+  } else {
+    util::put_u8(out, kShimMagic);
+  }
   util::put_u8(out, orig_proto);
   util::put_u8(out, flags);
   util::put_u8(out, static_cast<std::uint8_t>(regions.size()));
@@ -28,16 +33,31 @@ util::Bytes EncodedPayload::serialize() const {
 }
 
 bool EncodedPayload::parse_into(util::BytesView wire, EncodedPayload& p) {
-  if (wire.size() < kShimBytes) return false;
+  if (wire.empty()) return false;
   std::size_t off = 0;
-  if (util::get_u8(wire, off) != kShimMagic) return false;
+  const std::uint8_t magic = util::get_u8(wire, off);
+  std::size_t shim_bytes = 0;
+  if (magic == kShimMagic) {
+    p.version = 1;
+    shim_bytes = kShimBytes;
+  } else if (magic == kShimMagicV2) {
+    shim_bytes = kShimBytesV2;
+    if (wire.size() < shim_bytes) return false;
+    p.version = util::get_u8(wire, off);
+    // Only the version this build speaks: a future v3 may relayout the
+    // shim, so guessing at its fields would be worse than dropping.
+    if (p.version != kWireVersion2) return false;
+  } else {
+    return false;
+  }
+  if (wire.size() < shim_bytes) return false;
   p.orig_proto = util::get_u8(wire, off);
   p.flags = util::get_u8(wire, off);
   const std::size_t count = util::get_u8(wire, off);
   p.epoch = util::get_u16(wire, off);
   p.orig_len = util::get_u16(wire, off);
   p.crc = util::get_u32(wire, off);
-  if (wire.size() < kShimBytes + count * EncodedRegion::kWireBytes) {
+  if (wire.size() < shim_bytes + count * EncodedRegion::kWireBytes) {
     return false;
   }
   std::size_t covered = 0;

@@ -2,23 +2,27 @@
 //
 // The paper does not specify framing; we define the minimal one (DESIGN.md
 // "Wire format").  Encoded packets are marked by rewriting the IP protocol
-// field to IpProto::kDre, so passthrough packets carry zero overhead.  An
-// encoded payload is:
+// field to IpProto::kDre, so passthrough packets carry zero overhead.
+// Two shim versions exist, distinguished by the magic byte:
 //
-//     +--------+-----------+-------+--------------+-------+----------+
-//     | magic  | origproto | flags | region_count | epoch | orig_len |
-//     |  (1B)  |   (1B)    | (1B)  |     (1B)     | (2B)  |   (2B)   |
-//     +--------+-----------+-------+--------------+-------+----------+
-//     |                    crc32 of original payload (4B)            |
-//     +---------------------------------------------------------------+
-//     | region_count x encoding field (14B: fp 8, off_new 2,          |
-//     |                                off_stored 2, len 2)           |
-//     +---------------------------------------------------------------+
-//     | literal bytes (original payload minus regions, in order)      |
-//     +---------------------------------------------------------------+
+// v1 (magic 0xD5, 12-byte shim) — the original format; its epoch field is
+// advisory (the decoder ignores it):
 //
-// Shim = 12 bytes.  The CRC lets the decoder verify reconstruction and
-// drop instead of delivering wrong bytes after a cache desync.
+//     magic(1) origproto(1) flags(1) region_count(1) epoch(2) orig_len(2)
+//     crc32-of-original-payload(4)
+//
+// v2 (magic 0xD6, 13-byte shim) — emitted when DreParams::epoch_resync is
+// on; inserts an explicit version byte (currently 2) after the magic, and
+// the epoch becomes *enforced*: the decoder adopts the newest verified
+// epoch, drops packets from older epochs, and rejects references into
+// entries cached two or more epochs ago (DESIGN.md §9 "Resilience").
+//
+// Either shim is followed by region_count x 14-byte encoding fields
+// (fp 8, off_new 2, off_stored 2, len 2), then the literal bytes (the
+// original payload minus the regions, in order).  The CRC lets the
+// decoder verify reconstruction and drop instead of delivering wrong
+// bytes after a cache desync.  Golden byte-for-byte vectors of both
+// versions are pinned in tests/data (wire_golden_test.cc).
 #pragma once
 
 #include <cstdint>
@@ -30,14 +34,18 @@
 
 namespace bytecache::core {
 
-inline constexpr std::uint8_t kShimMagic = 0xD5;
-inline constexpr std::size_t kShimBytes = 12;
+inline constexpr std::uint8_t kShimMagic = 0xD5;    // v1
+inline constexpr std::uint8_t kShimMagicV2 = 0xD6;  // v2 (explicit version)
+inline constexpr std::size_t kShimBytes = 12;       // v1 shim size
+inline constexpr std::size_t kShimBytesV2 = 13;     // v2 shim size
+inline constexpr std::uint8_t kWireVersion2 = 2;
 
 /// Flag bits.
 inline constexpr std::uint8_t kFlagFlushEpoch = 0x01;  // epoch was bumped
 
 /// Parsed form of an encoded payload.
 struct EncodedPayload {
+  std::uint8_t version = 1;  // 1 = v1 shim, 2 = v2 shim
   std::uint8_t orig_proto = 0;
   std::uint8_t flags = 0;
   std::uint16_t epoch = 0;
@@ -46,9 +54,14 @@ struct EncodedPayload {
   std::vector<EncodedRegion> regions;
   util::Bytes literals;
 
+  /// Shim size of this payload's version.
+  [[nodiscard]] std::size_t shim_size() const {
+    return version >= kWireVersion2 ? kShimBytesV2 : kShimBytes;
+  }
+
   /// Size this payload occupies on the wire.
   [[nodiscard]] std::size_t wire_size() const {
-    return kShimBytes + regions.size() * EncodedRegion::kWireBytes +
+    return shim_size() + regions.size() * EncodedRegion::kWireBytes +
            literals.size();
   }
 
@@ -59,9 +72,10 @@ struct EncodedPayload {
   /// encoder's wire scratch buffer).
   void serialize_into(util::Bytes& out) const;
 
-  /// Parses wire bytes; nullopt on malformed input (bad magic, truncated
-  /// shim/regions, region out of the original bounds, or literal byte count
-  /// inconsistent with orig_len and the region lengths).
+  /// Parses wire bytes; nullopt on malformed input (bad magic, unknown
+  /// version, truncated shim/regions, region out of the original bounds,
+  /// or literal byte count inconsistent with orig_len and the region
+  /// lengths).
   static std::optional<EncodedPayload> parse(util::BytesView wire);
 
   /// Parse form that refills `out` in place, reusing the capacity of its

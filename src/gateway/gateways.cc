@@ -1,14 +1,18 @@
 #include "gateway/gateways.h"
 
-#include "core/control.h"
 #include "core/flow.h"
+#include "core/policies.h"
 #include "packet/tcp.h"
 
 namespace bytecache::gateway {
 
 EncoderGateway::EncoderGateway(core::PolicyKind kind,
                                const core::DreParams& params)
-    : encoder_(core::make_encoder(kind, params)) {}
+    : encoder_(core::make_encoder(kind, params)) {
+  if (encoder_ != nullptr) {
+    resilient_ = dynamic_cast<core::ResilientPolicy*>(&encoder_->policy());
+  }
+}
 
 void EncoderGateway::receive(packet::PacketPtr pkt) {
   ++stats_.packets;
@@ -35,8 +39,29 @@ void EncoderGateway::receive_control(const packet::Packet& pkt) {
   if (encoder_ == nullptr) return;
   auto msg = core::ControlMessage::parse(pkt.payload);
   if (!msg) return;
-  for (rabin::Fingerprint fp : msg->fingerprints) {
-    encoder_->on_nack(fp);
+  switch (msg->type) {
+    case core::ControlMessage::Type::kNack:
+      for (rabin::Fingerprint fp : msg->fingerprints) {
+        encoder_->on_nack(fp);
+      }
+      break;
+    case core::ControlMessage::Type::kResyncRequest:
+      encoder_->on_resync_request(msg->epoch);
+      break;
+    case core::ControlMessage::Type::kLossReport:
+      ++stats_.loss_reports;
+      if (resilient_ != nullptr) {
+        resilient_->estimator().on_undecodable(msg->host_key, msg->count);
+      }
+      break;
+  }
+}
+
+void EncoderGateway::on_channel_drop(const packet::Packet& pkt) {
+  ++stats_.channel_drops_seen;
+  if (resilient_ != nullptr) {
+    resilient_->estimator().on_channel_drop(
+        core::host_key_of(pkt.ip.src, pkt.ip.dst));
   }
 }
 
@@ -54,7 +79,21 @@ void EncoderGateway::observe_reverse(const packet::Packet& pkt) {
 }
 
 DecoderGateway::DecoderGateway(bool enabled, const core::DreParams& params)
-    : decoder_(core::make_decoder(enabled, params)) {}
+    : decoder_(core::make_decoder(enabled, params)),
+      nack_feedback_(params.nack_feedback),
+      resilience_feedback_(params.epoch_resync) {}
+
+void DecoderGateway::send_control(const packet::Packet& cause,
+                                  const core::ControlMessage& msg,
+                                  sim::TraceEvent event, std::uint64_t uid) {
+  auto ctrl = packet::make_packet(
+      cause.ip.dst, cause.ip.src,
+      static_cast<packet::IpProto>(core::kControlProto), msg.serialize());
+  if (trace_ != nullptr && sim_ != nullptr) {
+    trace_->record(sim_->now(), event, uid);
+  }
+  feedback_(std::move(ctrl));
+}
 
 void DecoderGateway::receive(packet::PacketPtr pkt) {
   ++stats_.packets;
@@ -71,19 +110,32 @@ void DecoderGateway::receive(packet::PacketPtr pkt) {
         trace_->record(sim_->now(), sim::TraceEvent::kDecodeDrop, pkt->uid,
                        static_cast<std::uint64_t>(info.status));
       }
-      if (feedback_ &&
-          info.status == core::DecodeStatus::kMissingFingerprint) {
-        core::ControlMessage nack;
-        nack.fingerprints.push_back(info.missing_fp);
-        auto ctrl = packet::make_packet(
-            pkt->ip.dst, pkt->ip.src,
-            static_cast<packet::IpProto>(core::kControlProto),
-            nack.serialize());
-        ++stats_.nacks_sent;
-        if (trace_ != nullptr && sim_ != nullptr) {
-          trace_->record(sim_->now(), sim::TraceEvent::kNack, pkt->uid);
+      if (feedback_) {
+        if (nack_feedback_ &&
+            info.status == core::DecodeStatus::kMissingFingerprint) {
+          core::ControlMessage nack;
+          nack.fingerprints.push_back(info.missing_fp);
+          ++stats_.nacks_sent;
+          send_control(*pkt, nack, sim::TraceEvent::kNack, pkt->uid);
         }
-        feedback_(std::move(ctrl));
+        if (resilience_feedback_) {
+          // Every undecodable drop is a perceived-loss sample for the
+          // encoder-side estimator; the decoder only knows the host pair
+          // of the dropped packet, so that is the report's granularity.
+          core::ControlMessage report;
+          report.type = core::ControlMessage::Type::kLossReport;
+          report.host_key = core::host_key_of(pkt->ip.src, pkt->ip.dst);
+          report.count = 1;
+          ++stats_.loss_reports_sent;
+          send_control(*pkt, report, sim::TraceEvent::kLossReport, pkt->uid);
+          if (info.resync) {
+            core::ControlMessage resync;
+            resync.type = core::ControlMessage::Type::kResyncRequest;
+            resync.epoch = info.resync_epoch;
+            ++stats_.resyncs_sent;
+            send_control(*pkt, resync, sim::TraceEvent::kResync, pkt->uid);
+          }
+        }
       }
       return;
     }

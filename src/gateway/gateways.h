@@ -10,12 +10,17 @@
 #include <functional>
 #include <memory>
 
+#include "core/control.h"
 #include "core/decoder.h"
 #include "core/encoder.h"
 #include "core/factory.h"
 #include "packet/packet.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
+
+namespace bytecache::core {
+class ResilientPolicy;
+}  // namespace bytecache::core
 
 namespace bytecache::gateway {
 
@@ -25,6 +30,8 @@ using PacketSink = std::function<void(packet::PacketPtr)>;
 struct EncoderGatewayStats {
   std::uint64_t packets = 0;
   std::uint64_t wire_bytes_out = 0;  // IP header + payload after encoding
+  std::uint64_t channel_drops_seen = 0;  // link drop reports received
+  std::uint64_t loss_reports = 0;        // kLossReport messages received
 };
 
 class EncoderGateway {
@@ -48,17 +55,29 @@ class EncoderGateway {
     sim_ = sim;
   }
 
-  /// Feeds a reverse-direction DRE control packet (NACK feedback).
+  /// Feeds a reverse-direction DRE control packet (NACK, resync request,
+  /// or loss report — dispatched by core::ControlMessage::Type).
   void receive_control(const packet::Packet& pkt);
 
   /// Observes a reverse-direction data/ACK packet (ACK-gated mode reads
   /// the cumulative acknowledgment from it).
   void observe_reverse(const packet::Packet& pkt);
 
+  /// The simulated link dropped `pkt` (loss or queue overflow).  A real
+  /// deployment learns this from transport-level signals; the simulation
+  /// reports it directly.  Feeds the resilient policy's perceived-loss
+  /// estimator as a *channel* loss sample.
+  void on_channel_drop(const packet::Packet& pkt);
+
   [[nodiscard]] bool enabled() const { return encoder_ != nullptr; }
   [[nodiscard]] const core::Encoder* encoder() const { return encoder_.get(); }
   [[nodiscard]] core::Encoder* encoder() { return encoder_.get(); }
   [[nodiscard]] const EncoderGatewayStats& stats() const { return stats_; }
+
+  /// The policy as a ResilientPolicy, or null for every other kind.
+  [[nodiscard]] const core::ResilientPolicy* resilient() const {
+    return resilient_;
+  }
 
  private:
   std::unique_ptr<core::Encoder> encoder_;  // null when disabled
@@ -67,12 +86,17 @@ class EncoderGateway {
   sim::Trace* trace_ = nullptr;
   const sim::Simulator* sim_ = nullptr;
   EncoderGatewayStats stats_;
+  // Borrowed view of encoder_'s policy when it is the resilient one —
+  // the loss-feedback paths are meaningless for every other policy.
+  core::ResilientPolicy* resilient_ = nullptr;
 };
 
 struct DecoderGatewayStats {
   std::uint64_t packets = 0;
   std::uint64_t dropped = 0;  // undecodable (perceived loss at the client)
   std::uint64_t nacks_sent = 0;
+  std::uint64_t loss_reports_sent = 0;  // kLossReport control messages
+  std::uint64_t resyncs_sent = 0;       // kResyncRequest control messages
 };
 
 class DecoderGateway {
@@ -88,11 +112,13 @@ class DecoderGateway {
     sim_ = sim;
   }
 
-  /// Reverse-path sink for NACK control packets (params.nack_feedback).
+  /// Reverse-path sink for control packets.  What is sent over it is
+  /// governed by the params the gateway was built with: NACKs when
+  /// nack_feedback, loss reports and resync requests when epoch_resync.
   void set_feedback(PacketSink feedback) { feedback_ = std::move(feedback); }
 
-  /// Decodes and forwards; drops undecodable packets (sending a NACK when
-  /// feedback is configured and the drop named a missing fingerprint).
+  /// Decodes and forwards; drops undecodable packets (sending the
+  /// configured control feedback on the reverse path).
   void receive(packet::PacketPtr pkt);
 
   [[nodiscard]] bool enabled() const { return decoder_ != nullptr; }
@@ -100,12 +126,18 @@ class DecoderGateway {
   [[nodiscard]] const DecoderGatewayStats& stats() const { return stats_; }
 
  private:
+  void send_control(const packet::Packet& cause,
+                    const core::ControlMessage& msg, sim::TraceEvent event,
+                    std::uint64_t uid);
+
   std::unique_ptr<core::Decoder> decoder_;
   PacketSink sink_;
   PacketSink feedback_;
   sim::Trace* trace_ = nullptr;
   const sim::Simulator* sim_ = nullptr;
   DecoderGatewayStats stats_;
+  bool nack_feedback_ = false;     // params.nack_feedback
+  bool resilience_feedback_ = false;  // params.epoch_resync
 };
 
 }  // namespace bytecache::gateway

@@ -54,9 +54,13 @@ MultiPipeline::MultiPipeline(sim::Simulator& sim,
       receivers_[*flow]->on_packet(*p);
     }
   });
-  if (cfg.dre.nack_feedback) {
+  if (cfg.dre.nack_feedback || cfg.dre.epoch_resync) {
     decoder_gw_->set_feedback(
         [this](packet::PacketPtr p) { reverse_link_->send(std::move(p)); });
+  }
+  if (cfg.dre.epoch_resync) {
+    forward_link_->set_drop_observer(
+        [this](const packet::Packet& p) { encoder_gw_->on_channel_drop(p); });
   }
   reverse_link_->set_sink([this](packet::PacketPtr p) {
     if (p->ip.protocol == core::kControlProto) {

@@ -51,9 +51,16 @@ Pipeline::Pipeline(sim::Simulator& sim, const PipelineConfig& config)
       [this](packet::PacketPtr p) { decoder_gw_->receive(std::move(p)); });
   decoder_gw_->set_sink(
       [this](packet::PacketPtr p) { receiver_->on_packet(*p); });
-  if (cfg.dre.nack_feedback) {
+  if (cfg.dre.nack_feedback || cfg.dre.epoch_resync) {
     decoder_gw_->set_feedback(
         [this](packet::PacketPtr p) { reverse_link_->send(std::move(p)); });
+  }
+  if (cfg.dre.epoch_resync) {
+    // Channel drops on the constrained segment feed the encoder-side
+    // perceived-loss estimator (the simulation's stand-in for the
+    // transport-level loss signals a real gateway would observe).
+    forward_link_->set_drop_observer(
+        [this](const packet::Packet& p) { encoder_gw_->on_channel_drop(p); });
   }
   // The reverse path carries ACKs for the sender plus (optionally) DRE
   // control traffic for the encoder gateway; ACK-gated mode additionally

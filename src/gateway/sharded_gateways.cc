@@ -1,18 +1,16 @@
 #include "gateway/sharded_gateways.h"
 
+#include "core/flow.h"
 #include "util/check.h"
-#include "util/rng.h"
 
 namespace bytecache::gateway {
 
 std::uint64_t shard_key_of(const packet::Packet& pkt) {
-  // Unordered endpoint pair: forward data, reverse ACKs, and NACK
-  // control packets of one host pair all hash identically.
-  const std::uint32_t lo = pkt.ip.src < pkt.ip.dst ? pkt.ip.src : pkt.ip.dst;
-  const std::uint32_t hi = pkt.ip.src < pkt.ip.dst ? pkt.ip.dst : pkt.ip.src;
-  std::uint64_t state = (std::uint64_t{hi} << 32) | lo;
-  const std::uint64_t mixed = util::splitmix64(state);
-  return mixed == 0 ? 1 : mixed;
+  // Unordered endpoint pair: forward data, reverse ACKs, and control
+  // packets (NACK, resync request, loss report) of one host pair all
+  // hash identically.  Delegates to core::host_key_of so control
+  // messages keyed by host pair always route to the owning shard.
+  return core::host_key_of(pkt.ip.src, pkt.ip.dst);
 }
 
 std::size_t shard_index_of(std::uint64_t key, std::size_t shards) {
@@ -212,6 +210,8 @@ EncoderGatewayStats ShardedEncoderGateway::stats() const {
   for (const auto& s : shards_) {
     total.packets += s->gw.stats().packets;
     total.wire_bytes_out += s->gw.stats().wire_bytes_out;
+    total.channel_drops_seen += s->gw.stats().channel_drops_seen;
+    total.loss_reports += s->gw.stats().loss_reports;
   }
   return total;
 }
@@ -428,6 +428,8 @@ DecoderGatewayStats ShardedDecoderGateway::stats() const {
     total.packets += s->gw.stats().packets;
     total.dropped += s->gw.stats().dropped;
     total.nacks_sent += s->gw.stats().nacks_sent;
+    total.loss_reports_sent += s->gw.stats().loss_reports_sent;
+    total.resyncs_sent += s->gw.stats().resyncs_sent;
   }
   return total;
 }

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "core/policies.h"
 #include "sim/simulator.h"
 
 namespace bytecache::harness {
@@ -59,6 +60,8 @@ TrialResult run_trial(const ExperimentConfig& config, util::BytesView file,
     r.encoded_packets = es.encoded_packets;
     r.references = es.references;
     r.flushes = es.flushes;
+    r.resync_requests = es.resync_requests;
+    r.resyncs_honored = es.resyncs_honored;
     if (es.encoded_packets > 0) {
       r.avg_deps = static_cast<double>(es.dependency_links) /
                    es.encoded_packets;
@@ -66,6 +69,17 @@ TrialResult run_trial(const ExperimentConfig& config, util::BytesView file,
   } else {
     r.payload_bytes_in = pipeline.sender().stats().bytes_sent;
     r.payload_bytes_out = r.payload_bytes_in;
+  }
+
+  if (const core::Decoder* dec = pipeline.decoder_gw().decoder()) {
+    const core::DecoderStats& ds = dec->stats();
+    r.epoch_adoptions = ds.epoch_adoptions;
+    r.stale_drops = ds.drops_stale_epoch + ds.drops_stale_ref;
+  }
+  if (const core::ResilientPolicy* rp = pipeline.encoder_gw().resilient()) {
+    r.estimated_loss = rp->estimator().max_loss();
+    r.degradation_level = resilience::to_string(rp->worst_level());
+    r.degradation_transitions = rp->transitions();
   }
 
   const tcp::SenderStats& ss = pipeline.sender().stats();
@@ -76,7 +90,7 @@ TrialResult run_trial(const ExperimentConfig& config, util::BytesView file,
 }
 
 std::string to_json(const TrialResult& r) {
-  char buf[640];
+  char buf[1024];
   std::snprintf(
       buf, sizeof buf,
       "{\"completed\":%s,\"stalled\":%s,\"verified\":%s,"
@@ -86,7 +100,11 @@ std::string to_json(const TrialResult& r) {
       "\"actual_loss\":%.6f,\"perceived_loss\":%.6f,"
       "\"payload_bytes_in\":%llu,\"payload_bytes_out\":%llu,"
       "\"encoded_packets\":%llu,\"avg_packet_size\":%.1f,"
-      "\"tcp_retransmissions\":%llu,\"tcp_timeouts\":%llu}",
+      "\"tcp_retransmissions\":%llu,\"tcp_timeouts\":%llu,"
+      "\"resync_requests\":%llu,\"resyncs_honored\":%llu,"
+      "\"epoch_adoptions\":%llu,\"stale_drops\":%llu,"
+      "\"estimated_loss\":%.6f,\"degradation_level\":\"%s\","
+      "\"degradation_transitions\":%llu}",
       r.completed ? "true" : "false", r.stalled ? "true" : "false",
       r.verified ? "true" : "false", r.duration_s, r.percent_retrieved,
       static_cast<unsigned long long>(r.wire_bytes_forward),
@@ -97,7 +115,13 @@ std::string to_json(const TrialResult& r) {
       static_cast<unsigned long long>(r.payload_bytes_out),
       static_cast<unsigned long long>(r.encoded_packets), r.avg_packet_size,
       static_cast<unsigned long long>(r.tcp_retransmissions),
-      static_cast<unsigned long long>(r.tcp_timeouts));
+      static_cast<unsigned long long>(r.tcp_timeouts),
+      static_cast<unsigned long long>(r.resync_requests),
+      static_cast<unsigned long long>(r.resyncs_honored),
+      static_cast<unsigned long long>(r.epoch_adoptions),
+      static_cast<unsigned long long>(r.stale_drops), r.estimated_loss,
+      r.degradation_level,
+      static_cast<unsigned long long>(r.degradation_transitions));
   return buf;
 }
 

@@ -74,6 +74,16 @@ struct TrialResult {
   std::uint64_t tcp_retransmissions = 0;
   std::uint64_t tcp_timeouts = 0;
   std::uint64_t tcp_fast_retransmits = 0;
+
+  // Resilience layer (zero unless dre.epoch_resync / the resilient
+  // policy are enabled).
+  std::uint64_t resync_requests = 0;   // received by the encoder
+  std::uint64_t resyncs_honored = 0;   // ... that flushed the cache
+  std::uint64_t epoch_adoptions = 0;   // decoder epoch changes
+  std::uint64_t stale_drops = 0;       // stale-epoch + stale-reference
+  double estimated_loss = 0.0;         // encoder-side EWMA (max over pairs)
+  const char* degradation_level = "-"; // worst ladder rung reached
+  std::uint64_t degradation_transitions = 0;
 };
 
 /// Runs one transfer of `file` and returns its metrics.

@@ -1,0 +1,58 @@
+#include "resilience/degradation.h"
+
+#include "util/check.h"
+
+namespace bytecache::resilience {
+
+const char* to_string(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kKDistance: return "k_distance";
+    case DegradationLevel::kTcpSeq: return "tcp_seq";
+    case DegradationLevel::kCacheFlush: return "cache_flush";
+    case DegradationLevel::kPassthrough: return "passthrough";
+  }
+  return "?";
+}
+
+DegradationController::DegradationController(const DegradationConfig& config)
+    : config_(config) {
+  BC_CHECK(config_.degrade_above[0] > 0.0 &&
+           config_.degrade_above[0] < config_.degrade_above[1] &&
+           config_.degrade_above[1] < config_.degrade_above[2])
+      << "degradation thresholds must be positive and strictly ascending";
+  BC_CHECK(config_.upgrade_fraction > 0.0 && config_.upgrade_fraction <= 1.0)
+      << "upgrade_fraction " << config_.upgrade_fraction << " outside (0, 1]";
+  BC_CHECK(config_.dwell_packets >= 1) << "dwell_packets must be >= 1";
+}
+
+DegradationLevel DegradationController::on_sample(double perceived_loss) {
+  ++samples_;
+  ++since_change_;
+  if (since_change_ < config_.dwell_packets) return level_;
+  const int rung = static_cast<int>(level_);
+  if (rung < 3 && perceived_loss > config_.degrade_above[rung]) {
+    level_ = static_cast<DegradationLevel>(rung + 1);
+    since_change_ = 0;
+    ++degrades_;
+  } else if (rung > 0 && perceived_loss < config_.degrade_above[rung - 1] *
+                                              config_.upgrade_fraction) {
+    level_ = static_cast<DegradationLevel>(rung - 1);
+    since_change_ = 0;
+    ++upgrades_;
+  }
+  return level_;
+}
+
+void DegradationController::audit() const {
+  if (!util::kAuditEnabled) return;
+  BC_AUDIT(static_cast<int>(level_) <= 3)
+      << "degradation level " << static_cast<int>(level_) << " off the ladder";
+  BC_AUDIT(degrades_ + upgrades_ <= samples_)
+      << transitions() << " transitions from " << samples_ << " samples";
+  // Every upgrade retraces a degrade, so upgrades never exceed degrades
+  // by more than the ladder height.
+  BC_AUDIT(upgrades_ <= degrades_)
+      << upgrades_ << " upgrades > " << degrades_ << " degrades";
+}
+
+}  // namespace bytecache::resilience

@@ -1,0 +1,78 @@
+// Runtime policy degradation (the paper's Section VII argument as a
+// control loop).
+//
+// Figures 10-13 show the encoding schemes form a ladder: the more
+// aggressive a scheme compresses, the more it amplifies channel loss into
+// perceived loss.  k-distance saves the most bytes but suffers most under
+// loss; Cache Flush barely amplifies loss but flushes away its savings;
+// pass-through never amplifies at all.  The DegradationController walks a
+// host pair along that ladder at runtime:
+//
+//     k-distance  ->  TCP-seq  ->  Cache Flush  ->  pass-through
+//
+// degrading one rung when the perceived-loss estimate stays above the
+// rung's threshold, and upgrading one rung when it falls below a fraction
+// of the previous rung's threshold (hysteresis), with a minimum dwell
+// between transitions so one burst cannot see-saw the policy.
+#pragma once
+
+#include <cstdint>
+
+namespace bytecache::resilience {
+
+/// Ladder rungs, ordered from most to least aggressive encoding.
+enum class DegradationLevel : std::uint8_t {
+  kKDistance = 0,
+  kTcpSeq = 1,
+  kCacheFlush = 2,
+  kPassthrough = 3,
+};
+
+[[nodiscard]] const char* to_string(DegradationLevel level);
+
+struct DegradationConfig {
+  /// Perceived loss above degrade_above[level] degrades level -> level+1.
+  /// Tuned against the Fig. 13 sweep (bench_resilience): k-distance holds
+  /// to ~1.5% perceived loss, TCP-seq to ~4%, Cache Flush until loss is
+  /// so heavy that encoding is pointless.
+  double degrade_above[3] = {0.015, 0.04, 0.25};
+
+  /// Upgrade level -> level-1 when loss < degrade_above[level-1] *
+  /// upgrade_fraction.  The gap between the two thresholds is the
+  /// hysteresis band.
+  double upgrade_fraction = 0.5;
+
+  /// Minimum packets between transitions (both directions).
+  std::uint64_t dwell_packets = 64;
+};
+
+class DegradationController {
+ public:
+  explicit DegradationController(const DegradationConfig& config = {});
+
+  /// Feeds one packet's perceived-loss estimate; returns the level the
+  /// packet should be encoded under.
+  DegradationLevel on_sample(double perceived_loss);
+
+  [[nodiscard]] DegradationLevel level() const { return level_; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t degrades() const { return degrades_; }
+  [[nodiscard]] std::uint64_t upgrades() const { return upgrades_; }
+  [[nodiscard]] std::uint64_t transitions() const {
+    return degrades_ + upgrades_;
+  }
+
+  /// Deep invariant audit (BC_AUDIT; no-op unless the build enables
+  /// audits).
+  void audit() const;
+
+ private:
+  DegradationConfig config_;
+  DegradationLevel level_ = DegradationLevel::kKDistance;
+  std::uint64_t since_change_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t degrades_ = 0;
+  std::uint64_t upgrades_ = 0;
+};
+
+}  // namespace bytecache::resilience

@@ -1,0 +1,81 @@
+#include "resilience/epoch_sync.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bytecache::resilience {
+
+EpochSynchronizer::EpochSynchronizer(const EpochSyncConfig& config)
+    : config_(config) {
+  BC_CHECK(config_.resync_after >= 1) << "resync_after must be >= 1";
+  BC_CHECK(config_.backoff_initial_drops >= 1 &&
+           config_.backoff_initial_drops <= config_.backoff_max_drops)
+      << "backoff bounds " << config_.backoff_initial_drops << ".."
+      << config_.backoff_max_drops << " are inverted";
+  BC_CHECK(config_.max_retries >= 1) << "max_retries must be >= 1";
+}
+
+void EpochSynchronizer::on_progress() {
+  consecutive_ = 0;
+  // A successful decode proves the caches realigned; if desync drops
+  // resume afterwards that is a new episode and starts from a fresh
+  // (un-backed-off) request schedule.
+  episode_active_ = false;
+}
+
+bool EpochSynchronizer::on_undecodable(std::uint16_t packet_epoch) {
+  if (!episode_active_ || packet_epoch != episode_epoch_) {
+    // Drops started failing at a different epoch: a distinct desync the
+    // encoder may not know about yet (e.g. the first post-flush packet
+    // was itself lost, re-poisoning the fresh epoch).  The encoder
+    // honors at most one request per epoch it is currently in, so
+    // restarting the schedule per failing epoch cannot cause a flush
+    // storm — duplicate requests for an already-bumped epoch are ignored.
+    episode_active_ = true;
+    episode_epoch_ = packet_epoch;
+    consecutive_ = 0;
+    cooldown_ = 0;
+    backoff_ = 0;
+  }
+  ++consecutive_;
+  if (consecutive_ < config_.resync_after) return false;
+  if (cooldown_ > 0) {
+    --cooldown_;
+    ++suppressed_;
+    return false;
+  }
+  if (retries_ >= config_.max_retries) {
+    ++suppressed_;
+    return false;
+  }
+  backoff_ = backoff_ == 0
+                 ? config_.backoff_initial_drops
+                 : std::min(backoff_ * 2, config_.backoff_max_drops);
+  cooldown_ = backoff_;
+  ++retries_;
+  ++requests_;
+  return true;
+}
+
+void EpochSynchronizer::on_epoch_adopted() {
+  consecutive_ = 0;
+  cooldown_ = 0;
+  backoff_ = 0;
+  retries_ = 0;
+  episode_active_ = false;
+}
+
+void EpochSynchronizer::audit() const {
+  if (!util::kAuditEnabled) return;
+  BC_AUDIT(retries_ <= config_.max_retries)
+      << retries_ << " retries exceed the budget " << config_.max_retries;
+  BC_AUDIT(backoff_ <= config_.backoff_max_drops)
+      << "backoff " << backoff_ << " exceeds the cap "
+      << config_.backoff_max_drops;
+  BC_AUDIT(retries_ <= requests_)
+      << retries_ << " epoch-local retries > " << requests_
+      << " lifetime requests";
+}
+
+}  // namespace bytecache::resilience

@@ -1,0 +1,106 @@
+// Epoch-stamped cache resynchronization (decoder side).
+//
+// The encoder bumps a 16-bit epoch every time it flushes its cache; v2
+// encodings carry that epoch (core/wire.h).  The decoder adopts the
+// newest epoch it sees and rejects references into older epochs, so a
+// desynchronized cache produces clean bounded drops instead of silently
+// wrong bytes or the Section IV circular-dependency stall (a lost packet
+// whose retransmission is encoded against the lost packet itself).
+//
+// This class is the decoder's half of the recovery protocol: it watches
+// the stream of decode outcomes and decides *when* to ask the encoder for
+// a resync (a flush, i.e. an epoch bump) over the control channel
+// (core::ControlMessage Type::kResyncRequest).  Requests are armed by a
+// run of consecutive undecodable packets and rate-limited by exponential
+// backoff measured in further desync drops — not in received packets,
+// because during a full stall the only packets arriving at all are the
+// RTO-paced undecodable retransmissions, and a packet-counted cooldown
+// would outlast the transport's own give-up.  A bounded retry budget per
+// adopted epoch keeps a dead control channel from making the decoder beg
+// forever, and the schedule restarts whenever the failing epoch changes
+// (a fresh desync the encoder may not know about).  Aggressive pacing is
+// safe against flush storms because the encoder honors only requests
+// naming its current epoch: once it flushes, every duplicate request for
+// the old epoch is ignored.
+#pragma once
+
+#include <cstdint>
+
+namespace bytecache::resilience {
+
+/// Wrap-aware comparison of 16-bit epochs (serial-number arithmetic):
+/// true iff `a` is ahead of `b` on the 16-bit circle.
+[[nodiscard]] constexpr bool epoch_newer(std::uint16_t a, std::uint16_t b) {
+  const std::uint16_t d = static_cast<std::uint16_t>(a - b);
+  return d != 0 && d < 0x8000;
+}
+
+/// How many bumps ahead `a` is of `b`; only meaningful when
+/// !epoch_newer(b, a).
+[[nodiscard]] constexpr std::uint16_t epoch_distance(std::uint16_t a,
+                                                     std::uint16_t b) {
+  return static_cast<std::uint16_t>(a - b);
+}
+
+struct EpochSyncConfig {
+  /// Consecutive undecodable packets that arm a resync request.  A single
+  /// drop is usually a plain channel loss the transport will retransmit;
+  /// a run means the cache itself is desynchronized.
+  std::uint32_t resync_after = 3;
+
+  /// Desync drops to tolerate after a request before the next one may be
+  /// sent; doubles per request up to backoff_max_drops.
+  std::uint32_t backoff_initial_drops = 4;
+  std::uint32_t backoff_max_drops = 256;
+
+  /// Requests allowed per adopted epoch; the budget refills when the
+  /// encoder's flush takes effect (a new epoch is adopted).
+  std::uint32_t max_retries = 16;
+
+  /// Largest forward epoch jump the decoder will adopt from a single
+  /// CRC-verified packet.  The payload CRC does not cover the shim, so a
+  /// bit flip in the epoch field can survive verification; bounding the
+  /// jump keeps such a flip from poisoning the adopted epoch.  Legitimate
+  /// jumps (several flushes between adoptions) are far smaller than this.
+  std::uint16_t adopt_window = 64;
+};
+
+class EpochSynchronizer {
+ public:
+  explicit EpochSynchronizer(const EpochSyncConfig& config = {});
+
+  /// A packet decoded successfully: the caches are in step again.
+  void on_progress();
+
+  /// An undecodable packet (missing fingerprint, stale reference, or CRC
+  /// mismatch) carrying `packet_epoch`.  Returns true when a resync
+  /// request should be sent now.
+  [[nodiscard]] bool on_undecodable(std::uint16_t packet_epoch);
+
+  /// A new epoch was adopted — the encoder flushed, recovery succeeded.
+  void on_epoch_adopted();
+
+  [[nodiscard]] std::uint32_t consecutive_undecodable() const {
+    return consecutive_;
+  }
+  [[nodiscard]] std::uint32_t retries_used() const { return retries_; }
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
+  [[nodiscard]] std::uint64_t suppressed() const { return suppressed_; }
+
+  /// Deep invariant audit (BC_AUDIT; no-op unless the build enables
+  /// audits).
+  void audit() const;
+
+ private:
+  EpochSyncConfig config_;
+  std::uint32_t consecutive_ = 0;  // undecodable run length
+  std::uint32_t cooldown_ = 0;     // desync drops until the next request
+  std::uint32_t backoff_ = 0;      // current backoff; 0 = none sent yet
+  std::uint32_t retries_ = 0;      // requests charged to this epoch
+  bool episode_active_ = false;    // a desync episode is in progress
+  std::uint16_t episode_epoch_ = 0;  // epoch the current episode fails at
+  std::uint64_t requests_ = 0;
+  std::uint64_t suppressed_ = 0;   // armed but rate-limited or out of budget
+};
+
+}  // namespace bytecache::resilience

@@ -1,0 +1,82 @@
+#include "resilience/perceived_loss.h"
+
+#include "util/check.h"
+
+namespace bytecache::resilience {
+
+PerceivedLossEstimator::PerceivedLossEstimator(
+    const LossEstimatorConfig& config)
+    : config_(config) {
+  BC_CHECK(config_.alpha > 0.0 && config_.alpha <= 1.0)
+      << "loss-estimator alpha " << config_.alpha << " outside (0, 1]";
+}
+
+void PerceivedLossEstimator::sample(std::uint64_t host_key, double outcome) {
+  FlowLossState& s = flows_[host_key];
+  s.ewma = (1.0 - config_.alpha) * s.ewma + config_.alpha * outcome;
+}
+
+void PerceivedLossEstimator::on_offered(std::uint64_t host_key) {
+  ++total_offered_;
+  FlowLossState& s = flows_[host_key];
+  ++s.offered;
+  s.ewma = (1.0 - config_.alpha) * s.ewma;
+}
+
+void PerceivedLossEstimator::on_channel_drop(std::uint64_t host_key) {
+  ++total_channel_drops_;
+  ++flows_[host_key].channel_drops;
+  sample(host_key, 1.0);
+}
+
+void PerceivedLossEstimator::on_undecodable(std::uint64_t host_key,
+                                            std::uint32_t count) {
+  total_undecodable_ += count;
+  flows_[host_key].undecodable += count;
+  for (std::uint32_t i = 0; i < count; ++i) sample(host_key, 1.0);
+}
+
+double PerceivedLossEstimator::loss(std::uint64_t host_key) const {
+  auto it = flows_.find(host_key);
+  return it == flows_.end() ? 0.0 : it->second.ewma;
+}
+
+double PerceivedLossEstimator::max_loss() const {
+  double worst = 0.0;
+  for (const auto& [key, s] : flows_) {
+    if (s.ewma > worst) worst = s.ewma;
+  }
+  return worst;
+}
+
+const FlowLossState* PerceivedLossEstimator::flow(
+    std::uint64_t host_key) const {
+  auto it = flows_.find(host_key);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+void PerceivedLossEstimator::audit() const {
+  if (!util::kAuditEnabled) return;
+  std::uint64_t offered = 0;
+  std::uint64_t channel = 0;
+  std::uint64_t undecodable = 0;
+  for (const auto& [key, s] : flows_) {
+    BC_AUDIT(s.ewma >= 0.0 && s.ewma <= 1.0)
+        << "EWMA " << s.ewma << " of host key " << key
+        << " is not a probability";
+    offered += s.offered;
+    channel += s.channel_drops;
+    undecodable += s.undecodable;
+  }
+  BC_AUDIT(offered == total_offered_)
+      << "per-flow offered sum " << offered << " != total "
+      << total_offered_;
+  BC_AUDIT(channel == total_channel_drops_)
+      << "per-flow channel-drop sum " << channel << " != total "
+      << total_channel_drops_;
+  BC_AUDIT(undecodable == total_undecodable_)
+      << "per-flow undecodable sum " << undecodable << " != total "
+      << total_undecodable_;
+}
+
+}  // namespace bytecache::resilience

@@ -22,6 +22,7 @@ void Link::send(packet::PacketPtr pkt) {
     if (trace_ != nullptr) {
       trace_->record(sim_.now(), TraceEvent::kQueueDrop, pkt->uid);
     }
+    if (drop_observer_) drop_observer_(*pkt);
     return;
   }
   ++in_system_;
@@ -48,6 +49,7 @@ void Link::send(packet::PacketPtr pkt) {
       if (trace_ != nullptr) {
         trace_->record(sim_.now(), TraceEvent::kLoss, (*shared)->uid);
       }
+      if (drop_observer_) drop_observer_(**shared);
       return;
     }
     packet::PacketPtr p = std::move(*shared);

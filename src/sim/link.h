@@ -72,6 +72,14 @@ class Link {
   /// (not owned; may be null).
   void set_pcap(PcapWriter* pcap) { pcap_ = pcap; }
 
+  /// Optional observer called with every packet the link drops (queue
+  /// overflow at send time, channel loss at end of serialization).  The
+  /// resilient pipeline points this at the encoder gateway so channel
+  /// drops feed the perceived-loss estimator.
+  void set_drop_observer(std::function<void(const packet::Packet&)> fn) {
+    drop_observer_ = std::move(fn);
+  }
+
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
   [[nodiscard]] const LinkConfig& config() const { return config_; }
 
@@ -83,6 +91,7 @@ class Link {
   std::unique_ptr<LossProcess> loss_;
   util::Rng rng_;
   Sink sink_;
+  std::function<void(const packet::Packet&)> drop_observer_;
   LinkStats stats_;
   Trace* trace_ = nullptr;
   PcapWriter* pcap_ = nullptr;

@@ -17,6 +17,8 @@ const char* to_string(TraceEvent ev) {
     case TraceEvent::kDecode: return "decode";
     case TraceEvent::kDecodeDrop: return "decode_drop";
     case TraceEvent::kNack: return "nack";
+    case TraceEvent::kLossReport: return "loss_report";
+    case TraceEvent::kResync: return "resync";
   }
   return "?";
 }

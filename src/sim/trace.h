@@ -27,6 +27,8 @@ enum class TraceEvent : std::uint8_t {
   kDecode,       // reconstructed by the decoder gateway
   kDecodeDrop,   // undecodable at the decoder
   kNack,         // decoder NACK emitted
+  kLossReport,   // decoder loss-report control message emitted
+  kResync,       // decoder resync request emitted
 };
 
 [[nodiscard]] const char* to_string(TraceEvent ev);

@@ -50,7 +50,7 @@ struct OffsetFp {
 
 TEST(ScanEquiv, TemplateVsErasedVsRecompute) {
   const rabin::RabinTables tables(16);
-  Rng rng(101);
+  Rng rng(testutil::test_seed(101));
   for (int trial = 0; trial < 50; ++trial) {
     // Cover the degenerate sizes: empty, below, at, and above the window.
     const std::size_t n = trial < 4 ? static_cast<std::size_t>(trial * 8)
@@ -83,7 +83,7 @@ TEST(ScanEquiv, TemplateVsErasedVsRecompute) {
 
 TEST(RollingWindowEquiv, MatchesRecomputeAtEveryOffset) {
   const rabin::RabinTables tables(16);
-  Rng rng(102);
+  Rng rng(testutil::test_seed(102));
   const Bytes payload = random_bytes(rng, 700);
   rabin::RollingWindow win(tables);
   for (std::size_t i = 0; i < payload.size(); ++i) {
@@ -101,7 +101,7 @@ TEST(RollingWindowEquiv, MatchesRecomputeAtEveryOffset) {
 
 TEST(RollingWindowEquiv, ResetMatchesFreshWindow) {
   const rabin::RabinTables tables(16);
-  Rng rng(103);
+  Rng rng(testutil::test_seed(103));
   const Bytes payload = random_bytes(rng, 64);
   rabin::RollingWindow reused(tables);
   for (std::uint8_t b : payload) reused.feed(b);
@@ -120,7 +120,7 @@ TEST(RollingWindowEquiv, ResetMatchesFreshWindow) {
 TEST(FlatMapEquiv, RandomOpsMatchUnorderedMap) {
   cache::FlatMap64<std::uint64_t> flat;
   std::unordered_map<std::uint64_t, std::uint64_t> ref;
-  Rng rng(104);
+  Rng rng(testutil::test_seed(104));
   for (int op = 0; op < 20000; ++op) {
     // A small key pool (with the low bits zeroed, like real selected
     // fingerprints) forces overwrites, hits, and probe-chain collisions.
@@ -163,7 +163,7 @@ TEST(FlatMapEquiv, RandomOpsMatchUnorderedMap) {
 TEST(FingerprintTableEquiv, RandomOpsMatchReferenceModel) {
   cache::FingerprintTable table;
   std::unordered_map<std::uint64_t, cache::FpEntry> ref;
-  Rng rng(105);
+  Rng rng(testutil::test_seed(105));
   for (int op = 0; op < 20000; ++op) {
     const std::uint64_t fp = rng.uniform(0, 400) << 4;
     switch (rng.uniform(0, 4)) {
@@ -240,7 +240,7 @@ std::vector<rabin::Anchor> maxp_reference(const rabin::RabinTables& tables,
 // neighbours, and the default 31.
 TEST(MaxpEquiv, MatchesBruteForceReferenceAcrossP) {
   const rabin::RabinTables tables(16);
-  Rng rng(110);
+  Rng rng(testutil::test_seed(110));
   rabin::MaxpScratch scratch;  // reused across p values, like the codecs
   std::vector<rabin::Anchor> out;
   for (const std::size_t p : {std::size_t{1}, std::size_t{2}, std::size_t{3},
@@ -269,7 +269,7 @@ TEST(MaxpEquiv, MatchesBruteForceReferenceAcrossP) {
 
 TEST(ValueSamplingEquiv, MatchesRecomputeReferenceAcrossSelectBits) {
   const rabin::RabinTables tables(16);
-  Rng rng(111);
+  Rng rng(testutil::test_seed(111));
   for (const unsigned bits : {0u, 1u, 2u, 4u, 8u, 12u}) {
     for (int trial = 0; trial < 10; ++trial) {
       const Bytes payload = random_bytes(rng, rng.uniform(1, 1460));
@@ -288,7 +288,7 @@ TEST(ValueSamplingEquiv, MatchesRecomputeReferenceAcrossSelectBits) {
 
 TEST(SampleByteEquiv, MatchesNaiveReferenceAcrossPeriodAndSkip) {
   const rabin::RabinTables tables(16);
-  Rng rng(112);
+  Rng rng(testutil::test_seed(112));
   for (const unsigned period : {1u, 2u, 4u, 16u, 64u, 256u}) {
     for (const std::size_t skip :
          {std::size_t{0}, std::size_t{1}, std::size_t{8}, std::size_t{16},
@@ -321,7 +321,7 @@ TEST(SampleByteEquiv, MatchesNaiveReferenceAcrossPeriodAndSkip) {
 
 TEST(AnchorEquiv, WorkspaceMatchesByValueForEverySelectMode) {
   const rabin::RabinTables tables(16);
-  Rng rng(106);
+  Rng rng(testutil::test_seed(106));
   core::AnchorWorkspace ws;  // deliberately reused across payloads/modes
   for (int trial = 0; trial < 30; ++trial) {
     const Bytes payload = random_bytes(rng, rng.uniform(1, 1460));
@@ -356,7 +356,7 @@ TEST(AnchorEquiv, WorkspaceMatchesByValueForEverySelectMode) {
 // packets or instances), and a fresh decoder must reconstruct the
 // original bytes exactly.
 TEST(CodecEquiv, EncodingBitIdenticalAcrossInstances) {
-  Rng rng(107);
+  Rng rng(testutil::test_seed(107));
   // A redundant stream: random chunks, many repeated, so real regions and
   // multi-region packets are produced.
   Bytes object;
@@ -410,7 +410,7 @@ std::size_t stale_entries(const cache::ByteCache& cache) {
 TEST(EvictionPurge, NoStaleEntriesUnderChurn) {
   const rabin::RabinTables tables(16);
   cache::ByteCache cache(8 * 1024);  // tiny budget: constant eviction
-  Rng rng(108);
+  Rng rng(testutil::test_seed(108));
   for (int i = 0; i < 400; ++i) {
     const Bytes payload = random_bytes(rng, rng.uniform(64, 1460));
     const auto anchors = rabin::selected_anchors(tables, payload, 4);
@@ -430,7 +430,7 @@ TEST(EvictionPurge, BoundedEncoderDecoderStayInSync) {
   params.cache_bytes = 64 * 1024;  // far smaller than the stream
   auto enc = test_encoder(core::PolicyKind::kNaive, params);
   core::Decoder dec{params};
-  Rng rng(109);
+  Rng rng(testutil::test_seed(109));
   Bytes object;
   const Bytes chunk = random_bytes(rng, 4000);
   for (int i = 0; i < 80; ++i) {

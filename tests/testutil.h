@@ -1,6 +1,8 @@
 // Shared helpers for the test suite.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -51,6 +53,22 @@ inline std::vector<packet::PacketPtr> segment_stream(util::BytesView object,
                                   isn + static_cast<std::uint32_t>(off)));
   }
   return out;
+}
+
+/// Seed for randomized tests: the BYTECACHE_TEST_SEED environment
+/// variable if set (decimal or 0x-hex), else `fallback`.  Always logs
+/// the seed in use so any failure is reproducible with
+/// `BYTECACHE_TEST_SEED=<seed> ctest ...`.
+inline std::uint64_t test_seed(std::uint64_t fallback) {
+  std::uint64_t seed = fallback;
+  if (const char* env = std::getenv("BYTECACHE_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') seed = v;
+  }
+  std::printf("[   SEED   ] %llu (override with BYTECACHE_TEST_SEED)\n",
+              static_cast<unsigned long long>(seed));
+  return seed;
 }
 
 /// Random bytes.

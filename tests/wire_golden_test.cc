@@ -1,0 +1,212 @@
+// Golden wire vectors (ISSUE 4 satellite): byte-for-byte pinned copies of
+// the v1 shim, the v2 shim, and each control message live in tests/data/.
+// Any change to the serialized formats fails these tests loudly — wire
+// drift must be an explicit decision (regenerate with BC_REGEN_GOLDEN=1),
+// never an accident.  The v1 vectors also prove backward compatibility:
+// a decoder with epoch_resync enabled must still decode pre-epoch traffic.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/control.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "core/factory.h"
+#include "core/wire.h"
+#include "tests/testutil.h"
+#include "util/rng.h"
+
+#ifndef BC_TEST_DATA_DIR
+#error "BC_TEST_DATA_DIR must be defined by the build (tests/CMakeLists.txt)"
+#endif
+
+namespace bytecache {
+namespace {
+
+std::string data_path(const char* name) {
+  return std::string(BC_TEST_DATA_DIR) + "/" + name;
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("BC_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+util::Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  util::Bytes bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void write_file(const std::string& path, util::BytesView bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << "failed to write " << path;
+}
+
+/// Compares `produced` against the pinned vector, or rewrites the pin when
+/// BC_REGEN_GOLDEN is set.  On mismatch the failure names the file and the
+/// first divergent byte so drift is easy to localize.
+void check_golden(const char* name, util::BytesView produced) {
+  const std::string path = data_path(name);
+  if (regen_requested()) {
+    write_file(path, produced);
+    return;
+  }
+  const util::Bytes pinned = read_file(path);
+  ASSERT_FALSE(pinned.empty())
+      << path << " is missing or empty; regenerate with BC_REGEN_GOLDEN=1";
+  ASSERT_EQ(pinned.size(), produced.size())
+      << "wire size drift in " << name
+      << " — if intentional, regenerate goldens with BC_REGEN_GOLDEN=1";
+  for (std::size_t i = 0; i < pinned.size(); ++i) {
+    ASSERT_EQ(pinned[i], produced[i])
+        << "wire byte drift in " << name << " at offset " << i
+        << " — if intentional, regenerate goldens with BC_REGEN_GOLDEN=1";
+  }
+}
+
+/// Deterministic traffic: a fixed 1200-byte payload and a variant of it
+/// differing in the first 64 bytes.  Seeds are constants on purpose —
+/// golden vectors must not depend on BYTECACHE_TEST_SEED.
+struct GoldenTraffic {
+  util::Bytes first;
+  util::Bytes second;
+};
+
+GoldenTraffic golden_traffic() {
+  util::Rng rng(0x601D5EED);  // fixed
+  GoldenTraffic t;
+  t.first = testutil::random_bytes(rng, 1200);
+  t.second = t.first;
+  for (std::size_t i = 0; i < 64; ++i) {
+    t.second[i] = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  return t;
+}
+
+/// Encodes the golden traffic pair and returns (warmup payload, encoded
+/// wire image).
+struct GoldenWire {
+  util::Bytes warmup;
+  util::Bytes wire;
+};
+
+GoldenWire golden_wire(bool epoch_resync) {
+  core::DreParams params;
+  params.epoch_resync = epoch_resync;
+  core::Encoder enc(params,
+                    core::make_policy(core::PolicyKind::kNaive, params));
+  const GoldenTraffic t = golden_traffic();
+  auto a = testutil::make_tcp_packet(t.first, 1000);
+  (void)enc.process(*a);
+  auto b = testutil::make_tcp_packet(t.second, 5000);
+  const core::EncodeInfo info = enc.process(*b);
+  EXPECT_TRUE(info.encoded);
+  return GoldenWire{a->payload, b->payload};
+}
+
+TEST(WireGolden, V1EncodingMatchesPinnedVector) {
+  const GoldenWire g = golden_wire(/*epoch_resync=*/false);
+  ASSERT_FALSE(g.wire.empty());
+  EXPECT_EQ(g.wire[0], core::kShimMagic);
+  check_golden("golden_v1_warmup.bin", g.warmup);
+  check_golden("golden_v1_wire.bin", g.wire);
+}
+
+TEST(WireGolden, V2EncodingMatchesPinnedVectorAndBumpsVersionByte) {
+  const GoldenWire g = golden_wire(/*epoch_resync=*/true);
+  ASSERT_FALSE(g.wire.empty());
+  // The epoch-carrying format is a distinct magic + explicit version byte;
+  // v1 parsers cannot silently misread it.
+  EXPECT_EQ(g.wire[0], core::kShimMagicV2);
+  EXPECT_EQ(g.wire[1], core::kWireVersion2);
+  check_golden("golden_v2_warmup.bin", g.warmup);
+  check_golden("golden_v2_wire.bin", g.wire);
+}
+
+TEST(WireGolden, PinnedV1VectorStillDecodesOnAnEpochAwareDecoder) {
+  if (regen_requested()) GTEST_SKIP() << "regenerating goldens";
+  const util::Bytes warmup = read_file(data_path("golden_v1_warmup.bin"));
+  const util::Bytes wire = read_file(data_path("golden_v1_wire.bin"));
+  ASSERT_FALSE(warmup.empty());
+  ASSERT_FALSE(wire.empty());
+  // Old traffic (v1, no epoch) against a NEW decoder with epoch_resync on:
+  // must decode exactly as before — the epoch machinery only enforces on
+  // v2 packets.
+  core::DreParams params;
+  params.epoch_resync = true;
+  core::Decoder dec(params);
+  auto w = packet::make_packet(testutil::kSrcIp, testutil::kDstIp,
+                               packet::IpProto::kTcp, util::Bytes(warmup));
+  (void)dec.process(*w);
+  auto p = packet::make_packet(testutil::kSrcIp, testutil::kDstIp,
+                               packet::IpProto::kDre, util::Bytes(wire));
+  const core::DecodeInfo info = dec.process(*p);
+  EXPECT_FALSE(core::is_drop(info.status));
+  // Decoding restores the whole original TCP segment (header + data).
+  EXPECT_EQ(p->payload,
+            testutil::make_tcp_packet(golden_traffic().second, 5000)->payload);
+  EXPECT_EQ(dec.stats().drops_stale_epoch, 0u);
+}
+
+TEST(WireGolden, PinnedV2VectorDecodesRoundTrip) {
+  if (regen_requested()) GTEST_SKIP() << "regenerating goldens";
+  const util::Bytes warmup = read_file(data_path("golden_v2_warmup.bin"));
+  const util::Bytes wire = read_file(data_path("golden_v2_wire.bin"));
+  ASSERT_FALSE(warmup.empty());
+  ASSERT_FALSE(wire.empty());
+  core::DreParams params;
+  params.epoch_resync = true;
+  core::Decoder dec(params);
+  auto w = packet::make_packet(testutil::kSrcIp, testutil::kDstIp,
+                               packet::IpProto::kTcp, util::Bytes(warmup));
+  (void)dec.process(*w);
+  auto p = packet::make_packet(testutil::kSrcIp, testutil::kDstIp,
+                               packet::IpProto::kDre, util::Bytes(wire));
+  const core::DecodeInfo info = dec.process(*p);
+  EXPECT_FALSE(core::is_drop(info.status));
+  EXPECT_EQ(info.version, core::kWireVersion2);
+  EXPECT_EQ(p->payload,
+            testutil::make_tcp_packet(golden_traffic().second, 5000)->payload);
+}
+
+TEST(WireGolden, ControlMessagesMatchPinnedVectors) {
+  core::ControlMessage nack;
+  nack.fingerprints = {0x1122334455667788ull, 0xAABBCCDDEEFF0011ull};
+  check_golden("golden_control_nack.bin", nack.serialize());
+
+  core::ControlMessage resync;
+  resync.type = core::ControlMessage::Type::kResyncRequest;
+  resync.epoch = 0xBEEF;
+  check_golden("golden_control_resync.bin", resync.serialize());
+
+  core::ControlMessage report;
+  report.type = core::ControlMessage::Type::kLossReport;
+  report.host_key = 0x0123456789ABCDEFull;
+  report.count = 42;
+  check_golden("golden_control_lossreport.bin", report.serialize());
+
+  if (regen_requested()) return;
+  // The pins must also parse back to the same semantic content.
+  auto n = core::ControlMessage::parse(
+      read_file(data_path("golden_control_nack.bin")));
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->fingerprints, nack.fingerprints);
+  auto s = core::ControlMessage::parse(
+      read_file(data_path("golden_control_resync.bin")));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->epoch, 0xBEEF);
+  auto l = core::ControlMessage::parse(
+      read_file(data_path("golden_control_lossreport.bin")));
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(l->host_key, 0x0123456789ABCDEFull);
+  EXPECT_EQ(l->count, 42);
+}
+
+}  // namespace
+}  // namespace bytecache

@@ -2,6 +2,7 @@
 
 #include "core/region.h"
 #include "core/wire.h"
+#include "tests/testutil.h"
 #include "util/rng.h"
 
 namespace bytecache::core {
@@ -112,7 +113,7 @@ TEST(Wire, NoRegionsAllLiterals) {
 }
 
 TEST(Wire, FuzzParseNeverCrashes) {
-  util::Rng rng(99);
+  util::Rng rng(testutil::test_seed(99));
   for (int i = 0; i < 5000; ++i) {
     Bytes junk(rng.uniform(0, 200));
     for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
@@ -122,7 +123,7 @@ TEST(Wire, FuzzParseNeverCrashes) {
 }
 
 TEST(Wire, FuzzMutatedValidPayloadsParseOrReject) {
-  util::Rng rng(100);
+  util::Rng rng(testutil::test_seed(100));
   const Bytes wire = sample_payload().serialize();
   for (int i = 0; i < 2000; ++i) {
     Bytes mutated = wire;

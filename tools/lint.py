@@ -62,7 +62,7 @@ SOURCE_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
 
 PROJECT_INCLUDE_ROOTS = (
     "util", "rabin", "packet", "cache", "core", "sim", "tcp",
-    "gateway", "app", "workload", "harness",
+    "gateway", "app", "workload", "harness", "resilience",
 )
 
 # Identifier containing "seq" (any case), optionally a member access,
