@@ -143,16 +143,16 @@ Result run_sharded(const std::string& name, std::size_t shards,
   r.name = name;
   r.shards = shards;
 
-  core::DreParams params;  // paper defaults: w=16, k=4, value sampling
-  gateway::ShardedOptions opt;
-  opt.shards = shards;
-  opt.ring_capacity = 512;
-  opt.threaded = true;
+  core::GatewayConfig enc_cfg;  // paper defaults: w=16, k=4, value sampling
+  enc_cfg.policy = core::PolicyKind::kNaive;
+  enc_cfg.shards = shards;
+  enc_cfg.ring_capacity = 512;
+  enc_cfg.threaded = true;
+  core::GatewayConfig dec_cfg = enc_cfg;
+  dec_cfg.threaded = false;
 
-  gateway::ShardedEncoderGateway enc(core::PolicyKind::kNaive, params, opt);
-  gateway::ShardedDecoderGateway dec(true, params,
-                                     {shards, opt.ring_capacity,
-                                      /*threaded=*/false});
+  gateway::ShardedEncoderGateway enc(enc_cfg);
+  gateway::ShardedDecoderGateway dec(dec_cfg);
 
   // Each encoder worker hands its shard's wire packets straight to the
   // decoder twin; with the decoder non-threaded the decode runs inline on

@@ -30,11 +30,12 @@ struct StreamOutcome {
 StreamOutcome run_stream(const util::Bytes& media, double loss,
                          std::size_t k, bool with_dre) {
   sim::Simulator sim;
-  core::DreParams dre;
-  dre.k_distance = k;
-  gateway::EncoderGateway enc(
-      with_dre ? core::PolicyKind::kKDistance : core::PolicyKind::kNone, dre);
-  gateway::DecoderGateway dec(with_dre, dre);
+  core::GatewayConfig gw_cfg;
+  gw_cfg.params.k_distance = k;
+  gw_cfg.policy =
+      with_dre ? core::PolicyKind::kKDistance : core::PolicyKind::kNone;
+  gateway::EncoderGateway enc(gw_cfg);
+  gateway::DecoderGateway dec(gw_cfg);
   sim::LinkConfig lcfg;
   lcfg.queue_packets = 1 << 16;
   sim::Link link(sim, lcfg, std::make_unique<sim::BernoulliLoss>(loss),

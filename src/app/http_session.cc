@@ -53,9 +53,9 @@ HttpSession::HttpSession(sim::Simulator& sim,
   if (cfg.tcp.dst_ip == 0) cfg.tcp.dst_ip = packet::make_ip(10, 0, 1, 1);
 
   util::Rng root(cfg.seed);
-  encoder_gw_ = std::make_unique<gateway::EncoderGateway>(cfg.policy, cfg.dre);
-  decoder_gw_ = std::make_unique<gateway::DecoderGateway>(
-      cfg.policy != core::PolicyKind::kNone, cfg.dre);
+  const core::GatewayConfig gw_cfg = cfg.gateway_config();
+  encoder_gw_ = std::make_unique<gateway::EncoderGateway>(gw_cfg);
+  decoder_gw_ = std::make_unique<gateway::DecoderGateway>(gw_cfg);
   forward_link_ = std::make_unique<sim::Link>(
       sim, cfg.forward_link,
       cfg.loss_rate > 0

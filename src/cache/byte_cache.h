@@ -17,6 +17,7 @@
 
 #include "cache/fingerprint_table.h"
 #include "cache/packet_store.h"
+#include "obs/fields.h"
 #include "rabin/window.h"
 #include "util/bytes.h"
 
@@ -32,17 +33,27 @@ struct CacheStats {
   std::uint64_t flushes = 0;
 };
 
-/// Accumulates `from` into `into` — aggregation across the per-shard
-/// caches of a sharded gateway (gateway/sharded_gateways.h).
-inline void merge_into(CacheStats& into, const CacheStats& from) {
-  into.lookups += from.lookups;
-  into.hits += from.hits;
-  into.stale_hits += from.stale_hits;
-  into.packets_inserted += from.packets_inserted;
-  into.fingerprints_inserted += from.fingerprints_inserted;
-  into.fingerprints_purged += from.fingerprints_purged;
-  into.flushes += from.flushes;
+/// Telemetry field table (obs/fields.h): drives the generic merge_into /
+/// reset / snapshot operations and the registry metric names.
+[[nodiscard]] constexpr auto stats_fields(const CacheStats*) {
+  return obs::field_table<CacheStats>(
+      obs::Field<CacheStats>{"lookups", &CacheStats::lookups},
+      obs::Field<CacheStats>{"hits", &CacheStats::hits},
+      obs::Field<CacheStats>{"stale_hits", &CacheStats::stale_hits},
+      obs::Field<CacheStats>{"packets_inserted",
+                             &CacheStats::packets_inserted},
+      obs::Field<CacheStats>{"fingerprints_inserted",
+                             &CacheStats::fingerprints_inserted},
+      obs::Field<CacheStats>{"fingerprints_purged",
+                             &CacheStats::fingerprints_purged},
+      obs::Field<CacheStats>{"flushes", &CacheStats::flushes});
 }
+
+/// Generic aggregation across the per-shard caches of a sharded gateway
+/// (gateway/sharded_gateways.h) — one descriptor-driven implementation
+/// shared by every stats struct.
+using obs::merge_into;
+using obs::reset;
 
 /// Result of a successful fingerprint lookup.
 struct CacheHit {

@@ -32,6 +32,7 @@
 #include "core/anchors.h"
 #include "core/params.h"
 #include "core/wire.h"
+#include "obs/fields.h"
 #include "packet/packet.h"
 #include "rabin/window.h"
 #include "resilience/epoch_sync.h"
@@ -94,24 +95,31 @@ struct DecoderStats {
   }
 };
 
-/// Accumulates `from` into `into` — aggregation across the per-shard
-/// decoders of a sharded gateway (gateway/sharded_gateways.h).
-inline void merge_into(DecoderStats& into, const DecoderStats& from) {
-  into.packets += from.packets;
-  into.passthrough += from.passthrough;
-  into.decoded += from.decoded;
-  into.drops_malformed += from.drops_malformed;
-  into.drops_missing_fp += from.drops_missing_fp;
-  into.drops_bad_bounds += from.drops_bad_bounds;
-  into.drops_crc += from.drops_crc;
-  into.drops_stale_epoch += from.drops_stale_epoch;
-  into.drops_stale_ref += from.drops_stale_ref;
-  into.bytes_received += from.bytes_received;
-  into.bytes_restored += from.bytes_restored;
-  into.epoch_adoptions += from.epoch_adoptions;
-  into.epoch_rejections += from.epoch_rejections;
-  into.resync_signals += from.resync_signals;
+/// Telemetry field table (obs/fields.h): drives the generic merge_into /
+/// reset / snapshot operations and the registry metric names.
+[[nodiscard]] constexpr auto stats_fields(const DecoderStats*) {
+  using S = DecoderStats;
+  return obs::field_table<S>(
+      obs::Field<S>{"packets", &S::packets},
+      obs::Field<S>{"passthrough", &S::passthrough},
+      obs::Field<S>{"decoded", &S::decoded},
+      obs::Field<S>{"drops_malformed", &S::drops_malformed},
+      obs::Field<S>{"drops_missing_fp", &S::drops_missing_fp},
+      obs::Field<S>{"drops_bad_bounds", &S::drops_bad_bounds},
+      obs::Field<S>{"drops_crc", &S::drops_crc},
+      obs::Field<S>{"drops_stale_epoch", &S::drops_stale_epoch},
+      obs::Field<S>{"drops_stale_ref", &S::drops_stale_ref},
+      obs::Field<S>{"bytes_received", &S::bytes_received},
+      obs::Field<S>{"bytes_restored", &S::bytes_restored},
+      obs::Field<S>{"epoch_adoptions", &S::epoch_adoptions},
+      obs::Field<S>{"epoch_rejections", &S::epoch_rejections},
+      obs::Field<S>{"resync_signals", &S::resync_signals});
 }
+
+/// Generic aggregation across the per-shard decoders of a sharded
+/// gateway (gateway/sharded_gateways.h).
+using obs::merge_into;
+using obs::reset;
 
 class Decoder {
  public:

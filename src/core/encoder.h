@@ -24,6 +24,7 @@
 #include "core/policy.h"
 #include "core/region.h"
 #include "core/wire.h"
+#include "obs/fields.h"
 #include "packet/packet.h"
 #include "rabin/window.h"
 
@@ -69,25 +70,32 @@ struct EncoderStats {
   }
 };
 
-/// Accumulates `from` into `into` — aggregation across the per-shard
-/// encoders of a sharded gateway (gateway/sharded_gateways.h).
-inline void merge_into(EncoderStats& into, const EncoderStats& from) {
-  into.packets += from.packets;
-  into.data_packets += from.data_packets;
-  into.encoded_packets += from.encoded_packets;
-  into.references += from.references;
-  into.retransmissions += from.retransmissions;
-  into.flushes += from.flushes;
-  into.regions += from.regions;
-  into.bytes_in += from.bytes_in;
-  into.bytes_out += from.bytes_out;
-  into.nacks_received += from.nacks_received;
-  into.nack_invalidations += from.nack_invalidations;
-  into.ack_gate_rejections += from.ack_gate_rejections;
-  into.resync_requests += from.resync_requests;
-  into.resyncs_honored += from.resyncs_honored;
-  into.dependency_links += from.dependency_links;
+/// Telemetry field table (obs/fields.h): drives the generic merge_into /
+/// reset / snapshot operations and the registry metric names.
+[[nodiscard]] constexpr auto stats_fields(const EncoderStats*) {
+  using S = EncoderStats;
+  return obs::field_table<S>(
+      obs::Field<S>{"packets", &S::packets},
+      obs::Field<S>{"data_packets", &S::data_packets},
+      obs::Field<S>{"encoded_packets", &S::encoded_packets},
+      obs::Field<S>{"references", &S::references},
+      obs::Field<S>{"retransmissions", &S::retransmissions},
+      obs::Field<S>{"flushes", &S::flushes},
+      obs::Field<S>{"regions", &S::regions},
+      obs::Field<S>{"bytes_in", &S::bytes_in},
+      obs::Field<S>{"bytes_out", &S::bytes_out},
+      obs::Field<S>{"nacks_received", &S::nacks_received},
+      obs::Field<S>{"nack_invalidations", &S::nack_invalidations},
+      obs::Field<S>{"ack_gate_rejections", &S::ack_gate_rejections},
+      obs::Field<S>{"resync_requests", &S::resync_requests},
+      obs::Field<S>{"resyncs_honored", &S::resyncs_honored},
+      obs::Field<S>{"dependency_links", &S::dependency_links});
 }
+
+/// Generic aggregation across the per-shard encoders of a sharded
+/// gateway (gateway/sharded_gateways.h).
+using obs::merge_into;
+using obs::reset;
 
 class Encoder {
  public:

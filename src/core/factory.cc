@@ -25,16 +25,15 @@ std::unique_ptr<EncodingPolicy> make_policy(PolicyKind kind,
   return nullptr;
 }
 
-std::unique_ptr<Encoder> make_encoder(PolicyKind kind,
-                                      const DreParams& params) {
-  auto policy = make_policy(kind, params);
+std::unique_ptr<Encoder> make_encoder(const GatewayConfig& cfg) {
+  auto policy = make_policy(cfg.policy, cfg.params);
   if (policy == nullptr) return nullptr;
-  return std::make_unique<Encoder>(params, std::move(policy));
+  return std::make_unique<Encoder>(cfg.params, std::move(policy));
 }
 
-std::unique_ptr<Decoder> make_decoder(bool enabled, const DreParams& params) {
-  if (!enabled) return nullptr;
-  return std::make_unique<Decoder>(params);
+std::unique_ptr<Decoder> make_decoder(const GatewayConfig& cfg) {
+  if (!cfg.decoder_enabled()) return nullptr;
+  return std::make_unique<Decoder>(cfg.params);
 }
 
 std::string_view to_string(PolicyKind kind) {

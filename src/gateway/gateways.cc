@@ -6,18 +6,80 @@
 
 namespace bytecache::gateway {
 
-EncoderGateway::EncoderGateway(core::PolicyKind kind,
-                               const core::DreParams& params)
-    : encoder_(core::make_encoder(kind, params)) {
+EncoderGateway::EncoderGateway(const core::GatewayConfig& cfg)
+    : encoder_(core::make_encoder(cfg)) {
   if (encoder_ != nullptr) {
     resilient_ = dynamic_cast<core::ResilientPolicy*>(&encoder_->policy());
+  }
+  // Registry assembly is the cold path: linked counters read the stats
+  // structs only at snapshot time, so the per-packet increments below
+  // stay plain field adds.
+  obs::link_stats(metrics_, "gateway.encoder", stats_);
+  if (cfg.span_sample_every > 0) {
+    encode_span_ = obs::SpanSampler(
+        metrics_.histogram("gateway.encoder.encode_ns"),
+        cfg.span_sample_every);
+  }
+  if (encoder_ != nullptr) {
+    obs::link_stats(metrics_, "encoder", encoder_->stats());
+    obs::link_stats(metrics_, "encoder.cache", encoder_->cache().stats());
+    const cache::ByteCache& cache = encoder_->cache();
+    metrics_.probe_gauge(
+        "encoder.cache.bytes_stored",
+        [&cache] { return static_cast<double>(cache.store().bytes_used()); },
+        obs::MergeOp::kSum);
+    metrics_.probe_gauge(
+        "encoder.cache.packets_stored",
+        [&cache] { return static_cast<double>(cache.store().size()); },
+        obs::MergeOp::kSum);
+    metrics_.probe_gauge(
+        "encoder.cache.fingerprints",
+        [&cache] { return static_cast<double>(cache.fingerprint_count()); },
+        obs::MergeOp::kSum);
+    metrics_.probe_counter("encoder.cache.evictions", [&cache] {
+      return cache.store().evictions();
+    });
+    const core::Encoder& enc = *encoder_;
+    metrics_.probe_gauge(
+        "encoder.epoch", [&enc] { return static_cast<double>(enc.epoch()); },
+        obs::MergeOp::kMax);
+  }
+  if (resilient_ != nullptr) {
+    const core::ResilientPolicy& pol = *resilient_;
+    const resilience::PerceivedLossEstimator& est = pol.estimator();
+    metrics_.probe_counter("resilience.loss.offered",
+                           [&est] { return est.total_offered(); });
+    metrics_.probe_counter("resilience.loss.channel_drops",
+                           [&est] { return est.total_channel_drops(); });
+    metrics_.probe_counter("resilience.loss.undecodable",
+                           [&est] { return est.total_undecodable(); });
+    metrics_.probe_gauge(
+        "resilience.loss.flows",
+        [&est] { return static_cast<double>(est.flows()); },
+        obs::MergeOp::kSum);
+    // Worst-case values merge with kMax: the pipeline-wide perceived
+    // loss is the worst shard's, exactly as the paper's Fig. 13 metric.
+    metrics_.probe_gauge(
+        "resilience.loss.perceived_max",
+        [&est] { return est.max_loss(); }, obs::MergeOp::kMax);
+    metrics_.probe_gauge(
+        "resilience.degradation.worst_level",
+        [&pol] { return static_cast<double>(pol.worst_level()); },
+        obs::MergeOp::kMax);
+    metrics_.probe_counter("resilience.degradation.transitions",
+                           [&pol] { return pol.transitions(); });
+  }
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->add_provider([this] { return snapshot(); });
   }
 }
 
 void EncoderGateway::receive(packet::PacketPtr pkt) {
   ++stats_.packets;
   if (encoder_ != nullptr) {
+    const obs::SpanSampler::Token span = encode_span_.begin();
     core::EncodeInfo info = encoder_->process(*pkt);
+    encode_span_.end(span);
     if (trace_ != nullptr && sim_ != nullptr) {
       const sim::SimTime now = sim_->now();
       if (info.flushed) trace_->record(now, sim::TraceEvent::kFlush, pkt->uid);
@@ -78,10 +140,56 @@ void EncoderGateway::observe_reverse(const packet::Packet& pkt) {
   }
 }
 
-DecoderGateway::DecoderGateway(bool enabled, const core::DreParams& params)
-    : decoder_(core::make_decoder(enabled, params)),
-      nack_feedback_(params.nack_feedback),
-      resilience_feedback_(params.epoch_resync) {}
+DecoderGateway::DecoderGateway(const core::GatewayConfig& cfg)
+    : decoder_(core::make_decoder(cfg)),
+      nack_feedback_(cfg.params.nack_feedback),
+      resilience_feedback_(cfg.params.epoch_resync) {
+  obs::link_stats(metrics_, "gateway.decoder", stats_);
+  if (cfg.span_sample_every > 0) {
+    decode_span_ = obs::SpanSampler(
+        metrics_.histogram("gateway.decoder.decode_ns"),
+        cfg.span_sample_every);
+  }
+  // Undecodable-run-length episodes are recorded unconditionally: the
+  // cost is one counter update per packet only while drops are already
+  // happening, never on the fast path.
+  run_hist_ = &metrics_.histogram("gateway.decoder.undecodable_run");
+  if (decoder_ != nullptr) {
+    obs::link_stats(metrics_, "decoder", decoder_->stats());
+    obs::link_stats(metrics_, "decoder.cache", decoder_->cache().stats());
+    const cache::ByteCache& cache = decoder_->cache();
+    metrics_.probe_gauge(
+        "decoder.cache.bytes_stored",
+        [&cache] { return static_cast<double>(cache.store().bytes_used()); },
+        obs::MergeOp::kSum);
+    metrics_.probe_gauge(
+        "decoder.cache.packets_stored",
+        [&cache] { return static_cast<double>(cache.store().size()); },
+        obs::MergeOp::kSum);
+    metrics_.probe_gauge(
+        "decoder.cache.fingerprints",
+        [&cache] { return static_cast<double>(cache.fingerprint_count()); },
+        obs::MergeOp::kSum);
+    metrics_.probe_counter("decoder.cache.evictions", [&cache] {
+      return cache.store().evictions();
+    });
+    const core::Decoder& dec = *decoder_;
+    metrics_.probe_gauge(
+        "decoder.epoch", [&dec] { return static_cast<double>(dec.epoch()); },
+        obs::MergeOp::kMax);
+  }
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->add_provider([this] { return snapshot(); });
+  }
+}
+
+obs::Snapshot DecoderGateway::snapshot() const {
+  if (drop_run_ > 0) {
+    run_hist_->record(drop_run_);
+    drop_run_ = 0;
+  }
+  return metrics_.snapshot();
+}
 
 void DecoderGateway::send_control(const packet::Packet& cause,
                                   const core::ControlMessage& msg,
@@ -98,7 +206,9 @@ void DecoderGateway::send_control(const packet::Packet& cause,
 void DecoderGateway::receive(packet::PacketPtr pkt) {
   ++stats_.packets;
   if (decoder_ != nullptr) {
+    const obs::SpanSampler::Token span = decode_span_.begin();
     const core::DecodeInfo info = decoder_->process(*pkt);
+    decode_span_.end(span);
     if (trace_ != nullptr && sim_ != nullptr &&
         info.status == core::DecodeStatus::kDecoded) {
       trace_->record(sim_->now(), sim::TraceEvent::kDecode, pkt->uid,
@@ -106,6 +216,7 @@ void DecoderGateway::receive(packet::PacketPtr pkt) {
     }
     if (core::is_drop(info.status)) {
       ++stats_.dropped;
+      ++drop_run_;
       if (trace_ != nullptr && sim_ != nullptr) {
         trace_->record(sim_->now(), sim::TraceEvent::kDecodeDrop, pkt->uid,
                        static_cast<std::uint64_t>(info.status));
@@ -138,6 +249,11 @@ void DecoderGateway::receive(packet::PacketPtr pkt) {
         }
       }
       return;
+    }
+    // A packet made it through: the undecodable episode (if any) ended.
+    if (drop_run_ > 0) {
+      run_hist_->record(drop_run_);
+      drop_run_ = 0;
     }
   }
   if (sink_) sink_(std::move(pkt));

@@ -5,6 +5,15 @@
 // wrappers adapt core::Encoder / core::Decoder to the packet-flow
 // interface: receive a packet, transform it, hand it to the next stage —
 // dropping undecodable packets at the decoder.
+//
+// Each gateway owns a shard-local obs::MetricsRegistry assembled at
+// construction (DESIGN.md §10): every field of its own stats struct, of
+// the codec's stats, and of the cache's stats is a linked counter; cache
+// occupancy and resilience state are probes; per-packet encode/decode
+// latency is a sampled span histogram.  snapshot() is therefore the
+// single read surface for everything the gateway knows, and a parent
+// registry passed via core::GatewayConfig::metrics sees this gateway as
+// one provider.
 #pragma once
 
 #include <functional>
@@ -14,6 +23,8 @@
 #include "core/decoder.h"
 #include "core/encoder.h"
 #include "core/factory.h"
+#include "obs/fields.h"
+#include "obs/span.h"
 #include "packet/packet.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -34,10 +45,27 @@ struct EncoderGatewayStats {
   std::uint64_t loss_reports = 0;        // kLossReport messages received
 };
 
+/// Telemetry field table (obs/fields.h): drives the generic merge_into /
+/// reset / snapshot operations and the registry metric names.
+[[nodiscard]] constexpr auto stats_fields(const EncoderGatewayStats*) {
+  using S = EncoderGatewayStats;
+  return obs::field_table<S>(
+      obs::Field<S>{"packets", &S::packets},
+      obs::Field<S>{"wire_bytes_out", &S::wire_bytes_out},
+      obs::Field<S>{"channel_drops_seen", &S::channel_drops_seen},
+      obs::Field<S>{"loss_reports", &S::loss_reports});
+}
+
+/// Generic aggregation across the per-shard gateways of a sharded
+/// gateway (gateway/sharded_gateways.h).
+using obs::merge_into;
+using obs::reset;
+
 class EncoderGateway {
  public:
-  /// `kind == kNone` builds a transparent gateway (no DRE, for baselines).
-  EncoderGateway(core::PolicyKind kind, const core::DreParams& params);
+  /// `cfg.policy == kNone` builds a transparent gateway (no DRE, for
+  /// baselines).  The shard/ring fields of `cfg` are ignored here.
+  explicit EncoderGateway(const core::GatewayConfig& cfg);
 
   void set_sink(PacketSink sink) { sink_ = std::move(sink); }
 
@@ -74,6 +102,13 @@ class EncoderGateway {
   [[nodiscard]] core::Encoder* encoder() { return encoder_.get(); }
   [[nodiscard]] const EncoderGatewayStats& stats() const { return stats_; }
 
+  /// Everything this gateway knows, as one value set: gateway.encoder.*,
+  /// encoder.*, encoder.cache.*, and (resilient policy) resilience.*.
+  [[nodiscard]] obs::Snapshot snapshot() const { return metrics_.snapshot(); }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
   /// The policy as a ResilientPolicy, or null for every other kind.
   [[nodiscard]] const core::ResilientPolicy* resilient() const {
     return resilient_;
@@ -86,6 +121,8 @@ class EncoderGateway {
   sim::Trace* trace_ = nullptr;
   const sim::Simulator* sim_ = nullptr;
   EncoderGatewayStats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::SpanSampler encode_span_;  // -> "gateway.encoder.encode_ns"
   // Borrowed view of encoder_'s policy when it is the resilient one —
   // the loss-feedback paths are meaningless for every other policy.
   core::ResilientPolicy* resilient_ = nullptr;
@@ -99,10 +136,21 @@ struct DecoderGatewayStats {
   std::uint64_t resyncs_sent = 0;       // kResyncRequest control messages
 };
 
+/// Telemetry field table (see EncoderGatewayStats above).
+[[nodiscard]] constexpr auto stats_fields(const DecoderGatewayStats*) {
+  using S = DecoderGatewayStats;
+  return obs::field_table<S>(
+      obs::Field<S>{"packets", &S::packets},
+      obs::Field<S>{"dropped", &S::dropped},
+      obs::Field<S>{"nacks_sent", &S::nacks_sent},
+      obs::Field<S>{"loss_reports_sent", &S::loss_reports_sent},
+      obs::Field<S>{"resyncs_sent", &S::resyncs_sent});
+}
+
 class DecoderGateway {
  public:
-  /// `enabled == false` builds a transparent gateway.
-  DecoderGateway(bool enabled, const core::DreParams& params);
+  /// `cfg.decoder_enabled() == false` builds a transparent gateway.
+  explicit DecoderGateway(const core::GatewayConfig& cfg);
 
   void set_sink(PacketSink sink) { sink_ = std::move(sink); }
 
@@ -125,6 +173,14 @@ class DecoderGateway {
   [[nodiscard]] const core::Decoder* decoder() const { return decoder_.get(); }
   [[nodiscard]] const DecoderGatewayStats& stats() const { return stats_; }
 
+  /// Everything this gateway knows: gateway.decoder.*, decoder.*,
+  /// decoder.cache.*.  An open undecodable run is flushed into the run
+  /// histogram first (a snapshot is an episode boundary).
+  [[nodiscard]] obs::Snapshot snapshot() const;
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
  private:
   void send_control(const packet::Packet& cause,
                     const core::ControlMessage& msg, sim::TraceEvent event,
@@ -136,6 +192,13 @@ class DecoderGateway {
   sim::Trace* trace_ = nullptr;
   const sim::Simulator* sim_ = nullptr;
   DecoderGatewayStats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::SpanSampler decode_span_;  // -> "gateway.decoder.decode_ns"
+  // Length of the current run of consecutive undecodable drops; flushed
+  // into "gateway.decoder.undecodable_run" when a packet gets through —
+  // the per-episode severity of a cache desync (resync episodes).
+  obs::Histogram* run_hist_ = nullptr;
+  mutable std::uint64_t drop_run_ = 0;  // snapshot() flushes an open run
   bool nack_feedback_ = false;     // params.nack_feedback
   bool resilience_feedback_ = false;  // params.epoch_resync
 };

@@ -23,15 +23,18 @@ MultiPipeline::MultiPipeline(sim::Simulator& sim,
   if (cfg.tcp.dst_ip == 0) cfg.tcp.dst_ip = packet::make_ip(10, 0, 1, 1);
 
   util::Rng root(cfg.seed);
-  encoder_gw_ = std::make_unique<EncoderGateway>(cfg.policy, cfg.dre);
-  decoder_gw_ = std::make_unique<DecoderGateway>(
-      cfg.policy != core::PolicyKind::kNone, cfg.dre);
+  core::GatewayConfig gw_cfg = cfg.gateway_config();
+  gw_cfg.metrics = &metrics_;  // both gateways become snapshot providers
+  encoder_gw_ = std::make_unique<EncoderGateway>(gw_cfg);
+  decoder_gw_ = std::make_unique<DecoderGateway>(gw_cfg);
   forward_link_ = std::make_unique<sim::Link>(
       sim, cfg.forward_link, make_loss(cfg.loss_rate, cfg.bursty_loss),
       root.fork(1));
   reverse_link_ = std::make_unique<sim::Link>(
       sim, cfg.reverse_link, make_loss(cfg.reverse_loss_rate, false),
       root.fork(2));
+  obs::link_stats(metrics_, "link.forward", forward_link_->stats());
+  obs::link_stats(metrics_, "link.reverse", reverse_link_->stats());
 
   for (std::size_t i = 0; i < flows; ++i) {
     tcp::TcpConfig tcp_cfg = cfg.tcp;
@@ -43,6 +46,10 @@ MultiPipeline::MultiPipeline(sim::Simulator& sim,
     receivers_.push_back(std::make_unique<tcp::TcpReceiver>(
         sim, tcp_cfg,
         [this](packet::PacketPtr p) { reverse_link_->send(std::move(p)); }));
+    // All flows share the dotted names; snapshot-time merging adds their
+    // counters, giving the aggregate the harness reports.
+    obs::link_stats(metrics_, "tcp.sender", senders_.back()->stats());
+    obs::link_stats(metrics_, "tcp.receiver", receivers_.back()->stats());
   }
 
   encoder_gw_->set_sink(

@@ -43,6 +43,12 @@ class MultiPipeline {
   [[nodiscard]] sim::Link& reverse_link() { return *reverse_link_; }
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
 
+  /// Shared-topology registry: both gateways as providers, links as
+  /// linked counters, and every flow's TCP endpoints under
+  /// "tcp.sender.*" / "tcp.receiver.*" (counters add across flows).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] obs::Snapshot snapshot() const { return metrics_.snapshot(); }
+
  private:
   /// Flow index for a packet by its TCP destination port (forward
   /// direction) / source port (reverse); nullopt if out of range.
@@ -53,6 +59,7 @@ class MultiPipeline {
   std::uint16_t base_port_;
   sim::Simulator* sim_ = nullptr;
   sim::Simulator::AuditorId auditor_id_ = 0;
+  obs::MetricsRegistry metrics_;  // must outlive the components below
   std::unique_ptr<EncoderGateway> encoder_gw_;
   std::unique_ptr<DecoderGateway> decoder_gw_;
   std::unique_ptr<sim::Link> forward_link_;

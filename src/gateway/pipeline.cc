@@ -28,9 +28,10 @@ Pipeline::Pipeline(sim::Simulator& sim, const PipelineConfig& config)
   if (cfg.tcp.dst_ip == 0) cfg.tcp.dst_ip = packet::make_ip(10, 0, 1, 1);
 
   util::Rng root(cfg.seed);
-  encoder_gw_ = std::make_unique<EncoderGateway>(cfg.policy, cfg.dre);
-  decoder_gw_ = std::make_unique<DecoderGateway>(
-      cfg.policy != core::PolicyKind::kNone, cfg.dre);
+  core::GatewayConfig gw_cfg = cfg.gateway_config();
+  gw_cfg.metrics = &metrics_;  // both gateways become snapshot providers
+  encoder_gw_ = std::make_unique<EncoderGateway>(gw_cfg);
+  decoder_gw_ = std::make_unique<DecoderGateway>(gw_cfg);
   forward_link_ = std::make_unique<sim::Link>(
       sim, cfg.forward_link, make_loss(cfg.loss_rate, cfg.bursty_loss),
       root.fork(1));
@@ -44,6 +45,13 @@ Pipeline::Pipeline(sim::Simulator& sim, const PipelineConfig& config)
   receiver_ = std::make_unique<tcp::TcpReceiver>(
       sim, cfg.tcp,
       [this](packet::PacketPtr p) { reverse_link_->send(std::move(p)); });
+
+  // Every remaining component joins the registry as linked counters —
+  // the increment sites stay plain field adds, read at snapshot time.
+  obs::link_stats(metrics_, "link.forward", forward_link_->stats());
+  obs::link_stats(metrics_, "link.reverse", reverse_link_->stats());
+  obs::link_stats(metrics_, "tcp.sender", sender_->stats());
+  obs::link_stats(metrics_, "tcp.receiver", receiver_->stats());
 
   encoder_gw_->set_sink(
       [this](packet::PacketPtr p) { forward_link_->send(std::move(p)); });

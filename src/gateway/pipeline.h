@@ -42,6 +42,19 @@ struct PipelineConfig {
   /// codec caches and both TCP endpoints (0 disables; no-op in builds
   /// without BYTECACHE_AUDIT).
   std::uint64_t audit_interval_events = 256;
+  /// Latency-span decimation for the gateways (0 disables spans; see
+  /// core::GatewayConfig::span_sample_every).
+  std::uint32_t span_sample_every = 64;
+
+  /// The gateway-construction view of this config (the pipeline fills in
+  /// the registry pointer itself).
+  [[nodiscard]] core::GatewayConfig gateway_config() const {
+    core::GatewayConfig g;
+    g.params = dre;
+    g.policy = policy;
+    g.span_sample_every = span_sample_every;
+    return g;
+  }
 };
 
 class Pipeline {
@@ -61,6 +74,13 @@ class Pipeline {
   [[nodiscard]] sim::Link& reverse_link() { return *reverse_link_; }
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
 
+  /// The pipeline-wide registry: both gateways as providers plus every
+  /// link and TCP endpoint counter ("link.forward.*", "link.reverse.*",
+  /// "tcp.sender.*", "tcp.receiver.*").  snapshot() is the single read
+  /// surface the harness builds its experiment results from.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] obs::Snapshot snapshot() const { return metrics_.snapshot(); }
+
   /// Attaches an event trace to both links and both gateways.
   void attach_trace(sim::Trace* trace);
 
@@ -71,6 +91,7 @@ class Pipeline {
   PipelineConfig config_;
   sim::Simulator* sim_ = nullptr;
   sim::Simulator::AuditorId auditor_id_ = 0;
+  obs::MetricsRegistry metrics_;  // must outlive the components below
   std::unique_ptr<EncoderGateway> encoder_gw_;
   std::unique_ptr<DecoderGateway> decoder_gw_;
   std::unique_ptr<sim::Link> forward_link_;

@@ -1,5 +1,7 @@
 #include "gateway/sharded_gateways.h"
 
+#include <chrono>
+
 #include "core/flow.h"
 #include "util/check.h"
 
@@ -36,16 +38,23 @@ void push_or_abort(util::SpscRing<T>& ring, T v,
 
 // --------------------------------------------------------------- encoder --
 
-ShardedEncoderGateway::ShardedEncoderGateway(core::PolicyKind kind,
-                                             const core::DreParams& params,
-                                             const ShardedOptions& options)
-    : threaded_(options.threaded) {
-  BC_CHECK(options.shards >= 1) << "a sharded gateway needs at least 1 shard";
-  shards_.reserve(options.shards);
-  for (std::size_t i = 0; i < options.shards; ++i) {
-    shards_.push_back(
-        std::make_unique<Shard>(kind, params, options.ring_capacity));
+ShardedEncoderGateway::ShardedEncoderGateway(const core::GatewayConfig& cfg)
+    : threaded_(cfg.threaded) {
+  BC_CHECK(cfg.shards >= 1) << "a sharded gateway needs at least 1 shard";
+  // Per-shard gateways get a copy of the config with no parent registry:
+  // this gateway merges their registries itself (snapshot providers
+  // below), so attaching each shard to cfg.metrics too would double
+  // count.
+  core::GatewayConfig shard_cfg = cfg;
+  shard_cfg.metrics = nullptr;
+  if (cfg.span_sample_every > 0) {
+    stall_hist_ = &metrics_.histogram("gateway.encoder.ring_stall_ns");
+  }
+  shards_.reserve(cfg.shards);
+  for (std::size_t i = 0; i < cfg.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(shard_cfg));
     Shard& s = *shards_.back();
+    metrics_.add_provider([&s] { return s.gw.snapshot(); });
     // The per-shard gateway's sink runs wherever the shard's codec runs:
     // on the worker (threaded) or on the driver thread (inline mode).
     s.gw.set_sink([this, &s, i](packet::PacketPtr pkt) {
@@ -57,6 +66,9 @@ ShardedEncoderGateway::ShardedEncoderGateway(core::PolicyKind kind,
         sink_(std::move(pkt));
       }
     });
+  }
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->add_provider([this] { return snapshot(); });
   }
   if (threaded_) {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -127,12 +139,23 @@ void ShardedEncoderGateway::enqueue(Shard& s, Cmd cmd) {
     return;
   }
   s.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (s.in.try_push(cmd)) return;
+  // Ring full: wait, keeping the output stage moving meanwhile — the
+  // driver thread is also the drain consumer, so a full pipeline backs
+  // up here instead of deadlocking.  Clock reads happen only on this
+  // slow path, so the stall span costs nothing when rings keep up.
+  const bool timed = stall_hist_ != nullptr;
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   util::Backoff backoff;
-  while (!s.in.try_push(cmd)) {
-    // Keep the output stage moving while we wait: the driver thread is
-    // also the drain consumer, so a full pipeline backs up here instead
-    // of deadlocking.
+  do {
     if (drain() == 0) backoff.pause();
+  } while (!s.in.try_push(cmd));
+  if (timed) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    stall_hist_->record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
   }
 }
 
@@ -208,10 +231,7 @@ void ShardedEncoderGateway::drain_until_idle() {
 EncoderGatewayStats ShardedEncoderGateway::stats() const {
   EncoderGatewayStats total;
   for (const auto& s : shards_) {
-    total.packets += s->gw.stats().packets;
-    total.wire_bytes_out += s->gw.stats().wire_bytes_out;
-    total.channel_drops_seen += s->gw.stats().channel_drops_seen;
-    total.loss_reports += s->gw.stats().loss_reports;
+    merge_into(total, s->gw.stats());
   }
   return total;
 }
@@ -260,16 +280,21 @@ void ShardedEncoderGateway::audit() const {
 
 // --------------------------------------------------------------- decoder --
 
-ShardedDecoderGateway::ShardedDecoderGateway(bool enabled,
-                                             const core::DreParams& params,
-                                             const ShardedOptions& options)
-    : threaded_(options.threaded) {
-  BC_CHECK(options.shards >= 1) << "a sharded gateway needs at least 1 shard";
-  shards_.reserve(options.shards);
-  for (std::size_t i = 0; i < options.shards; ++i) {
-    shards_.push_back(
-        std::make_unique<Shard>(enabled, params, options.ring_capacity));
+ShardedDecoderGateway::ShardedDecoderGateway(const core::GatewayConfig& cfg)
+    : threaded_(cfg.threaded) {
+  BC_CHECK(cfg.shards >= 1) << "a sharded gateway needs at least 1 shard";
+  // See ShardedEncoderGateway: shards attach to this registry, not the
+  // parent's, to avoid double counting.
+  core::GatewayConfig shard_cfg = cfg;
+  shard_cfg.metrics = nullptr;
+  if (cfg.span_sample_every > 0) {
+    stall_hist_ = &metrics_.histogram("gateway.decoder.ring_stall_ns");
+  }
+  shards_.reserve(cfg.shards);
+  for (std::size_t i = 0; i < cfg.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(shard_cfg));
     Shard& s = *shards_.back();
+    metrics_.add_provider([&s] { return s.gw.snapshot(); });
     s.gw.set_sink([this, &s, i](packet::PacketPtr pkt) {
       if (worker_sink_) {
         worker_sink_(i, std::move(pkt));
@@ -286,6 +311,9 @@ ShardedDecoderGateway::ShardedDecoderGateway(bool enabled,
         feedback_(std::move(pkt));
       }
     });
+  }
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->add_provider([this] { return snapshot(); });
   }
   if (threaded_) {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -338,9 +366,20 @@ void ShardedDecoderGateway::enqueue(Shard& s, packet::PacketPtr pkt) {
     return;
   }
   s.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (s.in.try_push(pkt)) return;
+  // Slow path only: see ShardedEncoderGateway::enqueue.
+  const bool timed = stall_hist_ != nullptr;
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   util::Backoff backoff;
-  while (!s.in.try_push(pkt)) {
+  do {
     if (drain() == 0) backoff.pause();
+  } while (!s.in.try_push(pkt));
+  if (timed) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    stall_hist_->record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
   }
 }
 
@@ -425,11 +464,7 @@ void ShardedDecoderGateway::drain_until_idle() {
 DecoderGatewayStats ShardedDecoderGateway::stats() const {
   DecoderGatewayStats total;
   for (const auto& s : shards_) {
-    total.packets += s->gw.stats().packets;
-    total.dropped += s->gw.stats().dropped;
-    total.nacks_sent += s->gw.stats().nacks_sent;
-    total.loss_reports_sent += s->gw.stats().loss_reports_sent;
-    total.resyncs_sent += s->gw.stats().resyncs_sent;
+    merge_into(total, s->gw.stats());
   }
   return total;
 }

@@ -21,7 +21,7 @@
 // unrelated flows on any real network.
 //
 // Threading contract: one thread calls submit*()/drain*() (the
-// "driver"); workers are internal.  With Options::threaded == false no
+// "driver"); workers are internal.  With GatewayConfig::threaded == false no
 // threads or rings exist and submit*() runs the codec inline — the
 // deterministic mode for tests, and the building block for callers that
 // run shards on their own threads via submit_to_shard() (each shard
@@ -52,24 +52,17 @@ namespace bytecache::gateway {
 [[nodiscard]] std::size_t shard_index_of(std::uint64_t key,
                                          std::size_t shards);
 
-struct ShardedOptions {
-  /// Number of shared-nothing shards (>= 1), each with a private codec.
-  std::size_t shards = 1;
-  /// Capacity of each SPSC ring (rounded up to a power of two).
-  std::size_t ring_capacity = 1024;
-  /// false: no worker threads; submit*() processes inline on the caller
-  /// thread and sinks fire immediately.  Deterministic, zero-thread mode.
-  bool threaded = true;
-};
-
 /// Sink invoked on a shard's worker thread with that shard's index;
 /// installing it bypasses the output ring (see set_worker_sink).
 using ShardPacketSink = std::function<void(std::size_t, packet::PacketPtr)>;
 
 class ShardedEncoderGateway {
  public:
-  ShardedEncoderGateway(core::PolicyKind kind, const core::DreParams& params,
-                        const ShardedOptions& options = {});
+  /// Shard count, ring capacity, and threading come from `cfg` (see
+  /// core::GatewayConfig); cfg.threaded == false means no worker threads
+  /// — submit*() processes inline on the caller thread and sinks fire
+  /// immediately (the deterministic, zero-thread mode).
+  explicit ShardedEncoderGateway(const core::GatewayConfig& cfg);
   /// Stops the workers; output still in the rings is dropped (call
   /// drain_until_idle() first for a clean shutdown).
   ~ShardedEncoderGateway();
@@ -124,6 +117,13 @@ class ShardedEncoderGateway {
   [[nodiscard]] core::EncoderStats encoder_stats() const;
   [[nodiscard]] cache::CacheStats cache_stats() const;
 
+  /// The per-shard registries merged into one value set (quiescent
+  /// callers only): counters and histograms add across shards, gauges
+  /// combine per their MergeOp, plus the driver-side ring-stall span.
+  /// With one shard this equals the plain gateway's snapshot (pinned by
+  /// tests/obs_test.cc).
+  [[nodiscard]] obs::Snapshot snapshot() const { return metrics_.snapshot(); }
+
   /// Deep invariant audit (BC_AUDIT; quiescent callers only): every
   /// shard's encoder and rings, plus the submit/complete accounting.
   void audit() const;
@@ -136,9 +136,8 @@ class ShardedEncoderGateway {
   };
 
   struct Shard {
-    Shard(core::PolicyKind kind, const core::DreParams& params,
-          std::size_t ring_capacity)
-        : in(ring_capacity), out(ring_capacity), gw(kind, params) {}
+    explicit Shard(const core::GatewayConfig& cfg)
+        : in(cfg.ring_capacity), out(cfg.ring_capacity), gw(cfg) {}
     util::SpscRing<Cmd> in;
     util::SpscRing<packet::PacketPtr> out;
     EncoderGateway gw;
@@ -160,12 +159,15 @@ class ShardedEncoderGateway {
   std::vector<std::unique_ptr<Shard>> shards_;
   PacketSink sink_;
   ShardPacketSink worker_sink_;
+  obs::MetricsRegistry metrics_;  // per-shard providers + driver spans
+  obs::Histogram* stall_hist_ = nullptr;  // "...ring_stall_ns"; may be off
 };
 
 class ShardedDecoderGateway {
  public:
-  ShardedDecoderGateway(bool enabled, const core::DreParams& params,
-                        const ShardedOptions& options = {});
+  /// See ShardedEncoderGateway: shards/rings/threading come from `cfg`,
+  /// the decoder is enabled iff cfg.decoder_enabled().
+  explicit ShardedDecoderGateway(const core::GatewayConfig& cfg);
   ~ShardedDecoderGateway();
 
   ShardedDecoderGateway(const ShardedDecoderGateway&) = delete;
@@ -208,16 +210,18 @@ class ShardedDecoderGateway {
   [[nodiscard]] core::DecoderStats decoder_stats() const;
   [[nodiscard]] cache::CacheStats cache_stats() const;
 
+  /// Cross-shard merged value set (see ShardedEncoderGateway).
+  [[nodiscard]] obs::Snapshot snapshot() const { return metrics_.snapshot(); }
+
   void audit() const;
 
  private:
   struct Shard {
-    Shard(bool enabled, const core::DreParams& params,
-          std::size_t ring_capacity)
-        : in(ring_capacity),
-          out(ring_capacity),
-          feedback(ring_capacity),
-          gw(enabled, params) {}
+    explicit Shard(const core::GatewayConfig& cfg)
+        : in(cfg.ring_capacity),
+          out(cfg.ring_capacity),
+          feedback(cfg.ring_capacity),
+          gw(cfg) {}
     util::SpscRing<packet::PacketPtr> in;
     util::SpscRing<packet::PacketPtr> out;
     util::SpscRing<packet::PacketPtr> feedback;
@@ -237,6 +241,8 @@ class ShardedDecoderGateway {
   PacketSink sink_;
   ShardPacketSink worker_sink_;
   PacketSink feedback_;
+  obs::MetricsRegistry metrics_;  // per-shard providers + driver spans
+  obs::Histogram* stall_hist_ = nullptr;  // "...ring_stall_ns"; may be off
 };
 
 }  // namespace bytecache::gateway

@@ -2,7 +2,8 @@
 
 #include <cstdio>
 
-#include "core/policies.h"
+#include "obs/export.h"
+#include "resilience/degradation.h"
 #include "sim/simulator.h"
 
 namespace bytecache::harness {
@@ -36,13 +37,18 @@ TrialResult run_trial(const ExperimentConfig& config, util::BytesView file,
   r.duration_s = t.duration_s;
   r.percent_retrieved = t.percent_retrieved();
 
-  const sim::LinkStats& fwd = pipeline.forward_link().stats();
-  r.wire_bytes_forward = fwd.bytes_sent;
-  r.packets_forward = fwd.packets_offered;
-  r.link_drops = fwd.drops_loss + fwd.drops_queue;
-  r.corrupted = fwd.corrupted;
-  r.decoder_drops = pipeline.decoder_gw().stats().dropped;
-  r.receiver_checksum_drops = pipeline.receiver().stats().checksum_drops;
+  // Every number below comes from the pipeline's registry snapshot: the
+  // single stats surface (DESIGN.md §10).  Absent names read as zero, so
+  // disabled layers (no encoder, no resilience) need no special-casing
+  // beyond a presence check where the *source* of a value changes.
+  const obs::Snapshot snap = pipeline.snapshot();
+  r.wire_bytes_forward = snap.counter("link.forward.bytes_sent");
+  r.packets_forward = snap.counter("link.forward.packets_offered");
+  r.link_drops = snap.counter("link.forward.drops_loss") +
+                 snap.counter("link.forward.drops_queue");
+  r.corrupted = snap.counter("link.forward.corrupted");
+  r.decoder_drops = snap.counter("gateway.decoder.dropped");
+  r.receiver_checksum_drops = snap.counter("tcp.receiver.checksum_drops");
   if (r.packets_forward > 0) {
     r.actual_loss =
         static_cast<double>(r.link_drops) / r.packets_forward;
@@ -53,39 +59,40 @@ TrialResult run_trial(const ExperimentConfig& config, util::BytesView file,
         static_cast<double>(r.wire_bytes_forward) / r.packets_forward;
   }
 
-  if (const core::Encoder* enc = pipeline.encoder_gw().encoder()) {
-    const core::EncoderStats& es = enc->stats();
-    r.payload_bytes_in = es.bytes_in;
-    r.payload_bytes_out = es.bytes_out;
-    r.encoded_packets = es.encoded_packets;
-    r.references = es.references;
-    r.flushes = es.flushes;
-    r.resync_requests = es.resync_requests;
-    r.resyncs_honored = es.resyncs_honored;
-    if (es.encoded_packets > 0) {
-      r.avg_deps = static_cast<double>(es.dependency_links) /
-                   es.encoded_packets;
+  if (snap.find("encoder.packets") != nullptr) {
+    r.payload_bytes_in = snap.counter("encoder.bytes_in");
+    r.payload_bytes_out = snap.counter("encoder.bytes_out");
+    r.encoded_packets = snap.counter("encoder.encoded_packets");
+    r.references = snap.counter("encoder.references");
+    r.flushes = snap.counter("encoder.flushes");
+    r.resync_requests = snap.counter("encoder.resync_requests");
+    r.resyncs_honored = snap.counter("encoder.resyncs_honored");
+    if (r.encoded_packets > 0) {
+      r.avg_deps =
+          static_cast<double>(snap.counter("encoder.dependency_links")) /
+          r.encoded_packets;
     }
-  } else {
-    r.payload_bytes_in = pipeline.sender().stats().bytes_sent;
+  } else {  // DRE off: the TCP payload goes out as-is
+    r.payload_bytes_in = snap.counter("tcp.sender.bytes_sent");
     r.payload_bytes_out = r.payload_bytes_in;
   }
 
-  if (const core::Decoder* dec = pipeline.decoder_gw().decoder()) {
-    const core::DecoderStats& ds = dec->stats();
-    r.epoch_adoptions = ds.epoch_adoptions;
-    r.stale_drops = ds.drops_stale_epoch + ds.drops_stale_ref;
-  }
-  if (const core::ResilientPolicy* rp = pipeline.encoder_gw().resilient()) {
-    r.estimated_loss = rp->estimator().max_loss();
-    r.degradation_level = resilience::to_string(rp->worst_level());
-    r.degradation_transitions = rp->transitions();
+  r.epoch_adoptions = snap.counter("decoder.epoch_adoptions");
+  r.stale_drops = snap.counter("decoder.drops_stale_epoch") +
+                  snap.counter("decoder.drops_stale_ref");
+  if (const obs::MetricValue* lvl =
+          snap.find("resilience.degradation.worst_level")) {
+    r.estimated_loss = snap.gauge("resilience.loss.perceived_max");
+    r.degradation_level = resilience::to_string(
+        static_cast<resilience::DegradationLevel>(lvl->gauge));
+    r.degradation_transitions =
+        snap.counter("resilience.degradation.transitions");
   }
 
-  const tcp::SenderStats& ss = pipeline.sender().stats();
-  r.tcp_retransmissions = ss.retransmissions;
-  r.tcp_timeouts = ss.timeouts;
-  r.tcp_fast_retransmits = ss.fast_retransmits;
+  r.tcp_retransmissions = snap.counter("tcp.sender.retransmissions");
+  r.tcp_timeouts = snap.counter("tcp.sender.timeouts");
+  r.tcp_fast_retransmits = snap.counter("tcp.sender.fast_retransmits");
+  r.metrics_json = obs::to_json_object(snap);
   return r;
 }
 
@@ -104,7 +111,7 @@ std::string to_json(const TrialResult& r) {
       "\"resync_requests\":%llu,\"resyncs_honored\":%llu,"
       "\"epoch_adoptions\":%llu,\"stale_drops\":%llu,"
       "\"estimated_loss\":%.6f,\"degradation_level\":\"%s\","
-      "\"degradation_transitions\":%llu}",
+      "\"degradation_transitions\":%llu,\"metrics\":",
       r.completed ? "true" : "false", r.stalled ? "true" : "false",
       r.verified ? "true" : "false", r.duration_s, r.percent_retrieved,
       static_cast<unsigned long long>(r.wire_bytes_forward),
@@ -122,7 +129,7 @@ std::string to_json(const TrialResult& r) {
       static_cast<unsigned long long>(r.stale_drops), r.estimated_loss,
       r.degradation_level,
       static_cast<unsigned long long>(r.degradation_transitions));
-  return buf;
+  return std::string(buf) + r.metrics_json + "}";
 }
 
 Aggregate run_experiment(const ExperimentConfig& config,

@@ -84,6 +84,10 @@ struct TrialResult {
   double estimated_loss = 0.0;         // encoder-side EWMA (max over pairs)
   const char* degradation_level = "-"; // worst ladder rung reached
   std::uint64_t degradation_transitions = 0;
+
+  /// The full registry snapshot rendered by obs::to_json_object — every
+  /// metric the pipeline exposes, embedded verbatim into to_json().
+  std::string metrics_json = "{}";
 };
 
 /// Runs one transfer of `file` and returns its metrics.

@@ -1,0 +1,100 @@
+// Generic field descriptors for plain stats structs.
+//
+// Every per-layer stats struct (EncoderStats, LinkStats, ...) stays a
+// plain aggregate of uint64 counters — the cheapest possible hot-path
+// representation, and field-compatible with every test that pins exact
+// counts.  What used to be eight hand-written merge_into() variants is
+// now one declaration per struct: a `stats_fields()` free function
+// (found by ADL) returning the name/member-pointer table, from which the
+// generic operations below derive
+//
+//   obs::merge_into(into, from)   field-wise accumulation (the sharded
+//                                 gateways' cross-shard aggregation)
+//   obs::reset(s)                 zero every field
+//   obs::link_stats(reg, p, s)    register every field as a linked
+//                                 counter "p.<field>" (snapshot-time
+//                                 reads; increment sites untouched)
+//   obs::snapshot_of(p, s)        one-shot Snapshot of the struct
+//
+// Declaring a table is one line per field next to the struct:
+//
+//   struct LinkStats { std::uint64_t packets_offered = 0; ... };
+//   [[nodiscard]] constexpr auto stats_fields(const LinkStats*) {
+//     return obs::field_table<LinkStats>(
+//         {"packets_offered", &LinkStats::packets_offered}, ...);
+//   }
+//
+// The layer's namespace then re-exports the generic operations with
+// `using obs::merge_into;` so existing unqualified call sites keep
+// working (ADL finds using-declarations in associated namespaces).
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace bytecache::obs {
+
+/// One described field: its metric name and member pointer.
+template <typename S>
+struct Field {
+  const char* name;
+  std::uint64_t S::*member;
+};
+
+/// Deduction helper: obs::field_table<S>({"a", &S::a}, {"b", &S::b}).
+template <typename S, typename... Fs>
+[[nodiscard]] constexpr auto field_table(Fs... fs) {
+  return std::array<Field<S>, sizeof...(Fs)>{fs...};
+}
+
+/// A stats struct is "described" when an ADL-visible stats_fields()
+/// overload returns its field table.
+template <typename S>
+concept DescribedStats = requires(const S* p) {
+  { stats_fields(p) };
+};
+
+/// Field-wise accumulation of `from` into `into` — cross-shard and
+/// cross-trial aggregation, formerly hand-written per struct.
+template <DescribedStats S>
+void merge_into(S& into, const S& from) {
+  for (const Field<S>& f : stats_fields(static_cast<const S*>(nullptr))) {
+    into.*f.member += from.*f.member;
+  }
+}
+
+/// Zeroes every described field.
+template <DescribedStats S>
+void reset(S& s) {
+  for (const Field<S>& f : stats_fields(static_cast<const S*>(nullptr))) {
+    s.*f.member = 0;
+  }
+}
+
+/// Registers every field of `s` in `reg` as a linked counter named
+/// "<prefix>.<field>".  `s` must outlive `reg`.
+template <DescribedStats S>
+void link_stats(MetricsRegistry& reg, std::string_view prefix, const S& s) {
+  for (const Field<S>& f : stats_fields(static_cast<const S*>(nullptr))) {
+    reg.link_counter(std::string(prefix) + "." + f.name, &(s.*f.member));
+  }
+}
+
+/// One-shot Snapshot of a described struct under `prefix`.
+template <DescribedStats S>
+[[nodiscard]] Snapshot snapshot_of(std::string_view prefix, const S& s) {
+  Snapshot snap;
+  for (const Field<S>& f : stats_fields(static_cast<const S*>(nullptr))) {
+    MetricValue v;
+    v.name = std::string(prefix) + "." + f.name;
+    v.kind = MetricKind::kCounter;
+    v.counter = s.*f.member;
+    snap.add(std::move(v));
+  }
+  return snap;
+}
+
+}  // namespace bytecache::obs

@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/fields.h"
 #include "packet/packet.h"
 #include "sim/loss_model.h"
 #include "sim/pcap.h"
@@ -47,6 +48,24 @@ struct LinkStats {
   std::uint64_t bytes_offered = 0;
   std::uint64_t bytes_sent = 0;  // serialized onto the wire
 };
+
+/// Telemetry field table (obs/fields.h): drives the generic merge_into /
+/// reset / snapshot operations and the registry metric names.
+[[nodiscard]] constexpr auto stats_fields(const LinkStats*) {
+  using S = LinkStats;
+  return obs::field_table<S>(
+      obs::Field<S>{"packets_offered", &S::packets_offered},
+      obs::Field<S>{"packets_delivered", &S::packets_delivered},
+      obs::Field<S>{"drops_loss", &S::drops_loss},
+      obs::Field<S>{"drops_queue", &S::drops_queue},
+      obs::Field<S>{"corrupted", &S::corrupted},
+      obs::Field<S>{"reordered", &S::reordered},
+      obs::Field<S>{"bytes_offered", &S::bytes_offered},
+      obs::Field<S>{"bytes_sent", &S::bytes_sent});
+}
+
+using obs::merge_into;
+using obs::reset;
 
 class Link {
  public:

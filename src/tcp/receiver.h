@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 
+#include "obs/fields.h"
 #include "packet/packet.h"
 #include "sim/simulator.h"
 #include "tcp/config.h"
@@ -27,6 +28,22 @@ struct ReceiverStats {
   std::uint64_t checksum_drops = 0;
   std::uint64_t acks_sent = 0;
 };
+
+/// Telemetry field table (obs/fields.h): drives the generic merge_into /
+/// reset / snapshot operations and the registry metric names.
+[[nodiscard]] constexpr auto stats_fields(const ReceiverStats*) {
+  using S = ReceiverStats;
+  return obs::field_table<S>(
+      obs::Field<S>{"segments_received", &S::segments_received},
+      obs::Field<S>{"in_order", &S::in_order},
+      obs::Field<S>{"out_of_order", &S::out_of_order},
+      obs::Field<S>{"duplicates", &S::duplicates},
+      obs::Field<S>{"checksum_drops", &S::checksum_drops},
+      obs::Field<S>{"acks_sent", &S::acks_sent});
+}
+
+using obs::merge_into;
+using obs::reset;
 
 class TcpReceiver {
  public:

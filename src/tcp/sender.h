@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 
+#include "obs/fields.h"
 #include "packet/packet.h"
 #include "sim/simulator.h"
 #include "tcp/config.h"
@@ -40,6 +41,24 @@ struct SenderStats {
   std::uint64_t dup_acks = 0;
   std::uint64_t checksum_drops = 0;
 };
+
+/// Telemetry field table (obs/fields.h): drives the generic merge_into /
+/// reset / snapshot operations and the registry metric names.
+[[nodiscard]] constexpr auto stats_fields(const SenderStats*) {
+  using S = SenderStats;
+  return obs::field_table<S>(
+      obs::Field<S>{"segments_sent", &S::segments_sent},
+      obs::Field<S>{"retransmissions", &S::retransmissions},
+      obs::Field<S>{"fast_retransmits", &S::fast_retransmits},
+      obs::Field<S>{"timeouts", &S::timeouts},
+      obs::Field<S>{"bytes_sent", &S::bytes_sent},
+      obs::Field<S>{"acks_received", &S::acks_received},
+      obs::Field<S>{"dup_acks", &S::dup_acks},
+      obs::Field<S>{"checksum_drops", &S::checksum_drops});
+}
+
+using obs::merge_into;
+using obs::reset;
 
 class TcpSender {
  public:

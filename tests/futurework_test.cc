@@ -114,8 +114,11 @@ TEST(NackFeedback, EncoderStopsReferencingNackedPacket) {
 TEST(NackFeedback, DecoderGatewayEmitsNack) {
   core::DreParams params;
   params.nack_feedback = true;
-  gateway::EncoderGateway enc_gw(core::PolicyKind::kNaive, params);
-  gateway::DecoderGateway dec_gw(true, params);
+  core::GatewayConfig gw_cfg;
+  gw_cfg.params = params;
+  gw_cfg.policy = core::PolicyKind::kNaive;
+  gateway::EncoderGateway enc_gw(gw_cfg);
+  gateway::DecoderGateway dec_gw(gw_cfg);
   Rng rng(2);
   const Bytes data = random_bytes(rng, 1000);
 

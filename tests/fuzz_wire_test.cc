@@ -214,7 +214,10 @@ TEST(FuzzWire, EncoderGatewaySurvivesMutatedControlTraffic) {
   util::Rng rng(testutil::test_seed(0xF0224));
   core::DreParams params;
   params.epoch_resync = true;
-  gateway::EncoderGateway gw(core::PolicyKind::kResilient, params);
+  core::GatewayConfig gw_cfg;
+  gw_cfg.params = params;
+  gw_cfg.policy = core::PolicyKind::kResilient;
+  gateway::EncoderGateway gw(gw_cfg);
   std::vector<util::Bytes> corpus;
   {
     core::ControlMessage nack;

@@ -16,10 +16,18 @@ using testutil::random_bytes;
 using util::Bytes;
 using util::Rng;
 
+core::GatewayConfig make_cfg(core::PolicyKind kind,
+                             const core::DreParams& params = {}) {
+  core::GatewayConfig cfg;
+  cfg.params = params;
+  cfg.policy = kind;
+  return cfg;
+}
+
 // ------------------------------------------------------------ gateways --
 
 TEST(EncoderGateway, DisabledIsTransparent) {
-  EncoderGateway gw(core::PolicyKind::kNone, {});
+  EncoderGateway gw(make_cfg(core::PolicyKind::kNone));
   EXPECT_FALSE(gw.enabled());
   Rng rng(1);
   const Bytes data = random_bytes(rng, 500);
@@ -33,7 +41,7 @@ TEST(EncoderGateway, DisabledIsTransparent) {
 }
 
 TEST(EncoderGateway, EncodesRepeatedContent) {
-  EncoderGateway gw(core::PolicyKind::kNaive, {});
+  EncoderGateway gw(make_cfg(core::PolicyKind::kNaive));
   ASSERT_TRUE(gw.enabled());
   Rng rng(2);
   const Bytes data = random_bytes(rng, 1000);
@@ -48,7 +56,7 @@ TEST(EncoderGateway, EncodesRepeatedContent) {
 }
 
 TEST(EncoderGateway, ObserverSeesEncodeInfo) {
-  EncoderGateway gw(core::PolicyKind::kNaive, {});
+  EncoderGateway gw(make_cfg(core::PolicyKind::kNaive));
   Rng rng(3);
   const Bytes data = random_bytes(rng, 1000);
   std::vector<core::EncodeInfo> infos;
@@ -63,8 +71,8 @@ TEST(EncoderGateway, ObserverSeesEncodeInfo) {
 
 TEST(DecoderGateway, DropsUndecodable) {
   core::DreParams params;
-  EncoderGateway enc(core::PolicyKind::kNaive, params);
-  DecoderGateway dec(true, params);
+  EncoderGateway enc(make_cfg(core::PolicyKind::kNaive, params));
+  DecoderGateway dec(make_cfg(core::PolicyKind::kNaive, params));
   Rng rng(4);
   const Bytes data = random_bytes(rng, 1000);
 
@@ -83,7 +91,7 @@ TEST(DecoderGateway, DropsUndecodable) {
 }
 
 TEST(DecoderGateway, DisabledForwardsEverything) {
-  DecoderGateway dec(false, {});
+  DecoderGateway dec(make_cfg(core::PolicyKind::kNone));
   EXPECT_FALSE(dec.enabled());
   int delivered = 0;
   dec.set_sink([&](packet::PacketPtr) { ++delivered; });
@@ -189,8 +197,8 @@ TEST(UdpStream, StreamsOverPipelineWithKDistance) {
   sim::Simulator sim;
   core::DreParams dre;
   dre.k_distance = 8;
-  EncoderGateway enc(core::PolicyKind::kKDistance, dre);
-  DecoderGateway dec(true, dre);
+  EncoderGateway enc(make_cfg(core::PolicyKind::kKDistance, dre));
+  DecoderGateway dec(make_cfg(core::PolicyKind::kKDistance, dre));
   sim::LinkConfig lcfg;
   lcfg.queue_packets = 1 << 16;
   sim::Link link(sim, lcfg, std::make_unique<sim::BernoulliLoss>(0.05),

@@ -604,8 +604,10 @@ core::ControlMessage make_loss_report(std::uint32_t src, std::uint32_t dst) {
 }
 
 TEST(GatewayResilience, EncoderGatewayDispatchesControlMessages) {
-  core::DreParams params = resync_params();
-  gateway::EncoderGateway gw(core::PolicyKind::kResilient, params);
+  core::GatewayConfig cfg;
+  cfg.params = resync_params();
+  cfg.policy = core::PolicyKind::kResilient;
+  gateway::EncoderGateway gw(cfg);
   ASSERT_NE(gw.resilient(), nullptr);
 
   auto report = packet::make_packet(
@@ -628,8 +630,10 @@ TEST(GatewayResilience, EncoderGatewayDispatchesControlMessages) {
 }
 
 TEST(GatewayResilience, ChannelDropsFeedTheEstimator) {
-  core::DreParams params = resync_params();
-  gateway::EncoderGateway gw(core::PolicyKind::kResilient, params);
+  core::GatewayConfig cfg;
+  cfg.params = resync_params();
+  cfg.policy = core::PolicyKind::kResilient;
+  gateway::EncoderGateway gw(cfg);
   auto pkt = testutil::make_tcp_packet(util::Bytes(100, 'x'), 1000);
   gw.on_channel_drop(*pkt);
   gw.on_channel_drop(*pkt);
@@ -644,7 +648,9 @@ TEST(GatewayResilience, DecoderGatewayEmitsLossReportsAndResyncRequests) {
   core::DreParams params = resync_params();
   core::Encoder enc(params, core::make_policy(core::PolicyKind::kNaive,
                                               params));
-  gateway::DecoderGateway gw(true, params);
+  core::GatewayConfig cfg;
+  cfg.params = params;
+  gateway::DecoderGateway gw(cfg);
   std::vector<packet::PacketPtr> feedback;
   gw.set_feedback([&](packet::PacketPtr p) {
     feedback.push_back(std::move(p));
@@ -679,22 +685,22 @@ TEST(GatewayResilience, DecoderGatewayEmitsLossReportsAndResyncRequests) {
 }
 
 TEST(GatewayResilience, LossReportsRouteToTheOwningShard) {
-  core::DreParams params = resync_params();
-  gateway::ShardedOptions opts;
-  opts.shards = 4;
-  opts.threaded = false;
-  gateway::ShardedEncoderGateway gw(core::PolicyKind::kResilient, params,
-                                    opts);
+  core::GatewayConfig cfg;
+  cfg.params = resync_params();
+  cfg.policy = core::PolicyKind::kResilient;
+  cfg.shards = 4;
+  cfg.threaded = false;
+  gateway::ShardedEncoderGateway gw(cfg);
 
   const std::uint32_t src = 0x0A000001, dst = 0x0A000101;
   auto report = packet::make_packet(
       dst, src, static_cast<packet::IpProto>(core::kControlProto),
       make_loss_report(src, dst).serialize());
   const std::size_t owner = gateway::shard_index_of(
-      gateway::shard_key_of(*report), opts.shards);
+      gateway::shard_key_of(*report), cfg.shards);
   gw.submit_control(std::move(report));
 
-  for (std::size_t i = 0; i < opts.shards; ++i) {
+  for (std::size_t i = 0; i < cfg.shards; ++i) {
     const core::ResilientPolicy* rp = gw.shard(i).resilient();
     ASSERT_NE(rp, nullptr);
     EXPECT_EQ(rp->estimator().total_undecodable(), i == owner ? 1u : 0u)

@@ -22,6 +22,21 @@ namespace {
 
 using util::Bytes;
 
+/// GatewayConfig shorthand for these tests (the single construction
+/// surface; see core/factory.h).
+core::GatewayConfig make_cfg(core::PolicyKind kind,
+                             const core::DreParams& params,
+                             std::size_t shards = 1, bool threaded = true,
+                             std::size_t ring_capacity = 1024) {
+  core::GatewayConfig cfg;
+  cfg.params = params;
+  cfg.policy = kind;
+  cfg.shards = shards;
+  cfg.threaded = threaded;
+  cfg.ring_capacity = ring_capacity;
+  return cfg;
+}
+
 /// A TCP data packet between an arbitrary host pair (testutil's helper
 /// pins the addresses; the sharding tests need many distinct pairs).
 packet::PacketPtr flow_packet(std::uint32_t src, std::uint32_t dst,
@@ -112,17 +127,15 @@ TEST(ShardedEncoderGateway, SingleShardBitIdenticalToPlainGateway) {
   const auto packets = testutil::segment_stream(object);
 
   std::vector<Bytes> plain_wire;
-  EncoderGateway plain(core::PolicyKind::kNaive, params);
+  EncoderGateway plain(make_cfg(core::PolicyKind::kNaive, params));
   plain.set_sink([&](packet::PacketPtr p) {
     plain_wire.push_back(packet::to_wire(*p));
   });
   for (const auto& pkt : packets) plain.receive(packet::clone_packet(*pkt));
 
   for (bool threaded : {false, true}) {
-    ShardedOptions opt;
-    opt.shards = 1;
-    opt.threaded = threaded;
-    ShardedEncoderGateway sharded(core::PolicyKind::kNaive, params, opt);
+    ShardedEncoderGateway sharded(
+        make_cfg(core::PolicyKind::kNaive, params, /*shards=*/1, threaded));
     std::vector<Bytes> sharded_wire;
     sharded.set_sink([&](packet::PacketPtr p) {
       sharded_wire.push_back(packet::to_wire(*p));
@@ -151,22 +164,20 @@ TEST(ShardedDecoderGateway, SingleShardBitIdenticalToPlainGateway) {
 
   // One encoded stream, replayed into both decoders.
   std::vector<packet::PacketPtr> encoded;
-  EncoderGateway enc(core::PolicyKind::kNaive, params);
+  EncoderGateway enc(make_cfg(core::PolicyKind::kNaive, params));
   enc.set_sink([&](packet::PacketPtr p) { encoded.push_back(std::move(p)); });
   for (const auto& pkt : packets) enc.receive(packet::clone_packet(*pkt));
 
   std::vector<Bytes> plain_wire;
-  DecoderGateway plain(true, params);
+  DecoderGateway plain(make_cfg(core::PolicyKind::kNaive, params));
   plain.set_sink([&](packet::PacketPtr p) {
     plain_wire.push_back(packet::to_wire(*p));
   });
   for (const auto& pkt : encoded) plain.receive(packet::clone_packet(*pkt));
 
   for (bool threaded : {false, true}) {
-    ShardedOptions opt;
-    opt.shards = 1;
-    opt.threaded = threaded;
-    ShardedDecoderGateway sharded(true, params, opt);
+    ShardedDecoderGateway sharded(
+        make_cfg(core::PolicyKind::kNaive, params, /*shards=*/1, threaded));
     std::vector<Bytes> sharded_wire;
     sharded.set_sink([&](packet::PacketPtr p) {
       sharded_wire.push_back(packet::to_wire(*p));
@@ -237,16 +248,15 @@ void run_threaded_end_to_end(std::size_t shards, std::size_t cache_bytes,
                              bool worker_sink_chain) {
   core::DreParams params;
   params.cache_bytes = cache_bytes;
-  ShardedOptions opt;
-  opt.shards = shards;
-  opt.ring_capacity = 128;
-  opt.threaded = true;
+  const core::GatewayConfig cfg =
+      make_cfg(core::PolicyKind::kNaive, params, shards, /*threaded=*/true,
+               /*ring_capacity=*/128);
 
   FlowSet fs = make_flows(/*flows=*/3 * static_cast<int>(shards),
                           /*segments_per_flow=*/40, /*seed=*/shards);
 
-  ShardedEncoderGateway enc(core::PolicyKind::kNaive, params, opt);
-  ShardedDecoderGateway dec(true, params, opt);
+  ShardedEncoderGateway enc(cfg);
+  ShardedDecoderGateway dec(cfg);
 
   std::map<std::uint64_t, Bytes> decoded;
   dec.set_sink([&](packet::PacketPtr p) {
@@ -325,12 +335,12 @@ TEST(ShardedGateways, OddShardCountAndSingleFlowPileUp) {
 TEST(ShardedGateways, NackFeedbackRoutesToOwningShard) {
   core::DreParams params;
   params.nack_feedback = true;
-  ShardedOptions opt;
-  opt.shards = 4;
-  opt.threaded = false;  // inline: deterministic loss injection
+  // Inline (non-threaded): deterministic loss injection.
+  const core::GatewayConfig cfg = make_cfg(core::PolicyKind::kNaive, params,
+                                           /*shards=*/4, /*threaded=*/false);
 
-  ShardedEncoderGateway enc(core::PolicyKind::kNaive, params, opt);
-  ShardedDecoderGateway dec(true, params, opt);
+  ShardedEncoderGateway enc(cfg);
+  ShardedDecoderGateway dec(cfg);
   dec.set_feedback([&](packet::PacketPtr p) {
     // The reverse-direction control packet must hash to the shard that
     // owns the forward flow; submit_control asserts nothing, so prove it
@@ -384,11 +394,8 @@ TEST(ShardedGateways, NackFeedbackRoutesToOwningShard) {
 TEST(ShardedGateways, ReverseAckRoutesToOwningShardWhenGated) {
   core::DreParams params;
   params.ack_gated = true;
-  ShardedOptions opt;
-  opt.shards = 4;
-  opt.threaded = false;
-
-  ShardedEncoderGateway enc(core::PolicyKind::kNaive, params, opt);
+  ShardedEncoderGateway enc(make_cfg(core::PolicyKind::kNaive, params,
+                                     /*shards=*/4, /*threaded=*/false));
   std::vector<packet::PacketPtr> encoded;
   enc.set_sink([&](packet::PacketPtr p) { encoded.push_back(std::move(p)); });
 

@@ -4,7 +4,10 @@
 Runs the tracked data-plane benchmarks from a Release build tree:
 
   bench_throughput       end-to-end Encoder->Decoder packets/sec and MB/s
-                         (its own JSON output is embedded verbatim)
+                         (its own JSON output is embedded verbatim); its
+                         *_telemetry workloads gate the observability
+                         budget: >= 98% of the plain twin's MB/s and a
+                         bit-identical wire_ratio, else this script fails
   bench_mt_throughput    sharded-gateway scaling sweep (1/2/4/8 shards);
                          embedded verbatim, one entry per shard count plus
                          a single-flow wire-identity probe whose wire_ratio
@@ -41,25 +44,65 @@ from pathlib import Path
 
 def run_json_bench(build, name, repeat):
     """Runs a bench binary that prints one JSON doc with a `results` list,
-    keeping per-workload the run with the higher MB/s (lower noise)."""
+    keeping per-workload the run with the higher MB/s (lower noise).
+    Returns (best_doc, all_run_docs); the raw runs let gates compare
+    workloads pair-wise within one process run instead of across runs."""
     exe = Path(build) / "bench" / name
     if not exe.exists():
         sys.exit(f"bench_json: {exe} not found (build the bench targets)")
     best = None
+    runs = []
     for _ in range(repeat):
         proc = subprocess.run([str(exe)], capture_output=True, text=True)
         if proc.returncode != 0:
             sys.exit(f"bench_json: {exe} failed (decode failures?):\n"
                      f"{proc.stdout}\n{proc.stderr}")
         doc = json.loads(proc.stdout)
+        runs.append(doc)
         if best is None:
-            best = doc
+            best = json.loads(proc.stdout)
             continue
         for cur, new in zip(best["results"], doc["results"]):
             assert cur["name"] == new["name"]
             if new["mb_per_s"] > cur["mb_per_s"]:
                 cur.update(new)
-    return best
+    return best, runs
+
+
+def check_telemetry_overhead(entry, runs):
+    """Gates the telemetry budget: each *_telemetry workload replays its
+    plain twin with the metrics registry + sampled spans attached, and
+    must keep >= 98% of the twin's MB/s with a bit-identical wire_ratio
+    (instrumentation must never change what goes on the wire).
+
+    The MB/s ratio is taken pair-wise within a single process run (twins
+    execute back-to-back, so machine-state drift cancels) and the best
+    run wins; comparing cross-run best-of numbers would pit a lucky plain
+    spike against an unlucky instrumented run and gate on noise.  Records
+    the measured ratios under `telemetry_overhead`."""
+    by_name = {r["name"]: r for r in entry["bench_throughput"]["results"]}
+    overhead = {}
+    for name, probe in by_name.items():
+        if not name.endswith("_telemetry"):
+            continue
+        base = by_name.get(name[:-len("_telemetry")])
+        if base is None:
+            continue
+        if abs(probe["wire_ratio"] - base["wire_ratio"]) > 1e-9:
+            sys.exit(f"bench_json: telemetry run {name} wire_ratio "
+                     f"{probe['wire_ratio']} != plain {base['wire_ratio']}"
+                     " — instrumentation changed the wire format")
+        ratio = 0.0
+        for run in runs:
+            run_by_name = {r["name"]: r for r in run["results"]}
+            p = run_by_name[name]["mb_per_s"]
+            b = run_by_name[base["name"]]["mb_per_s"]
+            ratio = max(ratio, p / b if b > 0 else 1.0)
+        if ratio < 0.98:
+            sys.exit(f"bench_json: telemetry overhead gate failed: {name} "
+                     f"ran at {ratio:.3f}x of its plain twin (< 0.98)")
+        overhead[name] = {"throughput_ratio": round(ratio, 4)}
+    entry["telemetry_overhead"] = overhead
 
 
 def check_wire_identity(entry):
@@ -112,15 +155,18 @@ def main():
                         help="run each bench N times, keep the fastest")
     args = parser.parse_args()
 
+    bt_best, bt_runs = run_json_bench(
+        args.build, "bench_throughput", args.repeat)
+    mt_best, _ = run_json_bench(
+        args.build, "bench_mt_throughput", args.repeat)
     entry = {
         "machine": platform.machine(),
-        "bench_throughput": run_json_bench(
-            args.build, "bench_throughput", args.repeat),
-        "bench_mt_throughput": run_json_bench(
-            args.build, "bench_mt_throughput", args.repeat),
+        "bench_throughput": bt_best,
+        "bench_mt_throughput": mt_best,
         "bench_micro_rabin": run_bench_micro_rabin(args.build, args.repeat),
     }
     check_wire_identity(entry)
+    check_telemetry_overhead(entry, bt_runs)
 
     out_path = Path(args.out)
     doc = {}

@@ -48,6 +48,16 @@ Rules (see DESIGN.md "Correctness tooling"):
                 (SPSC rings, atomics).  Suppress a deliberate use with a
                 `NOLINT(bc-nolock)` comment on the line or the line above.
 
+  bc-obs        Ad-hoc stats printing (printf/std::cout/puts or
+                fprintf(stdout, ...)) in library code under src/ outside
+                src/obs/ and src/harness/.  Components expose numbers by
+                linking them into an obs::MetricsRegistry; rendering
+                belongs to the obs exporters and the harness tables —
+                a layer that prints its own stats bypasses the single
+                snapshot surface (DESIGN.md §10).  snprintf (buffer
+                formatting) and fprintf(stderr, ...) (diagnostics) are
+                fine.  Suppress with NOLINT(bc-obs).
+
 Exit status 0 when clean, 1 when violations were found.  `--self-test`
 runs the built-in positive/negative cases instead of scanning the tree.
 """
@@ -62,7 +72,7 @@ SOURCE_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
 
 PROJECT_INCLUDE_ROOTS = (
     "util", "rabin", "packet", "cache", "core", "sim", "tcp",
-    "gateway", "app", "workload", "harness", "resilience",
+    "gateway", "app", "workload", "harness", "resilience", "obs",
 )
 
 # Identifier containing "seq" (any case), optionally a member access,
@@ -87,6 +97,13 @@ NOLOCK_RE = re.compile(
     r"condition_variable|condition_variable_any)\b"
 )
 NOLOCK_DIRS = ("src/rabin/", "src/cache/", "src/core/")
+# Stdout printing: bare printf/puts (the lookbehind excludes snprintf,
+# fprintf, vprintf...), std::cout, or an explicit fprintf(stdout, ...).
+OBS_RE = re.compile(
+    r"(?:(?<![\w])printf\s*\(|std\s*::\s*cout\b|(?<![\w])puts\s*\(|"
+    r"fprintf\s*\(\s*stdout\b)"
+)
+OBS_EXEMPT_DIRS = ("src/obs/", "src/harness/")
 
 
 class Violation:
@@ -287,6 +304,28 @@ def scan_nolock(path, raw_lines, code_lines):
     return violations
 
 
+def scan_obs(path, raw_lines, code_lines):
+    posix = path.as_posix()
+    is_src = "/src/" in f"/{posix}" or posix.startswith("src/")
+    if not is_src:
+        return []
+    if any(posix.startswith(d) or f"/{d}" in posix
+           for d in OBS_EXEMPT_DIRS):
+        return []
+    suppressed = nolint_lines(raw_lines, "bc-obs")
+    violations = []
+    for lineno, line in enumerate(code_lines, start=1):
+        if lineno in suppressed:
+            continue
+        if OBS_RE.search(line):
+            violations.append(Violation(
+                "bc-obs", path, lineno,
+                "ad-hoc stdout printing in library code; link the value "
+                "into an obs::MetricsRegistry and render via the obs "
+                "exporters / harness tables (or annotate NOLINT(bc-obs))"))
+    return violations
+
+
 def scan_includes(path, root, raw_lines, code_lines):
     del code_lines  # include paths live inside string-like tokens: use raw
     violations = []
@@ -352,6 +391,7 @@ def scan_file(path, root):
     violations += scan_wirecast(rel, raw_lines, code_lines)
     violations += scan_hotpath(rel, raw_lines, code_lines)
     violations += scan_nolock(rel, raw_lines, code_lines)
+    violations += scan_obs(rel, raw_lines, code_lines)
     violations += scan_includes(root / rel, root, raw_lines, code_lines)
     return violations
 
@@ -425,6 +465,15 @@ SELF_TEST_CASES = [
     ("bc-nolock", "// std::mutex would violate bc-nolock here", False),
     ("bc-nolock", "std::mutex m_;  // NOLINT(bc-nolock)", False),
     ("bc-nolock", "my_mutex m_;", False),
+    ("bc-obs", 'std::printf("packets=%llu\\n", n);', True),
+    ("bc-obs", 'printf("stats\\n");', True),
+    ("bc-obs", "std::cout << stats.packets;", True),
+    ("bc-obs", 'std::fprintf(stdout, "%llu", n);', True),
+    ("bc-obs", 'std::puts("done");', True),
+    ("bc-obs", 'std::fprintf(stderr, "bad state\\n");', False),
+    ("bc-obs", 'std::snprintf(buf, sizeof buf, "%.2f", v);', False),
+    ("bc-obs", "// printf() is banned here, see bc-obs", False),
+    ("bc-obs", 'std::printf("x");  // NOLINT(bc-obs)', False),
 ]
 
 
@@ -447,6 +496,10 @@ def self_test():
             # The rule only fires under the single-threaded codec dirs.
             found = scan_nolock(Path("src/core/selftest_snippet.cc"),
                                 raw_lines, code_lines)
+        elif rule == "bc-obs":
+            # The rule only fires in src/ outside src/obs and src/harness.
+            found = scan_obs(Path("src/core/selftest_snippet.cc"),
+                             raw_lines, code_lines)
         else:
             # Only the path-independent include checks are testable here.
             found = [v for v in scan_includes(root / path, root, raw_lines,
