@@ -119,11 +119,10 @@ void Encoder::on_resync_request(std::uint16_t decoder_epoch) {
 }
 
 void Encoder::on_reverse_ack(std::uint64_t flow_key, std::uint32_t ack) {
-  auto it = highest_ack_.find(flow_key);
-  if (it == highest_ack_.end()) {
-    highest_ack_.emplace(flow_key, ack);
-  } else if (util::seq_gt(ack, it->second)) {
-    it->second = ack;
+  if (std::uint32_t* cur = highest_ack_.find(flow_key)) {
+    if (util::seq_gt(ack, *cur)) *cur = ack;
+  } else {
+    highest_ack_.put(flow_key, ack);
   }
 }
 
@@ -189,10 +188,9 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
         // Only reference segments the peer has cumulatively ACKed — such
         // segments passed the decoder and are provably in its cache.
         const cache::PacketMeta& m = hit->packet->meta;
-        auto ack_it = m.has_tcp_seq ? highest_ack_.find(m.flow_key)
-                                    : highest_ack_.end();
-        if (ack_it == highest_ack_.end() ||
-            !util::seq_le(m.tcp_end_seq, ack_it->second)) {
+        const std::uint32_t* acked =
+            m.has_tcp_seq ? highest_ack_.find(m.flow_key) : nullptr;
+        if (acked == nullptr || !util::seq_le(m.tcp_end_seq, *acked)) {
           ++stats_.ack_gate_rejections;
           continue;
         }

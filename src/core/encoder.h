@@ -14,11 +14,11 @@
 // signal the shim.
 #pragma once
 
-#include <unordered_map>
 #include <memory>
 #include <vector>
 
 #include "cache/byte_cache.h"
+#include "cache/flat_map.h"
 #include "core/anchors.h"
 #include "core/params.h"
 #include "core/policy.h"
@@ -154,8 +154,11 @@ class Encoder {
   std::uint64_t stream_index_ = 0;
   std::uint16_t epoch_ = 0;
   bool epoch_bumped_ = false;  // next encoded packet carries the flag
-  // ack-gated mode: per-flow highest cumulative ACK seen.
-  std::unordered_map<std::uint64_t, std::uint32_t> highest_ack_;
+  // ack-gated mode: per-flow highest cumulative ACK seen.  Flat map, not
+  // unordered_map: on_reverse_ack runs once per reverse-path packet, and
+  // a node-based map would pay one heap node per new flow on that path
+  // (bc-hotpath-alloc).
+  cache::FlatMap64<std::uint32_t> highest_ack_;
 
   // Per-packet scratch, reused across process() calls so the steady-state
   // hot path stays allocation-free: anchor buffers, the dependency-id

@@ -154,14 +154,14 @@ ResilientPolicy::ResilientPolicy(const DreParams& params)
 
 resilience::DegradationController& ResilientPolicy::controller_for(
     std::uint64_t host_key) {
-  auto it = controllers_.find(host_key);
-  if (it == controllers_.end()) {
-    it = controllers_
-             .emplace(host_key,
-                      resilience::DegradationController(degradation_config_))
-             .first;
+  // The returned reference is stable only until the next put() (the flat
+  // map may rehash); before_encode consumes it immediately.
+  if (resilience::DegradationController* c = controllers_.find(host_key)) {
+    return *c;
   }
-  return it->second;
+  controllers_.put(host_key,
+                   resilience::DegradationController(degradation_config_));
+  return *controllers_.find(host_key);
 }
 
 PolicyDecision ResilientPolicy::before_encode(const PacketContext& ctx) {
@@ -202,22 +202,26 @@ bool ResilientPolicy::admit(const PacketContext& ctx,
 
 resilience::DegradationLevel ResilientPolicy::level_of(
     std::uint64_t host_key) const {
-  auto it = controllers_.find(host_key);
-  return it == controllers_.end() ? resilience::DegradationLevel::kKDistance
-                                  : it->second.level();
+  const resilience::DegradationController* c = controllers_.find(host_key);
+  return c == nullptr ? resilience::DegradationLevel::kKDistance
+                      : c->level();
 }
 
 resilience::DegradationLevel ResilientPolicy::worst_level() const {
   auto worst = resilience::DegradationLevel::kKDistance;
-  for (const auto& [key, c] : controllers_) {
-    if (c.level() > worst) worst = c.level();
-  }
+  controllers_.for_each(
+      [&](std::uint64_t, const resilience::DegradationController& c) {
+        if (c.level() > worst) worst = c.level();
+      });
   return worst;
 }
 
 std::uint64_t ResilientPolicy::transitions() const {
   std::uint64_t total = 0;
-  for (const auto& [key, c] : controllers_) total += c.transitions();
+  controllers_.for_each(
+      [&](std::uint64_t, const resilience::DegradationController& c) {
+        total += c.transitions();
+      });
   return total;
 }
 

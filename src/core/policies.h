@@ -2,8 +2,8 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 
+#include "cache/flat_map.h"
 #include "core/params.h"
 #include "core/policy.h"
 #include "resilience/degradation.h"
@@ -163,8 +163,10 @@ class ResilientPolicy final : public EncodingPolicy {
   resilience::LossEstimatorConfig estimator_config_;
   resilience::DegradationConfig degradation_config_;
   resilience::PerceivedLossEstimator estimator_;
-  std::unordered_map<std::uint64_t, resilience::DegradationController>
-      controllers_;
+  // Flat map, not unordered_map: controller_for runs inside
+  // before_encode on every packet, and a node-based map would pay one
+  // heap node per new host pair on that path (bc-hotpath-alloc).
+  cache::FlatMap64<resilience::DegradationController> controllers_;
   // The rung picked in before_encode(), read by admit() for the same
   // packet (the encoder always calls them in that order).
   resilience::DegradationLevel current_ =

@@ -23,10 +23,14 @@ std::size_t shard_index_of(std::uint64_t key, std::size_t shards) {
 namespace {
 
 /// Blocking ring push for the worker-side output path: spins politely;
-/// drops the element if the gateway is being torn down (`abort`).
+/// drops the element if the gateway is being torn down (`abort`).  The
+/// caller is by contract the one producer of `ring` (a shard's worker, or
+/// the shard-owning thread in submit_to_shard mode), so the producer role
+/// is claimed here.
 template <typename T>
 void push_or_abort(util::SpscRing<T>& ring, T v,
                    const std::atomic<bool>& abort) {
+  util::ScopedRole producer(ring.producer_role);
   util::Backoff backoff;
   while (!ring.try_push(v)) {
     if (abort.load(std::memory_order_acquire)) return;
@@ -109,6 +113,10 @@ void ShardedEncoderGateway::process(Shard& s, Cmd& cmd) {
 }
 
 void ShardedEncoderGateway::run_worker(Shard& s) {
+  // This thread is the one consumer of the shard's input ring for the
+  // gateway's whole lifetime (the output side is claimed inside
+  // push_or_abort by the shard gateway's sink).
+  util::ScopedRole consumer(s.in.consumer_role);
   util::Backoff backoff;
   Cmd cmd;
   for (;;) {
@@ -138,6 +146,8 @@ void ShardedEncoderGateway::enqueue(Shard& s, Cmd cmd) {
     s.completed.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  // The driver is the one producer of every shard's input ring.
+  util::ScopedRole producer(s.in.producer_role);
   s.submitted.fetch_add(1, std::memory_order_relaxed);
   if (s.in.try_push(cmd)) return;
   // Ring full: wait, keeping the output stage moving meanwhile — the
@@ -149,7 +159,7 @@ void ShardedEncoderGateway::enqueue(Shard& s, Cmd cmd) {
                         : std::chrono::steady_clock::time_point{};
   util::Backoff backoff;
   do {
-    if (drain() == 0) backoff.pause();
+    if (drain_some() == 0) backoff.pause();
   } while (!s.in.try_push(cmd));
   if (timed) {
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -160,16 +170,19 @@ void ShardedEncoderGateway::enqueue(Shard& s, Cmd cmd) {
 }
 
 void ShardedEncoderGateway::submit(packet::PacketPtr pkt) {
+  util::ScopedRole driver(driver_role_);
   Shard& s = shard_for(*pkt);
   enqueue(s, Cmd{std::move(pkt), Cmd::Kind::kData});
 }
 
 bool ShardedEncoderGateway::try_submit(packet::PacketPtr& pkt) {
+  util::ScopedRole driver(driver_role_);
   Shard& s = shard_for(*pkt);
   if (!threaded_) {
     enqueue(s, Cmd{std::move(pkt), Cmd::Kind::kData});
     return true;
   }
+  util::ScopedRole producer(s.in.producer_role);
   Cmd cmd{std::move(pkt), Cmd::Kind::kData};
   if (s.in.try_push(cmd)) {
     s.submitted.fetch_add(1, std::memory_order_relaxed);
@@ -180,19 +193,28 @@ bool ShardedEncoderGateway::try_submit(packet::PacketPtr& pkt) {
 }
 
 void ShardedEncoderGateway::submit_control(packet::PacketPtr pkt) {
+  util::ScopedRole driver(driver_role_);
   Shard& s = shard_for(*pkt);
   enqueue(s, Cmd{std::move(pkt), Cmd::Kind::kControl});
 }
 
 void ShardedEncoderGateway::submit_reverse(packet::PacketPtr pkt) {
+  util::ScopedRole driver(driver_role_);
   Shard& s = shard_for(*pkt);
   enqueue(s, Cmd{std::move(pkt), Cmd::Kind::kReverse});
 }
 
 std::size_t ShardedEncoderGateway::drain() {
+  util::ScopedRole driver(driver_role_);
+  return drain_some();
+}
+
+std::size_t ShardedEncoderGateway::drain_some() {
   std::size_t delivered = 0;
   packet::PacketPtr pkt;
   for (auto& s : shards_) {
+    // The driver is the one consumer of every shard's output ring.
+    util::ScopedRole consumer(s->out.consumer_role);
     while (s->out.try_pop(pkt)) {
       ++delivered;
       if (sink_) sink_(std::move(pkt));
@@ -203,9 +225,10 @@ std::size_t ShardedEncoderGateway::drain() {
 }
 
 void ShardedEncoderGateway::drain_until_idle() {
+  util::ScopedRole driver(driver_role_);
   util::Backoff backoff;
   for (;;) {
-    if (drain() > 0) backoff.reset();
+    if (drain_some() > 0) backoff.reset();
     bool idle = true;
     for (auto& s : shards_) {
       // Acquire on `completed` orders the check after the worker's last
@@ -217,7 +240,7 @@ void ShardedEncoderGateway::drain_until_idle() {
       }
     }
     if (idle) {
-      drain();
+      drain_some();
       bool empty = true;
       for (auto& s : shards_) {
         if (!s->out.empty()) empty = false;
@@ -338,6 +361,10 @@ void ShardedDecoderGateway::set_worker_sink(ShardPacketSink sink) {
 }
 
 void ShardedDecoderGateway::run_worker(Shard& s) {
+  // See ShardedEncoderGateway::run_worker: this thread owns the input
+  // ring's consumer end; output/feedback producer ends are claimed in
+  // push_or_abort.
+  util::ScopedRole consumer(s.in.consumer_role);
   util::Backoff backoff;
   packet::PacketPtr pkt;
   for (;;) {
@@ -365,6 +392,7 @@ void ShardedDecoderGateway::enqueue(Shard& s, packet::PacketPtr pkt) {
     s.completed.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  util::ScopedRole producer(s.in.producer_role);
   s.submitted.fetch_add(1, std::memory_order_relaxed);
   if (s.in.try_push(pkt)) return;
   // Slow path only: see ShardedEncoderGateway::enqueue.
@@ -373,7 +401,7 @@ void ShardedDecoderGateway::enqueue(Shard& s, packet::PacketPtr pkt) {
                         : std::chrono::steady_clock::time_point{};
   util::Backoff backoff;
   do {
-    if (drain() == 0) backoff.pause();
+    if (drain_some() == 0) backoff.pause();
   } while (!s.in.try_push(pkt));
   if (timed) {
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -384,16 +412,19 @@ void ShardedDecoderGateway::enqueue(Shard& s, packet::PacketPtr pkt) {
 }
 
 void ShardedDecoderGateway::submit(packet::PacketPtr pkt) {
+  util::ScopedRole driver(driver_role_);
   Shard& s = *shards_[shard_index_of(shard_key_of(*pkt), shards_.size())];
   enqueue(s, std::move(pkt));
 }
 
 bool ShardedDecoderGateway::try_submit(packet::PacketPtr& pkt) {
+  util::ScopedRole driver(driver_role_);
   Shard& s = *shards_[shard_index_of(shard_key_of(*pkt), shards_.size())];
   if (!threaded_) {
     enqueue(s, std::move(pkt));
     return true;
   }
+  util::ScopedRole producer(s.in.producer_role);
   if (s.in.try_push(pkt)) {
     s.submitted.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -403,6 +434,9 @@ bool ShardedDecoderGateway::try_submit(packet::PacketPtr& pkt) {
 
 void ShardedDecoderGateway::submit_to_shard(std::size_t i,
                                             packet::PacketPtr pkt) {
+  // Deliberately NOT driver-scoped: each shard index is fed by its own
+  // owning thread (e.g. the matching encoder shard's worker), which is by
+  // contract the one producer of this shard's input ring.
   Shard& s = *shards_[i];
   if (!threaded_) {
     // Inline decode on the calling thread — the caller owns shard i's
@@ -412,6 +446,7 @@ void ShardedDecoderGateway::submit_to_shard(std::size_t i,
     s.completed.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  util::ScopedRole producer(s.in.producer_role);
   s.submitted.fetch_add(1, std::memory_order_relaxed);
   util::Backoff backoff;
   while (!s.in.try_push(pkt)) {
@@ -421,14 +456,21 @@ void ShardedDecoderGateway::submit_to_shard(std::size_t i,
 }
 
 std::size_t ShardedDecoderGateway::drain() {
+  util::ScopedRole driver(driver_role_);
+  return drain_some();
+}
+
+std::size_t ShardedDecoderGateway::drain_some() {
   std::size_t delivered = 0;
   packet::PacketPtr pkt;
   for (auto& s : shards_) {
+    util::ScopedRole out_consumer(s->out.consumer_role);
     while (s->out.try_pop(pkt)) {
       ++delivered;
       if (sink_) sink_(std::move(pkt));
       pkt.reset();
     }
+    util::ScopedRole feedback_consumer(s->feedback.consumer_role);
     while (s->feedback.try_pop(pkt)) {
       if (feedback_) feedback_(std::move(pkt));
       pkt.reset();
@@ -438,9 +480,10 @@ std::size_t ShardedDecoderGateway::drain() {
 }
 
 void ShardedDecoderGateway::drain_until_idle() {
+  util::ScopedRole driver(driver_role_);
   util::Backoff backoff;
   for (;;) {
-    if (drain() > 0) backoff.reset();
+    if (drain_some() > 0) backoff.reset();
     bool idle = true;
     for (auto& s : shards_) {
       if (s->completed.load(std::memory_order_acquire) !=
@@ -450,7 +493,7 @@ void ShardedDecoderGateway::drain_until_idle() {
       }
     }
     if (idle) {
-      drain();
+      drain_some();
       bool empty = true;
       for (auto& s : shards_) {
         if (!s->out.empty() || !s->feedback.empty()) empty = false;

@@ -9,6 +9,7 @@
 // with one shard the packet sequence through the codec is exactly the
 // single-gateway sequence, so N=1 is bit-identical to EncoderGateway /
 // DecoderGateway (pinned by tests/sharded_gateway_test.cc).
+#pragma once
 //
 // Shard key: the unordered IP endpoint pair, NOT the TCP ports — the
 // DRE shim replaces the payload, so ports are not parseable at the
@@ -27,7 +28,13 @@
 // run shards on their own threads via submit_to_shard() (each shard
 // index then owned by one calling thread).  Statistics and audits
 // require quiescence: call drain_until_idle() first.
-#pragma once
+//
+// The contract is compiler-enforced under Clang (-Wthread-safety, see
+// util/thread_annotations.h and DESIGN.md §11): the driver-only surface
+// claims `driver_role_` (so the registry and the stall histogram are
+// provably driver-thread state), workers claim their shard rings'
+// consumer roles, and every ring end is pushed/popped only under the
+// matching role capability.
 
 #include <atomic>
 #include <cstdint>
@@ -38,6 +45,7 @@
 
 #include "gateway/gateways.h"
 #include "util/spsc_ring.h"
+#include "util/thread_annotations.h"
 #include "util/worker.h"
 
 namespace bytecache::gateway {
@@ -122,7 +130,10 @@ class ShardedEncoderGateway {
   /// combine per their MergeOp, plus the driver-side ring-stall span.
   /// With one shard this equals the plain gateway's snapshot (pinned by
   /// tests/obs_test.cc).
-  [[nodiscard]] obs::Snapshot snapshot() const { return metrics_.snapshot(); }
+  [[nodiscard]] obs::Snapshot snapshot() const {
+    util::ScopedRole driver(driver_role_);
+    return metrics_.snapshot();
+  }
 
   /// Deep invariant audit (BC_AUDIT; quiescent callers only): every
   /// shard's encoder and rings, plus the submit/complete accounting.
@@ -148,7 +159,8 @@ class ShardedEncoderGateway {
     std::atomic<bool> abort{false};  // destructor: drop instead of block
   };
 
-  void enqueue(Shard& s, Cmd cmd);
+  void enqueue(Shard& s, Cmd cmd) BC_REQUIRES(driver_role_);
+  std::size_t drain_some() BC_REQUIRES(driver_role_);
   void run_worker(Shard& s);
   void process(Shard& s, Cmd& cmd);
   [[nodiscard]] Shard& shard_for(const packet::Packet& pkt) {
@@ -157,10 +169,21 @@ class ShardedEncoderGateway {
 
   bool threaded_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // The sinks are set before the first submit and then only read: sink_
+  // on the driver thread (drain), worker_sink_ on the workers.  That
+  // set-before-start phase is a time-based contract no single role
+  // capability expresses, so they stay unguarded.
   PacketSink sink_;
   ShardPacketSink worker_sink_;
-  obs::MetricsRegistry metrics_;  // per-shard providers + driver spans
-  obs::Histogram* stall_hist_ = nullptr;  // "...ring_stall_ns"; may be off
+  /// The capability of the one thread allowed to call submit*/drain*
+  /// (claimed inside those entry points; see util/thread_annotations.h).
+  util::ThreadRole driver_role_;
+  // Registry attachment and the stall histogram are driver-thread state:
+  // providers are attached in the constructor, read at snapshot(), and
+  // the stall span is recorded on the submit slow path — all driver-side.
+  obs::MetricsRegistry metrics_ BC_GUARDED_BY(driver_role_);
+  obs::Histogram* stall_hist_ BC_GUARDED_BY(driver_role_) =
+      nullptr;  // "...ring_stall_ns"; may be off
 };
 
 class ShardedDecoderGateway {
@@ -211,7 +234,10 @@ class ShardedDecoderGateway {
   [[nodiscard]] cache::CacheStats cache_stats() const;
 
   /// Cross-shard merged value set (see ShardedEncoderGateway).
-  [[nodiscard]] obs::Snapshot snapshot() const { return metrics_.snapshot(); }
+  [[nodiscard]] obs::Snapshot snapshot() const {
+    util::ScopedRole driver(driver_role_);
+    return metrics_.snapshot();
+  }
 
   void audit() const;
 
@@ -233,16 +259,23 @@ class ShardedDecoderGateway {
     std::atomic<bool> abort{false};
   };
 
-  void enqueue(Shard& s, packet::PacketPtr pkt);
+  void enqueue(Shard& s, packet::PacketPtr pkt) BC_REQUIRES(driver_role_);
+  std::size_t drain_some() BC_REQUIRES(driver_role_);
   void run_worker(Shard& s);
 
   bool threaded_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Set before the first submit, then read-only (see ShardedEncoderGateway).
   PacketSink sink_;
   ShardPacketSink worker_sink_;
   PacketSink feedback_;
-  obs::MetricsRegistry metrics_;  // per-shard providers + driver spans
-  obs::Histogram* stall_hist_ = nullptr;  // "...ring_stall_ns"; may be off
+  /// See ShardedEncoderGateway::driver_role_.  submit_to_shard() is the
+  /// one entry point exempt from it: each shard index is owned by its own
+  /// calling thread, which claims that shard's ring producer role instead.
+  util::ThreadRole driver_role_;
+  obs::MetricsRegistry metrics_ BC_GUARDED_BY(driver_role_);
+  obs::Histogram* stall_hist_ BC_GUARDED_BY(driver_role_) =
+      nullptr;  // "...ring_stall_ns"; may be off
 };
 
 }  // namespace bytecache::gateway

@@ -9,7 +9,9 @@ namespace bytecache::util {
 namespace {
 
 LogLevel level_from_env() {
-  const char* env = std::getenv("BYTECACHE_LOG");
+  // Runs exactly once, during static init of g_level, before any worker
+  // thread exists — nothing can race the environment here.
+  const char* env = std::getenv("BYTECACHE_LOG");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return LogLevel::kWarn;
   if (std::strcmp(env, "error") == 0) return LogLevel::kError;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/thread_annotations.h"
 
 namespace bytecache::util {
 
@@ -41,9 +42,16 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
+  // The role capabilities of the two sides (util/thread_annotations.h):
+  // the thread that pushes claims `producer_role`, the thread that pops
+  // claims `consumer_role` (ScopedRole at the loop or call boundary), and
+  // Clang then proves the side-local cache fields never cross over.
+  ThreadRole producer_role;
+  ThreadRole consumer_role;
+
   /// Producer side.  Moves `v` into the ring and returns true, or leaves
   /// it untouched and returns false when the ring is full.
-  bool try_push(T& v) {
+  bool try_push(T& v) BC_REQUIRES(producer_role) {
     const std::uint64_t t = tail_.load(std::memory_order_relaxed);
     if (t - head_cache_ > mask_) {
       head_cache_ = head_.load(std::memory_order_acquire);
@@ -56,7 +64,7 @@ class SpscRing {
 
   /// Consumer side.  Moves the oldest element into `out` and returns
   /// true, or returns false when the ring is empty.
-  bool try_pop(T& out) {
+  bool try_pop(T& out) BC_REQUIRES(consumer_role) {
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
     if (h == tail_cache_) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
@@ -102,13 +110,19 @@ class SpscRing {
   static constexpr std::size_t kCacheLine = 64;
 
   std::size_t mask_ = 0;
+  // Slots are shared but index-disjoint (producer writes slot t, consumer
+  // reads slot h, and h < t by the index protocol) — a partition no
+  // per-field capability can express, so the atomics' acquire/release
+  // pairs carry the handoff and the field stays unguarded.
   std::vector<T> slots_;
   // Producer-owned line: its index plus its cached view of the consumer.
+  // The atomic indices themselves stay unguarded: both sides load them by
+  // protocol; only the single-side cache fields are role-owned.
   alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
-  std::uint64_t head_cache_ = 0;
+  std::uint64_t head_cache_ BC_GUARDED_BY(producer_role) = 0;
   // Consumer-owned line.
   alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
-  std::uint64_t tail_cache_ = 0;
+  std::uint64_t tail_cache_ BC_GUARDED_BY(consumer_role) = 0;
 };
 
 }  // namespace bytecache::util

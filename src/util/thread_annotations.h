@@ -1,0 +1,97 @@
+// Clang thread-safety annotations for the concurrency layer.
+//
+// The codebase has no mutexes by design (tools/lint.py bc-nolock, DESIGN.md
+// §8): all cross-thread state is SPSC rings plus atomics, and correctness
+// rests on *role discipline* — exactly one thread plays the producer of a
+// ring, exactly one the consumer, exactly one the driver of a sharded
+// gateway.  Clang's thread-safety analysis (-Wthread-safety) can enforce
+// that discipline at compile time if the roles are expressed as
+// capabilities: a ThreadRole is a zero-cost fictional capability, a
+// ScopedRole states "this scope runs on the thread holding that role", and
+// BC_GUARDED_BY / BC_REQUIRES tie data and functions to roles.  Under any
+// other compiler every macro expands to nothing.
+//
+// The macro set mirrors the attribute names from the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); BC_ prefixes
+// keep them greppable and avoid clashing with third-party headers.
+//
+// Conventions (DESIGN.md §11):
+//   - Non-atomic fields touched by exactly one role: BC_GUARDED_BY(role).
+//   - Functions that must run under a role: BC_REQUIRES(role).
+//   - Entry points that *define* a role boundary (a public driver-thread
+//     API, a worker loop) acquire it with ScopedRole; interior helpers
+//     take BC_REQUIRES and never re-acquire.
+//   - Atomics are never guarded: they are safe from any thread by
+//     construction, and guarding them would force roles onto readers that
+//     the quiescence contract deliberately leaves free (audit, stats).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define BC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef BC_THREAD_ANNOTATION
+#define BC_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+#define BC_CAPABILITY(x) BC_THREAD_ANNOTATION(capability(x))
+#define BC_SCOPED_CAPABILITY BC_THREAD_ANNOTATION(scoped_lockable)
+#define BC_GUARDED_BY(x) BC_THREAD_ANNOTATION(guarded_by(x))
+#define BC_PT_GUARDED_BY(x) BC_THREAD_ANNOTATION(pt_guarded_by(x))
+#define BC_ACQUIRED_BEFORE(...) BC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define BC_ACQUIRED_AFTER(...) BC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define BC_REQUIRES(...) \
+  BC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define BC_REQUIRES_SHARED(...) \
+  BC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define BC_ACQUIRE(...) BC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BC_ACQUIRE_SHARED(...) \
+  BC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define BC_RELEASE(...) BC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BC_RELEASE_SHARED(...) \
+  BC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define BC_TRY_ACQUIRE(...) \
+  BC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define BC_EXCLUDES(...) BC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define BC_ASSERT_CAPABILITY(x) BC_THREAD_ANNOTATION(assert_capability(x))
+#define BC_RETURN_CAPABILITY(x) BC_THREAD_ANNOTATION(lock_returned(x))
+#define BC_NO_THREAD_SAFETY_ANALYSIS \
+  BC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bytecache::util {
+
+/// A fictional capability naming a thread role (ring producer, ring
+/// consumer, gateway driver).  Costs one byte and no cycles; exists only
+/// so Clang can prove that role-owned data is touched exclusively by code
+/// that has claimed the role.  Claiming is a static assertion of the
+/// threading contract, not a lock: two threads claiming the same role is
+/// the bug the surrounding design (one worker per shard, one driver
+/// thread) must prevent.
+class BC_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  /// Statically assume the calling thread holds this role from here on
+  /// (for scopes where ScopedRole's RAII shape does not fit).
+  void assert_held() const BC_ASSERT_CAPABILITY() {}
+};
+
+/// RAII claim of a ThreadRole for the current scope: "this code runs on
+/// the thread that owns `role`".  Compiles to nothing; under Clang it
+/// makes BC_GUARDED_BY / BC_REQUIRES violations inside the scope a
+/// compile error.
+class BC_SCOPED_CAPABILITY ScopedRole {
+ public:
+  explicit ScopedRole(const ThreadRole& role) BC_ACQUIRE(role) {
+    (void)role;  // the claim is purely static
+  }
+  ~ScopedRole() BC_RELEASE() {}
+
+  ScopedRole(const ScopedRole&) = delete;
+  ScopedRole& operator=(const ScopedRole&) = delete;
+};
+
+}  // namespace bytecache::util

@@ -6,9 +6,18 @@
 // escalates from pausing through yielding to napping, so a worker
 // waiting on an empty ring neither burns a core nor adds milliseconds of
 // wake-up latency.
+//
+// Thread-safety contract (util/thread_annotations.h, DESIGN.md §11): a
+// Backoff instance is thread-local by construction — each spin loop
+// declares its own on its own stack — so it carries no role capability;
+// the roles live on the rings the loop is waiting on (SpscRing's
+// producer_role / consumer_role) and on the gateway driver (see
+// gateway/sharded_gateways.h).
 #pragma once
 
 #include <cstdint>
+
+#include "util/thread_annotations.h"
 
 namespace bytecache::util {
 

@@ -279,6 +279,10 @@ TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
 
 TEST(SpscRing, FifoWithWraparoundAndFullEmptyEdges) {
   SpscRing<int> ring(4);
+  // Single-threaded test: this thread plays both ring roles
+  // (util/thread_annotations.h — the claims are purely static).
+  ScopedRole producer(ring.producer_role);
+  ScopedRole consumer(ring.consumer_role);
   int v = 0;
   EXPECT_FALSE(ring.try_pop(v));  // empty
   // Push/pop far past the capacity so the indices wrap the slot array.
@@ -306,6 +310,8 @@ TEST(SpscRing, FifoWithWraparoundAndFullEmptyEdges) {
 
 TEST(SpscRing, MovesOwnershipThrough) {
   SpscRing<std::unique_ptr<int>> ring(8);
+  ScopedRole producer(ring.producer_role);
+  ScopedRole consumer(ring.consumer_role);
   auto p = std::make_unique<int>(41);
   ASSERT_TRUE(ring.try_push(p));
   EXPECT_EQ(p, nullptr);  // moved in
@@ -321,6 +327,7 @@ TEST(SpscRing, CrossThreadTransferPreservesOrder) {
   constexpr std::uint64_t kCount = 200000;
   SpscRing<std::uint64_t> ring(16);
   std::thread producer([&ring] {
+    ScopedRole producer_role(ring.producer_role);
     Backoff backoff;
     for (std::uint64_t i = 0; i < kCount; ++i) {
       std::uint64_t v = i;
@@ -328,6 +335,7 @@ TEST(SpscRing, CrossThreadTransferPreservesOrder) {
       backoff.reset();
     }
   });
+  ScopedRole consumer_role(ring.consumer_role);
   Backoff backoff;
   for (std::uint64_t expect = 0; expect < kCount; ++expect) {
     std::uint64_t v = 0;

@@ -1,0 +1,20 @@
+"""bcanalyze checker registry.
+
+Each checker module exposes RULE (the bc-* rule name findings carry) and
+check(project_ir) -> list[ir.Finding].  To add a checker: create the
+module, add it to REGISTRY here, give it a fixtures/<rule>/ corpus, and
+document it in DESIGN.md §11.  Suppression (NOLINT) is applied by the
+CLI after checking, so checkers always report raw findings.
+"""
+
+from checkers import hotpath_alloc, nolock, rawseq, statsfields, wire_bounds
+
+REGISTRY = [
+    (hotpath_alloc.RULE, hotpath_alloc.check),
+    (nolock.RULE, nolock.check),
+    (rawseq.RULE, rawseq.check),
+    (statsfields.RULE, statsfields.check),
+    (wire_bounds.RULE, wire_bounds.check),
+]
+
+ALL_RULES = [rule for rule, _ in REGISTRY] + ["bc-suppression"]

@@ -1,0 +1,49 @@
+"""Shared helpers for bcanalyze checkers: directory scoping and
+expression-type resolution over the frontend-agnostic IR."""
+
+
+def path_in(path, prefixes):
+    p = path.replace("\\", "/")
+    return any(p.startswith(pre) for pre in prefixes)
+
+
+def split_access(expr_text):
+    """'hdr.seq' / 'it->second' / 'ack' -> member segments, root first.
+    `::`-qualified roots stay one segment ('util::x.y' -> ['util::x','y'])."""
+    text = expr_text.replace(" ", "").replace("->", ".")
+    return [s for s in text.split(".") if s]
+
+
+def resolve_type(project, fn, expr_text, struct_index=None, aliases=None):
+    """Canonical type of a (possibly member-access) expression, or "" when
+    it cannot be resolved from declarations alone."""
+    struct_index = struct_index or project.struct_index()
+    aliases = aliases if aliases is not None else project.aliases()
+    segs = [s for s in split_access(expr_text) if s]
+    if not segs:
+        return ""
+    root = segs[0].split("::")[-1]
+    d = fn.decl_of(root)
+    if d is None and fn.cls and fn.cls in struct_index:
+        for m in struct_index[fn.cls].members:
+            if m.name == root:
+                d = m
+                break
+    if d is None:
+        return ""
+    cur = project.canon(d.type_text, aliases=aliases)
+    for member in segs[1:]:
+        base = cur.split("<")[0].split("::")[-1]
+        st = struct_index.get(base)
+        if st is None:
+            return ""
+        md = next((m for m in st.members if m.name == member), None)
+        if md is None:
+            return ""
+        cur = project.canon(md.type_text, aliases=aliases)
+    return cur
+
+
+def container_base(canon_type):
+    """'std::unordered_map<K,V>' -> 'unordered_map'."""
+    return canon_type.split("<")[0].split("::")[-1]

@@ -1,0 +1,58 @@
+"""bc-nolock (semantic): blocking-synchronisation types by *canonical*
+type anywhere in the data plane (src/rabin/, src/cache/, src/core/).
+
+The regex rule in tools/lint.py catches literal `std::mutex` spellings;
+this checker resolves typedef/using aliases first, so hiding a lock
+behind `using Guard = std::scoped_lock<...>;` (or a project alias of a
+condition variable) is still a finding.  The data plane is sharded
+shared-nothing by design (DESIGN.md §7): a lock anywhere under these
+directories is a design violation, not a style nit.
+"""
+
+from checkers.common import path_in, container_base
+import ir
+
+RULE = "bc-nolock"
+
+DIRS = ("src/rabin/", "src/cache/", "src/core/")
+
+LOCK_TYPES = {
+    "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex",
+    "shared_mutex", "shared_timed_mutex", "lock_guard", "scoped_lock",
+    "unique_lock", "shared_lock", "condition_variable",
+    "condition_variable_any", "counting_semaphore", "binary_semaphore",
+    "barrier", "latch", "promise", "future", "shared_future",
+}
+
+
+def _decl_findings(project, path, decls, where, aliases):
+    out = []
+    for d in decls:
+        base = container_base(project.canon(d.type_text, aliases=aliases))
+        if base in LOCK_TYPES:
+            out.append(ir.Finding(
+                RULE, path, d.line,
+                f"{where} `{d.name}` has blocking type "
+                f"`{d.type_text.strip()}` (canonical: std::{base}) in the "
+                f"lock-free data plane; shard state per worker instead "
+                f"(DESIGN.md §7)"))
+    return out
+
+
+def check(project):
+    findings = []
+    aliases = project.aliases()
+    for f in project.files:
+        if not path_in(f.path, DIRS):
+            continue
+        for st in f.structs:
+            findings.extend(_decl_findings(
+                project, f.path, [m for m in st.members if not m.is_static],
+                f"member of {st.name}", aliases))
+        for fn in f.functions:
+            findings.extend(_decl_findings(project, f.path, fn.locals,
+                                           f"local in {fn.name}()", aliases))
+            findings.extend(_decl_findings(project, f.path, fn.params,
+                                           f"parameter of {fn.name}()",
+                                           aliases))
+    return findings

@@ -1,0 +1,57 @@
+"""bc-rawseq (semantic): raw relational comparison of TCP sequence
+numbers, confirmed by canonical type.
+
+TCP sequence numbers wrap modulo 2^32; `a < b` is wrong across the wrap
+and must be util::seq_lt / seq_le / seq_gt / seq_ge (src/util/seqcmp.h).
+The regex rule in tools/lint.py fires on any *name* containing "seq";
+this checker additionally resolves the operand's declared type through
+locals, parameters, members, and typedef chains, and only reports when
+the seq-named operand really is a 32-bit unsigned — so `seq_len < n` on
+a std::size_t no longer needs a suppression, while `hdr.seq < limit`
+still fires even when reached through an alias.
+"""
+
+from checkers.common import path_in, resolve_type, split_access
+import ir
+
+RULE = "bc-rawseq"
+
+DIRS = ("src/",)
+EXEMPT = ("src/util/seqcmp.h",)
+
+_REL = {"<", "<=", ">", ">="}
+_U32 = {"std::uint32_t", "uint32_t", "u32", "unsignedint", "unsigned int"}
+
+
+def _seq_named(expr_text):
+    segs = split_access(expr_text)
+    last = segs[-1] if segs else ""
+    return "seq" in last.lower()
+
+
+def check(project):
+    findings = []
+    struct_index = project.struct_index()
+    aliases = project.aliases()
+    for f in project.files:
+        if not path_in(f.path, DIRS) or f.path in EXEMPT:
+            continue
+        for fn in f.functions:
+            for cmp_ in fn.compares:
+                if cmp_.op not in _REL:
+                    continue
+                for text, typ in ((cmp_.lhs_text, cmp_.lhs_type),
+                                  (cmp_.rhs_text, cmp_.rhs_type)):
+                    if not _seq_named(text):
+                        continue
+                    canon = typ or resolve_type(project, fn, text,
+                                                struct_index, aliases)
+                    if canon in _U32:
+                        findings.append(ir.Finding(
+                            RULE, f.path, cmp_.line,
+                            f"raw `{cmp_.op}` on sequence number "
+                            f"`{text}` (canonical type {canon}): wraps "
+                            f"mod 2^32 — use util::seq_lt/le/gt/ge "
+                            f"(util/seqcmp.h)"))
+                        break
+    return findings

@@ -1,0 +1,82 @@
+"""bc-statsfields: every *Stats struct's data members must exactly match
+its ADL stats_fields() table (src/obs/fields.h).
+
+The telemetry subsystem (PR 4) drives merge/reset/snapshot generically
+from the field table; a counter added to the struct but not the table is
+silently dropped from every report, and a renamed display string makes
+dashboards lie.  Regex cannot pair a struct's member list with a
+constexpr table in another location; the IR can.  Checks, per struct
+named `*Stats`:
+
+  * a stats_fields() table exists;
+  * table entries and non-static data members agree as ordered lists;
+  * each entry's display string equals the member name (the repo
+    convention — deviations are almost always copy-paste slips).
+
+Tables naming a struct that does not exist are reported too (stale
+table after a rename).
+"""
+
+import ir
+
+RULE = "bc-statsfields"
+
+
+def check(project):
+    findings = []
+    tables = {}
+    for t in project.all_field_tables():
+        tables.setdefault(t.struct_name, t)
+    structs = {}
+    for s in project.all_structs():
+        if s.name.endswith("Stats"):
+            structs.setdefault(s.name, s)
+
+    for name, s in sorted(structs.items()):
+        members = [m.name for m in s.members if not m.is_static]
+        if not members:
+            continue  # tag/empty structs carry no counters
+        t = tables.get(name)
+        if t is None:
+            findings.append(ir.Finding(
+                RULE, s.path, s.line,
+                f"struct {name} has {len(members)} counters but no "
+                f"stats_fields() table — its values never reach "
+                f"merge/snapshot/report (obs/fields.h)"))
+            continue
+        entry_members = [e.member for e in t.entries]
+        missing = [m for m in members if m not in entry_members]
+        extra = [m for m in entry_members if m not in members]
+        for m in missing:
+            findings.append(ir.Finding(
+                RULE, t.path, t.line,
+                f"stats_fields({name}) is missing member `{m}` — the "
+                f"counter exists in the struct but is dropped from every "
+                f"merge and report"))
+        for e in t.entries:
+            if e.member in extra:
+                findings.append(ir.Finding(
+                    RULE, t.path, e.line,
+                    f"stats_fields({name}) names `{e.member}` which is "
+                    f"not a data member of {name}"))
+        if not missing and not extra and entry_members != members:
+            findings.append(ir.Finding(
+                RULE, t.path, t.line,
+                f"stats_fields({name}) lists the members in a different "
+                f"order than the struct declares them — keep the two in "
+                f"lockstep so diffs stay reviewable"))
+        for e in t.entries:
+            if e.member in members and e.display != e.member:
+                findings.append(ir.Finding(
+                    RULE, t.path, e.line,
+                    f"stats_fields({name}) displays `{e.member}` as "
+                    f"\"{e.display}\" — display strings must equal the "
+                    f"member name"))
+
+    for name, t in sorted(tables.items()):
+        if name.endswith("Stats") and name not in structs:
+            findings.append(ir.Finding(
+                RULE, t.path, t.line,
+                f"stats_fields() table refers to struct {name}, which "
+                f"does not exist (stale after a rename?)"))
+    return findings

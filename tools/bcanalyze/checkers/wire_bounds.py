@@ -1,0 +1,159 @@
+"""bc-wire-bounds: every offset-advancing wire read in a parse/deserialize
+function must be dominated by a remaining-length guard.
+
+util::get_u8/u16/u32/u64 (util/bytes.h) advance the caller's offset and
+do NOT bounds-check — the contract is that the caller proved the bytes
+exist first.  This checker walks each parser's statement tree in order
+and requires that, before any read executes, control has passed a
+dominating guard:
+
+  * a size guard — an `if` whose condition consults the input's
+    size/empty/remaining length (or a k*Bytes/kSize constant) and whose
+    then-branch always exits (early-return shape), or whose body
+    encloses the reads;
+  * a delegated guard — `if (!h) return ...;` where `h` was produced by
+    another parse_*/deserialize_* call (that callee did the checking).
+
+Reads in scope: get_uN calls and offset-indexed subscripts, inside
+functions named parse* / deserialize* under src/packet/, src/core/ and
+src/cache/.  This is a structured-dominance approximation, not full
+dataflow: it accepts the repo's guard idioms (see core/wire.cc) and
+rejects read-before-check orderings, which is exactly the bug class the
+v1->v2 shim migration produced.
+"""
+
+import re
+
+from checkers.common import path_in
+import ir
+
+RULE = "bc-wire-bounds"
+
+DIRS = ("src/packet/", "src/core/", "src/cache/")
+NAME_RE = re.compile(r"^(parse|deserialize)")
+
+_SIZE_WORDS = ("size", "empty", "remaining", "avail", "left", "length",
+               "ksize", "kwirebytes", "kminbytes", "bytes")
+
+
+def _has_size_word(text):
+    # `std::size_t` in a for-init or lambda parameter is a type name,
+    # not a length consultation — drop it before the substring match.
+    low = re.sub(r"\bs?size_t\b", "", text.lower())
+    return any(w in low for w in _SIZE_WORDS)
+
+
+def _is_size_guard(cond_text, fn):
+    if _has_size_word(cond_text):
+        return True
+    # The repo's `have(n)` idiom: a local lambda whose body consults the
+    # remaining length — `auto have = [&](size_t n) { return
+    # view.size() - off >= n; };` then `if (!have(8)) return false;`.
+    for name in set(re.findall(r"[A-Za-z_]\w*", cond_text)):
+        d = fn.decl_of(name)
+        if d and _has_size_word(d.init_text):
+            return True
+    return False
+
+
+def _is_delegated_guard(cond_text, fn):
+    """`! h` / `h == nullopt`-style condition where h's initialiser ran
+    another parse/deserialize function."""
+    for name in re.findall(r"[A-Za-z_]\w*", cond_text):
+        d = fn.decl_of(name)
+        if d and re.search(r"\b(parse|deserialize)\w*\s*\(", d.init_text):
+            return True
+        if d and ("parse" in d.init_text or "deserialize" in d.init_text):
+            return True
+    return False
+
+
+def _always_exits(node):
+    if node is None:
+        return False
+    if node.kind == "return":
+        return True
+    if node.kind == "stmt":
+        return node.exits
+    if node.kind == "block":
+        return any(_always_exits(c) for c in node.children)
+    if node.kind == "if":
+        then = node.children[0] if node.children else None
+        els = node.children[1] if len(node.children) > 1 else None
+        return els is not None and _always_exits(then) and _always_exits(els)
+    return False
+
+
+def _walk(node, guarded, fn, path, findings):
+    """Visit children in order; returns the guardedness after the node."""
+    if node is None:
+        return guarded
+    if node.kind == "block":
+        g = guarded
+        for c in node.children:
+            g = _walk(c, g, fn, path, findings)
+        return guarded  # block-internal guards do not escape upward...
+    if node.kind == "if":
+        is_guard = _is_size_guard(node.cond_text, fn) or \
+            _is_delegated_guard(node.cond_text, fn)
+        # Reads inside a guarding condition are guarded by its own
+        # short-circuit (`if (!have(8) || get_u32(...) != magic)`).
+        _check_reads(node, guarded or is_guard, path, findings)
+        then = node.children[0] if node.children else None
+        els = node.children[1] if len(node.children) > 1 else None
+        _walk_into(then, guarded or is_guard, fn, path, findings)
+        _walk_into(els, guarded, fn, path, findings)
+        if is_guard and _always_exits(then):
+            return True  # early-exit guard dominates the rest
+        return guarded
+    if node.kind == "loop":
+        _check_reads(node, guarded, path, findings)
+        # A size-guarding loop header (`while (have(4))`) dominates its
+        # own body; an index-count header (`i < count`) does not.
+        body_guarded = guarded or _is_size_guard(node.cond_text, fn)
+        _walk_into(node.children[0] if node.children else None,
+                   body_guarded, fn, path, findings)
+        return guarded
+    _check_reads(node, guarded, path, findings)
+    return guarded
+
+
+def _walk_into(node, guarded, fn, path, findings):
+    """Like _walk but for a branch body: guards established by earlier
+    children of the body do apply to later children of the same body."""
+    if node is None:
+        return
+    if node.kind == "block":
+        g = guarded
+        for c in node.children:
+            g = _walk(c, g, fn, path, findings)
+    else:
+        _walk(node, guarded, fn, path, findings)
+
+
+def _check_reads(node, guarded, path, findings):
+    if guarded:
+        return
+    for r in node.reads:
+        what = f"util::{r.callee}({r.args_text})" if r.callee != "subscript" \
+            else f"{r.receiver}[{r.args_text}]"
+        findings.append(ir.Finding(
+            RULE, path, r.line,
+            f"offset-advancing read {what} is not dominated by a "
+            f"remaining-length guard — get_uN does not bounds-check "
+            f"(util/bytes.h contract); check size()/remaining before "
+            f"reading"))
+
+
+def check(project):
+    findings = []
+    for f in project.files:
+        if not path_in(f.path, DIRS):
+            continue
+        for fn in f.functions:
+            if not NAME_RE.match(fn.name):
+                continue
+            if fn.body is None:
+                continue
+            _walk(fn.body, False, fn, f.path, findings)
+    return findings

@@ -1,0 +1,152 @@
+"""bcanalyze command-line driver.
+
+    python3 tools/bcanalyze [paths...] [options]
+
+With no paths, analyzes every .h/.cc under src/.  Findings print as
+`path:line: [rule] message` (the same shape tools/lint.py uses) and the
+exit code is 1 when any finding survives suppression.  --json emits the
+findings as a JSON array for CI to grep/upload.
+
+Frontends: --frontend auto (default) uses libclang when the Python
+bindings are importable and working, else the pure-Python structural
+frontend.  Both produce the same IR; see frontend_clang.py /
+frontend_fallback.py.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import ir  # noqa: E402
+import suppress  # noqa: E402
+import frontend_fallback  # noqa: E402
+import frontend_clang  # noqa: E402
+from checkers import REGISTRY, ALL_RULES  # noqa: E402
+
+
+def default_paths(root):
+    out = []
+    for base, _dirs, files in os.walk(os.path.join(root, "src")):
+        for name in files:
+            if name.endswith((".h", ".cc")):
+                out.append(os.path.relpath(os.path.join(base, name), root))
+    return sorted(out)
+
+
+def build_ir(paths, root, frontend, compile_commands):
+    if frontend == "clang" or (frontend == "auto"
+                               and frontend_clang.available()):
+        try:
+            return frontend_clang.load(paths, root,
+                                       compile_commands=compile_commands)
+        except Exception as e:
+            if frontend == "clang":
+                raise
+            print(f"bcanalyze: libclang frontend failed ({e}); "
+                  f"falling back", file=sys.stderr)
+    return frontend_fallback.load(paths, root)
+
+
+def check_project(project, checks=None):
+    """Run checkers + suppression over a prebuilt ProjectIR."""
+    raw_by_path = {f.path: f.raw_lines for f in project.files}
+
+    findings = []
+    for rule, check in REGISTRY:
+        if checks and rule not in checks:
+            continue
+        findings.extend(check(project))
+
+    kept = []
+    for fd in findings:
+        raw = raw_by_path.get(fd.path, [])
+        if not suppress.is_suppressed(raw, fd.rule, fd.line):
+            kept.append(fd)
+
+    if not checks or "bc-suppression" in checks:
+        for f in project.files:
+            for line, rule in suppress.unexplained_markers(f.raw_lines):
+                kept.append(ir.Finding(
+                    "bc-suppression", f.path, line,
+                    f"NOLINT({rule}) carries no reason — add prose in "
+                    f"the same comment or the line above saying *why* "
+                    f"the rule does not apply here"))
+    kept.sort(key=lambda fd: (fd.path, fd.line, fd.rule))
+    return kept
+
+
+def run(paths, root, checks=None, frontend="auto", compile_commands=None):
+    """Returns (findings_after_suppression, project_ir)."""
+    project = build_ir(paths, root, frontend, compile_commands)
+    return check_project(project, checks), project
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="bcanalyze",
+        description="semantic lint for the bytecache tree "
+                    "(see DESIGN.md §11)")
+    ap.add_argument("paths", nargs="*",
+                    help="files to analyze (repo-relative; default: src/)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this file)")
+    ap.add_argument("--checks", default=None,
+                    help="comma-separated rule subset (default: all)")
+    ap.add_argument("--frontend", choices=("auto", "fallback", "clang"),
+                    default="auto")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for the clang frontend "
+                         "(default: build/compile_commands.json if present)")
+    ap.add_argument("--json", dest="json_out", default=None, metavar="FILE",
+                    help="also write findings as JSON ('-' for stdout)")
+    ap.add_argument("--list-checks", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_checks:
+        for rule in ALL_RULES:
+            print(rule)
+        return 0
+
+    root = args.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    paths = []
+    for p in (args.paths or default_paths(root)):
+        full = os.path.join(root, p)
+        if os.path.isdir(full):
+            for base, _dirs, files in os.walk(full):
+                for name in files:
+                    if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                        paths.append(os.path.relpath(
+                            os.path.join(base, name), root))
+        elif os.path.isfile(full):
+            paths.append(p)
+    paths = sorted(set(paths))
+    checks = set(args.checks.split(",")) if args.checks else None
+    cc = args.compile_commands
+    if cc is None:
+        candidate = os.path.join(root, "build", "compile_commands.json")
+        cc = candidate if os.path.isfile(candidate) else None
+
+    findings, project = run(paths, root, checks=checks,
+                            frontend=args.frontend, compile_commands=cc)
+
+    for fd in findings:
+        print(fd.render())
+    if args.json_out:
+        payload = json.dumps([fd.as_dict() for fd in findings], indent=2)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as f:
+                f.write(payload + "\n")
+    n = len(findings)
+    print(f"bcanalyze[{project.frontend}]: {len(paths)} files, "
+          f"{n} finding{'s' if n != 1 else ''}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

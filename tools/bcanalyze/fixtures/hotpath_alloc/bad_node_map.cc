@@ -1,0 +1,46 @@
+// BC-FIXTURE: path=src/core/fixture_node_map.cc
+//
+// bc-hotpath-alloc known-bad, modelled on the real bug this checker
+// caught in Encoder::on_reverse_ack (PR 6): a node-based map growing on
+// the per-packet path costs one heap allocation per new key.  Also
+// covers a bare new-expression, make_unique, a std::function local, and
+// — the part regex cannot do — an allocation reached only *transitively*
+// through a helper.
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace bytecache::core {
+
+struct FixtureFeedback {
+  std::unordered_map<std::uint64_t, std::uint32_t> highest_ack;
+
+  void on_reverse_ack(std::uint64_t flow_key, std::uint32_t ack) {
+    auto it = highest_ack.find(flow_key);
+    if (it == highest_ack.end()) {
+      highest_ack.emplace(flow_key, ack);  // EXPECT(bc-hotpath-alloc)
+    }
+  }
+};
+
+int* fixture_leaf_alloc(int v) {
+  return new int(v);  // EXPECT(bc-hotpath-alloc)
+}
+
+std::unique_ptr<int> fixture_make(int v) {
+  return std::make_unique<int>(v);  // EXPECT(bc-hotpath-alloc)
+}
+
+std::uint32_t fixture_erased(std::uint32_t x) {
+  std::function<std::uint32_t(std::uint32_t)> f =  // EXPECT(bc-hotpath-alloc)
+      [](std::uint32_t v) { return v + 1; };
+  return f(x);
+}
+
+// Transitive case: process() itself allocates nothing, but the helper
+// it calls does — the finding lands on the helper's line with the call
+// chain in the message.
+int* fixture_process(int v) { return fixture_leaf_alloc(v); }
+
+}  // namespace bytecache::core

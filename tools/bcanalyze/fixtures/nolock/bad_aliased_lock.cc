@@ -1,0 +1,26 @@
+// BC-FIXTURE: path=src/cache/fixture_aliased_lock.cc
+//
+// bc-nolock known-bad: locks reaching the data plane through typedef /
+// using chains that the regex rule in tools/lint.py cannot see.  The
+// canonical-type resolution must chase each alias to the underlying
+// std:: lock type.
+#include <mutex>
+
+namespace bytecache::cache {
+
+using Guard = std::lock_guard<std::mutex>;
+typedef std::mutex SlowLock;
+using HiddenLock = SlowLock;  // two-level chain
+
+struct FixtureTable {
+  SlowLock table_lock;  // EXPECT(bc-nolock)
+  int entries = 0;
+};
+
+int locked_count(FixtureTable& t) {
+  HiddenLock spare;  // EXPECT(bc-nolock)
+  Guard g(t.table_lock);  // EXPECT(bc-nolock)
+  return t.entries;
+}
+
+}  // namespace bytecache::cache

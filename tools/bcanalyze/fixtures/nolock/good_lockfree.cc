@@ -1,0 +1,22 @@
+// BC-FIXTURE: path=src/cache/fixture_lockfree.cc
+//
+// bc-nolock known-good: the primitives the data plane is *supposed* to
+// use — atomics, plain integers, and role capabilities — must not fire,
+// and a lock type outside the scoped directories (this file pretends to
+// be in src/cache/, so the contrast case lives in good_outside_scope.cc).
+#include <atomic>
+#include <cstdint>
+
+namespace bytecache::cache {
+
+struct FixtureRing {
+  std::atomic<std::uint64_t> head{0};
+  std::atomic<std::uint64_t> tail{0};
+  std::uint64_t cached_head = 0;
+};
+
+std::uint64_t depth(const FixtureRing& r) {
+  return r.tail.load() - r.head.load();
+}
+
+}  // namespace bytecache::cache

@@ -1,0 +1,15 @@
+// BC-FIXTURE: path=src/sim/fixture_outside_scope.cc
+//
+// bc-nolock known-good: the rule is scoped to src/rabin|cache|core; a
+// mutex in the simulator layer is allowed (the sim drives threads and
+// may synchronise however it likes).
+#include <mutex>
+
+namespace bytecache::sim {
+
+struct FixtureDriver {
+  std::mutex mu;  // fine here: src/sim/ is not the data plane
+  int runs = 0;
+};
+
+}  // namespace bytecache::sim

@@ -1,0 +1,29 @@
+// BC-FIXTURE: path=src/core/fixture_typed_seq.cc
+//
+// bc-rawseq known-bad: relational comparison on 32-bit sequence
+// numbers, including through a member access and a using-alias — both
+// need type resolution, which is exactly what the regex rule cannot do.
+#include <cstdint>
+
+namespace bytecache::core {
+
+using WireSeq = std::uint32_t;
+
+struct FixtureHdr {
+  std::uint32_t seq = 0;
+  std::uint32_t len = 0;
+};
+
+bool fixture_before(std::uint32_t seq, std::uint32_t limit) {
+  return seq < limit;  // EXPECT(bc-rawseq)
+}
+
+bool fixture_member(const FixtureHdr& hdr, std::uint32_t limit) {
+  return hdr.seq >= limit;  // EXPECT(bc-rawseq)
+}
+
+bool fixture_alias(WireSeq base_seq, WireSeq other) {
+  return base_seq > other;  // EXPECT(bc-rawseq)
+}
+
+}  // namespace bytecache::core

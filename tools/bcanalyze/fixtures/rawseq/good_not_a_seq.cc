@@ -1,0 +1,26 @@
+// BC-FIXTURE: path=src/core/fixture_not_a_seq.cc
+//
+// bc-rawseq known-good: the precision cases the semantic checker buys
+// over the regex.  A *size* whose name happens to contain "seq" is not
+// a wrapping sequence number; equality tests never wrap; and the
+// sanctioned util::seq_lt helpers are obviously fine.
+#include <cstddef>
+#include <cstdint>
+
+#include "util/seqcmp.h"
+
+namespace bytecache::core {
+
+bool fixture_sizes(std::size_t seq_len, std::size_t budget) {
+  return seq_len < budget;  // size_t, not a u32 sequence: no finding
+}
+
+bool fixture_equality(std::uint32_t seq, std::uint32_t expected) {
+  return seq == expected;  // equality does not wrap: no finding
+}
+
+bool fixture_sanctioned(std::uint32_t seq, std::uint32_t limit) {
+  return util::seq_lt(seq, limit);  // the fix the checker points at
+}
+
+}  // namespace bytecache::core

@@ -1,0 +1,42 @@
+// BC-FIXTURE: path=src/obs/fixture_drifted_table.cc
+//
+// bc-statsfields known-bad: every way a *Stats struct and its ADL
+// stats_fields() table can drift apart.  A dropped member silently
+// vanishes from every merge and report; a misspelled display string
+// makes dashboards lie; a table for a renamed struct goes stale.
+#include <array>
+#include <cstdint>
+
+#include "obs/fields.h"
+
+namespace bytecache::obs {
+
+struct FixtureDroppedStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;  // missing from the table below
+};
+
+// EXPECT(bc-statsfields)
+inline constexpr auto stats_fields(const FixtureDroppedStats*) {
+  using S = FixtureDroppedStats;
+  return std::array{
+      Field<S>{"packets", &S::packets},
+  };
+}
+
+struct FixtureRenamedStats {
+  std::uint64_t hits = 0;
+};
+
+inline constexpr auto stats_fields(const FixtureRenamedStats*) {
+  using S = FixtureRenamedStats;
+  return std::array{
+      Field<S>{"cache_hits", &S::hits},  // EXPECT(bc-statsfields)
+  };
+}
+
+struct FixtureTablelessStats {  // EXPECT(bc-statsfields)
+  std::uint64_t orphans = 0;
+};
+
+}  // namespace bytecache::obs

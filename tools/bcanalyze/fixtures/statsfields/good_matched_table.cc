@@ -1,0 +1,29 @@
+// BC-FIXTURE: path=src/obs/fixture_matched_table.cc
+//
+// bc-statsfields known-good: the repo convention — table entries match
+// the struct's data members one-to-one, in declaration order, display
+// string equal to the member name.  Static members are not counters and
+// stay out of the table.
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/fields.h"
+
+namespace bytecache::obs {
+
+struct FixtureMatchedStats {
+  static constexpr std::size_t kNotACounter = 4;  // statics exempt
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+inline constexpr auto stats_fields(const FixtureMatchedStats*) {
+  using S = FixtureMatchedStats;
+  return std::array{
+      Field<S>{"packets", &S::packets},
+      Field<S>{"bytes", &S::bytes},
+  };
+}
+
+}  // namespace bytecache::obs

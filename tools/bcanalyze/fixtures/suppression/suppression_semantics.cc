@@ -1,0 +1,36 @@
+// BC-FIXTURE: path=src/core/fixture_suppression.cc
+//
+// Suppression semantics, end to end: a NOLINT(bc-*) on the offending
+// line or on the line directly above silences the finding; an identical
+// unsuppressed violation still fires (proving the suppression is
+// line-scoped, not file-scoped); and a bare marker with no reason is
+// itself a bc-suppression finding.
+#include <cstdint>
+
+namespace bytecache::core {
+
+bool fixture_on_line(std::uint32_t seq, std::uint32_t limit) {
+  // Handshake comparison before any wrap is possible.
+  return seq < limit;  // NOLINT(bc-rawseq) ISN comparison, pre-wrap only
+}
+
+bool fixture_line_above(std::uint32_t seq, std::uint32_t limit) {
+  // NOLINT(bc-rawseq) relative sequence, rebased to 0 at capture time
+  return seq < limit;
+}
+
+bool fixture_unsuppressed(std::uint32_t seq, std::uint32_t limit) {
+  return seq < limit;  // EXPECT(bc-rawseq)
+}
+
+bool fixture_bare_marker(std::uint32_t seq, std::uint32_t limit) {
+  return seq < limit;  // NOLINT(bc-rawseq) EXPECT(bc-suppression)
+}
+
+bool fixture_wrong_rule(std::uint32_t seq, std::uint32_t limit) {
+  // A marker for a different rule must not silence this one.
+  // The reason prose here explains the bc-nolock marker only.
+  return seq < limit;  // NOLINT(bc-nolock) not a lock EXPECT(bc-rawseq)
+}
+
+}  // namespace bytecache::core

@@ -1,0 +1,49 @@
+// BC-FIXTURE: path=src/packet/fixture_unguarded.cc
+//
+// bc-wire-bounds known-bad: offset-advancing reads with no dominating
+// remaining-length guard.  util::get_uN does not bounds-check (that is
+// its documented contract), so each of these walks off the end of a
+// short buffer.  Covers the three orderings the v1->v2 shim migration
+// actually produced: no guard at all, read-before-check, and a guard
+// whose early-exit protects later code but not the loop above it.
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace bytecache::packet {
+
+struct FixtureShim {
+  std::uint16_t magic = 0;
+  std::uint32_t len = 0;
+};
+
+std::optional<FixtureShim> parse_no_guard(util::BytesView wire) {
+  std::size_t off = 0;
+  FixtureShim s;
+  s.magic = util::get_u16(wire, off);  // EXPECT(bc-wire-bounds)
+  s.len = util::get_u32(wire, off);   // EXPECT(bc-wire-bounds)
+  return s;
+}
+
+std::optional<FixtureShim> parse_check_after_read(util::BytesView wire) {
+  std::size_t off = 0;
+  FixtureShim s;
+  s.magic = util::get_u16(wire, off);  // EXPECT(bc-wire-bounds)
+  if (wire.size() < 6) return std::nullopt;  // too late for magic
+  s.len = util::get_u32(wire, off);  // this one is guarded: no finding
+  return s;
+}
+
+std::uint32_t parse_loop_before_guard(util::BytesView wire,
+                                      std::size_t count) {
+  std::size_t off = 0;
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    sum += util::get_u32(wire, off);  // EXPECT(bc-wire-bounds)
+  }
+  if (wire.size() < count * 4) return 0;
+  return sum;
+}
+
+}  // namespace bytecache::packet

@@ -1,0 +1,197 @@
+"""Frontend-agnostic program IR consumed by the bcanalyze checkers.
+
+Two frontends produce this IR:
+
+  * frontend_clang.py    — libclang (clang.cindex) over compile_commands.json;
+                           used on CI where a pinned libclang wheel exists.
+  * frontend_fallback.py — a pure-Python structural parser; used everywhere
+                           else (including this repo's own test fixtures) so
+                           the analyzer has no hard dependency the container
+                           cannot satisfy.
+
+The IR is deliberately small: checkers need declarations with *canonical*
+types (aliases resolved), call sites with receivers, comparison operators
+with operand types, a statement tree for dominance reasoning, and the
+struct/field-table pairs behind the stats system.  Anything a checker does
+not consume does not belong here.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Finding:
+    rule: str          # e.g. "bc-hotpath-alloc"
+    path: str          # repo-relative path
+    line: int          # 1-based
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self):
+        return {"rule": self.rule, "file": self.path, "line": self.line,
+                "message": self.message}
+
+
+@dataclass
+class Decl:
+    """A named declaration with a type: local, parameter, or data member."""
+    name: str
+    type_text: str       # declared type as written ("FlowKey", "SeqNo &")
+    canon_type: str      # alias-resolved type ("std::uint32_t &")
+    line: int
+    is_static: bool = False
+    init_text: str = ""  # loose source of the initialiser, "" if none
+
+
+@dataclass
+class Call:
+    """A call site.  `callee` is the qualified name as written
+    ("util::get_u16", "emplace", "push_back"); `receiver` is the object
+    expression before a . or -> ("highest_ack_", "s.in"), empty for free
+    calls; `args_text` is the loose source of the argument list."""
+    callee: str
+    receiver: str
+    line: int
+    args_text: str = ""
+
+
+@dataclass
+class Compare:
+    """A relational/equality comparison with loosely-typed operands."""
+    op: str              # < <= > >= == !=
+    line: int
+    lhs_text: str
+    rhs_text: str
+    lhs_type: str = ""   # canonical type when resolvable, else ""
+    rhs_type: str = ""
+
+
+@dataclass
+class Stmt:
+    """Statement-tree node for dominance reasoning (bc-wire-bounds).
+
+    kind: 'block' | 'if' | 'loop' | 'return' | 'stmt'
+    For 'if': cond_text/cond_line describe the condition, children[0] is the
+    then-branch, children[1] (optional) the else-branch.  For 'loop',
+    cond_text is the header and children[0] the body.  reads lists the
+    offset-advancing wire reads performed directly by this node (condition
+    or plain statement)."""
+    kind: str
+    line: int
+    cond_text: str = ""
+    children: list = field(default_factory=list)
+    reads: list = field(default_factory=list)   # list[Call]
+    exits: bool = False  # a plain statement that leaves the function/loop
+
+
+@dataclass
+class Function:
+    """A function or method *definition*."""
+    name: str            # unqualified ("drain_some")
+    qualname: str        # "bytecache::gateway::ShardedEncoderGateway::drain_some"
+    path: str
+    line: int
+    end_line: int
+    params: list = field(default_factory=list)   # list[Decl]
+    locals: list = field(default_factory=list)   # list[Decl]
+    calls: list = field(default_factory=list)    # list[Call]
+    compares: list = field(default_factory=list)  # list[Compare]
+    news: list = field(default_factory=list)     # lines of new-expressions
+    body: Stmt = None                            # statement tree, or None
+    cls: str = ""        # enclosing class name when this is a method
+    tparams: list = field(default_factory=list)  # template parameter names
+
+    def decl_of(self, name):
+        for d in self.locals:
+            if d.name == name:
+                return d
+        for d in self.params:
+            if d.name == name:
+                return d
+        return None
+
+
+@dataclass
+class Struct:
+    name: str            # "EncoderStats"
+    qualname: str
+    path: str
+    line: int
+    members: list = field(default_factory=list)  # list[Decl], statics included
+
+
+@dataclass
+class FieldTableEntry:
+    display: str         # string shown in stats output ("packets")
+    member: str          # &S::packets -> "packets"
+    line: int
+
+
+@dataclass
+class FieldTable:
+    """An ADL stats_fields(const S*) table (see src/obs/fields.h)."""
+    struct_name: str     # "EncoderStats" (last component of the param type)
+    path: str
+    line: int
+    entries: list = field(default_factory=list)  # list[FieldTableEntry]
+
+
+@dataclass
+class FileIR:
+    path: str            # repo-relative
+    functions: list = field(default_factory=list)
+    structs: list = field(default_factory=list)
+    field_tables: list = field(default_factory=list)
+    aliases: dict = field(default_factory=dict)   # name -> target type text
+    raw_lines: list = field(default_factory=list)  # for suppression scanning
+
+
+@dataclass
+class ProjectIR:
+    files: list = field(default_factory=list)     # list[FileIR]
+    frontend: str = "fallback"                    # "fallback" | "clang"
+
+    def all_functions(self):
+        for f in self.files:
+            yield from f.functions
+
+    def all_structs(self):
+        for f in self.files:
+            yield from f.structs
+
+    def all_field_tables(self):
+        for f in self.files:
+            yield from f.field_tables
+
+    def aliases(self):
+        """Project-wide typedef/using map keyed by unqualified name."""
+        merged = {}
+        for f in self.files:
+            merged.update(f.aliases)
+        return merged
+
+    def struct_index(self):
+        """Structs keyed by unqualified name (later files win on clash)."""
+        idx = {}
+        for s in self.all_structs():
+            idx[s.name] = s
+        return idx
+
+    def canon(self, type_text, aliases=None, extra=None):
+        """Canonicalise a declared type: strip qualifiers/ref/ptr sigils,
+        then chase typedef/using aliases by unqualified name."""
+        import re
+        aliases = self.aliases() if aliases is None else aliases
+        text = re.sub(r"\b(const|volatile|constexpr|mutable|static)\b", " ",
+                      type_text)
+        text = text.replace(" ", "").strip("&*")
+        seen = set()
+        while True:
+            base = text.split("<")[0].split("::")[-1]
+            target = (extra or {}).get(base) or aliases.get(base)
+            if target is None or base in seen:
+                return text
+            seen.add(base)
+            text = target.replace(" ", "")

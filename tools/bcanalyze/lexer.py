@@ -1,0 +1,157 @@
+"""C++ tokenizer for the bcanalyze fallback frontend.
+
+Produces a flat token stream with line numbers, with comments and
+preprocessor directives dropped.  This is not a conforming C++ lexer — it is exactly
+strong enough for the semantic layer frontend_fallback.py builds on top
+(declarations, call sites, operators, brace structure), which is in turn
+exactly what the checkers consume.  When libclang is available the clang
+frontend replaces all of this with the real AST.
+"""
+
+from dataclasses import dataclass
+
+# Multi-character punctuators, longest first so maximal munch works.
+_PUNCTUATORS = [
+    "<<=", ">>=", "<=>", "...", "->*", "::", "->", "<<", ">>", "<=", ">=",
+    "==", "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", ".*",
+]
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+
+
+@dataclass
+class Token:
+    kind: str  # 'id' | 'num' | 'str' | 'chr' | 'punct'
+    text: str
+    line: int
+
+    def __repr__(self):
+        return f"{self.text!r}@{self.line}"
+
+
+def tokenize(text):
+    """Returns a list of Tokens.  Comments, preprocessor lines, and literal
+    contents are dropped; line numbers are 1-based."""
+    tokens = []
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True  # only whitespace seen since the last newline
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            at_line_start = True
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        nxt = text[i + 1] if i + 1 < n else ""
+        # Comments.
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                i += 1
+            i += 2
+            continue
+        # Preprocessor directive: drop the (possibly continued) line.
+        if c == "#" and at_line_start:
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                i += 1
+            continue
+        at_line_start = False
+        # Raw string literal R"delim( ... )delim".
+        if c == "R" and nxt == '"':
+            j = i + 2
+            while j < n and text[j] not in "(\n":
+                j += 1
+            delim = text[i + 2 : j]
+            closer = ")" + delim + '"'
+            end = text.find(closer, j)
+            if end == -1:
+                end = n
+            start_line = line
+            line += text.count("\n", i, min(end + len(closer), n))
+            tokens.append(Token("str", '"' + text[j + 1 : end] + '"',
+                                start_line))
+            i = end + len(closer)
+            continue
+        # String / char literal (escapes left raw).
+        if c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                elif text[j] == "\n":
+                    line += 1
+                j += 1
+            tokens.append(Token("str" if quote == '"' else "chr",
+                                text[i : j + 1], line))
+            i = j + 1
+            continue
+        # Identifier / keyword.
+        if c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+            continue
+        # Number (loose: digits, dots, exponents, hex, suffixes, ').
+        if c.isdigit() or (c == "." and nxt.isdigit()):
+            j = i + 1
+            while j < n and (text[j] in _ID_CONT or text[j] in ".'"
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        # Punctuator.
+        for p in _PUNCTUATORS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return tokens
+
+
+def match_brace(tokens, open_index):
+    """Index of the token closing the bracket opened at open_index
+    (one of {([ ), or len(tokens) when unbalanced."""
+    pairs = {"{": "}", "(": ")", "[": "]"}
+    opener = tokens[open_index].text
+    closer = pairs[opener]
+    depth = 0
+    for i in range(open_index, len(tokens)):
+        t = tokens[i].text
+        if t == opener:
+            depth += 1
+        elif t == closer:
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(tokens)
+
+
+def text_of(tokens):
+    """Loose source text of a token slice (for messages and guard scans)."""
+    return " ".join(t.text for t in tokens)

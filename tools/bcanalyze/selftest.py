@@ -1,0 +1,104 @@
+"""bcanalyze fixture-corpus selftest (ctest label: analyze).
+
+Walks every .cc/.h under tools/bcanalyze/fixtures/ (plus the shared
+suppression-parity corpus under tools/lint_selftest/corpus/), analyzes
+each file in isolation, and compares the findings against the file's own
+annotations:
+
+  // BC-FIXTURE: path=src/core/whatever.cc
+      pretend the file lives at this repo-relative path — checker scopes
+      are directory-based, so fixtures must claim a data-plane path.
+
+  ... offending code ...  // EXPECT(bc-rule)
+      exactly one finding for bc-rule must land on this line.  EXPECT
+      may also sit alone on the line above the offending one.
+
+Every finding must be EXPECTed and every EXPECT must find — extra and
+missing findings both fail, so the corpus pins both the true-positive
+and the false-positive behaviour of every checker.  EXPECTs for rules
+this tool does not implement (e.g. regex-only lint.py rules in the
+shared corpus) are ignored.
+"""
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import ir  # noqa: E402
+import frontend_fallback  # noqa: E402
+from checkers import ALL_RULES  # noqa: E402
+from cli import check_project  # noqa: E402
+
+FIXTURE_RE = re.compile(r"BC-FIXTURE:\s*path=(\S+)")
+EXPECT_RE = re.compile(r"EXPECT\(([a-z0-9-]+)\)")
+
+
+def expected_findings(raw_lines):
+    """(line, rule) pairs the fixture demands.  An EXPECT on a line with
+    code refers to that line; an EXPECT alone in a comment line refers to
+    the line below."""
+    out = set()
+    for i, line in enumerate(raw_lines, start=1):
+        for m in EXPECT_RE.finditer(line):
+            rule = m.group(1)
+            if rule not in ALL_RULES:
+                continue  # other tool's rule (shared corpus)
+            code = line.split("//")[0].strip()
+            out.add((i if code else i + 1, rule))
+    return out
+
+
+def run_fixture(path):
+    """Returns a list of error strings (empty = pass)."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    m = FIXTURE_RE.search(text)
+    pretend = m.group(1) if m else os.path.basename(path)
+    fir = frontend_fallback.load_file(path, repo_rel=pretend, text=text)
+    project = ir.ProjectIR(frontend="fallback", files=[fir])
+    got = {(fd.line, fd.rule): fd for fd in check_project(project)}
+    want = expected_findings(text.splitlines())
+
+    errors = []
+    for key in sorted(want - set(got)):
+        errors.append(f"{path}:{key[0]}: expected {key[1]} finding "
+                      f"did not fire")
+    for key in sorted(set(got) - want):
+        errors.append(f"{path}:{key[0]}: unexpected finding: "
+                      f"{got[key].render()}")
+    return errors
+
+
+def corpus_dirs(root):
+    yield os.path.join(root, "tools", "bcanalyze", "fixtures")
+    shared = os.path.join(root, "tools", "lint_selftest", "corpus")
+    if os.path.isdir(shared):
+        yield shared
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    files = []
+    for d in corpus_dirs(root):
+        for base, _dirs, names in os.walk(d):
+            for name in sorted(names):
+                if name.endswith((".cc", ".h")):
+                    files.append(os.path.join(base, name))
+    if not files:
+        print("bcanalyze selftest: no fixtures found", file=sys.stderr)
+        return 1
+    failures = []
+    for path in files:
+        failures.extend(run_fixture(path))
+    for e in failures:
+        print(e)
+    print(f"bcanalyze selftest: {len(files)} fixtures, "
+          f"{len(failures)} failures", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

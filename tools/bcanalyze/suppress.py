@@ -1,0 +1,81 @@
+"""NOLINT suppression semantics, shared with tools/lint.py.
+
+A finding on line N of a file is suppressed for rule R when a comment on
+line N **or line N-1** contains a `NOLINT(...)` marker whose parenthesised
+list names R (comma-separated; whitespace ignored).  tools/lint.py
+implements the same contract — tests/test_suppression_parity in the
+analyze suite holds the two implementations to it over one corpus.
+
+bcanalyze additionally enforces a policy lint.py cannot: every NOLINT of a
+bc-* rule must carry a *reason*.  The reason is prose in the same comment
+as the marker or in a comment on the line directly above it; a bare
+marker is reported as a `bc-suppression` finding.  Suppressing
+bc-suppression itself is not possible — fix the comment instead.
+"""
+
+import re
+
+NOLINT_RE = re.compile(r"NOLINT\(([^)]*)\)")
+# Fixture annotations (selftest.py) never constitute a human-written
+# reason; strip them before judging whether a suppression is explained.
+EXPECT_RE = re.compile(r"EXPECT\([^)]*\)")
+
+
+def parse_markers(line):
+    """Rule names mentioned by NOLINT(...) markers on this source line."""
+    rules = set()
+    for m in NOLINT_RE.finditer(line):
+        for name in m.group(1).split(","):
+            name = name.strip()
+            if name:
+                rules.add(name)
+    return rules
+
+
+def suppressed_lines(raw_lines, rule):
+    """1-based line numbers on which findings for `rule` are suppressed."""
+    out = set()
+    for i, line in enumerate(raw_lines, start=1):
+        if rule in parse_markers(line):
+            out.add(i)       # marker on the offending line itself
+            out.add(i + 1)   # marker on the line above the offending line
+    return out
+
+
+def is_suppressed(raw_lines, rule, line):
+    return line in suppressed_lines(raw_lines, rule)
+
+
+def _comment_text(line):
+    """Prose content of a line's // comment (or of a pure comment line),
+    with NOLINT markers removed."""
+    stripped = line.strip()
+    if stripped.startswith("//"):
+        text = stripped
+    else:
+        idx = line.find("//")
+        text = line[idx:] if idx >= 0 else ""
+    text = NOLINT_RE.sub("", text)
+    text = EXPECT_RE.sub("", text)
+    return text.strip("/ \t*-:")
+
+
+def unexplained_markers(raw_lines):
+    """(line, rule) pairs for bc-* NOLINT markers carrying no reason.
+
+    A reason is any prose (>= 3 chars beyond the marker itself) in the
+    marker's own comment or in a comment line immediately above."""
+    out = []
+    for i, line in enumerate(raw_lines, start=1):
+        bc_rules = sorted(r for r in parse_markers(line) if r.startswith("bc-"))
+        if not bc_rules:
+            continue
+        reason = _comment_text(line)
+        if len(reason) < 3 and i >= 2:
+            above = raw_lines[i - 2].strip()
+            if above.startswith("//") or above.startswith("*"):
+                reason = _comment_text(above)
+        if len(reason) < 3:
+            for rule in bc_rules:
+                out.append((i, rule))
+    return out

@@ -58,8 +58,30 @@ Rules (see DESIGN.md "Correctness tooling"):
                 formatting) and fprintf(stderr, ...) (diagnostics) are
                 fine.  Suppress with NOLINT(bc-obs).
 
+Division of labour with tools/bcanalyze (DESIGN.md §11): this script is
+the *fast pre-pass* — pure-regex, no parsing, runs in milliseconds and
+catches by-name what it can.  Three rules have deeper *semantic*
+counterparts in bcanalyze which judge by canonical type and call graph
+rather than spelling:
+
+  bc-rawseq   -> bcanalyze bc-rawseq      (fires only when the operand's
+                                           canonical type is uint32_t)
+  bc-nolock   -> bcanalyze bc-nolock      (resolves type aliases, so a
+                                           `using Guard = std::lock_guard`
+                                           cannot smuggle a lock in)
+  bc-hotpath  -> bcanalyze bc-hotpath-alloc (call-graph reachability from
+                                           per-packet roots, node-container
+                                           growth, new/malloc)
+
+Keep both: the regex rules here are the cheap recall net (run on every
+ctest invocation), bcanalyze is the precision pass (`ctest -L analyze`).
+A construct silenced for one tool is silenced for the other — the NOLINT
+contract is shared (see nolint_lines / tools/bcanalyze/suppress.py).
+
 Exit status 0 when clean, 1 when violations were found.  `--self-test`
 runs the built-in positive/negative cases instead of scanning the tree.
+`--corpus DIR` checks the file-based fixture corpus (BC-FIXTURE /
+EXPECT(...) annotations, shared format with bcanalyze's selftest).
 """
 
 import argparse
@@ -69,6 +91,10 @@ from pathlib import Path
 
 SOURCE_DIRS = ("src", "tests", "examples", "bench", "tools")
 SOURCE_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+# Fixture corpora contain deliberate violations with their own EXPECT
+# harnesses (--corpus here, tools/bcanalyze/selftest.py); the tree scan
+# must not flag them.
+EXCLUDED_DIRS = ("tools/bcanalyze/fixtures/", "tools/lint_selftest/corpus/")
 
 PROJECT_INCLUDE_ROOTS = (
     "util", "rabin", "packet", "cache", "core", "sim", "tcp",
@@ -176,15 +202,24 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
+NOLINT_RE = re.compile(r"NOLINT\(([^)]*)\)")
+
+
 def nolint_lines(raw_lines, rule):
-    """Line numbers (1-based) suppressed for `rule`: lines carrying
-    NOLINT(rule) plus the line following each (annotation-above style)."""
-    marker = f"NOLINT({rule})"
+    """Line numbers (1-based) suppressed for `rule`: lines carrying a
+    NOLINT(...) marker naming the rule (comma-separated list, whitespace
+    ignored) plus the line following each (annotation-above style).
+
+    This is the same contract tools/bcanalyze/suppress.py implements;
+    the `analyze` ctest suite holds both to it over one shared corpus.
+    """
     suppressed = set()
     for idx, line in enumerate(raw_lines, start=1):
-        if marker in line:
-            suppressed.add(idx)
-            suppressed.add(idx + 1)
+        for m in NOLINT_RE.finditer(line):
+            names = {n.strip() for n in m.group(1).split(",")}
+            if rule in names:
+                suppressed.add(idx)
+                suppressed.add(idx + 1)
     return suppressed
 
 
@@ -408,8 +443,12 @@ def run(root):
         if not base.is_dir():
             continue
         for path in sorted(base.rglob("*")):
-            if path.suffix in SOURCE_SUFFIXES and path.is_file():
-                violations.extend(scan_file(path, root))
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            if any(rel.startswith(d) for d in EXCLUDED_DIRS):
+                continue
+            violations.extend(scan_file(path, root))
     for v in violations:
         print(v)
     if violations:
@@ -519,15 +558,75 @@ def self_test():
     return 0
 
 
+# File-based fixture corpus, shared with tools/bcanalyze/selftest.py.
+# Same annotation format: `// BC-FIXTURE: path=...` claims a pretend
+# repo-relative path (rules are directory-scoped), `EXPECT(rule)` on a
+# line (or alone on the line above) demands exactly one violation there.
+# EXPECTs for rules this script does not implement (bcanalyze-only rules
+# like bc-wire-bounds) are ignored; bc-include is excluded because its
+# own-header/resolution checks need the real filesystem layout.
+
+CORPUS_FIXTURE_RE = re.compile(r"BC-FIXTURE:\s*path=(\S+)")
+CORPUS_EXPECT_RE = re.compile(r"EXPECT\(([a-z0-9-]+)\)")
+CORPUS_RULES = {"bc-rawseq", "bc-wirecast", "bc-hotpath", "bc-nolock",
+                "bc-obs"}
+
+
+def corpus_check(corpus_dir):
+    corpus_dir = Path(corpus_dir)
+    fixtures = [p for p in sorted(corpus_dir.rglob("*"))
+                if p.suffix in SOURCE_SUFFIXES and p.is_file()]
+    if not fixtures:
+        print(f"lint corpus: no fixtures under {corpus_dir}")
+        return 1
+    failures = 0
+    for path in fixtures:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        m = CORPUS_FIXTURE_RE.search(raw)
+        pretend = Path(m.group(1)) if m else Path(path.name)
+        code_lines = strip_comments_and_strings(raw).splitlines()
+        found = []
+        found += scan_rawseq(pretend, raw_lines, code_lines)
+        found += scan_wirecast(pretend, raw_lines, code_lines)
+        found += scan_hotpath(pretend, raw_lines, code_lines)
+        found += scan_nolock(pretend, raw_lines, code_lines)
+        found += scan_obs(pretend, raw_lines, code_lines)
+        got = {(v.lineno, v.rule) for v in found if v.rule in CORPUS_RULES}
+        want = set()
+        for lineno, line in enumerate(raw_lines, start=1):
+            for em in CORPUS_EXPECT_RE.finditer(line):
+                rule = em.group(1)
+                if rule not in CORPUS_RULES:
+                    continue  # bcanalyze-only rule in the shared corpus
+                code = line.split("//")[0].strip()
+                want.add((lineno if code else lineno + 1, rule))
+        for lineno, rule in sorted(want - got):
+            print(f"{path}:{lineno}: expected {rule} violation did not fire")
+            failures += 1
+        for lineno, rule in sorted(got - want):
+            print(f"{path}:{lineno}: unexpected {rule} violation")
+            failures += 1
+    print(f"lint corpus: {len(fixtures)} fixtures, {failures} failure(s)")
+    return 1 if failures else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".",
                         help="repository root to scan (default: cwd)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in rule tests and exit")
+    parser.add_argument("--corpus", nargs="?", metavar="DIR",
+                        const="tools/lint_selftest/corpus",
+                        help="check the file-based fixture corpus instead "
+                             "of scanning the tree (default DIR: "
+                             "tools/lint_selftest/corpus)")
     args = parser.parse_args()
     if args.self_test:
         sys.exit(self_test())
+    if args.corpus:
+        sys.exit(corpus_check(Path(args.root) / args.corpus))
     sys.exit(run(args.root))
 
 

@@ -1,0 +1,25 @@
+// BC-FIXTURE: path=src/cache/parity_hotpath_header.h
+//
+// bc-hotpath (lint.py regex rule): std::function / std::deque in a
+// data-plane header.  bcanalyze's bc-hotpath-alloc covers the deeper
+// reachability story; the regex rule stays as the cheap recall net for
+// the two container spellings, and this file pins it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace bytecache::cache {
+
+struct ParityHotpath {
+  std::function<void(std::uint64_t)> sink_;  // EXPECT(bc-hotpath)
+  std::deque<std::uint8_t> window_;          // EXPECT(bc-hotpath)
+  std::vector<std::uint8_t> scratch_;        // contiguous: fine
+  void (*raw_fn_)(std::uint64_t) = nullptr;  // plain pointer: fine
+  // NOLINT(bc-hotpath) deliberate: cold-path config callback, not per-packet
+  std::function<void()> on_reconfigure_;
+};
+
+}  // namespace bytecache::cache

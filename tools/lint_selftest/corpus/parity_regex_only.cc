@@ -1,0 +1,30 @@
+// BC-FIXTURE: path=src/core/parity_regex_only.cc
+//
+// Rules only the regex pre-pass (tools/lint.py) implements: bc-obs and
+// bc-wirecast.  bcanalyze's selftest also loads this file but ignores
+// EXPECTs for rules it does not know -- it must find nothing here and
+// must not trip over the lint-only NOLINT marker (which carries a
+// reason, so bc-suppression stays quiet too).
+#include <cstdint>
+#include <cstdio>
+
+namespace bytecache::core {
+
+struct ParityHeader {
+  std::uint8_t version = 0;
+};
+
+void parity_print(std::uint64_t n) {
+  std::printf("n=%llu\n", (unsigned long long)n);  // EXPECT(bc-obs)
+}
+
+const ParityHeader* parity_cast(const std::uint8_t* p) {
+  return reinterpret_cast<const ParityHeader*>(p);  // EXPECT(bc-wirecast)
+}
+
+void parity_print_suppressed(std::uint64_t n) {
+  // NOLINT(bc-obs) fixture exercising the lint-only stdout rule
+  std::printf("n=%llu\n", (unsigned long long)n);
+}
+
+}  // namespace bytecache::core

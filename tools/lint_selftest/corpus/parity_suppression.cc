@@ -1,0 +1,42 @@
+// BC-FIXTURE: path=src/core/parity_suppression.cc
+//
+// Suppression-parity corpus: tools/lint.py --corpus and
+// tools/bcanalyze/selftest.py both run this file and must agree on
+// every line.  It pins the shared NOLINT contract: a marker on the
+// offending line or the line directly above silences the finding, the
+// parenthesised list is comma-separated, and an identical unsuppressed
+// violation still fires (line-scoped, not file-scoped).
+#include <cstdint>
+#include <mutex>
+
+namespace bytecache::core {
+
+// Case 1: marker on the offending line.
+bool parity_on_line(std::uint32_t seq, std::uint32_t limit) {
+  return seq < limit;  // NOLINT(bc-rawseq) ISN ordering, pre-wrap only
+}
+
+// Case 2: marker on the line directly above.
+bool parity_line_above(std::uint32_t seq, std::uint32_t limit) {
+  // NOLINT(bc-rawseq) rebased to zero at capture; cannot wrap
+  return seq < limit;
+}
+
+// Case 3: comma-separated rule list (clang-tidy style).
+struct ParityState {
+  // NOLINT(bc-nolock, bc-rawseq) exercising the comma-list marker form
+  std::mutex m_;
+};
+
+// Case 4: an identical, unsuppressed violation still fires in both
+// tools -- proof the markers above are line-scoped.
+bool parity_unsuppressed(std::uint32_t seq, std::uint32_t limit) {
+  return seq < limit;  // EXPECT(bc-rawseq)
+}
+
+// Case 5: a marker for a different rule does not silence this one.
+bool parity_wrong_rule(std::uint32_t seq, std::uint32_t limit) {
+  return seq < limit;  // NOLINT(bc-obs) prints nothing EXPECT(bc-rawseq)
+}
+
+}  // namespace bytecache::core
