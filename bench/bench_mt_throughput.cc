@@ -31,6 +31,7 @@
 #include "gateway/sharded_gateways.h"
 #include "packet/ipv4.h"
 #include "packet/tcp.h"
+#include "rabin/scan_kernel.h"
 
 namespace {
 
@@ -266,8 +267,10 @@ int main(int argc, char** argv) {
       "{\n  \"bench\": \"bench_mt_throughput\", \"passes\": %zu,\n"
       "  \"measure\": \"best_of_timed_passes_after_warmup\",\n"
       "  \"hardware_concurrency\": %u,\n"
+      "  \"kernel\": \"%s\",\n"
       "  \"results\": [\n",
-      passes, std::thread::hardware_concurrency());
+      passes, std::thread::hardware_concurrency(),
+      rabin::scan_kernel().name);
   for (std::size_t i = 0; i < results.size(); ++i) {
     print_result(results[i], i + 1 == results.size());
     failures += results[i].decode_failures;

@@ -34,6 +34,7 @@
 #include "obs/span.h"
 #include "packet/ipv4.h"
 #include "packet/tcp.h"
+#include "rabin/scan_kernel.h"
 
 namespace {
 
@@ -275,8 +276,9 @@ int main(int argc, char** argv) {
   std::size_t failures = 0;
   std::printf("{\n  \"bench\": \"bench_throughput\", \"passes\": %zu,\n"
               "  \"measure\": \"best_of_timed_passes_after_warmup\",\n"
+              "  \"kernel\": \"%s\",\n"
               "  \"results\": [\n",
-              passes);
+              passes, rabin::scan_kernel().name);
   for (std::size_t i = 0; i < results.size(); ++i) {
     print_result(results[i], i + 1 == results.size());
     failures += results[i].decode_failures;

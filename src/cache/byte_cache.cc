@@ -51,6 +51,33 @@ std::optional<CacheHit> ByteCache::find(rabin::Fingerprint fp) {
   return CacheHit{pkt, entry->offset};
 }
 
+void ByteCache::probe_batch(std::span<const rabin::Anchor> anchors,
+                            std::vector<ProbeResult>& out) const {
+  out.resize(anchors.size());
+  table_.probe_batch(anchors, out);
+}
+
+std::optional<CacheHit> ByteCache::resolve(rabin::Fingerprint fp,
+                                           const ProbeResult& probe) {
+  // Mirrors find() step for step; the probe replaces only the table get.
+  ++stats_.lookups;
+  if (!probe.found) return std::nullopt;
+  const CachedPacket* pkt = store_.lookup(probe.entry.packet_id);
+  if (pkt == nullptr) {
+    // Unreachable while the eviction purge holds (see audit), but kept:
+    // a stale entry must never serve a hit.  (If the same stale
+    // fingerprint was probed twice in one batch, the second erase is a
+    // no-op and stale_hits counts it again — find() would have counted a
+    // plain miss — an observable difference only on this
+    // purge-already-failed path.)
+    table_.erase(fp);
+    ++stats_.stale_hits;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return CacheHit{pkt, probe.entry.offset};
+}
+
 bool ByteCache::invalidate(rabin::Fingerprint fp) {
   auto entry = table_.get(fp);
   if (!entry) return false;

@@ -85,6 +85,26 @@ class ByteCache final : private EvictionListener {
   /// Fingerprint lookup with lazy invalidation.  Returns nullopt on miss.
   [[nodiscard]] std::optional<CacheHit> find(rabin::Fingerprint fp);
 
+  /// Batched-probe front half of find(): probes every anchor's
+  /// fingerprint with slot prefetch (FingerprintTable::probe_batch) and
+  /// resizes `out` to anchors.size().  Side-effect free — no statistics,
+  /// no LRU touch — so probing anchors the match loop later skips cannot
+  /// perturb eviction order or counters.
+  void probe_batch(std::span<const rabin::Anchor> anchors,
+                   std::vector<ProbeResult>& out) const;
+
+  /// Back half: resolves one probed anchor with exactly find()'s
+  /// statistics, LRU-touch, and stale-erase sequence, so a
+  /// probe_batch+resolve loop is observably identical to per-anchor
+  /// find() calls in the same order.  `fp` must be the fingerprint the
+  /// probe was issued for.
+  [[nodiscard]] std::optional<CacheHit> resolve(rabin::Fingerprint fp,
+                                                const ProbeResult& probe);
+
+  /// Hints the cache to pull `fp`'s fingerprint-table slot (decoder's
+  /// next-region lookahead).
+  void prefetch(rabin::Fingerprint fp) const { table_.prefetch(fp); }
+
   /// Cache flush (paper Section V-A).
   void flush();
 
@@ -110,7 +130,10 @@ class ByteCache final : private EvictionListener {
   /// normal update path and statistics.  restore_fingerprint also records
   /// the fingerprint on its packet so the eviction purge keeps working
   /// after a warm restart.
-  void restore_packet(CachedPacket entry) { store_.restore(std::move(entry)); }
+  void restore_packet(std::uint64_t id, util::BytesView payload,
+                      const PacketMeta& meta) {
+    store_.restore(id, payload, meta);
+  }
   void restore_fingerprint(rabin::Fingerprint fp, FpEntry entry) {
     table_.put(fp, entry);
     store_.note_fingerprint(entry.packet_id, fp);

@@ -7,6 +7,28 @@
 
 namespace bytecache::cache {
 
+void FingerprintTable::probe_batch(std::span<const rabin::Anchor> anchors,
+                                   std::span<ProbeResult> out) const {
+  BC_CHECK(out.size() >= anchors.size())
+      << "probe_batch result span too small: " << out.size() << " < "
+      << anchors.size();
+  const std::size_t n = anchors.size();
+  // Prime the pipeline: the first kProbeAhead home slots start their way
+  // up the cache hierarchy before any probe needs them.
+  const std::size_t warm = n < kProbeAhead ? n : kProbeAhead;
+  for (std::size_t i = 0; i < warm; ++i) map_.prefetch(anchors[i].fp);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kProbeAhead < n) map_.prefetch(anchors[i + kProbeAhead].fp);
+    const FpEntry* e = map_.find(anchors[i].fp);
+    if (e == nullptr) {
+      out[i].found = false;
+    } else {
+      out[i].entry = *e;
+      out[i].found = true;
+    }
+  }
+}
+
 std::size_t FingerprintTable::audit(const PacketStore& store) const {
   if (!util::kAuditEnabled) return 0;
   std::size_t stale = 0;

@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "cache/flat_map.h"
 #include "rabin/rabin.h"
+#include "rabin/window.h"
 
 namespace bytecache::cache {
 
@@ -27,6 +29,14 @@ class PacketStore;
 struct FpEntry {
   std::uint64_t packet_id = 0;  // PacketStore id
   std::uint16_t offset = 0;     // window start within the payload
+};
+
+/// Result of one batched probe: the entry is copied by value because the
+/// caller resolves probes interleaved with table mutation (stale-entry
+/// erase), which invalidates FlatMap64 pointers.
+struct ProbeResult {
+  FpEntry entry;
+  bool found = false;
 };
 
 class FingerprintTable {
@@ -47,6 +57,24 @@ class FingerprintTable {
 
   /// Removes the entry for `fp` if present.
   void erase(rabin::Fingerprint fp) { map_.erase(fp); }
+
+  /// Hints the cache to pull `fp`'s home slot (see FlatMap64::prefetch).
+  void prefetch(rabin::Fingerprint fp) const { map_.prefetch(fp); }
+
+  /// Probes every anchor's fingerprint, writing out[i] for anchors[i].
+  /// While probing anchor N the table issues a prefetch for anchor
+  /// N+kProbeAhead's home slot, so the encoder's anchor->match loop pays
+  /// one L1 hit per probe instead of one cache miss each.  Side-effect
+  /// free: no stats, no LRU touch — the caller resolves hits through
+  /// ByteCache::resolve in its own order.  Requires out.size() >=
+  /// anchors.size().
+  void probe_batch(std::span<const rabin::Anchor> anchors,
+                   std::span<ProbeResult> out) const;
+
+  /// Probe lookahead distance: far enough to cover an L2 miss across the
+  /// ~6 probes in flight at typical anchor densities, small enough that
+  /// short anchor lists still get full coverage.
+  static constexpr std::size_t kProbeAhead = 8;
 
   /// Removes the entry for `fp` only if it references `packet_id` (the
   /// eviction-purge path: a newer packet may have overwritten the entry,

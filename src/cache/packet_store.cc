@@ -1,6 +1,7 @@
 #include "cache/packet_store.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/check.h"
 
@@ -20,12 +21,23 @@ std::uint32_t PacketStore::acquire_slot() {
 
 void PacketStore::release_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
-  // clear() keeps heap capacity: the next occupant reuses the buffers.
-  s.pkt.payload.clear();
+  // The payload's slice goes back on its arena freelist; the fingerprint
+  // list clear() keeps heap capacity for the next occupant.
+  arena_.free(s.slice);
+  s.slice = SliceArena::Slice{};
+  s.pkt.payload = PayloadView{};
   s.pkt.fps.clear();
   s.pkt.id = 0;
   s.live = false;
   free_.push_back(slot);
+}
+
+void PacketStore::assign_payload(Slot& s, util::BytesView payload) {
+  s.slice = arena_.alloc(payload.size());
+  if (!payload.empty()) {
+    std::memcpy(s.slice.data, payload.data(), payload.size());
+  }
+  s.pkt.payload = PayloadView{s.slice.data, payload.size()};
 }
 
 void PacketStore::link_front(std::uint32_t slot) {
@@ -61,7 +73,7 @@ std::uint64_t PacketStore::insert(util::BytesView payload,
   const std::uint32_t slot = acquire_slot();
   Slot& s = slots_[slot];
   s.pkt.id = next_id_++;
-  s.pkt.payload.assign(payload.begin(), payload.end());
+  assign_payload(s, payload);
   s.pkt.meta = meta;
   s.pkt.fps.clear();
   s.pkt.fps.reserve(anchors.size());
@@ -98,12 +110,16 @@ void PacketStore::note_fingerprint(std::uint64_t id, rabin::Fingerprint fp) {
   if (slot != nullptr) slots_[*slot].pkt.fps.push_back(fp);
 }
 
-void PacketStore::restore(CachedPacket entry) {
-  next_id_ = std::max(next_id_, entry.id + 1);
-  bytes_used_ += entry.payload.size();
+void PacketStore::restore(std::uint64_t id, util::BytesView payload,
+                          const PacketMeta& meta) {
+  next_id_ = std::max(next_id_, id + 1);
+  bytes_used_ += payload.size();
   const std::uint32_t slot = acquire_slot();
   Slot& s = slots_[slot];
-  s.pkt = std::move(entry);
+  s.pkt.id = id;
+  assign_payload(s, payload);
+  s.pkt.meta = meta;
+  s.pkt.fps.clear();
   s.live = true;
   link_back(slot);
   index_.put(s.pkt.id, slot);
@@ -137,11 +153,22 @@ void PacketStore::audit() const {
   if (!util::kAuditEnabled) return;
   std::size_t bytes = 0;
   std::size_t entries = 0;
+  std::size_t arena_slices = 0;  // live entries backed by an arena slice
   std::uint32_t prev = kNil;
   for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
     const Slot& slot = slots_[s];
     bytes += slot.pkt.payload.size();
     ++entries;
+    BC_AUDIT(slot.pkt.payload.data() == slot.slice.data)
+        << "slot " << s << " payload view detached from its slice";
+    if (slot.slice.data != nullptr && slot.slice.cls != SliceArena::kHeapClass) {
+      ++arena_slices;
+      BC_AUDIT(slot.pkt.payload.size() <=
+               SliceArena::class_size(slot.slice.cls))
+          << "slot " << s << " payload of " << slot.pkt.payload.size()
+          << " bytes overflows its class "
+          << SliceArena::class_size(slot.slice.cls);
+    }
     BC_AUDIT(slot.live) << "LRU chain reaches freed slot " << s;
     BC_AUDIT(slot.prev == prev)
         << "slot " << s << " back-link " << slot.prev
@@ -176,6 +203,10 @@ void PacketStore::audit() const {
            entries <= 1)
       << "byte budget " << byte_budget_ << " exceeded: " << bytes_used_
       << " bytes across " << entries << " entries";
+  arena_.audit();
+  BC_AUDIT(arena_.live() == arena_slices)
+      << "arena reports " << arena_.live() << " live slices but "
+      << arena_slices << " live entries hold one";
 }
 
 void PacketStore::evict_to_budget() {

@@ -12,20 +12,60 @@
 //
 // Layout: entries live in a slot vector with intrusive prev/next links
 // forming the LRU list, a freelist recycles slots, and the id index is an
-// open-addressing FlatMap64.  An evicted slot keeps its payload (and
-// fingerprint list) capacity, so steady-state insert/evict churn touches
-// the allocator only when a payload outgrows every buffer seen before —
-// the "pooled packet store" half of the zero-allocation data plane.
+// open-addressing FlatMap64.  Payload bytes live in a SliceArena
+// (cache/slice_arena.h): insert copies into a size-classed slice from a
+// hugepage-friendly area, evict pushes the slice back on its freelist —
+// both O(1), and steady-state insert/evict churn never touches the
+// system allocator (an evicted slot additionally keeps its fingerprint
+// list's capacity) — the "pooled packet store" half of the
+// zero-allocation data plane.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "cache/flat_map.h"
+#include "cache/slice_arena.h"
 #include "rabin/window.h"
 #include "util/bytes.h"
 
 namespace bytecache::cache {
+
+/// Read-only view of a cached payload.  The bytes live in the store's
+/// slice arena (or, transiently, a slot's heap fallback) and are valid
+/// exactly as long as the owning CachedPacket is live — the same
+/// lifetime the pointer returned by PacketStore::lookup already had.
+/// Converts to util::BytesView wherever a plain byte span is wanted and
+/// compares against any contiguous byte range (tests compare payloads to
+/// util::Bytes literals directly).
+class PayloadView {
+ public:
+  constexpr PayloadView() = default;
+  constexpr PayloadView(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] constexpr const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+  [[nodiscard]] constexpr const std::uint8_t* begin() const { return data_; }
+  [[nodiscard]] constexpr const std::uint8_t* end() const {
+    return data_ + size_;
+  }
+  constexpr std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in span adaptation
+  constexpr operator util::BytesView() const { return {data_, size_}; }
+
+  friend bool operator==(const PayloadView& a, util::BytesView b) {
+    return util::BytesView(a).size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 /// Per-payload metadata recorded at insert time, needed by the encoding
 /// policies (paper Fig. 7 line C.6 stores the TCP sequence number; the
@@ -52,7 +92,8 @@ struct PacketMeta {
 
 struct CachedPacket {
   std::uint64_t id = 0;
-  util::Bytes payload;
+  /// Views the slot's arena slice; see PayloadView for the lifetime.
+  PayloadView payload;
   PacketMeta meta;
   /// Selected fingerprints recorded for this payload at insert time; the
   /// eviction purge erases exactly these from the fingerprint table.
@@ -152,13 +193,18 @@ class PacketStore {
 
   [[nodiscard]] EntryView entries() const { return EntryView(this); }
 
-  /// Re-inserts a snapshotted entry at the LRU tail; callers restore in
-  /// MRU-to-LRU order so recency is preserved.  Ids are kept; the id
-  /// counter advances past them.
-  void restore(CachedPacket entry);
+  /// Re-inserts a snapshotted entry (by id, payload copy, and metadata)
+  /// at the LRU tail; callers restore in MRU-to-LRU order so recency is
+  /// preserved.  Ids are kept; the id counter advances past them.
+  /// Fingerprints are re-attached via note_fingerprint.
+  void restore(std::uint64_t id, util::BytesView payload,
+               const PacketMeta& meta);
   [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
   [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  /// The arena backing every stored payload (telemetry/tests).
+  [[nodiscard]] const SliceArena& arena() const { return arena_; }
 
   /// First id the store has never handed out (all live ids are below it).
   [[nodiscard]] std::uint64_t next_id() const { return next_id_; }
@@ -175,12 +221,17 @@ class PacketStore {
 
   struct Slot {
     CachedPacket pkt;
+    /// Arena slice holding pkt.payload's bytes (null when empty).
+    SliceArena::Slice slice;
     std::uint32_t prev = kNil;
     std::uint32_t next = kNil;
     bool live = false;
   };
 
   std::uint32_t acquire_slot();
+  /// Copies `payload` into a fresh arena slice and points the slot's
+  /// packet view at it.
+  void assign_payload(Slot& s, util::BytesView payload);
   void release_slot(std::uint32_t slot);
   void link_front(std::uint32_t slot);
   void link_back(std::uint32_t slot);
@@ -196,6 +247,7 @@ class PacketStore {
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;      // recycled slot indices
   FlatMap64<std::uint32_t> index_;       // id -> slot
+  SliceArena arena_;                     // payload byte storage
   EvictionListener* listener_ = nullptr;
 };
 

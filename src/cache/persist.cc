@@ -43,29 +43,30 @@ bool deserialize_cache(util::BytesView snapshot, ByteCache& cache) {
       cache.flush();
       return false;
     }
-    CachedPacket p;
-    p.id = util::get_u64(snapshot, off);
-    p.meta.flow_key = util::get_u64(snapshot, off);
-    p.meta.src_uid = util::get_u64(snapshot, off);
-    p.meta.stream_index = util::get_u64(snapshot, off);
-    p.meta.tcp_seq = util::get_u32(snapshot, off);
-    p.meta.tcp_end_seq = util::get_u32(snapshot, off);
-    p.meta.epoch = util::get_u32(snapshot, off);
-    p.meta.has_tcp_seq = util::get_u8(snapshot, off) != 0;
+    const std::uint64_t id = util::get_u64(snapshot, off);
+    PacketMeta meta;
+    meta.flow_key = util::get_u64(snapshot, off);
+    meta.src_uid = util::get_u64(snapshot, off);
+    meta.stream_index = util::get_u64(snapshot, off);
+    meta.tcp_seq = util::get_u32(snapshot, off);
+    meta.tcp_end_seq = util::get_u32(snapshot, off);
+    meta.epoch = util::get_u32(snapshot, off);
+    meta.has_tcp_seq = util::get_u8(snapshot, off) != 0;
     const std::uint32_t len = util::get_u32(snapshot, off);
     if (!have(len)) {
       cache.flush();
       return false;
     }
-    p.payload.assign(snapshot.begin() + off, snapshot.begin() + off + len);
-    off += len;
     // PacketStore::restore trusts its input: a zero or duplicate id would
     // corrupt the id index, so reject the snapshot instead.
-    if (p.id == 0 || cache.store().contains(p.id)) {
+    if (id == 0 || cache.store().contains(id)) {
       cache.flush();
       return false;
     }
-    cache.restore_packet(std::move(p));
+    // The payload is copied straight from the snapshot into the store's
+    // arena — no intermediate owning buffer.
+    cache.restore_packet(id, snapshot.subspan(off, len), meta);
+    off += len;
   }
   if (!have(4)) {
     cache.flush();

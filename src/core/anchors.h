@@ -14,12 +14,14 @@
 
 namespace bytecache::core {
 
-/// Reusable per-codec anchor buffers: the output vector plus the MAXP
-/// selection scratch.  Encoder and Decoder each own one, so steady-state
-/// anchor computation never touches the allocator.
+/// Reusable per-codec anchor buffers: the output vector, the MAXP
+/// selection scratch, and the SIMD scan-kernel fill buffers.  Encoder
+/// and Decoder each own one, so steady-state anchor computation never
+/// touches the allocator.
 struct AnchorWorkspace {
   std::vector<rabin::Anchor> anchors;
   rabin::MaxpScratch maxp;
+  rabin::ScanScratch scan;
 };
 
 /// Fills `ws.anchors` with the payload's selected anchors and returns a
@@ -31,19 +33,19 @@ inline const std::vector<rabin::Anchor>& compute_anchors(
   switch (params.select_mode) {
     case SelectMode::kMaxp:
       rabin::selected_anchors_maxp_into(tables, payload, params.maxp_p,
-                                        ws.anchors, ws.maxp);
+                                        ws.anchors, ws.maxp, ws.scan);
       return ws.anchors;
     case SelectMode::kSampleByte:
       rabin::selected_anchors_samplebyte_into(tables, payload,
                                               params.samplebyte_period,
                                               params.samplebyte_skip,
-                                              ws.anchors);
+                                              ws.anchors, ws.scan);
       return ws.anchors;
     case SelectMode::kValueSampling:
       break;
   }
   rabin::selected_anchors_into(tables, payload, params.select_bits,
-                               ws.anchors);
+                               ws.anchors, ws.scan);
   return ws.anchors;
 }
 

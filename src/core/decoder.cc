@@ -86,6 +86,20 @@ void Decoder::cache_update(util::BytesView payload) {
   cache_.update(payload, anchors, meta);
 }
 
+void Decoder::decode_burst(std::span<packet::Packet* const> pkts,
+                           std::span<DecodeInfo> out) {
+  BC_CHECK(out.size() >= pkts.size())
+      << "decode_burst result span too small: " << out.size() << " < "
+      << pkts.size();
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    if (pkts[i] == nullptr) continue;
+    if (i + 1 < pkts.size() && pkts[i + 1] != nullptr) {
+      __builtin_prefetch(pkts[i + 1]->payload.data());
+    }
+    out[i] = process(*pkts[i]);
+  }
+}
+
 DecodeInfo Decoder::process(packet::Packet& pkt) {
   ++stats_.packets;
   stats_.bytes_received += pkt.payload.size();
@@ -173,7 +187,11 @@ DecodeInfo Decoder::process_encoded(packet::Packet& pkt) {
   out.reserve(enc.orig_len);
   std::size_t lit = 0;  // cursor into literals
   std::size_t pos = 0;  // cursor into the reconstruction
-  for (const EncodedRegion& r : enc.regions) {
+  for (std::size_t ri = 0; ri < enc.regions.size(); ++ri) {
+    const EncodedRegion& r = enc.regions[ri];
+    // Pull the *next* region's fingerprint-table slot while this region's
+    // literal copy and payload splice do useful work over it.
+    if (ri + 1 < enc.regions.size()) cache_.prefetch(enc.regions[ri + 1].fp);
     // Literal gap before the region.
     const std::size_t gap = r.offset_new - pos;
     out.insert(out.end(), enc.literals.begin() + lit,
@@ -207,7 +225,7 @@ DecodeInfo Decoder::process_encoded(packet::Packet& pkt) {
         return info;
       }
     }
-    const util::Bytes& stored = hit->packet->payload;
+    const cache::PayloadView stored = hit->packet->payload;
     if (static_cast<std::size_t>(r.offset_stored) + r.length > stored.size()) {
       info.status = DecodeStatus::kBadRegionBounds;
       return info;

@@ -126,6 +126,20 @@ void Encoder::on_reverse_ack(std::uint64_t flow_key, std::uint32_t ack) {
   }
 }
 
+void Encoder::encode_burst(std::span<packet::Packet* const> pkts,
+                           std::span<EncodeInfo> out) {
+  BC_CHECK(out.size() >= pkts.size())
+      << "encode_burst result span too small: " << out.size() << " < "
+      << pkts.size();
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    if (pkts[i] == nullptr) continue;
+    if (i + 1 < pkts.size() && pkts[i + 1] != nullptr) {
+      __builtin_prefetch(pkts[i + 1]->payload.data());
+    }
+    out[i] = process(*pkts[i]);
+  }
+}
+
 EncodeInfo Encoder::process(packet::Packet& pkt) {
   EncodeInfo info;
   info.uid = pkt.uid;
@@ -178,10 +192,18 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
   std::vector<std::uint64_t>& dep_ids = dep_ids_;  // store ids, deduplicated
   dep_ids.clear();
   if (decision.allow_encode) {
+    // Probe every anchor's fingerprint up front with slot prefetch
+    // (cache/fingerprint_table.h): the table slots stream in while the
+    // loop below works, instead of one serialized miss per anchor.  The
+    // probes are side-effect free; resolve() replays find()'s exact
+    // statistics/stale-erase sequence per anchor, in loop order, so the
+    // batched form is observably identical to per-anchor find().
+    cache_.probe_batch(anchors, probe_ws_);
     std::size_t cursor = 0;  // end of the last emitted region
-    for (const rabin::Anchor& a : anchors) {
+    for (std::size_t ai = 0; ai < anchors.size(); ++ai) {
+      const rabin::Anchor& a = anchors[ai];
       if (a.offset < cursor) continue;  // inside an already-encoded area
-      auto hit = cache_.find(a.fp);
+      auto hit = cache_.resolve(a.fp, probe_ws_[ai]);
       if (!hit) continue;
       if (!policy_->admit(ctx, hit->packet->meta)) continue;
       if (params_.ack_gated) {

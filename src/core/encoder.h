@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cache/byte_cache.h"
@@ -104,6 +105,15 @@ class Encoder {
   /// Processes one outgoing packet in place.
   EncodeInfo process(packet::Packet& pkt);
 
+  /// Burst form: processes `pkts` in order, exactly as a process() loop
+  /// would (same cache evolution, same wire bytes), writing out[i] for
+  /// pkts[i].  While packet i encodes, packet i+1's payload head is
+  /// prefetched, so back-to-back packets overlap their first-touch
+  /// misses.  Requires out.size() >= pkts.size(); null entries are
+  /// skipped (their EncodeInfo is left default).
+  void encode_burst(std::span<packet::Packet* const> pkts,
+                    std::span<EncodeInfo> out);
+
   [[nodiscard]] const EncoderStats& stats() const { return stats_; }
   [[nodiscard]] const EncodingPolicy& policy() const { return *policy_; }
   [[nodiscard]] EncodingPolicy& policy() { return *policy_; }
@@ -166,6 +176,7 @@ class Encoder {
   // literal vectors keep their capacity), and the serialized wire bytes
   // that are swapped into the packet.
   AnchorWorkspace anchor_ws_;
+  std::vector<cache::ProbeResult> probe_ws_;  // batched-probe results
   std::vector<std::uint64_t> dep_ids_;
   EncodedPayload enc_;
   util::Bytes wire_;

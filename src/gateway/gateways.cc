@@ -76,6 +76,23 @@ EncoderGateway::EncoderGateway(const core::GatewayConfig& cfg)
 
 void EncoderGateway::receive(packet::PacketPtr pkt) {
   ++stats_.packets;
+  process_received(std::move(pkt));
+}
+
+void EncoderGateway::receive_burst(std::span<packet::PacketPtr> pkts) {
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    if (pkts[i] == nullptr) continue;
+    // Pull the next packet's payload head while this one encodes; the
+    // codec sequence and sink calls stay exactly receive()'s.
+    if (i + 1 < pkts.size() && pkts[i + 1] != nullptr) {
+      __builtin_prefetch(pkts[i + 1]->payload.data());
+    }
+    ++stats_.packets;
+    process_received(std::move(pkts[i]));
+  }
+}
+
+void EncoderGateway::process_received(packet::PacketPtr pkt) {
   if (encoder_ != nullptr) {
     const obs::SpanSampler::Token span = encode_span_.begin();
     core::EncodeInfo info = encoder_->process(*pkt);
@@ -205,6 +222,21 @@ void DecoderGateway::send_control(const packet::Packet& cause,
 
 void DecoderGateway::receive(packet::PacketPtr pkt) {
   ++stats_.packets;
+  process_received(std::move(pkt));
+}
+
+void DecoderGateway::receive_burst(std::span<packet::PacketPtr> pkts) {
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    if (pkts[i] == nullptr) continue;
+    if (i + 1 < pkts.size() && pkts[i + 1] != nullptr) {
+      __builtin_prefetch(pkts[i + 1]->payload.data());
+    }
+    ++stats_.packets;
+    process_received(std::move(pkts[i]));
+  }
+}
+
+void DecoderGateway::process_received(packet::PacketPtr pkt) {
   if (decoder_ != nullptr) {
     const obs::SpanSampler::Token span = decode_span_.begin();
     const core::DecodeInfo info = decoder_->process(*pkt);

@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "core/control.h"
 #include "core/decoder.h"
@@ -72,6 +73,14 @@ class EncoderGateway {
   /// Encodes (possibly in place) and forwards.
   void receive(packet::PacketPtr pkt);
 
+  /// Burst form: consumes and processes every (non-null) packet of
+  /// `pkts` in order, exactly as a receive() loop would — same codec
+  /// sequence, same sink calls, same stats — while prefetching the next
+  /// packet's payload head so back-to-back encodes overlap their
+  /// first-touch misses.  The sharded workers drain their input rings
+  /// into this (gateway/sharded_gateways.cc).
+  void receive_burst(std::span<packet::PacketPtr> pkts);
+
   /// Called with the EncodeInfo of every processed packet (optional).
   void set_observer(std::function<void(const core::EncodeInfo&)> fn) {
     observer_ = std::move(fn);
@@ -115,6 +124,8 @@ class EncoderGateway {
   }
 
  private:
+  void process_received(packet::PacketPtr pkt);
+
   std::unique_ptr<core::Encoder> encoder_;  // null when disabled
   PacketSink sink_;
   std::function<void(const core::EncodeInfo&)> observer_;
@@ -169,6 +180,11 @@ class DecoderGateway {
   /// configured control feedback on the reverse path).
   void receive(packet::PacketPtr pkt);
 
+  /// Burst form (see EncoderGateway::receive_burst): consumes and
+  /// processes every non-null packet of `pkts` in order with next-packet
+  /// payload prefetch, observably identical to a receive() loop.
+  void receive_burst(std::span<packet::PacketPtr> pkts);
+
   [[nodiscard]] bool enabled() const { return decoder_ != nullptr; }
   [[nodiscard]] const core::Decoder* decoder() const { return decoder_.get(); }
   [[nodiscard]] const DecoderGatewayStats& stats() const { return stats_; }
@@ -182,6 +198,7 @@ class DecoderGateway {
   }
 
  private:
+  void process_received(packet::PacketPtr pkt);
   void send_control(const packet::Packet& cause,
                     const core::ControlMessage& msg, sim::TraceEvent event,
                     std::uint64_t uid);

@@ -1,5 +1,6 @@
 #include "gateway/sharded_gateways.h"
 
+#include <array>
 #include <chrono>
 
 #include "core/flow.h"
@@ -112,27 +113,51 @@ void ShardedEncoderGateway::process(Shard& s, Cmd& cmd) {
   }
 }
 
+void ShardedEncoderGateway::process_burst(Shard& s, Cmd* cmds,
+                                          std::size_t n) {
+  // Runs of consecutive data packets go through the gateway's burst
+  // entry point (next-payload prefetch, one codec loop); control and
+  // reverse commands break the run and run singly, preserving exactly
+  // the order a one-at-a-time pop loop would execute.
+  std::array<packet::PacketPtr, kWorkerBurst> run;
+  std::size_t i = 0;
+  while (i < n) {
+    if (cmds[i].kind != Cmd::Kind::kData) {
+      process(s, cmds[i]);
+      ++i;
+      continue;
+    }
+    std::size_t len = 0;
+    while (i + len < n && cmds[i + len].kind == Cmd::Kind::kData) {
+      run[len] = std::move(cmds[i + len].pkt);
+      ++len;
+    }
+    s.gw.receive_burst({run.data(), len});
+    i += len;
+  }
+}
+
 void ShardedEncoderGateway::run_worker(Shard& s) {
   // This thread is the one consumer of the shard's input ring for the
   // gateway's whole lifetime (the output side is claimed inside
   // push_or_abort by the shard gateway's sink).
   util::ScopedRole consumer(s.in.consumer_role);
   util::Backoff backoff;
-  Cmd cmd;
+  std::array<Cmd, kWorkerBurst> burst;
   for (;;) {
-    if (s.in.try_pop(cmd)) {
-      backoff.reset();
-      process(s, cmd);
-      s.completed.fetch_add(1, std::memory_order_release);
-      continue;
-    }
-    if (s.stop.load(std::memory_order_acquire)) {
+    std::size_t n = s.in.pop_burst(burst.data(), burst.size());
+    if (n == 0 && s.stop.load(std::memory_order_acquire)) {
       // The driver stops submitting before setting `stop`; one final pop
       // catches a push that raced the flag.
-      if (!s.in.try_pop(cmd)) break;
+      n = s.in.pop_burst(burst.data(), burst.size());
+      if (n == 0) break;
+    }
+    if (n > 0) {
       backoff.reset();
-      process(s, cmd);
-      s.completed.fetch_add(1, std::memory_order_release);
+      process_burst(s, burst.data(), n);
+      // One release publishes the whole batch's completion (pairs with
+      // drain_until_idle's acquire).
+      s.completed.fetch_add(n, std::memory_order_release);
       continue;
     }
     backoff.pause();
@@ -211,14 +236,17 @@ std::size_t ShardedEncoderGateway::drain() {
 
 std::size_t ShardedEncoderGateway::drain_some() {
   std::size_t delivered = 0;
-  packet::PacketPtr pkt;
+  std::array<packet::PacketPtr, kWorkerBurst> burst;
   for (auto& s : shards_) {
     // The driver is the one consumer of every shard's output ring.
     util::ScopedRole consumer(s->out.consumer_role);
-    while (s->out.try_pop(pkt)) {
-      ++delivered;
-      if (sink_) sink_(std::move(pkt));
-      pkt.reset();
+    std::size_t n;
+    while ((n = s->out.pop_burst(burst.data(), burst.size())) > 0) {
+      delivered += n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (sink_) sink_(std::move(burst[i]));
+        burst[i].reset();
+      }
     }
   }
   return delivered;
@@ -363,22 +391,21 @@ void ShardedDecoderGateway::set_worker_sink(ShardPacketSink sink) {
 void ShardedDecoderGateway::run_worker(Shard& s) {
   // See ShardedEncoderGateway::run_worker: this thread owns the input
   // ring's consumer end; output/feedback producer ends are claimed in
-  // push_or_abort.
+  // push_or_abort.  The input ring holds bare packets, so every burst
+  // goes straight through the gateway's prefetched loop.
   util::ScopedRole consumer(s.in.consumer_role);
   util::Backoff backoff;
-  packet::PacketPtr pkt;
+  std::array<packet::PacketPtr, kWorkerBurst> burst;
   for (;;) {
-    if (s.in.try_pop(pkt)) {
-      backoff.reset();
-      s.gw.receive(std::move(pkt));
-      s.completed.fetch_add(1, std::memory_order_release);
-      continue;
+    std::size_t n = s.in.pop_burst(burst.data(), burst.size());
+    if (n == 0 && s.stop.load(std::memory_order_acquire)) {
+      n = s.in.pop_burst(burst.data(), burst.size());
+      if (n == 0) break;
     }
-    if (s.stop.load(std::memory_order_acquire)) {
-      if (!s.in.try_pop(pkt)) break;
+    if (n > 0) {
       backoff.reset();
-      s.gw.receive(std::move(pkt));
-      s.completed.fetch_add(1, std::memory_order_release);
+      s.gw.receive_burst({burst.data(), n});
+      s.completed.fetch_add(n, std::memory_order_release);
       continue;
     }
     backoff.pause();
@@ -462,18 +489,23 @@ std::size_t ShardedDecoderGateway::drain() {
 
 std::size_t ShardedDecoderGateway::drain_some() {
   std::size_t delivered = 0;
-  packet::PacketPtr pkt;
+  std::array<packet::PacketPtr, kWorkerBurst> burst;
   for (auto& s : shards_) {
     util::ScopedRole out_consumer(s->out.consumer_role);
-    while (s->out.try_pop(pkt)) {
-      ++delivered;
-      if (sink_) sink_(std::move(pkt));
-      pkt.reset();
+    std::size_t n;
+    while ((n = s->out.pop_burst(burst.data(), burst.size())) > 0) {
+      delivered += n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (sink_) sink_(std::move(burst[i]));
+        burst[i].reset();
+      }
     }
     util::ScopedRole feedback_consumer(s->feedback.consumer_role);
-    while (s->feedback.try_pop(pkt)) {
-      if (feedback_) feedback_(std::move(pkt));
-      pkt.reset();
+    while ((n = s->feedback.pop_burst(burst.data(), burst.size())) > 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (feedback_) feedback_(std::move(burst[i]));
+        burst[i].reset();
+      }
     }
   }
   return delivered;

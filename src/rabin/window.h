@@ -122,12 +122,28 @@ class ScanSink {
 std::size_t scan_erased(const RabinTables& tables, util::BytesView payload,
                         ScanSink sink);
 
+/// Reusable buffers for the two-phase anchor-selection paths (kernel
+/// fill + scalar select — see scan_kernel.h).  Encoder and Decoder each
+/// own one, so steady-state selection never touches the allocator.  With
+/// the scalar kernel dispatched, selection runs fused (the original
+/// single-pass code) and these buffers stay untouched.
+struct ScanScratch {
+  std::vector<Fingerprint> fps;          // per-position fingerprints
+  std::vector<std::uint64_t> masks;      // SAMPLEBYTE membership bitset
+  std::vector<std::uint32_t> positions;  // SAMPLEBYTE anchor positions
+};
+
 /// Convenience: returns all *selected* anchors of `payload` (last
 /// `select_bits` bits of the fingerprint are zero) — MODP value sampling,
 /// the paper's scheme.  The `_into` form clears and refills `out`,
-/// reusing its capacity (the encoder's per-packet scratch buffer).
+/// reusing its capacity (the encoder's per-packet scratch buffer); the
+/// ScanScratch overloads additionally reuse the kernel fill buffers (the
+/// scratch-less forms allocate one per call).
 void selected_anchors_into(const RabinTables& tables, util::BytesView payload,
                            unsigned select_bits, std::vector<Anchor>& out);
+void selected_anchors_into(const RabinTables& tables, util::BytesView payload,
+                           unsigned select_bits, std::vector<Anchor>& out,
+                           ScanScratch& scan);
 [[nodiscard]] std::vector<Anchor> selected_anchors(const RabinTables& tables,
                                                    util::BytesView payload,
                                                    unsigned select_bits);
@@ -154,6 +170,10 @@ void selected_anchors_maxp_into(const RabinTables& tables,
                                 util::BytesView payload, std::size_t p,
                                 std::vector<Anchor>& out,
                                 MaxpScratch& scratch);
+void selected_anchors_maxp_into(const RabinTables& tables,
+                                util::BytesView payload, std::size_t p,
+                                std::vector<Anchor>& out, MaxpScratch& scratch,
+                                ScanScratch& scan);
 [[nodiscard]] std::vector<Anchor> selected_anchors_maxp(
     const RabinTables& tables, util::BytesView payload, std::size_t p);
 
@@ -168,6 +188,10 @@ void selected_anchors_samplebyte_into(const RabinTables& tables,
                                       util::BytesView payload, unsigned period,
                                       std::size_t skip,
                                       std::vector<Anchor>& out);
+void selected_anchors_samplebyte_into(const RabinTables& tables,
+                                      util::BytesView payload, unsigned period,
+                                      std::size_t skip, std::vector<Anchor>& out,
+                                      ScanScratch& scan);
 [[nodiscard]] std::vector<Anchor> selected_anchors_samplebyte(
     const RabinTables& tables, util::BytesView payload, unsigned period,
     std::size_t skip);

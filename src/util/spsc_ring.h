@@ -62,6 +62,29 @@ class SpscRing {
     return true;
   }
 
+  /// Producer side, batched.  Moves up to `n` elements of `items` into
+  /// the ring and returns the count actually pushed (0 when full;
+  /// elements past the count are untouched).  The whole batch is
+  /// published with ONE release store, so a burst of b transfers costs
+  /// one synchronizing store instead of b — the point of the burst data
+  /// plane (gateway/sharded_gateways.h drains rings in bursts).
+  std::size_t push_burst(T* items, std::size_t n)
+      BC_REQUIRES(producer_role) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    std::uint64_t free = mask_ + 1 - (t - head_cache_);
+    if (free < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = mask_ + 1 - (t - head_cache_);
+    }
+    const std::size_t count =
+        n < free ? n : static_cast<std::size_t>(free);
+    for (std::size_t i = 0; i < count; ++i) {
+      slots_[static_cast<std::size_t>(t + i) & mask_] = std::move(items[i]);
+    }
+    if (count > 0) tail_.store(t + count, std::memory_order_release);
+    return count;
+  }
+
   /// Consumer side.  Moves the oldest element into `out` and returns
   /// true, or returns false when the ring is empty.
   bool try_pop(T& out) BC_REQUIRES(consumer_role) {
@@ -73,6 +96,25 @@ class SpscRing {
     out = std::move(slots_[static_cast<std::size_t>(h) & mask_]);
     head_.store(h + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Consumer side, batched.  Moves up to `n` oldest elements into
+  /// `out` and returns the count popped (0 when empty).  The whole
+  /// batch is retired with ONE release store (see push_burst).
+  std::size_t pop_burst(T* out, std::size_t n) BC_REQUIRES(consumer_role) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    std::uint64_t avail = tail_cache_ - h;
+    if (avail < n) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - h;
+    }
+    const std::size_t count =
+        n < avail ? n : static_cast<std::size_t>(avail);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = std::move(slots_[static_cast<std::size_t>(h + i) & mask_]);
+    }
+    if (count > 0) head_.store(h + count, std::memory_order_release);
+    return count;
   }
 
   /// Consumer-side emptiness probe (exact for the consumer; a snapshot

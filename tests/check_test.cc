@@ -134,14 +134,9 @@ TEST(PacketStoreAudit, CleanThroughInsertLookupEraseEvict) {
 TEST(PacketStoreAudit, CatchesDuplicateIdRestore) {
   if (!util::kAuditEnabled) GTEST_SKIP() << "audits compiled out";
   PacketStore store;
-  CachedPacket a;
-  a.id = 7;
-  a.payload = util::Bytes{1, 2, 3};
-  CachedPacket b;
-  b.id = 7;  // same id: breaks the index <-> LRU-list bijection
-  b.payload = util::Bytes{4, 5, 6};
-  store.restore(a);
-  store.restore(b);
+  // Same id twice: breaks the index <-> LRU-list bijection.
+  store.restore(7, util::Bytes{1, 2, 3}, cache::PacketMeta{});
+  store.restore(7, util::Bytes{4, 5, 6}, cache::PacketMeta{});
   FailureRecorder rec;
   store.audit();
   ASSERT_TRUE(rec.tripped());
@@ -162,10 +157,7 @@ TEST(ByteCacheAudit, CatchesFingerprintBeyondIdHorizon) {
 TEST(ByteCacheAudit, CatchesOffsetOutsidePayload) {
   if (!util::kAuditEnabled) GTEST_SKIP() << "audits compiled out";
   cache::ByteCache cache;
-  CachedPacket p;
-  p.id = 1;
-  p.payload = util::Bytes(64, 0xAA);
-  cache.restore_packet(p);
+  cache.restore_packet(1, util::Bytes(64, 0xAA), cache::PacketMeta{});
   cache.restore_fingerprint(0x1234u, cache::FpEntry{1, 64});  // one past end
   FailureRecorder rec;
   cache.audit();
@@ -177,10 +169,7 @@ TEST(ByteCacheAudit, StaleEntriesAreLegal) {
   // Lazy invalidation means a fingerprint may outlive its packet; the
   // audit must count, not flag, those entries.
   cache::ByteCache cache;
-  CachedPacket p;
-  p.id = 1;
-  p.payload = util::Bytes(64, 0xAA);
-  cache.restore_packet(p);
+  cache.restore_packet(1, util::Bytes(64, 0xAA), cache::PacketMeta{});
   cache.restore_fingerprint(0x1234u, cache::FpEntry{1, 10});
   FailureRecorder rec;
   cache.audit();

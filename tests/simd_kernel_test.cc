@@ -1,0 +1,339 @@
+// Equivalence tests for the runtime-dispatched scan kernels
+// (rabin/scan_kernel.h): every SIMD tier must be bit-identical to the
+// scalar reference — same fingerprints, same anchors, same wire bytes —
+// on every input, or the cache contents silently fork between peers.
+//
+// The size sweeps deliberately hug the seams: payloads at and around
+// multiples of the widest vector step (the AVX2 membership path eats 32
+// bytes per iteration and writes 64-bit mask words) and around the w-1
+// positions at the end where no full window fits, because that is where
+// a lane-split or tail loop goes wrong first.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/anchors.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "core/policies.h"
+#include "rabin/scan_kernel.h"
+#include "rabin/window.h"
+#include "tests/testutil.h"
+#include "util/rng.h"
+
+namespace bytecache {
+namespace {
+
+using testutil::random_bytes;
+using testutil::segment_stream;
+using testutil::test_encoder;
+using util::Bytes;
+using util::Rng;
+
+std::vector<rabin::ScanKernelKind> available_kernels() {
+  std::vector<rabin::ScanKernelKind> out;
+  for (const auto kind :
+       {rabin::ScanKernelKind::kScalar, rabin::ScanKernelKind::kSse2,
+        rabin::ScanKernelKind::kAvx2}) {
+    if (rabin::scan_kernel_available(kind)) out.push_back(kind);
+  }
+  return out;
+}
+
+/// Sizes that straddle the interesting boundaries: multiples of the
+/// 32/64-byte vector strides (+/- 2) and the window edge, plus a few
+/// larger odd sizes so every lane of the block split gets a tail.
+std::vector<std::size_t> seam_sizes(std::size_t w) {
+  std::vector<std::size_t> sizes = {w, w + 1, w + 2, 2 * w - 1, 2 * w + 1};
+  for (const std::size_t base : {std::size_t{64}, std::size_t{128},
+                                 std::size_t{256}, std::size_t{1024},
+                                 std::size_t{1460}, std::size_t{4096}}) {
+    for (std::size_t d = 0; d <= 4; ++d) sizes.push_back(base - 2 + d);
+  }
+  return sizes;
+}
+
+// ------------------------------------------------------- kernel fills --
+
+TEST(ScanKernelEquiv, FillMatchesScalarAtSeamSizes) {
+  for (const std::size_t w : {std::size_t{16}, std::size_t{32},
+                              std::size_t{64}}) {
+    const rabin::RabinTables tables(w);
+    const rabin::ScanKernel& scalar =
+        rabin::scan_kernel(rabin::ScanKernelKind::kScalar);
+    Rng rng(testutil::test_seed(201));
+    for (const std::size_t n : seam_sizes(w)) {
+      if (n < w) continue;
+      const Bytes payload = random_bytes(rng, n);
+      std::vector<rabin::Fingerprint> expected(n - w + 1);
+      scalar.fill_fingerprints(tables, payload.data(), n, expected.data());
+      for (const auto kind : available_kernels()) {
+        const rabin::ScanKernel& kernel = rabin::scan_kernel(kind);
+        // Poisoned output: a position the kernel forgets to write shows
+        // up as the sentinel, not as luckily-matching stale data.
+        std::vector<rabin::Fingerprint> got(n - w + 1, 0xDEADDEADDEADDEAD);
+        kernel.fill_fingerprints(tables, payload.data(), n, got.data());
+        ASSERT_EQ(got, expected) << kernel.name << " w=" << w << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ScanKernelEquiv, FillMatchesScalarOnRandomSizes) {
+  const rabin::RabinTables tables(16);
+  const rabin::ScanKernel& scalar =
+      rabin::scan_kernel(rabin::ScanKernelKind::kScalar);
+  Rng rng(testutil::test_seed(202));
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = rng.uniform(16, 3000);
+    const Bytes payload = random_bytes(rng, n);
+    std::vector<rabin::Fingerprint> expected(n - 16 + 1);
+    scalar.fill_fingerprints(tables, payload.data(), n, expected.data());
+    for (const auto kind : available_kernels()) {
+      std::vector<rabin::Fingerprint> got(n - 16 + 1);
+      rabin::scan_kernel(kind).fill_fingerprints(tables, payload.data(), n,
+                                                 got.data());
+      ASSERT_EQ(got, expected)
+          << rabin::scan_kernel(kind).name << " n=" << n;
+    }
+  }
+}
+
+TEST(ScanKernelEquiv, MemberMaskMatchesNaiveBitLoop) {
+  Rng rng(testutil::test_seed(203));
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random membership sets, including the empty and full extremes.
+    std::array<std::uint64_t, 4> set{};
+    if (trial % 10 != 0) {
+      for (auto& word : set) word = rng.next_u64();
+    }
+    if (trial % 10 == 5) set.fill(~std::uint64_t{0});
+    const std::size_t n =
+        trial < 8 ? static_cast<std::size_t>(trial) : rng.uniform(1, 2000);
+    const Bytes payload = random_bytes(rng, n);
+    const std::size_t words = (n + 63) / 64;
+    std::vector<std::uint64_t> expected(words, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t b = payload[i];
+      if ((set[b >> 6] >> (b & 63u)) & 1u) {
+        expected[i >> 6] |= std::uint64_t{1} << (i & 63u);
+      }
+    }
+    for (const auto kind : available_kernels()) {
+      // Pre-set garbage: bits past n must come back zero, not survive.
+      std::vector<std::uint64_t> got(words, ~std::uint64_t{0});
+      rabin::scan_kernel(kind).member_mask(set, payload.data(), n,
+                                           got.data());
+      ASSERT_EQ(got, expected)
+          << rabin::scan_kernel(kind).name << " n=" << n;
+    }
+  }
+}
+
+// --------------------------------------------------- anchor selection --
+
+TEST(ScanKernelEquiv, SelectionIdenticalUnderEveryKernel) {
+  const rabin::RabinTables tables(16);
+  Rng rng(testutil::test_seed(204));
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = trial < 4 ? static_cast<std::size_t>(trial * 8)
+                                    : rng.uniform(1, 2000);
+    const Bytes payload = random_bytes(rng, n);
+    std::vector<rabin::Anchor> expected_vs;
+    std::vector<rabin::Anchor> expected_maxp;
+    std::vector<rabin::Anchor> expected_sb;
+    {
+      rabin::ScopedScanKernel pin(rabin::ScanKernelKind::kScalar);
+      expected_vs = rabin::selected_anchors(tables, payload, 4);
+      expected_maxp = rabin::selected_anchors_maxp(tables, payload, 31);
+      expected_sb =
+          rabin::selected_anchors_samplebyte(tables, payload, 16, 8);
+    }
+    for (const auto kind : available_kernels()) {
+      rabin::ScopedScanKernel pin(kind);
+      const char* name = rabin::scan_kernel().name;
+      ASSERT_EQ(rabin::selected_anchors(tables, payload, 4), expected_vs)
+          << name << " n=" << n;
+      ASSERT_EQ(rabin::selected_anchors_maxp(tables, payload, 31),
+                expected_maxp)
+          << name << " n=" << n;
+      ASSERT_EQ(rabin::selected_anchors_samplebyte(tables, payload, 16, 8),
+                expected_sb)
+          << name << " n=" << n;
+    }
+  }
+}
+
+// ------------------------------------------------- end-to-end wire bytes --
+
+struct E2EConfig {
+  const char* name;
+  core::PolicyKind policy;
+  core::SelectMode mode;
+  std::size_t cache_bytes;
+  bool epoch_resync;
+};
+
+// The six tracked data-plane configurations (mirrors bench_throughput's
+// workload list): kernel choice must never change a single wire byte in
+// any of them.
+constexpr E2EConfig kConfigs[] = {
+    {"naive_valuesampling", core::PolicyKind::kNaive,
+     core::SelectMode::kValueSampling, 0, false},
+    {"naive_maxp", core::PolicyKind::kNaive, core::SelectMode::kMaxp, 0,
+     false},
+    {"naive_samplebyte", core::PolicyKind::kNaive,
+     core::SelectMode::kSampleByte, 0, false},
+    {"tcpseq_valuesampling", core::PolicyKind::kTcpSeq,
+     core::SelectMode::kValueSampling, 0, false},
+    {"naive_bounded256k", core::PolicyKind::kNaive,
+     core::SelectMode::kValueSampling, 256 * 1024, false},
+    {"resilient_valuesampling", core::PolicyKind::kResilient,
+     core::SelectMode::kValueSampling, 0, true},
+};
+
+/// Encodes `stream` under the pinned kernel and returns every post-encode
+/// payload (the exact wire bytes), verifying decode restores the
+/// original along the way.
+std::vector<Bytes> wire_bytes_under(rabin::ScanKernelKind kind,
+                                    const E2EConfig& cfg,
+                                    const Bytes& object) {
+  rabin::ScopedScanKernel pin(kind);
+  core::DreParams params;
+  params.select_mode = cfg.mode;
+  if (cfg.cache_bytes > 0) params.cache_bytes = cfg.cache_bytes;
+  params.epoch_resync = cfg.epoch_resync;
+  core::Encoder enc = test_encoder(cfg.policy, params);
+  core::Decoder dec(params);
+  std::vector<Bytes> wire;
+  for (const auto& pkt : segment_stream(object)) {
+    const Bytes original = pkt->payload;
+    enc.process(*pkt);
+    wire.push_back(pkt->payload);
+    const auto dinfo = dec.process(*pkt);
+    EXPECT_FALSE(core::is_drop(dinfo.status)) << cfg.name;
+    EXPECT_EQ(pkt->payload, original) << cfg.name;
+  }
+  enc.audit();
+  dec.audit();
+  return wire;
+}
+
+TEST(ScanKernelEquiv, WireBytesIdenticalAcrossKernelsForEveryConfig) {
+  Rng rng(testutil::test_seed(205));
+  // Redundant stream (repeated chunks + noise) so real regions, cache
+  // churn, and — under the bounded config — evictions all happen.
+  Bytes object;
+  std::vector<Bytes> chunks;
+  for (int i = 0; i < 6; ++i) {
+    chunks.push_back(random_bytes(rng, 500 + 100 * static_cast<std::size_t>(i)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    const Bytes& c = chunks[rng.zipf(chunks.size(), 1.0)];
+    object.insert(object.end(), c.begin(), c.end());
+    if (i % 7 == 0) {
+      const Bytes noise = random_bytes(rng, rng.uniform(50, 400));
+      object.insert(object.end(), noise.begin(), noise.end());
+    }
+  }
+
+  for (const E2EConfig& cfg : kConfigs) {
+    const std::vector<Bytes> expected =
+        wire_bytes_under(rabin::ScanKernelKind::kScalar, cfg, object);
+    for (const auto kind : available_kernels()) {
+      if (kind == rabin::ScanKernelKind::kScalar) continue;
+      const std::vector<Bytes> got = wire_bytes_under(kind, cfg, object);
+      ASSERT_EQ(got.size(), expected.size()) << cfg.name;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], expected[i])
+            << cfg.name << " packet " << i << " under kernel "
+            << rabin::scan_kernel(kind).name;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ environment overrides --
+
+/// Restores the scan-kernel environment and re-runs detection on scope
+/// exit, so an override cannot leak into later tests in this binary.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (saved_.empty()) {
+      ::unsetenv(name_);
+    } else {
+      ::setenv(name_, saved_.c_str(), 1);
+    }
+    rabin::refresh_scan_kernel();
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+};
+
+/// What detection yields under the process's *ambient* environment —
+/// the CI scalar-fallback leg runs this whole binary with
+/// BYTECACHE_DISABLE_SIMD=1 exported, so "restored" does not always
+/// mean "best tier".
+rabin::ScanKernelKind ambient_kernel() {
+  rabin::refresh_scan_kernel();
+  return rabin::scan_kernel().kind;
+}
+
+/// What detection falls back to when BYTECACHE_SCAN_KERNEL is absent or
+/// unrecognised: the best supported tier, unless the ambient kill switch
+/// (same non-empty-and-not-"0" rule as scan_kernel.cc) pins scalar.
+rabin::ScanKernelKind detect_fallback() {
+  const char* v = std::getenv("BYTECACHE_DISABLE_SIMD");
+  if (v != nullptr && v[0] != '\0' && std::string(v) != "0") {
+    return rabin::ScanKernelKind::kScalar;
+  }
+  return available_kernels().back();
+}
+
+TEST(ScanKernelEnv, DisableSimdForcesScalar) {
+  const auto ambient = ambient_kernel();
+  {
+    ScopedEnv env("BYTECACHE_DISABLE_SIMD", "1");
+    rabin::refresh_scan_kernel();
+    EXPECT_EQ(rabin::scan_kernel().kind, rabin::ScanKernelKind::kScalar);
+    EXPECT_STREQ(rabin::scan_kernel().name, "scalar");
+  }
+  // Detection re-ran on scope exit: back to the ambient dispatch.
+  EXPECT_EQ(rabin::scan_kernel().kind, ambient);
+}
+
+TEST(ScanKernelEnv, KernelPinSelectsRequestedTier) {
+  const auto ambient = ambient_kernel();
+  {
+    ScopedEnv env("BYTECACHE_SCAN_KERNEL", "scalar");
+    rabin::refresh_scan_kernel();
+    EXPECT_EQ(rabin::scan_kernel().kind, rabin::ScanKernelKind::kScalar);
+  }
+  // An unknown name is ignored (dispatch falls back to detection).
+  {
+    ScopedEnv env("BYTECACHE_SCAN_KERNEL", "avx9000");
+    rabin::refresh_scan_kernel();
+    EXPECT_EQ(rabin::scan_kernel().kind, detect_fallback());
+  }
+  // The kill switch wins over an explicit pin.
+  {
+    ScopedEnv outer("BYTECACHE_SCAN_KERNEL", "avx2");
+    ScopedEnv env("BYTECACHE_DISABLE_SIMD", "1");
+    rabin::refresh_scan_kernel();
+    EXPECT_EQ(rabin::scan_kernel().kind, rabin::ScanKernelKind::kScalar);
+  }
+  EXPECT_EQ(rabin::scan_kernel().kind, ambient);
+}
+
+}  // namespace
+}  // namespace bytecache

@@ -26,7 +26,16 @@ import ir
 RULE = "bc-hotpath-alloc"
 
 ROOT_DIRS = ("src/rabin/", "src/cache/", "src/core/")
-SITE_DIRS = ("src/rabin/", "src/cache/", "src/core/")
+SITE_DIRS = ("src/rabin/", "src/cache/", "src/core/", "src/gateway/")
+
+# Burst entry points are hot roots wherever they live: they are the
+# batched per-packet path (PR 7), so a gateway or ring function with one
+# of these names joins the walk even though its directory is not a
+# blanket root dir.
+EXTRA_ROOT_NAMES = frozenset({
+    "encode_burst", "decode_burst", "probe_batch", "receive_burst",
+    "push_burst", "pop_burst",
+})
 
 # Name fragments marking a function as off the per-packet path.
 COLD_NAME_PARTS = (
@@ -104,6 +113,8 @@ def check(project):
 
     roots = [fn for f in project.files if path_in(f.path, ROOT_DIRS)
              for fn in f.functions if not _is_cold(fn)]
+    roots += [fn for f in project.files if not path_in(f.path, ROOT_DIRS)
+              for fn in f.functions if fn.name in EXTRA_ROOT_NAMES]
 
     # BFS over the call graph from all roots at once, keeping one
     # (shortest) chain per reached function for the report.

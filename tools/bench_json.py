@@ -41,6 +41,62 @@ import subprocess
 import sys
 from pathlib import Path
 
+# ISA extensions relevant to the scan-kernel dispatch (rabin/scan_kernel.h)
+# — recorded per entry so a number can always be traced to the silicon and
+# kernel tier that produced it.
+_KERNEL_FLAGS = ("sse2", "avx", "avx2", "avx512f", "bmi2", "neon", "asimd")
+
+
+def detect_cpu_flags():
+    """Returns the dispatch-relevant ISA flags of this machine (Linux:
+    parsed from /proc/cpuinfo; elsewhere: empty — the kernel name still
+    identifies the tier)."""
+    try:
+        text = Path("/proc/cpuinfo").read_text()
+    except OSError:
+        return []
+    for line in text.splitlines():
+        if line.lower().startswith(("flags", "features")):
+            have = set(line.split(":", 1)[1].split())
+            return [f for f in _KERNEL_FLAGS if f in have]
+    return []
+
+
+def check_kernel_consistency(entry):
+    """All three bench binaries stamp the scan kernel they dispatched; a
+    mismatch means the environment changed between runs (e.g. a
+    BYTECACHE_SCAN_KERNEL override leaked into one process) and the entry
+    would blend incomparable numbers."""
+    kernels = {
+        name: entry[name].get("kernel", "?")
+        for name in ("bench_throughput", "bench_mt_throughput")
+    }
+    kernels["bench_micro_rabin"] = entry["kernel"]
+    if len(set(kernels.values())) != 1:
+        sys.exit(f"bench_json: benches disagree on the scan kernel: {kernels}"
+                 " — did the environment change between runs?")
+
+
+def check_kernel_change(doc, label, entry, allow):
+    """Refuses to merge an entry next to labels measured under a different
+    scan kernel: a before/after pair that silently switched tiers (or
+    machines) is not a comparison.  `--allow-kernel-change` overrides for
+    the one legitimate case — pinning a scalar `baseline` against a SIMD
+    `current` to record the dispatch win itself."""
+    for other_label, other in doc.items():
+        if other_label == label or not isinstance(other, dict):
+            continue
+        other_kernel = other.get("kernel")
+        if other_kernel is None:  # pre-stamping entry: nothing to compare
+            continue
+        if other_kernel != entry["kernel"] and not allow:
+            sys.exit(
+                f"bench_json: label '{other_label}' was measured under the "
+                f"'{other_kernel}' kernel but this run dispatched "
+                f"'{entry['kernel']}'; cross-kernel numbers are not "
+                "comparable — rerun with the same kernel (or pass "
+                "--allow-kernel-change if the tier switch is the point)")
+
 
 def run_json_bench(build, name, repeat):
     """Runs a bench binary that prints one JSON doc with a `results` list,
@@ -122,10 +178,14 @@ def check_wire_identity(entry):
 
 
 def run_bench_micro_rabin(build, repeat):
+    """Returns ({bench_name: numbers}, dispatched_kernel_name).  The
+    kernel comes from the report context bench_micro_rabin's main()
+    stamps via AddCustomContext."""
     exe = Path(build) / "bench" / "bench_micro_rabin"
     if not exe.exists():
         sys.exit(f"bench_json: {exe} not found (build the bench targets)")
     out = {}
+    kernel = "?"
     for _ in range(repeat):
         proc = subprocess.run(
             [str(exe), "--benchmark_format=json", "--benchmark_min_time=0.2"],
@@ -133,14 +193,17 @@ def run_bench_micro_rabin(build, repeat):
         if proc.returncode != 0:
             sys.exit(f"bench_json: {exe} failed:\n{proc.stderr}")
         data = json.loads(proc.stdout)
+        kernel = data.get("context", {}).get("scan_kernel", kernel)
         for b in data.get("benchmarks", []):
             entry = {"real_time_ns": round(b.get("real_time", 0.0), 1)}
             if "bytes_per_second" in b:
                 entry["mb_per_s"] = round(b["bytes_per_second"] / 1e6, 2)
+            if "payload_mb_per_s" in b:  # counters surface as plain keys
+                entry["payload_mb_per_s"] = round(b["payload_mb_per_s"], 2)
             prev = out.get(b["name"])
             if prev is None or entry["real_time_ns"] < prev["real_time_ns"]:
                 out[b["name"]] = entry
-    return out
+    return out, kernel
 
 
 def main():
@@ -153,18 +216,26 @@ def main():
                         help="top-level key to write (baseline/current/...)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="run each bench N times, keep the fastest")
+    parser.add_argument("--allow-kernel-change", action="store_true",
+                        help="permit merging next to labels measured under "
+                             "a different scan kernel (deliberate "
+                             "scalar-vs-SIMD comparisons only)")
     args = parser.parse_args()
 
     bt_best, bt_runs = run_json_bench(
         args.build, "bench_throughput", args.repeat)
     mt_best, _ = run_json_bench(
         args.build, "bench_mt_throughput", args.repeat)
+    micro, micro_kernel = run_bench_micro_rabin(args.build, args.repeat)
     entry = {
         "machine": platform.machine(),
+        "kernel": micro_kernel,
+        "cpu_flags": detect_cpu_flags(),
         "bench_throughput": bt_best,
         "bench_mt_throughput": mt_best,
-        "bench_micro_rabin": run_bench_micro_rabin(args.build, args.repeat),
+        "bench_micro_rabin": micro,
     }
+    check_kernel_consistency(entry)
     check_wire_identity(entry)
     check_telemetry_overhead(entry, bt_runs)
 
@@ -172,10 +243,12 @@ def main():
     doc = {}
     if out_path.exists():
         doc = json.loads(out_path.read_text())
+    check_kernel_change(doc, args.label, entry, args.allow_kernel_change)
     doc[args.label] = entry
     out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
-    print(f"bench_json: wrote {out_path} [{args.label}]")
+    print(f"bench_json: wrote {out_path} [{args.label}] "
+          f"(kernel={entry['kernel']})")
     for bench in ("bench_throughput", "bench_mt_throughput"):
         for r in entry[bench]["results"]:
             print(f"  {r['name']:32s} {r['mb_per_s']:8.2f} MB/s "
