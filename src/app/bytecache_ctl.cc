@@ -1,0 +1,115 @@
+// bytecache_ctl — command-line client of the gateway control channel
+// (net/control.h; DESIGN.md §12.3).
+//
+//   $ bytecache_ctl --server=127.0.0.1:9003 ping
+//   $ bytecache_ctl --server=127.0.0.1:9003 stats > snapshot.jsonl
+//   $ bytecache_ctl --server=127.0.0.1:9003 flush
+//   $ bytecache_ctl --server=127.0.0.1:9003 policy k_distance
+//   $ bytecache_ctl --server=127.0.0.1:9003 shutdown
+//
+// One request datagram, one response datagram.  The request is retried
+// (UDP) up to 3 times with a 1-second wait each; the response payload
+// goes to stdout.  Exit status: 0 ok, 1 the gateway answered with an
+// error, 3 no response.
+#include <sys/epoll.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "net/control.h"
+#include "net/event_loop.h"
+#include "net/udp_socket.h"
+
+using namespace bytecache;
+
+namespace {
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "bytecache_ctl: %s (see header comment)\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+struct Command {
+  net::ControlCommand command;
+  util::Bytes payload;
+};
+
+Command parse_command(int argc, char** argv, int i) {
+  if (i >= argc) die("missing command");
+  const std::string name = argv[i];
+  if (name == "ping") return {net::ControlCommand::kPing, {}};
+  if (name == "stats") return {net::ControlCommand::kStats, {}};
+  if (name == "flush") return {net::ControlCommand::kFlushCache, {}};
+  if (name == "shutdown") return {net::ControlCommand::kShutdown, {}};
+  if (name == "policy") {
+    if (i + 1 >= argc) die("policy: missing policy name");
+    const char* policy = argv[i + 1];
+    return {net::ControlCommand::kSwitchPolicy,
+            util::Bytes(policy, policy + std::strlen(policy))};
+  }
+  die("unknown command '" + name + "'");
+}
+
+constexpr int kAttempts = 3;
+constexpr int kWaitMs = 1000;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<net::SocketAddr> server;
+  int cmd_index = argc;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--server=", 9) == 0) {
+      server = net::SocketAddr::parse(a + 9);
+      if (!server) die(std::string("malformed --server address '") + a + "'");
+    } else {
+      cmd_index = i;
+      break;
+    }
+  }
+  if (!server) die("--server=a.b.c.d:port is required");
+  const Command cmd = parse_command(argc, argv, cmd_index);
+
+  net::EventLoop loop;
+  net::UdpSocket socket;
+  if (!socket.bind(net::SocketAddr{}))
+    die(std::string("cannot bind: ") + std::strerror(errno));
+
+  net::ControlRequest req;
+  req.command = cmd.command;
+  req.payload = cmd.payload;
+  const util::Bytes wire = req.serialize();
+
+  std::optional<net::ControlResponse> response;
+  loop.add_fd(socket.fd(), EPOLLIN, [&](std::uint32_t) {
+    socket.drain([&](util::BytesView datagram, const net::SocketAddr&) {
+      if (response) return;  // first well-formed response wins
+      if (auto parsed = net::ControlResponse::parse(datagram))
+        response = std::move(*parsed);
+    });
+  });
+
+  for (int attempt = 0; attempt < kAttempts && !response; ++attempt) {
+    if (!socket.send_to(*server, wire))
+      die(std::string("send failed: ") + std::strerror(errno));
+    loop.run_once(kWaitMs);
+  }
+  if (!response) {
+    std::fprintf(stderr, "bytecache_ctl: no response from %s after %d tries\n",
+                 server->to_string().c_str(), kAttempts);
+    return 3;
+  }
+  std::fwrite(response->payload.data(), 1, response->payload.size(), stdout);
+  if (!response->payload.empty() && response->payload.back() != '\n')
+    std::fputc('\n', stdout);
+  if (!response->ok) {
+    std::fprintf(stderr, "bytecache_ctl: command refused\n");
+    return 1;
+  }
+  return 0;
+}

@@ -12,8 +12,13 @@
 
 namespace bytecache::cache {
 
+SliceArena::TestHooks SliceArena::test_hooks;
+
 SliceArena::~SliceArena() {
-  for (const Area& a : areas_) std::free(a.base);
+  for (const Area& a : areas_) {
+    std::free(a.base);
+    ++test_hooks.areas_freed;
+  }
 }
 
 std::uint8_t SliceArena::class_of(std::size_t n) {
@@ -24,13 +29,28 @@ std::uint8_t SliceArena::class_of(std::size_t n) {
       std::countr_zero(needed / kMinSlice));
 }
 
+void SliceArena::grow_bookkeeping() {
+  if (test_hooks.fail_bookkeeping > 0 &&
+      --test_hooks.fail_bookkeeping == 0) {
+    throw std::bad_alloc();
+  }
+  areas_.reserve(areas_.size() + 1);
+}
+
 void SliceArena::carve_area(std::uint8_t cls) {
+  // Bookkeeping first: if the vector growth throws here, nothing has
+  // been allocated yet.  The former order — aligned_alloc, then a
+  // possibly-throwing push_back — leaked the fresh area on growth
+  // failure, because ~SliceArena only frees *recorded* areas.
+  grow_bookkeeping();
   void* mem = std::aligned_alloc(kAreaBytes, kAreaBytes);
   if (mem == nullptr) throw std::bad_alloc();
+  ++test_hooks.areas_allocated;
 #ifdef __linux__
   // Advisory: a kernel without THP support just ignores it.
   (void)madvise(mem, kAreaBytes, MADV_HUGEPAGE);
 #endif
+  // Cannot throw: capacity was reserved above.
   areas_.push_back(Area{static_cast<std::uint8_t*>(mem), cls});
   const std::size_t size = class_size(cls);
   const std::size_t count = kAreaBytes / size;

@@ -84,6 +84,20 @@ class SliceArena {
   /// class, and live + free slice counts add up to the carved total.
   void audit() const;
 
+  /// Test-only seams (tests/slice_arena_test.cc); cold — touched once
+  /// per 2 MiB area, never per slice.
+  struct TestHooks {
+    /// When > 0, decremented per carve; hitting 0 makes that carve's
+    /// bookkeeping growth throw std::bad_alloc — the exact window the
+    /// area-leak regression test exercises.
+    int fail_bookkeeping = 0;
+    /// Process-lifetime balance of areas obtained from / returned to
+    /// the OS (heap-fallback slices excluded).
+    std::uint64_t areas_allocated = 0;
+    std::uint64_t areas_freed = 0;
+  };
+  static TestHooks test_hooks;
+
  private:
   /// While free, a slice's first bytes hold the next freelist entry.
   struct FreeSlice {
@@ -94,6 +108,10 @@ class SliceArena {
     std::uint8_t* base = nullptr;
     std::uint8_t cls = 0;
   };
+
+  /// Ensures areas_ can record one more area, throwing (injectable via
+  /// test_hooks) BEFORE any memory is obtained.
+  void grow_bookkeeping();
 
   void carve_area(std::uint8_t cls);
 

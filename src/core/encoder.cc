@@ -54,6 +54,21 @@ void Encoder::flush() {
   epoch_bumped_ = true;
 }
 
+void Encoder::flush_counted() {
+  flush();
+  ++stats_.flushes;
+}
+
+void Encoder::set_policy(std::unique_ptr<EncodingPolicy> policy) {
+  BC_CHECK(policy != nullptr) << "set_policy(nullptr): a running encoder "
+                                 "cannot switch to no policy";
+  // Flush before swapping: references the old policy admitted must not
+  // straddle the rule change (and the epoch bump tells v2 decoders).
+  flush();
+  ++stats_.flushes;
+  policy_ = std::move(policy);
+}
+
 void Encoder::audit() const {
   if (!util::kAuditEnabled) return;
   cache_.audit();

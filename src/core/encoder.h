@@ -122,7 +122,24 @@ class Encoder {
   [[nodiscard]] const DreParams& params() const { return params_; }
 
   /// Flushes the cache (also exposed for tests and manual control).
+  /// This is the bare mechanism: it does NOT bump `stats().flushes` —
+  /// callers that represent a flush *event* (policies, resync, the
+  /// control channel) count it themselves.
   void flush();
+
+  /// An operator-requested flush (the control channel's kFlushCache,
+  /// DESIGN.md §12.3): flush() plus the `flushes` count every other
+  /// flush-event caller keeps, so explicit flushes show up in the
+  /// stats snapshot the operator reads next.
+  void flush_counted();
+
+  /// Replaces the encoding policy at runtime (the control channel's
+  /// policy switch, DESIGN.md §12.3).  The new policy starts from its
+  /// freshly-constructed state — the conservative post-restart behavior
+  /// of load_state() — and the cache is flushed first so the decoder
+  /// never sees references admitted under rules the operator just
+  /// revoked.  `policy` must be non-null (kNone cannot be switched to).
+  void set_policy(std::unique_ptr<EncodingPolicy> policy);
 
   /// Deep invariant audit (BC_AUDIT; no-op unless the build enables
   /// audits): audits the cache and checks counter consistency (packet

@@ -114,6 +114,19 @@ void EncoderGateway::process_received(packet::PacketPtr pkt) {
   if (sink_) sink_(std::move(pkt));
 }
 
+bool EncoderGateway::switch_policy(core::PolicyKind kind) {
+  if (encoder_ == nullptr) return false;
+  auto policy = core::make_policy(kind, encoder_->params());
+  if (policy == nullptr) return false;  // kNone: cannot un-build a codec
+  encoder_->set_policy(std::move(policy));
+  // The cached resilient view follows the active policy; the registry's
+  // resilience.* probes were bound to the *construction-time* policy, so
+  // they are only re-pointed, never re-registered (registration is
+  // construction-only, like everything in the obs layer).
+  resilient_ = dynamic_cast<core::ResilientPolicy*>(&encoder_->policy());
+  return true;
+}
+
 void EncoderGateway::receive_control(const packet::Packet& pkt) {
   if (encoder_ == nullptr) return;
   auto msg = core::ControlMessage::parse(pkt.payload);

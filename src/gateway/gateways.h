@@ -106,6 +106,15 @@ class EncoderGateway {
   /// estimator as a *channel* loss sample.
   void on_channel_drop(const packet::Packet& pkt);
 
+  /// Runtime policy switch (the control channel's kSwitchPolicy,
+  /// DESIGN.md §12.3): rebuilds the policy via core::make_policy with
+  /// the params this gateway was constructed with, flushing the cache
+  /// first (Encoder::set_policy).  False — and no change — for kNone,
+  /// for a disabled gateway, and for policies the running DreParams
+  /// cannot support.  Refreshes the resilient-policy view, so the
+  /// loss-feedback paths follow the switch.
+  bool switch_policy(core::PolicyKind kind);
+
   [[nodiscard]] bool enabled() const { return encoder_ != nullptr; }
   [[nodiscard]] const core::Encoder* encoder() const { return encoder_.get(); }
   [[nodiscard]] core::Encoder* encoder() { return encoder_.get(); }
@@ -187,6 +196,7 @@ class DecoderGateway {
 
   [[nodiscard]] bool enabled() const { return decoder_ != nullptr; }
   [[nodiscard]] const core::Decoder* decoder() const { return decoder_.get(); }
+  [[nodiscard]] core::Decoder* decoder() { return decoder_.get(); }
   [[nodiscard]] const DecoderGatewayStats& stats() const { return stats_; }
 
   /// Everything this gateway knows: gateway.decoder.*, decoder.*,

@@ -1,0 +1,161 @@
+#include "net/control.h"
+
+#include <sys/epoll.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace bytecache::net {
+
+namespace {
+
+bool known_command(std::uint16_t raw) {
+  return raw >= static_cast<std::uint16_t>(ControlCommand::kPing) &&
+         raw <= static_cast<std::uint16_t>(ControlCommand::kShutdown);
+}
+
+}  // namespace
+
+util::Bytes ControlRequest::serialize() const {
+  util::Bytes out;
+  out.reserve(8 + payload.size());
+  util::put_u32(out, kControlRequestMagic);
+  util::put_u16(out, static_cast<std::uint16_t>(command));
+  util::put_u16(out, static_cast<std::uint16_t>(payload.size()));
+  util::append(out, payload);
+  return out;
+}
+
+std::optional<ControlRequest> ControlRequest::parse(util::BytesView wire) {
+  if (wire.size() < 8) return std::nullopt;
+  std::size_t off = 0;
+  if (util::get_u32(wire, off) != kControlRequestMagic) return std::nullopt;
+  const std::uint16_t raw = util::get_u16(wire, off);
+  const std::uint16_t len = util::get_u16(wire, off);
+  if (!known_command(raw)) return std::nullopt;
+  if (wire.size() - off != len) return std::nullopt;  // exact, no trailer
+  ControlRequest req;
+  req.command = static_cast<ControlCommand>(raw);
+  req.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(off),
+                     wire.end());
+  return req;
+}
+
+util::Bytes ControlResponse::serialize() const {
+  util::Bytes out;
+  out.reserve(9 + payload.size());
+  util::put_u32(out, kControlResponseMagic);
+  util::put_u16(out, static_cast<std::uint16_t>(command));
+  util::put_u8(out, ok ? 1 : 0);
+  util::put_u16(out, static_cast<std::uint16_t>(payload.size()));
+  util::append(out, payload);
+  return out;
+}
+
+std::optional<ControlResponse> ControlResponse::parse(util::BytesView wire) {
+  if (wire.size() < 9) return std::nullopt;
+  std::size_t off = 0;
+  if (util::get_u32(wire, off) != kControlResponseMagic) return std::nullopt;
+  const std::uint16_t raw = util::get_u16(wire, off);
+  const std::uint8_t status = util::get_u8(wire, off);
+  const std::uint16_t len = util::get_u16(wire, off);
+  if (!known_command(raw) || status > 1) return std::nullopt;
+  if (wire.size() - off != len) return std::nullopt;
+  ControlResponse resp;
+  resp.command = static_cast<ControlCommand>(raw);
+  resp.ok = status == 1;
+  resp.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(off),
+                      wire.end());
+  return resp;
+}
+
+ControlServer::ControlServer(EventLoop& loop, const SocketAddr& addr,
+                             ControlHandlers handlers)
+    : loop_(loop), handlers_(std::move(handlers)) {
+  BC_CHECK(socket_.bind(addr))
+      << "control bind " << addr.to_string() << ": " << std::strerror(errno);
+  loop_.add_fd(socket_.fd(), EPOLLIN, [this](std::uint32_t) {
+    socket_.drain([this](util::BytesView wire, const SocketAddr& from) {
+      on_request(wire, from);
+    });
+  });
+}
+
+ControlServer::~ControlServer() { loop_.remove_fd(socket_.fd()); }
+
+void ControlServer::on_request(util::BytesView wire, const SocketAddr& from) {
+  auto req = ControlRequest::parse(wire);
+  if (!req) {
+    ++stats_.malformed;
+    return;  // never answer garbage
+  }
+  ++stats_.requests;
+  bool shutdown_after = false;
+  ControlResponse resp = handle(*req, shutdown_after);
+  if (!resp.ok) ++stats_.errors;
+  const util::Bytes out = resp.serialize();
+  (void)socket_.send_to(from, out);
+  // The shutdown response went out first, so the client's request/
+  // response exchange completes even though the loop is about to end.
+  if (shutdown_after && handlers_.shutdown) handlers_.shutdown();
+}
+
+ControlResponse ControlServer::handle(const ControlRequest& req,
+                                      bool& shutdown_after) {
+  ControlResponse resp;
+  resp.command = req.command;
+  const auto text = [&resp](std::string_view s) {
+    resp.payload.assign(s.begin(), s.end());
+  };
+  switch (req.command) {
+    case ControlCommand::kPing:
+      resp.ok = true;
+      text("pong");
+      break;
+    case ControlCommand::kStats: {
+      if (!handlers_.stats_jsonl) {
+        text("err: no stats handler");
+        break;
+      }
+      std::string snap = handlers_.stats_jsonl();
+      if (snap.size() > kMaxControlPayload) {
+        // Clip whole lines so the truncated dump stays valid JSONL.
+        const std::size_t cut = snap.rfind('\n', kMaxControlPayload);
+        snap.resize(cut == std::string::npos ? 0 : cut + 1);
+      }
+      resp.ok = true;
+      text(snap);
+      break;
+    }
+    case ControlCommand::kFlushCache:
+      if (!handlers_.flush_cache) {
+        text("err: no flush handler");
+        break;
+      }
+      resp.ok = handlers_.flush_cache();
+      text(resp.ok ? "ok" : "err: flush refused");
+      break;
+    case ControlCommand::kSwitchPolicy: {
+      if (!handlers_.switch_policy) {
+        text("err: no policy handler");
+        break;
+      }
+      const std::string_view name(
+          reinterpret_cast<const char*>(req.payload.data()),
+          req.payload.size());
+      resp.ok = handlers_.switch_policy(name);
+      text(resp.ok ? "ok" : "err: unknown or unsupported policy");
+      break;
+    }
+    case ControlCommand::kShutdown:
+      resp.ok = true;
+      text("shutting down");
+      shutdown_after = true;
+      break;
+  }
+  return resp;
+}
+
+}  // namespace bytecache::net

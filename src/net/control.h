@@ -1,0 +1,125 @@
+// The gateway's runtime control channel (DESIGN.md §12.3).
+//
+// A datagram admin protocol in the idiom of beng-proxy's control/
+// socket: a magic-framed request datagram carrying one command, one
+// response datagram per request, strict parsing (bad magic, short
+// header, or a length that disagrees with the datagram size are all
+// silently dropped — an admin protocol never answers garbage).
+//
+// This is the *operator* channel (stats snapshot, cache flush, policy
+// switch, shutdown) and is deliberately separate from core/control.h,
+// which is the decoder->encoder data-plane feedback that travels inside
+// the tunnel.
+//
+// Frames (all integers big-endian, matching the project wire idiom):
+//
+//   request:   magic(4)=0xBCC7 7C01  command(2)  length(2)  payload
+//   response:  magic(4)=0xBCC7 7C02  command(2)  status(1)  length(2)  payload
+//
+// Commands:
+//   kPing          payload: none        -> ok, payload "pong"
+//   kStats         payload: none        -> ok, payload = obs JSONL snapshot
+//   kFlushCache    payload: none        -> ok after Encoder/Decoder::flush()
+//   kSwitchPolicy  payload: policy name -> ok after the encoder swaps its
+//                  EncodingPolicy (core::policy_from_string names)
+//   kShutdown      payload: none        -> ok, then the gateway begins a
+//                  clean teardown (response is sent first)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/event_loop.h"
+#include "net/udp_socket.h"
+#include "obs/fields.h"
+#include "util/bytes.h"
+
+namespace bytecache::net {
+
+inline constexpr std::uint32_t kControlRequestMagic = 0xBCC77C01;
+inline constexpr std::uint32_t kControlResponseMagic = 0xBCC77C02;
+
+/// Stats responses are clipped here so the frame always fits one UDP
+/// datagram (65507 payload max, minus header slack).
+inline constexpr std::size_t kMaxControlPayload = 60000;
+
+enum class ControlCommand : std::uint16_t {
+  kPing = 1,
+  kStats = 2,
+  kFlushCache = 3,
+  kSwitchPolicy = 4,
+  kShutdown = 5,
+};
+
+struct ControlRequest {
+  ControlCommand command = ControlCommand::kPing;
+  util::Bytes payload;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  /// Strict: exact header, known command, length == remaining bytes.
+  static std::optional<ControlRequest> parse(util::BytesView wire);
+};
+
+struct ControlResponse {
+  ControlCommand command = ControlCommand::kPing;
+  bool ok = false;
+  util::Bytes payload;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static std::optional<ControlResponse> parse(util::BytesView wire);
+};
+
+/// What the gateway plugs into the server.  Unset handlers answer their
+/// command with an error response (the decoder side has no policy to
+/// switch, for example).
+struct ControlHandlers {
+  std::function<std::string()> stats_jsonl;
+  std::function<bool()> flush_cache;
+  std::function<bool(std::string_view)> switch_policy;
+  std::function<void()> shutdown;
+};
+
+struct ControlServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t errors = 0;  // requests answered with status != ok
+};
+
+[[nodiscard]] constexpr auto stats_fields(const ControlServerStats*) {
+  using S = ControlServerStats;
+  return obs::field_table<S>(
+      obs::Field<S>{"requests", &S::requests},
+      obs::Field<S>{"malformed", &S::malformed},
+      obs::Field<S>{"errors", &S::errors});
+}
+
+using obs::merge_into;
+using obs::reset;
+
+class ControlServer {
+ public:
+  /// Binds `addr` on `loop`.  Aborts (BC_CHECK) if the bind fails: an
+  /// explicitly requested control channel that cannot listen is a
+  /// configuration error, not a condition to limp through.
+  ControlServer(EventLoop& loop, const SocketAddr& addr,
+                ControlHandlers handlers);
+  ~ControlServer();
+
+  [[nodiscard]] SocketAddr local_addr() const { return socket_.local_addr(); }
+  [[nodiscard]] const ControlServerStats& stats() const { return stats_; }
+
+ private:
+  void on_request(util::BytesView wire, const SocketAddr& from);
+  [[nodiscard]] ControlResponse handle(const ControlRequest& req,
+                                       bool& shutdown_after);
+
+  EventLoop& loop_;
+  UdpSocket socket_;
+  ControlHandlers handlers_;
+  ControlServerStats stats_;
+};
+
+}  // namespace bytecache::net

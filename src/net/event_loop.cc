@@ -1,0 +1,180 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace bytecache::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  BC_CHECK(epoll_fd_ >= 0) << "epoll_create1: " << std::strerror(errno);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  BC_CHECK(wake_fd_ >= 0) << "eventfd: " << std::strerror(errno);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  BC_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0)
+      << "epoll_ctl(wake): " << std::strerror(errno);
+}
+
+EventLoop::~EventLoop() {
+  // Registered fds belong to their owners; only the loop's own fds are
+  // closed here.  Entries left registered simply die with the epoll fd.
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdHandler handler) {
+  BC_CHECK(fd >= 0) << "add_fd on negative fd";
+  BC_CHECK(fd != wake_fd_) << "add_fd on the loop's wake fd";
+  auto entry = std::make_shared<Entry>();
+  entry->handler = std::move(handler);
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  auto it = entries_.find(fd);
+  if (it != entries_.end()) {
+    // Replacing: kill the old registration first so a pending dispatch
+    // of this very batch cannot run the superseded handler.
+    it->second->alive = false;
+    it->second = entry;
+    BC_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0)
+        << "epoll_ctl(mod " << fd << "): " << std::strerror(errno);
+    return;
+  }
+  BC_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0)
+      << "epoll_ctl(add " << fd << "): " << std::strerror(errno);
+  entries_.emplace(fd, std::move(entry));
+}
+
+void EventLoop::remove_fd(int fd) {
+  auto it = entries_.find(fd);
+  if (it == entries_.end()) return;
+  // Mark dead *before* erasing: dispatch holds its own reference and
+  // checks this flag, so an in-batch removal drops pending events
+  // instead of calling through a dangling owner (the PR 1 lesson).
+  it->second->alive = false;
+  entries_.erase(it);
+  // The fd may already be closed by the owner; EBADF/ENOENT are fine.
+  (void)epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EventLoop::run_once(int timeout_ms) {
+  epoll_event events[64];
+  int n;
+  do {
+    n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  BC_CHECK(n >= 0) << "epoll_wait: " << std::strerror(errno);
+  int handled = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_) {
+      std::uint64_t drain = 0;
+      (void)!::read(wake_fd_, &drain, sizeof drain);
+      continue;
+    }
+    auto it = entries_.find(fd);
+    if (it == entries_.end()) continue;  // removed earlier in this batch
+    // Keep the entry alive across the call: the handler may remove (or
+    // destroy the owner of) its own registration.
+    const std::shared_ptr<Entry> entry = it->second;
+    if (!entry->alive) continue;
+    entry->handler(events[i].events);
+    ++handled;
+  }
+  return handled;
+}
+
+void EventLoop::run() {
+  BC_CHECK(!running_) << "EventLoop::run is not reentrant";
+  running_ = true;
+  stop_.store(false, std::memory_order_relaxed);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    run_once(-1);
+  }
+  running_ = false;
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  const std::uint64_t one = 1;
+  // write(2) on an eventfd is async-signal-safe; ignore a full counter.
+  (void)!::write(wake_fd_, &one, sizeof one);
+}
+
+// ------------------------------------------------------------------ Timer --
+
+Timer::Timer(EventLoop& loop, std::function<void()> on_fire)
+    : loop_(loop), on_fire_(std::move(on_fire)) {
+  fd_ = timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+  BC_CHECK(fd_ >= 0) << "timerfd_create: " << std::strerror(errno);
+  loop_.add_fd(fd_, EPOLLIN, [this](std::uint32_t) { on_readable(); });
+}
+
+Timer::~Timer() {
+  loop_.remove_fd(fd_);
+  ::close(fd_);
+}
+
+void Timer::arm(std::chrono::nanoseconds value,
+                std::chrono::nanoseconds interval) {
+  const auto split = [](std::chrono::nanoseconds d) {
+    timespec ts{};
+    ts.tv_sec = std::chrono::duration_cast<std::chrono::seconds>(d).count();
+    ts.tv_nsec = (d % std::chrono::seconds(1)).count();
+    return ts;
+  };
+  itimerspec spec{};
+  spec.it_value = split(value);
+  spec.it_interval = split(interval);
+  BC_CHECK(timerfd_settime(fd_, 0, &spec, nullptr) == 0)
+      << "timerfd_settime: " << std::strerror(errno);
+}
+
+void Timer::start_oneshot(std::chrono::nanoseconds delay) {
+  // A zero it_value disarms a timerfd; clamp to the next tick instead.
+  if (delay <= std::chrono::nanoseconds::zero()) {
+    delay = std::chrono::nanoseconds(1);
+  }
+  periodic_ = false;
+  armed_ = true;
+  arm(delay, std::chrono::nanoseconds::zero());
+}
+
+void Timer::start_periodic(std::chrono::nanoseconds period) {
+  BC_CHECK(period > std::chrono::nanoseconds::zero())
+      << "periodic timer needs a positive period";
+  periodic_ = true;
+  armed_ = true;
+  arm(period, period);
+}
+
+void Timer::cancel() {
+  armed_ = false;
+  periodic_ = false;
+  arm(std::chrono::nanoseconds::zero(), std::chrono::nanoseconds::zero());
+}
+
+void Timer::on_readable() {
+  std::uint64_t expirations = 0;
+  if (::read(fd_, &expirations, sizeof expirations) != sizeof expirations) {
+    return;  // spurious wake-up (cancelled between poll and read)
+  }
+  if (!armed_) return;
+  if (!periodic_) armed_ = false;  // before the callback: it may re-arm
+  ++fired_;
+  // Invoke a local copy: the callback may destroy this Timer, and a
+  // std::function must not die mid-invocation.
+  const std::function<void()> fire = on_fire_;
+  fire();
+}
+
+}  // namespace bytecache::net

@@ -1,0 +1,124 @@
+// A small epoll event loop — the real-I/O counterpart of sim::Simulator
+// (DESIGN.md §12).
+//
+// One loop drives one gateway process: level-triggered fd readiness
+// callbacks (UDP sockets, the control channel) plus timerfd-backed
+// timers.  Everything runs on the thread that calls run(); the loop is
+// deliberately single-threaded — the same shared-nothing contract as a
+// sharded-gateway worker (§8) — so handlers need no locks.  stop() is
+// the one cross-thread (and async-signal-safe) entry point: it writes an
+// eventfd the loop waits on, which is how SIGTERM reaches a clean
+// teardown.
+//
+// Lifetime rules (the PR 1 use-after-free timers are the cautionary
+// tale, DESIGN.md §6):
+//
+//   - remove_fd() marks the registration dead before dropping it, and
+//     dispatch re-checks liveness per event: a handler removed by an
+//     earlier callback of the same epoll_wait batch is never invoked.
+//   - The dispatched entry is kept alive (shared_ptr) across the call,
+//     so a callback may remove *itself* — even destroy the object that
+//     owns it — without yanking the std::function out from under its own
+//     execution.
+//   - Timer is RAII: its destructor deregisters and closes the timerfd,
+//     so a destroyed timer can never fire.  There is no raw "schedule a
+//     callback in N ms" surface to leak.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace bytecache::net {
+
+class EventLoop {
+ public:
+  /// Readiness callback; `events` is the epoll event mask (EPOLLIN...).
+  using FdHandler = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` (level-triggered) for `events`; the handler runs on
+  /// the loop thread.  The fd is not owned: callers close it after
+  /// remove_fd().  Registering an already-registered fd replaces its
+  /// handler.
+  void add_fd(int fd, std::uint32_t events, FdHandler handler);
+
+  /// Deregisters `fd`.  Safe from inside any handler (including the
+  /// fd's own): pending dispatches of this registration are dropped.
+  void remove_fd(int fd);
+
+  /// Runs until stop().  Not reentrant.
+  void run();
+
+  /// One epoll_wait (bounded by `timeout_ms`; -1 = block) plus dispatch.
+  /// Returns the number of events handled — the building block for
+  /// tests and for callers interleaving the loop with other work.
+  int run_once(int timeout_ms);
+
+  /// Requests run() to return after the current dispatch batch.  Safe
+  /// from other threads and from signal handlers (one eventfd write).
+  void stop();
+
+  /// Registered fd count (excludes the internal wake eventfd).
+  [[nodiscard]] std::size_t watched_fds() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    FdHandler handler;
+    bool alive = true;
+  };
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: stop() wake-up
+  std::unordered_map<int, std::shared_ptr<Entry>> entries_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+};
+
+/// A timerfd-backed timer owned by its user, registered on an EventLoop.
+/// The callback runs on the loop thread.  Destruction deregisters, so
+/// the callback can never fire after the Timer dies — and the callback
+/// itself may cancel(), restart, or destroy the Timer it belongs to.
+class Timer {
+ public:
+  Timer(EventLoop& loop, std::function<void()> on_fire);
+  ~Timer();
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Fires once after `delay` (replacing any pending arming).
+  void start_oneshot(std::chrono::nanoseconds delay);
+
+  /// Fires every `period` (first fire one period from now).
+  void start_periodic(std::chrono::nanoseconds period);
+
+  /// Disarms; a cancelled timer does not fire until restarted.
+  void cancel();
+
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  /// Fires this timer has delivered (for tests and stats).
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+
+ private:
+  void arm(std::chrono::nanoseconds value, std::chrono::nanoseconds interval);
+  void on_readable();
+
+  EventLoop& loop_;
+  std::function<void()> on_fire_;
+  int fd_ = -1;
+  bool armed_ = false;
+  bool periodic_ = false;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace bytecache::net

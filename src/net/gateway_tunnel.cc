@@ -1,0 +1,134 @@
+#include "net/gateway_tunnel.h"
+
+#include "core/control.h"
+#include "packet/packet.h"
+#include "packet/udp.h"
+
+namespace bytecache::net {
+
+namespace {
+
+/// The gateway-construction view of a tunnel config: the tunnel's own
+/// registry is the parent, so gateway + codec + cache metrics surface
+/// through the tunnel's snapshot().
+core::GatewayConfig gw_config(const TunnelConfig& config,
+                              obs::MetricsRegistry& parent) {
+  core::GatewayConfig cfg = config.gateway;
+  cfg.metrics = &parent;
+  return cfg;
+}
+
+}  // namespace
+
+EncoderTunnel::EncoderTunnel(const TunnelConfig& config, Transport& tunnel)
+    : config_(config), tunnel_(tunnel), gw_(gw_config(config, metrics_)) {
+  obs::link_stats(metrics_, "net.plain", stats_);
+  obs::link_stats(metrics_, "net.tunnel", tunnel_.stats());
+  gw_.set_sink([this](packet::PacketPtr pkt) {
+    packet::to_wire_into(*pkt, wire_scratch_);
+    (void)tunnel_.send(wire_scratch_);
+  });
+  tunnel_.set_handler(
+      [this](util::BytesView wire) { on_tunnel_datagram(wire); });
+}
+
+void EncoderTunnel::on_plain_datagram(util::BytesView data,
+                                      std::uint64_t source_key) {
+  // One plain datagram -> one tunnel datagram; both the synthesized
+  // UDP header and the IP header must fit the 16-bit IP total length.
+  if (data.size() + packet::UdpHeader::kSize + packet::Ipv4Header::kSize >
+      0xFFFF) {
+    ++stats_.oversize_dropped;
+    return;
+  }
+  auto [it, inserted] = flow_ips_.try_emplace(
+      source_key,
+      config_.virt_client_ip + static_cast<std::uint32_t>(flow_ips_.size()));
+  if (inserted) ++stats_.flows;
+  const std::uint32_t src_ip = it->second;
+  ++stats_.plain_in;
+  stats_.plain_bytes_in += data.size();
+
+  packet::UdpHeader udp;
+  udp.src_port = config_.virt_src_port;
+  udp.dst_port = config_.virt_dst_port;
+  payload_scratch_.clear();
+  udp.serialize(payload_scratch_, data, src_ip, config_.virt_server_ip);
+  auto pkt = packet::make_packet(src_ip, config_.virt_server_ip,
+                                 packet::IpProto::kUdp, payload_scratch_);
+  gw_.receive(std::move(pkt));
+}
+
+void EncoderTunnel::on_tunnel_datagram(util::BytesView wire) {
+  packet::PacketPtr pkt = packet::from_wire(wire);
+  if (pkt == nullptr) {
+    ++stats_.tunnel_malformed;
+    return;
+  }
+  if (pkt->ip.protocol == core::kControlProto) {
+    gw_.receive_control(*pkt);
+    return;
+  }
+  // Reverse-path data (e.g. TCP ACKs once a TCP front end exists) feeds
+  // the ACK-gated observer; today's UDP front end never produces it.
+  gw_.observe_reverse(*pkt);
+}
+
+bool EncoderTunnel::flush_cache() {
+  if (!gw_.enabled()) return false;
+  gw_.encoder()->flush_counted();
+  return true;
+}
+
+bool EncoderTunnel::switch_policy(std::string_view name) {
+  const auto kind = core::policy_from_string(name);
+  if (!kind) return false;
+  return gw_.switch_policy(*kind);
+}
+
+DecoderTunnel::DecoderTunnel(const TunnelConfig& config, Transport& tunnel,
+                             PlainSink plain_sink)
+    : tunnel_(tunnel),
+      plain_sink_(std::move(plain_sink)),
+      gw_(gw_config(config, metrics_)) {
+  obs::link_stats(metrics_, "net.plain", stats_);
+  obs::link_stats(metrics_, "net.tunnel", tunnel_.stats());
+  gw_.set_sink([this](packet::PacketPtr pkt) {
+    const auto udp =
+        packet::UdpHeader::parse(pkt->payload, pkt->ip.src, pkt->ip.dst);
+    if (!udp) {
+      // Decoded to something that is not the tunnel's synthesized UDP
+      // framing (or failed its checksum): nothing to deliver plain-side.
+      ++stats_.tunnel_malformed;
+      return;
+    }
+    const util::BytesView data(pkt->payload.data() + packet::UdpHeader::kSize,
+                               pkt->payload.size() - packet::UdpHeader::kSize);
+    ++stats_.plain_out;
+    stats_.plain_bytes_out += data.size();
+    if (plain_sink_) plain_sink_(data);
+  });
+  gw_.set_feedback([this](packet::PacketPtr pkt) {
+    packet::to_wire_into(*pkt, wire_scratch_);
+    (void)tunnel_.send(wire_scratch_);
+  });
+  tunnel_.set_handler(
+      [this](util::BytesView wire) { on_tunnel_datagram(wire); });
+}
+
+void DecoderTunnel::on_tunnel_datagram(util::BytesView wire) {
+  packet::PacketPtr pkt = packet::from_wire(wire);
+  if (pkt == nullptr) {
+    ++stats_.tunnel_malformed;
+    return;
+  }
+  gw_.receive(std::move(pkt));
+}
+
+bool DecoderTunnel::flush_cache() {
+  if (!gw_.enabled()) return false;
+  gw_.decoder()->flush();
+  return true;
+}
+
+}  // namespace bytecache::net

@@ -1,0 +1,115 @@
+#include "net/udp_socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "packet/ipv4.h"
+#include "util/check.h"
+
+namespace bytecache::net {
+
+namespace {
+
+sockaddr_in to_sockaddr(const SocketAddr& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(a.ip);
+  sa.sin_port = htons(a.port);
+  return sa;
+}
+
+SocketAddr from_sockaddr(const sockaddr_in& sa) {
+  return SocketAddr{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+}  // namespace
+
+std::string SocketAddr::to_string() const {
+  return packet::ip_to_string(ip) + ":" + std::to_string(port);
+}
+
+std::optional<SocketAddr> SocketAddr::parse(std::string_view text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  const std::string host(text.substr(0, colon));
+  in_addr addr{};
+  if (inet_pton(AF_INET, host.c_str(), &addr) != 1) return std::nullopt;
+  const std::string_view port_text = text.substr(colon + 1);
+  std::uint32_t port = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), port);
+  if (ec != std::errc{} || ptr != port_text.data() + port_text.size() ||
+      port == 0 || port > 0xFFFF) {
+    return std::nullopt;
+  }
+  return SocketAddr{ntohl(addr.s_addr), static_cast<std::uint16_t>(port)};
+}
+
+UdpSocket::UdpSocket() {
+  fd_ = socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  BC_CHECK(fd_ >= 0) << "socket: " << std::strerror(errno);
+  // Loopback smoke moves whole files through one socket pair; a roomy
+  // receive buffer keeps a bursty sender from cooking up artificial
+  // loss.  Best effort — the kernel clamps to its rmem_max.
+  const int bytes = 4 * 1024 * 1024;
+  (void)setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof bytes);
+}
+
+UdpSocket::~UdpSocket() { ::close(fd_); }
+
+bool UdpSocket::bind(const SocketAddr& addr) {
+  sockaddr_in sa = to_sockaddr(addr);
+  return ::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0;
+}
+
+SocketAddr UdpSocket::local_addr() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    return SocketAddr{};
+  }
+  return from_sockaddr(sa);
+}
+
+bool UdpSocket::send_to(const SocketAddr& to, util::BytesView datagram) {
+  const sockaddr_in sa = to_sockaddr(to);
+  const ssize_t n =
+      sendto(fd_, datagram.data(), datagram.size(), 0,
+             reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  return n == static_cast<ssize_t>(datagram.size());
+}
+
+int UdpSocket::drain(const RecvHandler& handler) {
+  // 64 KiB covers the maximum UDP payload; the buffer lives on the
+  // stack of the (cold relative to the codec) socket path.
+  std::uint8_t buf[65536];
+  int received = 0;
+  while (received < kMaxRecvBatch) {
+    sockaddr_in sa{};
+    socklen_t len = sizeof sa;
+    const ssize_t n = recvfrom(fd_, buf, sizeof buf, 0,
+                               reinterpret_cast<sockaddr*>(&sa), &len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN ends the drain; ECONNREFUSED (a previous send hit a
+      // closed port) and any harder error also just end it — the next
+      // EPOLLIN resumes, and an unreadable socket must not spin here.
+      break;
+    }
+    ++received;
+    handler(util::BytesView(buf, static_cast<std::size_t>(n)),
+            from_sockaddr(sa));
+  }
+  return received;
+}
+
+}  // namespace bytecache::net

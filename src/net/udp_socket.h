@@ -1,0 +1,80 @@
+// Non-blocking UDP sockets and socket addresses for the real-I/O
+// gateway (DESIGN.md §12).
+//
+// Deliberately thin: an fd plus the handful of operations the tunnel
+// needs (bind, sendto, a drain-until-EAGAIN receive loop).  Sockets are
+// level-triggered on the EventLoop, and recv() is always called in a
+// drain loop anyway, so no readiness state is cached here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace bytecache::net {
+
+/// An IPv4 endpoint ("127.0.0.1:9000").  Stored in host byte order;
+/// conversion to sockaddr_in happens at the syscall boundary.
+struct SocketAddr {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] bool operator==(const SocketAddr&) const = default;
+
+  /// A zero address is "unset" (the decoder before it learns its peer).
+  [[nodiscard]] bool valid() const { return port != 0; }
+
+  /// Packs into one u64 — the tunnel's flow-map key.
+  [[nodiscard]] std::uint64_t key() const {
+    return (std::uint64_t{ip} << 16) | port;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses "a.b.c.d:port"; nullopt on malformed input.
+  static std::optional<SocketAddr> parse(std::string_view text);
+};
+
+/// Cap on datagrams drained per readable event before yielding back to
+/// the loop, so one busy socket cannot starve the control channel.
+inline constexpr int kMaxRecvBatch = 64;
+
+class UdpSocket {
+ public:
+  /// Called per received datagram with the payload and its source.
+  using RecvHandler =
+      std::function<void(util::BytesView datagram, const SocketAddr& from)>;
+
+  UdpSocket();
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Binds to `addr` (port 0 picks an ephemeral port).  Returns false on
+  /// failure (errno preserved for the caller's error message).
+  [[nodiscard]] bool bind(const SocketAddr& addr);
+
+  /// The bound local address (valid after a successful bind()).
+  [[nodiscard]] SocketAddr local_addr() const;
+
+  /// Sends one datagram to `to`.  Returns false if the kernel refused
+  /// (full socket buffer = the datagram is dropped, exactly the loss
+  /// semantics a real tunnel has; callers count, not retry).
+  [[nodiscard]] bool send_to(const SocketAddr& to, util::BytesView datagram);
+
+  /// Drains pending datagrams (up to kMaxRecvBatch) into `handler`.
+  /// Returns the number received.  Call on EPOLLIN.
+  int drain(const RecvHandler& handler);
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace bytecache::net

@@ -1,0 +1,49 @@
+#include "net/udp_transport.h"
+
+#include <sys/epoll.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace bytecache::net {
+
+UdpTunnelTransport::UdpTunnelTransport(EventLoop& loop,
+                                       const SocketAddr& local,
+                                       const SocketAddr& peer)
+    : loop_(loop), peer_(peer), learn_peer_(!peer.valid()) {
+  BC_CHECK(socket_.bind(local))
+      << "tunnel bind " << local.to_string() << ": " << std::strerror(errno);
+  loop_.add_fd(socket_.fd(), EPOLLIN, [this](std::uint32_t) { on_readable(); });
+}
+
+UdpTunnelTransport::~UdpTunnelTransport() { loop_.remove_fd(socket_.fd()); }
+
+bool UdpTunnelTransport::send(util::BytesView datagram) {
+  if (!peer_.valid()) {
+    // Feedback generated before the first forward datagram arrived has
+    // nowhere to go yet; datagram semantics say drop-and-count.
+    ++stats_.send_failures;
+    return false;
+  }
+  if (!socket_.send_to(peer_, datagram)) {
+    ++stats_.send_failures;
+    return false;
+  }
+  ++stats_.datagrams_out;
+  stats_.bytes_out += datagram.size();
+  return true;
+}
+
+void UdpTunnelTransport::on_readable() {
+  socket_.drain([this](util::BytesView datagram, const SocketAddr& from) {
+    if (learn_peer_) {
+      peer_ = from;
+      learn_peer_ = false;
+    }
+    deliver(datagram);
+  });
+}
+
+}  // namespace bytecache::net

@@ -1,0 +1,41 @@
+// The real-I/O backend of the transport seam: one UDP socket on an
+// epoll EventLoop (DESIGN.md §12).
+//
+// The encoder side is constructed knowing its peer (the decoder's
+// tunnel address); the decoder side may start peerless and lock onto
+// the source of the first datagram it receives — the same
+// learn-the-peer handshake beng-proxy's control sockets use, which
+// keeps the two-process launch order-independent.
+#pragma once
+
+#include "net/event_loop.h"
+#include "net/transport.h"
+#include "net/udp_socket.h"
+
+namespace bytecache::net {
+
+class UdpTunnelTransport final : public Transport {
+ public:
+  /// Binds `local` (port 0 = ephemeral; see local_addr()) and registers
+  /// on `loop`.  `peer` may be invalid — then the peer is learned from
+  /// the first arriving datagram.  Aborts (BC_CHECK) if the bind fails:
+  /// a tunnel without its socket cannot exist.
+  UdpTunnelTransport(EventLoop& loop, const SocketAddr& local,
+                     const SocketAddr& peer);
+  ~UdpTunnelTransport() override;
+
+  bool send(util::BytesView datagram) override;
+
+  [[nodiscard]] SocketAddr local_addr() const { return socket_.local_addr(); }
+  [[nodiscard]] const SocketAddr& peer() const { return peer_; }
+
+ private:
+  void on_readable();
+
+  EventLoop& loop_;
+  UdpSocket socket_;
+  SocketAddr peer_;
+  bool learn_peer_ = false;
+};
+
+}  // namespace bytecache::net

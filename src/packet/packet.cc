@@ -30,12 +30,17 @@ PacketPtr clone_packet(const Packet& p) {
 util::Bytes to_wire(const Packet& p) {
   util::Bytes out;
   out.reserve(p.wire_size());
+  to_wire_into(p, out);
+  return out;
+}
+
+void to_wire_into(const Packet& p, util::Bytes& out) {
+  out.clear();
   Ipv4Header h = p.ip;
   h.total_length =
       static_cast<std::uint16_t>(Ipv4Header::kSize + p.payload.size());
   h.serialize(out);
   util::append(out, p.payload);
-  return out;
 }
 
 PacketPtr from_wire(util::BytesView wire) {

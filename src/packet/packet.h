@@ -51,6 +51,10 @@ using PacketPtr = std::unique_ptr<Packet>;
 /// Serializes the whole packet (IP header + payload) to wire bytes.
 [[nodiscard]] util::Bytes to_wire(const Packet& p);
 
+/// Serializes into `out`, clearing it first; reuses its capacity (the
+/// per-datagram scratch of the real-I/O tunnels, net/gateway_tunnel.h).
+void to_wire_into(const Packet& p, util::Bytes& out);
+
 /// Parses wire bytes back into a Packet (fresh uid); returns nullptr if the
 /// IP header is malformed.  Used by tests to prove wire round-tripping.
 [[nodiscard]] PacketPtr from_wire(util::BytesView wire);

@@ -26,7 +26,8 @@ import ir
 RULE = "bc-hotpath-alloc"
 
 ROOT_DIRS = ("src/rabin/", "src/cache/", "src/core/")
-SITE_DIRS = ("src/rabin/", "src/cache/", "src/core/", "src/gateway/")
+SITE_DIRS = ("src/rabin/", "src/cache/", "src/core/", "src/gateway/",
+             "src/net/")
 
 # Burst entry points are hot roots wherever they live: they are the
 # batched per-packet path (PR 7), so a gateway or ring function with one

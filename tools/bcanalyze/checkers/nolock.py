@@ -1,11 +1,15 @@
 """bc-nolock (semantic): blocking-synchronisation types by *canonical*
-type anywhere in the data plane (src/rabin/, src/cache/, src/core/).
+type anywhere in the data plane (src/rabin/, src/cache/, src/core/) or
+the event-loop layer (src/net/).
 
 The regex rule in tools/lint.py catches literal `std::mutex` spellings;
 this checker resolves typedef/using aliases first, so hiding a lock
 behind `using Guard = std::scoped_lock<...>;` (or a project alias of a
 condition variable) is still a finding.  The data plane is sharded
-shared-nothing by design (DESIGN.md §7): a lock anywhere under these
+shared-nothing by design (DESIGN.md §7), and src/net/ is single-threaded
+by contract — everything runs on the loop thread, with the lone
+cross-thread entry point being the async-signal-safe EventLoop::stop()
+(atomic flag + eventfd, DESIGN.md §12.1).  A lock anywhere under these
 directories is a design violation, not a style nit.
 """
 
@@ -14,7 +18,7 @@ import ir
 
 RULE = "bc-nolock"
 
-DIRS = ("src/rabin/", "src/cache/", "src/core/")
+DIRS = ("src/rabin/", "src/cache/", "src/core/", "src/net/")
 
 LOCK_TYPES = {
     "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex",

@@ -24,6 +24,11 @@ convention (see DESIGN.md "Performance"):
     "current":  { ... numbers after it, same machine ... }
   }
 
+Each entry is stamped with the scan kernel, CPU flags, and hardware
+thread count that produced it, and merging refuses to put entries from a
+different kernel tier (--allow-kernel-change) or CPU topology
+(--allow-topology-change) side by side: such pairs are not comparisons.
+
 `--repeat N` runs each bench binary N times and keeps the fastest
 result per benchmark, which (together with bench_throughput's own
 warm-up + best-of-passes scheme) makes the numbers reproducible on
@@ -36,6 +41,7 @@ Usage:
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -96,6 +102,64 @@ def check_kernel_change(doc, label, entry, allow):
                 f"'{entry['kernel']}'; cross-kernel numbers are not "
                 "comparable — rerun with the same kernel (or pass "
                 "--allow-kernel-change if the tier switch is the point)")
+
+
+def check_topology_change(doc, label, entry, allow):
+    """Refuses to merge an entry next to labels measured on a different
+    CPU topology: the bench_mt_throughput shard-scaling curve (1/2/4/8
+    shards) bends entirely differently on 4 cores than on 32, so a
+    before/after pair that silently moved machines (or a container that
+    changed its CPU quota) records a scaling regression that is really a
+    hardware change.  Entries from before hardware_concurrency stamping
+    are skipped, like pre-stamping entries in check_kernel_change.
+    `--allow-topology-change` overrides for deliberate cross-machine
+    comparisons."""
+    for other_label, other in doc.items():
+        if other_label == label or not isinstance(other, dict):
+            continue
+        other_hw = other.get("hardware_concurrency")
+        if other_hw is None:  # pre-stamping entry: nothing to compare
+            continue
+        if other_hw != entry["hardware_concurrency"] and not allow:
+            sys.exit(
+                f"bench_json: label '{other_label}' was measured with "
+                f"{other_hw} hardware threads but this machine has "
+                f"{entry['hardware_concurrency']}; shard-curve numbers are "
+                "not comparable across topologies — rerun on the same "
+                "machine (or pass --allow-topology-change if the "
+                "cross-machine comparison is the point)")
+
+
+def self_test():
+    """Offline check of the merge gates (no bench binaries needed);
+    registered as the bench_json_selftest ctest."""
+    entry = {"kernel": "avx2", "hardware_concurrency": 8}
+
+    def exits(fn):
+        try:
+            fn()
+        except SystemExit:
+            return True
+        return False
+
+    doc = {"baseline": {"kernel": "scalar", "hardware_concurrency": 8}}
+    assert exits(lambda: check_kernel_change(doc, "current", entry, False)), \
+        "kernel gate must refuse a cross-kernel merge"
+    check_kernel_change(doc, "current", entry, True)  # override allowed
+    check_kernel_change(doc, "baseline", entry, False)  # same label: fine
+    check_kernel_change({"baseline": {}}, "current", entry, False)  # legacy
+
+    doc = {"baseline": {"kernel": "avx2", "hardware_concurrency": 32}}
+    assert exits(lambda: check_topology_change(doc, "current", entry, False)), \
+        "topology gate must refuse a cross-topology merge"
+    check_topology_change(doc, "current", entry, True)  # override allowed
+    check_topology_change(doc, "baseline", entry, False)  # same label: fine
+    check_topology_change({"baseline": {}}, "current", entry, False)  # legacy
+    same = {"baseline": {"kernel": "avx2", "hardware_concurrency": 8}}
+    check_kernel_change(same, "current", entry, False)
+    check_topology_change(same, "current", entry, False)
+
+    print("bench_json: self-test passed")
 
 
 def run_json_bench(build, name, repeat):
@@ -220,7 +284,17 @@ def main():
                         help="permit merging next to labels measured under "
                              "a different scan kernel (deliberate "
                              "scalar-vs-SIMD comparisons only)")
+    parser.add_argument("--allow-topology-change", action="store_true",
+                        help="permit merging next to labels measured with a "
+                             "different hardware thread count (deliberate "
+                             "cross-machine comparisons only)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the merge gates offline and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
 
     bt_best, bt_runs = run_json_bench(
         args.build, "bench_throughput", args.repeat)
@@ -231,6 +305,9 @@ def main():
         "machine": platform.machine(),
         "kernel": micro_kernel,
         "cpu_flags": detect_cpu_flags(),
+        # The shard-scaling curve is only meaningful relative to the
+        # core count that produced it (check_topology_change).
+        "hardware_concurrency": os.cpu_count(),
         "bench_throughput": bt_best,
         "bench_mt_throughput": mt_best,
         "bench_micro_rabin": micro,
@@ -244,6 +321,7 @@ def main():
     if out_path.exists():
         doc = json.loads(out_path.read_text())
     check_kernel_change(doc, args.label, entry, args.allow_kernel_change)
+    check_topology_change(doc, args.label, entry, args.allow_topology_change)
     doc[args.label] = entry
     out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 

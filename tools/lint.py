@@ -39,11 +39,16 @@ Rules (see DESIGN.md "Correctness tooling"):
   bc-nolock     std::mutex (and friends: shared/recursive/timed mutexes,
                 lock_guard, scoped_lock, unique_lock, shared_lock,
                 condition_variable) anywhere under src/rabin/, src/cache/,
-                or src/core/.  Those layers are the per-shard data plane:
-                the sharded gateways guarantee exactly one thread touches
-                each Encoder/Decoder and its caches, so a lock there is
-                either dead weight on every packet or a sign that state is
-                about to be shared across shards — both are design bugs.
+                src/core/, or src/net/.  The first three are the per-shard
+                data plane: the sharded gateways guarantee exactly one
+                thread touches each Encoder/Decoder and its caches, so a
+                lock there is either dead weight on every packet or a sign
+                that state is about to be shared across shards — both are
+                design bugs.  src/net/ is the single-threaded event loop:
+                everything runs on the loop thread, and the only
+                cross-thread entry point is EventLoop::stop() (an atomic
+                flag plus an eventfd write) — a lock appearing there means
+                loop state leaked to another thread.
                 Synchronization belongs in src/gateway/ and src/util/
                 (SPSC rings, atomics).  Suppress a deliberate use with a
                 `NOLINT(bc-nolock)` comment on the line or the line above.
@@ -122,7 +127,7 @@ NOLOCK_RE = re.compile(
     r"recursive_timed_mutex|lock_guard|scoped_lock|unique_lock|shared_lock|"
     r"condition_variable|condition_variable_any)\b"
 )
-NOLOCK_DIRS = ("src/rabin/", "src/cache/", "src/core/")
+NOLOCK_DIRS = ("src/rabin/", "src/cache/", "src/core/", "src/net/")
 # Stdout printing: bare printf/puts (the lookbehind excludes snprintf,
 # fprintf, vprintf...), std::cout, or an explicit fprintf(stdout, ...).
 OBS_RE = re.compile(
