@@ -147,6 +147,9 @@ Result run_pipeline(const char* name, const SegmentStream& stream,
       encode_span.end(et);
       encoded += ei.encoded ? 1 : 0;
       pass_wire += pkt.payload.size();
+      // Coded-repair workloads emit repair payloads alongside the data
+      // packet; they ride the same wire, so wire_ratio charges them.
+      for (const util::Bytes& rp : ei.repairs) pass_wire += rp.size();
 
       const auto dt = decode_span.begin();
       const core::DecodeInfo di = dec.process(pkt);
@@ -217,6 +220,9 @@ int main(int argc, char** argv) {
   bounded.cache_bytes = 256 * 1024;
   core::DreParams resilient = value_sampling;  // full resilience layer on
   resilient.epoch_resync = true;
+  core::DreParams coded = value_sampling;  // coded-repair layer (v3 wire)
+  coded.epoch_resync = true;
+  coded.coded_repair = true;
 
   // Process-global warm-up: the first workload of a fresh process runs
   // noticeably slower than the rest (frequency ramp, allocator and page
@@ -252,6 +258,13 @@ int main(int argc, char** argv) {
   results.push_back(
       run_pipeline("file1_resilient_valuesampling", s1,
                    core::PolicyKind::kResilient, resilient, passes));
+  // Coded-repair probe (DESIGN.md §13): every data packet rides the v3
+  // shim and each closed generation emits R repair payloads, which
+  // wire_ratio charges.  On this lossless replay the tracked number is
+  // the FEC cost — GF(256) repair emission per packet plus the v3 shim
+  // and repair-packet overhead — not a loss-recovery win.
+  results.push_back(run_pipeline("file1_coded", s1, core::PolicyKind::kTcpSeq,
+                                 coded, passes));
   // Telemetry twins of the two headline workloads: same codec, same
   // stream, instrumented with the registry + sampled spans.  bench_json
   // gates their MB/s ratio (>= 0.98) and wire_ratio identity against the

@@ -17,6 +17,9 @@
 //   --nack                    enable decoder NACK feedback
 //   --ack-gated               enable ACK-gated references
 //   --epoch-resync            epoch-stamped cache resync (DESIGN.md §9)
+//   --coded                   coded repair: FEC generations over the DRE
+//                             stream + reorder-tolerant decoding (§13);
+//                             implies --epoch-resync (v3 wire needs it)
 //   --csv                     machine-readable one-line-per-trial output
 //   --json                    one JSON object per trial
 #include <cstdio>
@@ -46,6 +49,7 @@ struct Options {
   bool nack = false;
   bool ack_gated = false;
   bool epoch_resync = false;
+  bool coded = false;
   bool csv = false;
   bool json = false;
 };
@@ -82,6 +86,7 @@ Options parse_options(int argc, char** argv) {
     else if (std::strcmp(a, "--nack") == 0) opt.nack = true;
     else if (std::strcmp(a, "--ack-gated") == 0) opt.ack_gated = true;
     else if (std::strcmp(a, "--epoch-resync") == 0) opt.epoch_resync = true;
+    else if (std::strcmp(a, "--coded") == 0) opt.coded = true;
     else if (std::strcmp(a, "--csv") == 0) opt.csv = true;
     else if (std::strcmp(a, "--json") == 0) opt.json = true;
     else usage_error(a);
@@ -135,7 +140,8 @@ int main(int argc, char** argv) {
   cfg.dre.k_distance = opt.k;
   cfg.dre.nack_feedback = opt.nack;
   cfg.dre.ack_gated = opt.ack_gated;
-  cfg.dre.epoch_resync = opt.epoch_resync;
+  cfg.dre.epoch_resync = opt.epoch_resync || opt.coded;
+  cfg.dre.coded_repair = opt.coded;
   cfg.trials = opt.trials;
   cfg.seed = opt.seed;
 

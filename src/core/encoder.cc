@@ -46,7 +46,14 @@ Encoder::Encoder(const DreParams& params,
     : params_(params),
       tables_(params.window, params.poly),
       policy_(std::move(policy)),
-      cache_(params.cache_bytes) {}
+      cache_(params.cache_bytes),
+      repair_enc_(params.repair) {}
+
+std::span<const util::Bytes> Encoder::close_repair_generation() {
+  repair_enc_.begin_packet();
+  repair_enc_.close_generation();
+  return repair_enc_.emitted();
+}
 
 void Encoder::flush() {
   cache_.flush();
@@ -83,9 +90,13 @@ void Encoder::audit() const {
   BC_AUDIT(stats_.encoded_packets <= stats_.data_packets)
       << stats_.encoded_packets << " encoded out of " << stats_.data_packets
       << " data packets";
-  BC_AUDIT(stats_.bytes_out <= stats_.bytes_in)
+  // Coded repair trades bytes for resilience: the always-on v3 wrap can
+  // inflate a stream with no redundancy, so the non-inflation invariant
+  // only holds for the pure-compression configurations.
+  BC_AUDIT(params_.coded_repair || stats_.bytes_out <= stats_.bytes_in)
       << "encoding inflated the stream: " << stats_.bytes_out
       << " bytes out > " << stats_.bytes_in << " bytes in";
+  repair_enc_.audit();
   BC_AUDIT(stats_.encoded_packets <= stats_.dependency_links)
       << "every encoded packet references at least one cached packet, but "
       << stats_.encoded_packets << " encoded > "
@@ -161,6 +172,7 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
   info.original_size = pkt.payload.size();
   info.sent_size = pkt.payload.size();
   ++stats_.packets;
+  if (params_.coded_repair) repair_enc_.begin_packet();
 
   // Packets too small to hold a window, without transport data, or too
   // large for the 16-bit offsets are forwarded untouched and uncached.
@@ -195,6 +207,21 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
   if (decision.is_reference) {
     info.reference = true;
     ++stats_.references;
+  }
+
+  // Coded repair covers exactly the packets that touch the caches — data
+  // packets while the knob and the rung both say so.  A retransmission
+  // closes the open generation first (the loss it implies is precisely
+  // when buffered repairs help, and it doubles as a tail-loss timer);
+  // the rung turning coded repair off closes it so tail members are not
+  // left waiting for repairs that will never come.
+  const bool fec_active = params_.coded_repair && decision.coded_repair;
+  if (params_.coded_repair) {
+    if ((fec_active && decision.is_retransmission) ||
+        (!fec_active && fec_was_active_)) {
+      repair_enc_.close_generation();
+    }
+    fec_was_active_ = fec_active;
   }
 
   const util::BytesView payload(pkt.payload);
@@ -261,9 +288,62 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
   meta.src_uid = pkt.uid;
   cache_.update(payload, anchors, meta);
 
-  // ---- Substitute, if it actually shrinks the packet ----
-  if (!regions.empty()) {
+  // ---- Substitute ----
+  if (fec_active) {
+    // Every data packet is wrapped in the v3 shim so it carries a
+    // generation tag — the decoder-side reorder/repair machinery needs
+    // the complete cache-touching stream sequenced, not just the packets
+    // that happened to compress.  Of the two encodings (regions + the
+    // literal gaps vs one plain literal run), the smaller wins.
     EncodedPayload& enc = enc_;  // regions already built in place above
+    enc.version = kWireVersion3;
+    enc.orig_proto = pkt.ip.protocol;
+    enc.flags = epoch_bumped_ ? kFlagFlushEpoch : 0;
+    enc.epoch = epoch_;
+    enc.orig_len = static_cast<std::uint16_t>(pkt.payload.size());
+    enc.crc = util::crc32(payload);
+    enc.literals.clear();
+    if (!regions.empty()) {
+      std::size_t pos = 0;
+      for (const EncodedRegion& r : regions) {
+        enc.literals.insert(enc.literals.end(), pkt.payload.begin() + pos,
+                            pkt.payload.begin() + r.offset_new);
+        pos = static_cast<std::size_t>(r.offset_new) + r.length;
+      }
+      enc.literals.insert(enc.literals.end(), pkt.payload.begin() + pos,
+                          pkt.payload.end());
+      if (enc.wire_size() >= kShimBytesV3 + pkt.payload.size()) {
+        regions.clear();
+        info.deps.clear();
+        enc.literals.assign(pkt.payload.begin(), pkt.payload.end());
+      }
+    } else {
+      enc.literals.assign(pkt.payload.begin(), pkt.payload.end());
+    }
+    const fec::RepairEncoder::Tag tag = repair_enc_.next_tag();
+    enc.gen_id = tag.gen_id;
+    enc.gen_seq = tag.gen_seq;
+    enc.serialize_into(wire_);
+    pkt.payload.swap(wire_);
+    pkt.ip.protocol = static_cast<std::uint8_t>(packet::IpProto::kDre);
+    pkt.ip.total_length = static_cast<std::uint16_t>(
+        packet::Ipv4Header::kSize + pkt.payload.size());
+    info.sent_size = pkt.payload.size();
+    epoch_bumped_ = false;
+    if (!regions.empty()) {
+      info.encoded = true;
+      info.regions = regions.size();
+      ++stats_.encoded_packets;
+      stats_.regions += regions.size();
+      stats_.dependency_links += info.deps.size();
+    }
+    // Record the finished wire image as this generation's tagged member;
+    // reaching G members closes the generation and emits its repairs.
+    packet::to_wire_into(pkt, fec_wire_);
+    repair_enc_.add_member(fec_wire_);
+  } else if (!regions.empty()) {
+    // Pure-compression path: substitute only if it shrinks the packet.
+    EncodedPayload& enc = enc_;
     enc.version = params_.epoch_resync ? kWireVersion2 : 1;
     enc.orig_proto = pkt.ip.protocol;
     enc.flags = epoch_bumped_ ? kFlagFlushEpoch : 0;
@@ -297,6 +377,7 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
     }
   }
 
+  if (params_.coded_repair) info.repairs = repair_enc_.emitted();
   stats_.bytes_out += info.sent_size;
   return info;
 }

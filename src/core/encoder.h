@@ -21,6 +21,7 @@
 #include "cache/byte_cache.h"
 #include "cache/flat_map.h"
 #include "core/anchors.h"
+#include "fec/encoder.h"
 #include "core/params.h"
 #include "core/policy.h"
 #include "core/region.h"
@@ -44,6 +45,11 @@ struct EncodeInfo {
   std::size_t sent_size = 0;      // payload bytes actually sent
   /// uids of the distinct cached packets this packet was encoded against.
   std::vector<std::uint64_t> deps;
+  /// Coded repair payloads emitted while processing this packet
+  /// (params.coded_repair): the caller sends them right after the packet
+  /// itself.  Views into encoder-owned scratch — valid only until the
+  /// next process() call, so burst callers must consume per packet.
+  std::span<const util::Bytes> repairs;
 };
 
 struct EncoderStats {
@@ -115,6 +121,9 @@ class Encoder {
                     std::span<EncodeInfo> out);
 
   [[nodiscard]] const EncoderStats& stats() const { return stats_; }
+  [[nodiscard]] const fec::RepairEncoderStats& repair_stats() const {
+    return repair_enc_.stats();
+  }
   [[nodiscard]] const EncodingPolicy& policy() const { return *policy_; }
   [[nodiscard]] EncodingPolicy& policy() { return *policy_; }
   [[nodiscard]] const cache::ByteCache& cache() const { return cache_; }
@@ -165,6 +174,12 @@ class Encoder {
   /// of the connection (core/flow.h).
   void on_reverse_ack(std::uint64_t flow_key, std::uint32_t ack);
 
+  /// Closes the open coded-repair generation (params.coded_repair) so
+  /// its tail members get repair protection without waiting for G more
+  /// packets — teardown, idle timers.  The returned payloads obey the
+  /// same lifetime as EncodeInfo::repairs (valid until next process()).
+  [[nodiscard]] std::span<const util::Bytes> close_repair_generation();
+
   /// Decoder resync request (params.epoch_resync): the decoder is stuck
   /// at `decoder_epoch`.  Honored — the cache is flushed, bumping the
   /// epoch — only when that *is* our current epoch: if the decoder is
@@ -181,6 +196,8 @@ class Encoder {
   std::uint64_t stream_index_ = 0;
   std::uint16_t epoch_ = 0;
   bool epoch_bumped_ = false;  // next encoded packet carries the flag
+  fec::RepairEncoder repair_enc_;  // idle unless params.coded_repair
+  bool fec_was_active_ = false;    // rung turn-off closes the generation
   // ack-gated mode: per-flow highest cumulative ACK seen.  Flat map, not
   // unordered_map: on_reverse_ack runs once per reverse-path packet, and
   // a node-based map would pay one heap node per new flow on that path
@@ -197,6 +214,7 @@ class Encoder {
   std::vector<std::uint64_t> dep_ids_;
   EncodedPayload enc_;
   util::Bytes wire_;
+  util::Bytes fec_wire_;  // member wire-image scratch for add_member
 };
 
 }  // namespace bytecache::core

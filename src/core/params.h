@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "fec/params.h"
 #include "rabin/polynomial.h"
 #include "resilience/degradation.h"
 #include "resilience/epoch_sync.h"
@@ -82,6 +83,16 @@ struct DreParams {
   /// degradation-ladder thresholds.
   resilience::LossEstimatorConfig loss_estimator;
   resilience::DegradationConfig degradation;
+
+  /// Coded repair (DESIGN.md §13): encoded packets use the v3 shim
+  /// carrying a generation tag, the encoder emits GF(256) repair
+  /// payloads per generation of wire packets, and the decoder gateway
+  /// re-sequences reordered arrivals and reconstructs up to
+  /// repair.repair_packets lost packets per generation without a resync
+  /// round-trip.  Off by default: v1/v2 wire bytes stay bit-identical.
+  /// Both gateways must agree.
+  bool coded_repair = false;
+  fec::RepairConfig repair;
 
   /// ACK-gated references (paper Section VIII, second potential
   /// approach): the encoder may only reference TCP segments already

@@ -150,7 +150,11 @@ ResilientPolicy::ResilientPolicy(const DreParams& params)
     : estimator_config_(params.loss_estimator),
       degradation_config_(params.degradation),
       estimator_(params.loss_estimator),
-      k_distance_(params.k_distance) {}
+      k_distance_(params.k_distance) {
+  // A coded rung only exists when the wire can carry repairs a decoder
+  // will use; otherwise the ladder is the historical four-level one.
+  degradation_config_.coded_rung &= params.coded_repair;
+}
 
 resilience::DegradationController& ResilientPolicy::controller_for(
     std::uint64_t host_key) {
@@ -169,12 +173,29 @@ PolicyDecision ResilientPolicy::before_encode(const PacketContext& ctx) {
   current_ =
       controller_for(ctx.host_key).on_sample(estimator_.loss(ctx.host_key));
   switch (current_) {
-    case resilience::DegradationLevel::kKDistance:
-      return k_distance_.before_encode(ctx);
-    case resilience::DegradationLevel::kTcpSeq:
-      return tcp_seq_.before_encode(ctx);
-    case resilience::DegradationLevel::kCacheFlush:
-      return cache_flush_.before_encode(ctx);
+    case resilience::DegradationLevel::kKDistance: {
+      PolicyDecision d = k_distance_.before_encode(ctx);
+      d.coded_repair = false;
+      return d;
+    }
+    case resilience::DegradationLevel::kTcpSeq: {
+      PolicyDecision d = tcp_seq_.before_encode(ctx);
+      d.coded_repair = false;
+      return d;
+    }
+    case resilience::DegradationLevel::kCodedRepair: {
+      // TCP-seq encoding rules plus FEC over the encoded stream: the
+      // encoder tags packets into generations and emits repairs, the
+      // decoder reconstructs losses instead of resyncing.
+      PolicyDecision d = tcp_seq_.before_encode(ctx);
+      d.coded_repair = true;
+      return d;
+    }
+    case resilience::DegradationLevel::kCacheFlush: {
+      PolicyDecision d = cache_flush_.before_encode(ctx);
+      d.coded_repair = false;
+      return d;
+    }
     case resilience::DegradationLevel::kPassthrough:
       break;
   }
@@ -182,6 +203,7 @@ PolicyDecision ResilientPolicy::before_encode(const PacketContext& ctx) {
   // cache, keeping both ends warm for the upgrade back).
   PolicyDecision d;
   d.allow_encode = false;
+  d.coded_repair = false;
   return d;
 }
 
@@ -191,6 +213,7 @@ bool ResilientPolicy::admit(const PacketContext& ctx,
     case resilience::DegradationLevel::kKDistance:
       return k_distance_.admit(ctx, stored);
     case resilience::DegradationLevel::kTcpSeq:
+    case resilience::DegradationLevel::kCodedRepair:
       return tcp_seq_.admit(ctx, stored);
     case resilience::DegradationLevel::kCacheFlush:
       return cache_flush_.admit(ctx, stored);

@@ -123,7 +123,7 @@ class AdaptivePolicy final : public EncodingPolicy {
 /// link drop reports and decoder loss reports (ControlMessage
 /// kLossReport) — and walks the pair along the ladder
 ///
-///     k-distance -> TCP-seq -> Cache Flush -> pass-through
+///     k-distance -> TCP-seq -> coded repair -> Cache Flush -> pass-through
 ///
 /// as the estimate crosses the configured thresholds.  Each rung
 /// delegates to the corresponding paper policy, so a flow under a

@@ -61,6 +61,11 @@ struct PolicyDecision {
 
   /// True: the policy classified this packet as a TCP retransmission.
   bool is_retransmission = false;
+
+  /// False: the resilience ladder turned coded repair off for this host
+  /// pair (only meaningful when DreParams::coded_repair is on; policies
+  /// without a coded rung leave it true, so the knob alone decides).
+  bool coded_repair = true;
 };
 
 class EncodingPolicy {

@@ -17,6 +17,10 @@ void EncodedPayload::serialize_into(util::Bytes& out) const {
   util::put_u16(out, epoch);
   util::put_u16(out, orig_len);
   util::put_u32(out, crc);
+  if (version >= kWireVersion3) {
+    util::put_u16(out, gen_id);
+    util::put_u8(out, gen_seq);
+  }
   for (const EncodedRegion& r : regions) {
     util::put_u64(out, r.fp);
     util::put_u16(out, r.offset_new);
@@ -41,12 +45,14 @@ bool EncodedPayload::parse_into(util::BytesView wire, EncodedPayload& p) {
     p.version = 1;
     shim_bytes = kShimBytes;
   } else if (magic == kShimMagicV2) {
-    shim_bytes = kShimBytesV2;
-    if (wire.size() < shim_bytes) return false;
+    if (wire.size() < kShimBytesV2) return false;
     p.version = util::get_u8(wire, off);
-    // Only the version this build speaks: a future v3 may relayout the
+    // Only versions this build speaks: a future v4 may relayout the
     // shim, so guessing at its fields would be worse than dropping.
-    if (p.version != kWireVersion2) return false;
+    if (p.version != kWireVersion2 && p.version != kWireVersion3) {
+      return false;
+    }
+    shim_bytes = p.version == kWireVersion3 ? kShimBytesV3 : kShimBytesV2;
   } else {
     return false;
   }
@@ -57,6 +63,13 @@ bool EncodedPayload::parse_into(util::BytesView wire, EncodedPayload& p) {
   p.epoch = util::get_u16(wire, off);
   p.orig_len = util::get_u16(wire, off);
   p.crc = util::get_u32(wire, off);
+  if (p.version >= kWireVersion3) {
+    p.gen_id = util::get_u16(wire, off);
+    p.gen_seq = util::get_u8(wire, off);
+  } else {
+    p.gen_id = 0;
+    p.gen_seq = 0;
+  }
   if (wire.size() < shim_bytes + count * EncodedRegion::kWireBytes) {
     return false;
   }
@@ -92,6 +105,18 @@ std::optional<EncodedPayload> EncodedPayload::parse(util::BytesView wire) {
   EncodedPayload p;
   if (!parse_into(wire, p)) return std::nullopt;
   return p;
+}
+
+bool peek_gen_tag(util::BytesView payload, std::uint16_t& gen_id,
+                  std::uint8_t& gen_seq) {
+  if (payload.size() < kShimBytesV3) return false;
+  if (payload[0] != kShimMagicV2 || payload[1] != kWireVersion3) {
+    return false;
+  }
+  std::size_t off = kShimBytesV2;
+  gen_id = util::get_u16(payload, off);
+  gen_seq = util::get_u8(payload, off);
+  return true;
 }
 
 }  // namespace bytecache::core

@@ -3,11 +3,10 @@
 // The paper does not specify framing; we define the minimal one (DESIGN.md
 // "Wire format").  Encoded packets are marked by rewriting the IP protocol
 // field to IpProto::kDre, so passthrough packets carry zero overhead.
-// Two shim versions exist, distinguished by the magic byte:
+// Three shim versions exist, distinguished by magic/version bytes:
 //
-// v1 (magic 0xD5, 12-byte shim) — the original format; its epoch field is
-// advisory (the decoder ignores it):
-//
+// v1 (magic 0xD5, 12-byte shim) — the original format; its epoch field
+// is advisory (the decoder ignores it):
 //     magic(1) origproto(1) flags(1) region_count(1) epoch(2) orig_len(2)
 //     crc32-of-original-payload(4)
 //
@@ -17,12 +16,17 @@
 // epoch, drops packets from older epochs, and rejects references into
 // entries cached two or more epochs ago (DESIGN.md §9 "Resilience").
 //
-// Either shim is followed by region_count x 14-byte encoding fields
+// v3 (magic 0xD6, version byte 3, 16-byte shim) — emitted when
+// DreParams::coded_repair is on; the v2 layout plus a generation tag
+// (gen_id u16, gen_seq u8) after the CRC, naming the packet's slot in
+// the coded-repair generation (fec/decoder.h re-sequences and repairs
+// by it); everything else is byte-identical to v2.
+//
+// Any shim is followed by region_count x 14-byte encoding fields
 // (fp 8, off_new 2, off_stored 2, len 2), then the literal bytes (the
 // original payload minus the regions, in order).  The CRC lets the
-// decoder verify reconstruction and drop instead of delivering wrong
-// bytes after a cache desync.  Golden byte-for-byte vectors of both
-// versions are pinned in tests/data (wire_golden_test.cc).
+// decoder drop instead of delivering wrong bytes after a cache desync.
+// Golden vectors of all versions: tests/data (wire_golden_test.cc).
 #pragma once
 
 #include <cstdint>
@@ -35,28 +39,33 @@
 namespace bytecache::core {
 
 inline constexpr std::uint8_t kShimMagic = 0xD5;    // v1
-inline constexpr std::uint8_t kShimMagicV2 = 0xD6;  // v2 (explicit version)
+inline constexpr std::uint8_t kShimMagicV2 = 0xD6;  // v2/v3 (explicit version)
 inline constexpr std::size_t kShimBytes = 12;       // v1 shim size
 inline constexpr std::size_t kShimBytesV2 = 13;     // v2 shim size
+inline constexpr std::size_t kShimBytesV3 = 16;     // v3 shim size
 inline constexpr std::uint8_t kWireVersion2 = 2;
+inline constexpr std::uint8_t kWireVersion3 = 3;
 
 /// Flag bits.
 inline constexpr std::uint8_t kFlagFlushEpoch = 0x01;  // epoch was bumped
 
 /// Parsed form of an encoded payload.
 struct EncodedPayload {
-  std::uint8_t version = 1;  // 1 = v1 shim, 2 = v2 shim
+  std::uint8_t version = 1;  // 1, 2 or 3
   std::uint8_t orig_proto = 0;
   std::uint8_t flags = 0;
   std::uint16_t epoch = 0;
   std::uint16_t orig_len = 0;
   std::uint32_t crc = 0;
+  std::uint16_t gen_id = 0;  // v3 only: coded-repair generation tag
+  std::uint8_t gen_seq = 0;
   std::vector<EncodedRegion> regions;
   util::Bytes literals;
 
   /// Shim size of this payload's version.
   [[nodiscard]] std::size_t shim_size() const {
-    return version >= kWireVersion2 ? kShimBytesV2 : kShimBytes;
+    if (version >= kWireVersion3) return kShimBytesV3;
+    return version == kWireVersion2 ? kShimBytesV2 : kShimBytes;
   }
 
   /// Size this payload occupies on the wire.
@@ -83,5 +92,11 @@ struct EncodedPayload {
   /// false on malformed input, in which case `out` is unspecified.
   static bool parse_into(util::BytesView wire, EncodedPayload& out);
 };
+
+/// Reads the generation tag out of a v3 payload without a full parse —
+/// the decoder gateway's pre-classifier.  False when the payload is not
+/// a (long-enough) v3 shim; validity is still parse_into's call.
+[[nodiscard]] bool peek_gen_tag(util::BytesView payload, std::uint16_t& gen_id,
+                                std::uint8_t& gen_seq);
 
 }  // namespace bytecache::core

@@ -1,0 +1,30 @@
+#include "fec/gf256.h"
+
+namespace bytecache::fec {
+
+void gf_axpy(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+             std::uint8_t c) {
+  if (c == 0 || n == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  // One 256-byte product row turns the two-table lookup per byte into a
+  // single indexed load; the row stays cache-resident across the sweep.
+  std::uint8_t row[256];
+  for (unsigned v = 0; v < 256; ++v) {
+    row[v] = gf_mul(c, static_cast<std::uint8_t>(v));
+  }
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void gf_scale(std::uint8_t* buf, std::size_t n, std::uint8_t c) {
+  if (c == 1 || n == 0) return;
+  std::uint8_t row[256];
+  for (unsigned v = 0; v < 256; ++v) {
+    row[v] = gf_mul(c, static_cast<std::uint8_t>(v));
+  }
+  for (std::size_t i = 0; i < n; ++i) buf[i] = row[buf[i]];
+}
+
+}  // namespace bytecache::fec

@@ -1,0 +1,50 @@
+#include "fec/wire.h"
+
+#include "util/crc32.h"
+
+namespace bytecache::fec {
+
+void RepairPacket::serialize_into(util::Bytes& out) const {
+  out.clear();
+  out.reserve(wire_size());
+  util::put_u8(out, kRepairMagic);
+  util::put_u8(out, kRepairVersion);
+  util::put_u16(out, gen_id);
+  util::put_u8(out, gen_size);
+  util::put_u8(out, repair_index);
+  util::put_u8(out, repair_total);
+  util::put_u16(out, symbol_len);
+  util::put_u32(out, crc);
+  util::append(out, coeffs);
+  util::append(out, symbol);
+}
+
+bool RepairPacket::parse_repair_into(util::BytesView wire, RepairPacket& p) {
+  if (wire.size() < kRepairHeaderBytes) return false;
+  std::size_t off = 0;
+  if (util::get_u8(wire, off) != kRepairMagic) return false;
+  if (util::get_u8(wire, off) != kRepairVersion) return false;
+  p.gen_id = util::get_u16(wire, off);
+  p.gen_size = util::get_u8(wire, off);
+  p.repair_index = util::get_u8(wire, off);
+  p.repair_total = util::get_u8(wire, off);
+  p.symbol_len = util::get_u16(wire, off);
+  p.crc = util::get_u32(wire, off);
+  if (p.gen_size == 0 || p.gen_size > kMaxGenerationPackets) return false;
+  if (p.repair_total == 0 || p.repair_total > kMaxRepairPackets) return false;
+  if (p.repair_index >= p.repair_total) return false;
+  if (p.symbol_len < kMinSymbolBytes || p.symbol_len > kMaxSymbolBytes) {
+    return false;
+  }
+  if (wire.size() !=
+      kRepairHeaderBytes + p.gen_size + static_cast<std::size_t>(p.symbol_len)) {
+    return false;
+  }
+  const util::BytesView body = wire.subspan(kRepairHeaderBytes);
+  if (util::crc32(body) != p.crc) return false;
+  p.coeffs.assign(body.begin(), body.begin() + p.gen_size);
+  p.symbol.assign(body.begin() + p.gen_size, body.end());
+  return true;
+}
+
+}  // namespace bytecache::fec

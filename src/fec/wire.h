@@ -1,0 +1,81 @@
+// Wire format of coded repair packets (DESIGN.md §13).
+//
+// A repair packet rides in an IP payload whose protocol is IpProto::kDre,
+// distinguished from shim-encoded data by its leading magic byte:
+//
+//   magic(1)=0xD7 version(1)=1 gen_id(2) gen_size(1) repair_index(1)
+//   repair_total(1) symbol_len(2) crc32-of-coeffs-and-symbol(4)
+//
+// followed by gen_size coefficient bytes and symbol_len coded symbol
+// bytes.  The symbol is the GF(256) linear combination, under those
+// coefficients, of the generation members' symbols — a member symbol
+// being a 2-byte big-endian wire length followed by the member's full IP
+// wire image, zero-padded to the generation's common symbol_len.  The
+// CRC turns a corrupted repair into a clean parse failure instead of a
+// poisoned Gaussian elimination; repair_index/repair_total let the
+// decoder know when every repair of a generation has been seen.
+#pragma once
+
+#include <cstdint>
+
+#include "fec/params.h"
+#include "util/bytes.h"
+
+namespace bytecache::fec {
+
+inline constexpr std::uint8_t kRepairMagic = 0xD7;
+inline constexpr std::uint8_t kRepairVersion = 1;
+inline constexpr std::size_t kRepairHeaderBytes = 13;
+
+/// Symbol-length sanity bounds for the parser: a symbol is a 2-byte
+/// length prefix plus at least one wire byte; the upper bound keeps a
+/// forged header from asking the decoder to buffer megabytes.
+inline constexpr std::size_t kMinSymbolBytes = 3;
+inline constexpr std::size_t kMaxSymbolBytes = 4096;
+
+struct RepairPacket {
+  std::uint16_t gen_id = 0;
+  std::uint8_t gen_size = 0;      // data members in the generation
+  std::uint8_t repair_index = 0;  // 0-based among the generation's repairs
+  std::uint8_t repair_total = 0;
+  std::uint16_t symbol_len = 0;
+  std::uint32_t crc = 0;          // over coefficients + symbol
+  util::Bytes coeffs;             // gen_size coefficient bytes
+  util::Bytes symbol;             // symbol_len coded bytes
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return kRepairHeaderBytes + coeffs.size() + symbol.size();
+  }
+
+  /// Serializes into `out`, clearing it first (capacity reused).
+  void serialize_into(util::Bytes& out) const;
+
+  /// Parses a repair payload, refilling `out` in place (scratch reuse).
+  /// False on malformed input: bad magic/version, gen_size or
+  /// repair_total off the wire bounds, repair_index >= repair_total,
+  /// symbol_len outside [kMinSymbolBytes, kMaxSymbolBytes], a byte count
+  /// disagreeing with the header, or a CRC mismatch.
+  static bool parse_repair_into(util::BytesView wire, RepairPacket& out);
+};
+
+/// Cheap pre-classifier for the decoder gateway; parse_repair_into still
+/// decides validity.
+[[nodiscard]] inline bool is_repair_payload(util::BytesView payload) {
+  return !payload.empty() && payload[0] == kRepairMagic;
+}
+
+/// Serial-number comparison for u16 generation ids (mirrors
+/// resilience::epoch_newer; generation ids wrap).
+[[nodiscard]] constexpr bool gen_newer(std::uint16_t a, std::uint16_t b) {
+  const std::uint16_t d = static_cast<std::uint16_t>(a - b);
+  return d != 0 && d < 0x8000;
+}
+
+/// How many generations ahead `a` is of `b`; only meaningful when
+/// !gen_newer(b, a).
+[[nodiscard]] constexpr std::uint16_t gen_distance(std::uint16_t a,
+                                                   std::uint16_t b) {
+  return static_cast<std::uint16_t>(a - b);
+}
+
+}  // namespace bytecache::fec

@@ -2,6 +2,8 @@
 
 #include "core/flow.h"
 #include "core/policies.h"
+#include "core/wire.h"
+#include "fec/wire.h"
 #include "packet/tcp.h"
 
 namespace bytecache::gateway {
@@ -23,6 +25,7 @@ EncoderGateway::EncoderGateway(const core::GatewayConfig& cfg)
   if (encoder_ != nullptr) {
     obs::link_stats(metrics_, "encoder", encoder_->stats());
     obs::link_stats(metrics_, "encoder.cache", encoder_->cache().stats());
+    obs::link_stats(metrics_, "encoder.fec", encoder_->repair_stats());
     const cache::ByteCache& cache = encoder_->cache();
     metrics_.probe_gauge(
         "encoder.cache.bytes_stored",
@@ -93,6 +96,7 @@ void EncoderGateway::receive_burst(std::span<packet::PacketPtr> pkts) {
 }
 
 void EncoderGateway::process_received(packet::PacketPtr pkt) {
+  std::span<const util::Bytes> repairs;
   if (encoder_ != nullptr) {
     const obs::SpanSampler::Token span = encode_span_.begin();
     core::EncodeInfo info = encoder_->process(*pkt);
@@ -109,9 +113,31 @@ void EncoderGateway::process_received(packet::PacketPtr pkt) {
       }
     }
     if (observer_) observer_(info);
+    repairs = info.repairs;  // scratch stays valid until the next process()
   }
   stats_.wire_bytes_out += pkt->wire_size();
+  repair_src_ = pkt->ip.src;
+  repair_dst_ = pkt->ip.dst;
+  repair_addr_known_ = true;
   if (sink_) sink_(std::move(pkt));
+  // Repairs ride right behind the member that closed their generation;
+  // injecting after the data packet keeps the data stream order intact.
+  emit_repairs(repairs);
+}
+
+void EncoderGateway::emit_repairs(std::span<const util::Bytes> repairs) {
+  for (const util::Bytes& payload : repairs) {
+    auto rp = packet::make_packet(repair_src_, repair_dst_,
+                                  packet::IpProto::kDre, payload);
+    ++stats_.repair_packets_out;
+    stats_.wire_bytes_out += rp->wire_size();
+    if (sink_) sink_(std::move(rp));
+  }
+}
+
+void EncoderGateway::flush_repairs() {
+  if (encoder_ == nullptr || !repair_addr_known_) return;
+  emit_repairs(encoder_->close_repair_generation());
 }
 
 bool EncoderGateway::switch_policy(core::PolicyKind kind) {
@@ -207,6 +233,15 @@ DecoderGateway::DecoderGateway(const core::GatewayConfig& cfg)
     metrics_.probe_gauge(
         "decoder.epoch", [&dec] { return static_cast<double>(dec.epoch()); },
         obs::MergeOp::kMax);
+    if (cfg.params.coded_repair) {
+      repair_ = std::make_unique<fec::RepairDecoder>(cfg.params.repair);
+      obs::link_stats(metrics_, "decoder.fec", repair_->stats());
+      const fec::RepairDecoder& rd = *repair_;
+      metrics_.probe_gauge(
+          "decoder.fec.buffered",
+          [&rd] { return static_cast<double>(rd.buffered()); },
+          obs::MergeOp::kSum);
+    }
   }
   if (cfg.metrics != nullptr) {
     cfg.metrics->add_provider([this] { return snapshot(); });
@@ -250,6 +285,39 @@ void DecoderGateway::receive_burst(std::span<packet::PacketPtr> pkts) {
 }
 
 void DecoderGateway::process_received(packet::PacketPtr pkt) {
+  if (repair_ != nullptr) {
+    if (fec::is_repair_payload(pkt->payload)) {
+      repair_->on_repair(pkt->payload, fec_out_);
+      deliver_released();
+      return;  // a repair packet carries no user data of its own
+    }
+    std::uint16_t gen_id = 0;
+    std::uint8_t gen_seq = 0;
+    if (core::peek_gen_tag(pkt->payload, gen_id, gen_seq)) {
+      repair_->on_data(gen_id, gen_seq, std::move(pkt), fec_out_);
+      deliver_released();
+      return;
+    }
+    // Untagged (the encoder was not on the coded rung when it sent
+    // this): bypasses the reorder cache, like pre-v3 traffic.
+  }
+  deliver(std::move(pkt));
+}
+
+void DecoderGateway::deliver_released() {
+  for (fec::RepairDecoder::Released& r : fec_out_) {
+    if (r.pkt != nullptr) deliver(std::move(r.pkt));
+  }
+  fec_out_.clear();
+}
+
+void DecoderGateway::drain_repair_buffer() {
+  if (repair_ == nullptr) return;
+  repair_->drain(fec_out_);
+  deliver_released();
+}
+
+void DecoderGateway::deliver(packet::PacketPtr pkt) {
   if (decoder_ != nullptr) {
     const obs::SpanSampler::Token span = decode_span_.begin();
     const core::DecodeInfo info = decoder_->process(*pkt);

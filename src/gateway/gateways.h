@@ -24,6 +24,7 @@
 #include "core/decoder.h"
 #include "core/encoder.h"
 #include "core/factory.h"
+#include "fec/decoder.h"
 #include "obs/fields.h"
 #include "obs/span.h"
 #include "packet/packet.h"
@@ -44,6 +45,7 @@ struct EncoderGatewayStats {
   std::uint64_t wire_bytes_out = 0;  // IP header + payload after encoding
   std::uint64_t channel_drops_seen = 0;  // link drop reports received
   std::uint64_t loss_reports = 0;        // kLossReport messages received
+  std::uint64_t repair_packets_out = 0;  // coded-repair packets injected
 };
 
 /// Telemetry field table (obs/fields.h): drives the generic merge_into /
@@ -54,7 +56,8 @@ struct EncoderGatewayStats {
       obs::Field<S>{"packets", &S::packets},
       obs::Field<S>{"wire_bytes_out", &S::wire_bytes_out},
       obs::Field<S>{"channel_drops_seen", &S::channel_drops_seen},
-      obs::Field<S>{"loss_reports", &S::loss_reports});
+      obs::Field<S>{"loss_reports", &S::loss_reports},
+      obs::Field<S>{"repair_packets_out", &S::repair_packets_out});
 }
 
 /// Generic aggregation across the per-shard gateways of a sharded
@@ -100,6 +103,12 @@ class EncoderGateway {
   /// the cumulative acknowledgment from it).
   void observe_reverse(const packet::Packet& pkt);
 
+  /// Closes the open coded-repair generation (params.coded_repair) and
+  /// injects its repair packets, so tail members get protection without
+  /// waiting for G more packets — call at transfer end / idle.  No-op
+  /// before the first forwarded packet (repairs inherit its addressing).
+  void flush_repairs();
+
   /// The simulated link dropped `pkt` (loss or queue overflow).  A real
   /// deployment learns this from transport-level signals; the simulation
   /// reports it directly.  Feeds the resilient policy's perceived-loss
@@ -134,6 +143,7 @@ class EncoderGateway {
 
  private:
   void process_received(packet::PacketPtr pkt);
+  void emit_repairs(std::span<const util::Bytes> repairs);
 
   std::unique_ptr<core::Encoder> encoder_;  // null when disabled
   PacketSink sink_;
@@ -146,6 +156,11 @@ class EncoderGateway {
   // Borrowed view of encoder_'s policy when it is the resilient one —
   // the loss-feedback paths are meaningless for every other policy.
   core::ResilientPolicy* resilient_ = nullptr;
+  // Addressing for injected repair packets: the host pair of the last
+  // forwarded data packet (repairs follow the stream they protect).
+  std::uint32_t repair_src_ = 0;
+  std::uint32_t repair_dst_ = 0;
+  bool repair_addr_known_ = false;
 };
 
 struct DecoderGatewayStats {
@@ -194,6 +209,16 @@ class DecoderGateway {
   /// payload prefetch, observably identical to a receive() loop.
   void receive_burst(std::span<packet::PacketPtr> pkts);
 
+  /// Releases everything the coded-repair reorder cache still holds
+  /// (params.coded_repair), oldest generation first — teardown / idle,
+  /// so tail packets are not stranded waiting for a generation to fill.
+  void drain_repair_buffer();
+
+  /// Data packets currently held by the coded-repair reorder cache.
+  [[nodiscard]] std::size_t repair_buffered() const {
+    return repair_ == nullptr ? 0 : repair_->buffered();
+  }
+
   [[nodiscard]] bool enabled() const { return decoder_ != nullptr; }
   [[nodiscard]] const core::Decoder* decoder() const { return decoder_.get(); }
   [[nodiscard]] core::Decoder* decoder() { return decoder_.get(); }
@@ -209,6 +234,8 @@ class DecoderGateway {
 
  private:
   void process_received(packet::PacketPtr pkt);
+  void deliver(packet::PacketPtr pkt);
+  void deliver_released();
   void send_control(const packet::Packet& cause,
                     const core::ControlMessage& msg, sim::TraceEvent event,
                     std::uint64_t uid);
@@ -228,6 +255,10 @@ class DecoderGateway {
   mutable std::uint64_t drop_run_ = 0;  // snapshot() flushes an open run
   bool nack_feedback_ = false;     // params.nack_feedback
   bool resilience_feedback_ = false;  // params.epoch_resync
+  // Coded-repair front end (params.coded_repair): re-sequences v3-tagged
+  // arrivals and reconstructs losses before the core decoder sees them.
+  std::unique_ptr<fec::RepairDecoder> repair_;  // null when off
+  std::vector<fec::RepairDecoder::Released> fec_out_;  // release scratch
 };
 
 }  // namespace bytecache::gateway

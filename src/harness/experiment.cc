@@ -89,6 +89,11 @@ TrialResult run_trial(const ExperimentConfig& config, util::BytesView file,
         snap.counter("resilience.degradation.transitions");
   }
 
+  r.repair_packets_sent = snap.counter("gateway.encoder.repair_packets_out");
+  r.packets_reconstructed = snap.counter("decoder.fec.reconstructed");
+  r.packets_resequenced = snap.counter("decoder.fec.resequenced");
+  r.fec_forced_releases = snap.counter("decoder.fec.forced_releases");
+
   r.tcp_retransmissions = snap.counter("tcp.sender.retransmissions");
   r.tcp_timeouts = snap.counter("tcp.sender.timeouts");
   r.tcp_fast_retransmits = snap.counter("tcp.sender.fast_retransmits");
@@ -97,7 +102,7 @@ TrialResult run_trial(const ExperimentConfig& config, util::BytesView file,
 }
 
 std::string to_json(const TrialResult& r) {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof buf,
       "{\"completed\":%s,\"stalled\":%s,\"verified\":%s,"
@@ -111,7 +116,10 @@ std::string to_json(const TrialResult& r) {
       "\"resync_requests\":%llu,\"resyncs_honored\":%llu,"
       "\"epoch_adoptions\":%llu,\"stale_drops\":%llu,"
       "\"estimated_loss\":%.6f,\"degradation_level\":\"%s\","
-      "\"degradation_transitions\":%llu,\"metrics\":",
+      "\"degradation_transitions\":%llu,"
+      "\"repair_packets_sent\":%llu,\"packets_reconstructed\":%llu,"
+      "\"packets_resequenced\":%llu,\"fec_forced_releases\":%llu,"
+      "\"metrics\":",
       r.completed ? "true" : "false", r.stalled ? "true" : "false",
       r.verified ? "true" : "false", r.duration_s, r.percent_retrieved,
       static_cast<unsigned long long>(r.wire_bytes_forward),
@@ -128,7 +136,11 @@ std::string to_json(const TrialResult& r) {
       static_cast<unsigned long long>(r.epoch_adoptions),
       static_cast<unsigned long long>(r.stale_drops), r.estimated_loss,
       r.degradation_level,
-      static_cast<unsigned long long>(r.degradation_transitions));
+      static_cast<unsigned long long>(r.degradation_transitions),
+      static_cast<unsigned long long>(r.repair_packets_sent),
+      static_cast<unsigned long long>(r.packets_reconstructed),
+      static_cast<unsigned long long>(r.packets_resequenced),
+      static_cast<unsigned long long>(r.fec_forced_releases));
   return std::string(buf) + r.metrics_json + "}";
 }
 

@@ -85,6 +85,12 @@ struct TrialResult {
   const char* degradation_level = "-"; // worst ladder rung reached
   std::uint64_t degradation_transitions = 0;
 
+  // Coded-repair layer (zero unless dre.coded_repair; DESIGN.md §13).
+  std::uint64_t repair_packets_sent = 0;    // injected by the encoder gateway
+  std::uint64_t packets_reconstructed = 0;  // rebuilt from repair rows
+  std::uint64_t packets_resequenced = 0;    // re-ordered via the buffer
+  std::uint64_t fec_forced_releases = 0;    // reorder-cache gave up waiting
+
   /// The full registry snapshot rendered by obs::to_json_object — every
   /// metric the pipeline exposes, embedded verbatim into to_json().
   std::string metrics_json = "{}";

@@ -8,6 +8,7 @@ const char* to_string(DegradationLevel level) {
   switch (level) {
     case DegradationLevel::kKDistance: return "k_distance";
     case DegradationLevel::kTcpSeq: return "tcp_seq";
+    case DegradationLevel::kCodedRepair: return "coded_repair";
     case DegradationLevel::kCacheFlush: return "cache_flush";
     case DegradationLevel::kPassthrough: return "passthrough";
   }
@@ -18,7 +19,8 @@ DegradationController::DegradationController(const DegradationConfig& config)
     : config_(config) {
   BC_CHECK(config_.degrade_above[0] > 0.0 &&
            config_.degrade_above[0] < config_.degrade_above[1] &&
-           config_.degrade_above[1] < config_.degrade_above[2])
+           config_.degrade_above[1] < config_.degrade_above[2] &&
+           config_.degrade_above[2] < config_.degrade_above[3])
       << "degradation thresholds must be positive and strictly ascending";
   BC_CHECK(config_.upgrade_fraction > 0.0 && config_.upgrade_fraction <= 1.0)
       << "upgrade_fraction " << config_.upgrade_fraction << " outside (0, 1]";
@@ -30,23 +32,33 @@ DegradationLevel DegradationController::on_sample(double perceived_loss) {
   ++since_change_;
   if (since_change_ < config_.dwell_packets) return level_;
   const int rung = static_cast<int>(level_);
-  if (rung < 3 && perceived_loss > config_.degrade_above[rung]) {
-    level_ = static_cast<DegradationLevel>(rung + 1);
+  const int coded = static_cast<int>(DegradationLevel::kCodedRepair);
+  if (rung < kDegradationLevels - 1 &&
+      perceived_loss > config_.degrade_above[rung]) {
+    int target = rung + 1;
+    if (target == coded && !config_.coded_rung) ++target;
+    level_ = static_cast<DegradationLevel>(target);
     since_change_ = 0;
     ++degrades_;
-  } else if (rung > 0 && perceived_loss < config_.degrade_above[rung - 1] *
-                                              config_.upgrade_fraction) {
-    level_ = static_cast<DegradationLevel>(rung - 1);
-    since_change_ = 0;
-    ++upgrades_;
+  } else if (rung > 0) {
+    int target = rung - 1;
+    if (target == coded && !config_.coded_rung) --target;
+    if (perceived_loss <
+        config_.degrade_above[target] * config_.upgrade_fraction) {
+      level_ = static_cast<DegradationLevel>(target);
+      since_change_ = 0;
+      ++upgrades_;
+    }
   }
   return level_;
 }
 
 void DegradationController::audit() const {
   if (!util::kAuditEnabled) return;
-  BC_AUDIT(static_cast<int>(level_) <= 3)
+  BC_AUDIT(static_cast<int>(level_) < kDegradationLevels)
       << "degradation level " << static_cast<int>(level_) << " off the ladder";
+  BC_AUDIT(config_.coded_rung || level_ != DegradationLevel::kCodedRepair)
+      << "sitting on the coded rung with coded_rung disabled";
   BC_AUDIT(degrades_ + upgrades_ <= samples_)
       << transitions() << " transitions from " << samples_ << " samples";
   // Every upgrade retraces a degrade, so upgrades never exceed degrades

@@ -8,12 +8,19 @@
 // pass-through never amplifies at all.  The DegradationController walks a
 // host pair along that ladder at runtime:
 //
-//     k-distance  ->  TCP-seq  ->  Cache Flush  ->  pass-through
+//     k-distance -> TCP-seq -> coded repair -> Cache Flush -> pass-through
 //
 // degrading one rung when the perceived-loss estimate stays above the
 // rung's threshold, and upgrading one rung when it falls below a fraction
-// of the previous rung's threshold (hysteresis), with a minimum dwell
+// of the target rung's threshold (hysteresis), with a minimum dwell
 // between transitions so one burst cannot see-saw the policy.
+//
+// The coded-repair rung (DESIGN.md §13) keeps TCP-seq's encoding rules
+// but adds FEC over the encoded stream, spending repair bandwidth to
+// mask moderate loss before surrendering the cache to Cache Flush.  It
+// exists only when the deployment can speak the v3 wire format: with
+// `coded_rung` off, transitions skip straight over it and the ladder is
+// bit-for-bit the historical four-level one.
 #pragma once
 
 #include <cstdint>
@@ -24,26 +31,37 @@ namespace bytecache::resilience {
 enum class DegradationLevel : std::uint8_t {
   kKDistance = 0,
   kTcpSeq = 1,
-  kCacheFlush = 2,
-  kPassthrough = 3,
+  kCodedRepair = 2,
+  kCacheFlush = 3,
+  kPassthrough = 4,
 };
+
+inline constexpr int kDegradationLevels = 5;
 
 [[nodiscard]] const char* to_string(DegradationLevel level);
 
 struct DegradationConfig {
-  /// Perceived loss above degrade_above[level] degrades level -> level+1.
-  /// Tuned against the Fig. 13 sweep (bench_resilience): k-distance holds
-  /// to ~1.5% perceived loss, TCP-seq to ~4%, Cache Flush until loss is
-  /// so heavy that encoding is pointless.
-  double degrade_above[3] = {0.015, 0.04, 0.25};
+  /// Perceived loss above degrade_above[level] degrades to the next
+  /// enabled rung.  Tuned against the Fig. 13 sweep (bench_resilience):
+  /// k-distance holds to ~1.5% perceived loss, TCP-seq to ~4%, coded
+  /// repair to ~12% (its R repairs per generation mask moderate loss),
+  /// Cache Flush until loss is so heavy that encoding is pointless.
+  double degrade_above[4] = {0.015, 0.04, 0.12, 0.25};
 
-  /// Upgrade level -> level-1 when loss < degrade_above[level-1] *
-  /// upgrade_fraction.  The gap between the two thresholds is the
-  /// hysteresis band.
+  /// Upgrade to the nearest enabled lower rung `t` when loss <
+  /// degrade_above[t] * upgrade_fraction.  The gap between the two
+  /// thresholds is the hysteresis band.
   double upgrade_fraction = 0.5;
 
   /// Minimum packets between transitions (both directions).
   std::uint64_t dwell_packets = 64;
+
+  /// False: the kCodedRepair rung does not exist — transitions skip
+  /// straight between kTcpSeq and kCacheFlush, reproducing the
+  /// historical four-level ladder exactly.  The resilient policy clears
+  /// this when DreParams::coded_repair is off (the wire cannot carry
+  /// repairs a decoder will use).
+  bool coded_rung = true;
 };
 
 class DegradationController {

@@ -15,6 +15,8 @@
 #include "core/factory.h"
 #include "core/flow.h"
 #include "core/wire.h"
+#include "fec/decoder.h"
+#include "fec/wire.h"
 #include "gateway/gateways.h"
 #include "tests/testutil.h"
 #include "util/rng.h"
@@ -248,6 +250,132 @@ TEST(FuzzWire, EncoderGatewaySurvivesMutatedControlTraffic) {
   // flush storm: honored resyncs are bounded by requests that named the
   // then-current epoch, each of which bumps the epoch away from itself.
   EXPECT_LE(gw.encoder()->stats().resyncs_honored, 0xFFFFull);
+}
+
+// ---- Coded-repair wire surface (ISSUE 9, DESIGN.md §13) ---------------
+
+/// Valid v3 data payloads and repair payloads from an encoder running
+/// with the coded-repair layer on.
+struct CodedCorpus {
+  std::vector<util::Bytes> wires;    // v3-shimmed data payloads
+  std::vector<util::Bytes> repairs;  // 0xD7 repair payloads
+};
+
+CodedCorpus build_coded_corpus(std::uint64_t seed) {
+  core::DreParams params;
+  params.epoch_resync = true;
+  params.coded_repair = true;
+  params.repair.generation_packets = 4;  // close often: plenty of repairs
+  core::Encoder enc(params,
+                    core::make_policy(core::PolicyKind::kNaive, params));
+  util::Rng rng(seed);
+  CodedCorpus corpus;
+  util::Bytes base = testutil::random_bytes(rng, 1200);
+  for (int round = 0; round < 12; ++round) {
+    auto p = testutil::make_tcp_packet(
+        base, 1000 + static_cast<std::uint32_t>(round) * 4000);
+    const core::EncodeInfo info = enc.process(*p);
+    corpus.wires.push_back(p->payload);
+    for (const util::Bytes& r : info.repairs) corpus.repairs.push_back(r);
+    for (int i = 0; i < 30; ++i) {
+      base[rng.uniform(0, base.size() - 1)] =
+          static_cast<std::uint8_t>(rng.next_u64());
+    }
+  }
+  return corpus;
+}
+
+TEST(FuzzWire, RepairParserNeverCrashesOnMutatedInput) {
+  util::Rng rng(testutil::test_seed(0xF0225));
+  const CodedCorpus corpus = build_coded_corpus(31);
+  ASSERT_GE(corpus.repairs.size(), 4u);
+  std::size_t accepted = 0;
+  fec::RepairPacket parsed;
+  util::Bytes wire;
+  for (int i = 0; i < kIterations; ++i) {
+    // The coefficient+symbol CRC rejects almost every mutant (unlike the
+    // shim parser, whose CRC is checked downstream), so every 8th input
+    // goes in unmutated to keep the acceptance path genuinely exercised.
+    const util::Bytes& pick =
+        corpus.repairs[rng.uniform(0, corpus.repairs.size() - 1)];
+    const util::Bytes in =
+        (i % 8 == 0) ? pick
+                     : mutate(rng, pick,
+                              corpus.repairs[rng.uniform(
+                                  0, corpus.repairs.size() - 1)]);
+    if (!fec::RepairPacket::parse_repair_into(in, parsed)) continue;
+    ++accepted;
+    // Accepted parses satisfy the bounds the decoder indexes by, and
+    // re-serialize byte-stably (the CRC pins coefficients + symbol).
+    ASSERT_LE(parsed.gen_size, fec::kMaxGenerationPackets);
+    ASSERT_LE(parsed.repair_index, fec::kMaxRepairPackets - 1);
+    ASSERT_EQ(parsed.coeffs.size(), parsed.gen_size);
+    ASSERT_EQ(parsed.symbol.size(), parsed.symbol_len);
+    parsed.serialize_into(wire);
+    fec::RepairPacket again;
+    ASSERT_TRUE(fec::RepairPacket::parse_repair_into(wire, again));
+    EXPECT_EQ(again.gen_id, parsed.gen_id);
+    EXPECT_EQ(again.repair_index, parsed.repair_index);
+    EXPECT_EQ(again.crc, parsed.crc);
+    EXPECT_EQ(again.coeffs, parsed.coeffs);
+    EXPECT_EQ(again.symbol, parsed.symbol);
+  }
+  // The CRC rejects most mutants; un-mutated splices and benign flips
+  // keep the acceptance path exercised too.
+  EXPECT_GT(accepted, 100u);
+}
+
+TEST(FuzzWire, GenerationHeaderAndRepairDecoderSurviveMutation) {
+  const std::uint64_t seed = testutil::test_seed(0xF0226);
+  util::Rng rng(seed);
+  const CodedCorpus corpus = build_coded_corpus(32);
+  ASSERT_FALSE(corpus.wires.empty());
+  ASSERT_FALSE(corpus.repairs.empty());
+  fec::RepairConfig cfg;
+  cfg.generation_packets = 4;
+  fec::RepairDecoder dec(cfg);
+  std::vector<fec::RepairDecoder::Released> released;
+  std::uint64_t v3_parses = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    // Mix data and repair mutants, splicing across the two pools so
+    // repair headers land on data shims and vice versa — exactly what a
+    // corrupted classifier byte produces.
+    const bool data = (i % 3) != 0;
+    const auto& pool = data ? corpus.wires : corpus.repairs;
+    const auto& donor = data ? corpus.repairs : corpus.wires;
+    const util::Bytes in =
+        mutate(rng, pool[rng.uniform(0, pool.size() - 1)],
+               donor[rng.uniform(0, donor.size() - 1)]);
+    // The decoder gateway's classification order, verbatim.
+    if (fec::is_repair_payload(in)) {
+      dec.on_repair(in, released);
+    } else {
+      std::uint16_t gen_id = 0;
+      std::uint8_t gen_seq = 0;
+      if (core::peek_gen_tag(in, gen_id, gen_seq)) {
+        auto p = packet::make_packet(testutil::kSrcIp, testutil::kDstIp,
+                                     packet::IpProto::kDre, util::Bytes(in));
+        dec.on_data(gen_id, gen_seq, std::move(p), released);
+      }
+    }
+    // Whatever a mutated v3 shim parses into must stay inside the tag
+    // bounds the full parser enforces.
+    core::EncodedPayload payload;
+    if (core::EncodedPayload::parse_into(in, payload) &&
+        payload.version >= core::kWireVersion3) {
+      ++v3_parses;
+    }
+    released.clear();
+    if (i % 1024 == 0) dec.audit();
+    if (i % 4096 == 0) dec.drain(released), released.clear();
+  }
+  dec.drain(released);
+  dec.audit();
+  // Parse acceptance (CRC-gated) and the decoder's malformed/tag-reject
+  // counters must all have been exercised.
+  EXPECT_GT(v3_parses, 100u);
+  EXPECT_GT(dec.stats().data_packets + dec.stats().repair_packets, 100u);
+  EXPECT_GT(dec.stats().repairs_malformed, 0u);
 }
 
 }  // namespace

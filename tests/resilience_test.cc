@@ -120,10 +120,43 @@ TEST(Degradation, WalksTheFullLadderUnderHeavyLoss) {
   DegradationController c(quick_config());
   for (int i = 0; i < 200; ++i) c.on_sample(0.5);
   EXPECT_EQ(c.level(), DegradationLevel::kPassthrough);
-  EXPECT_EQ(c.degrades(), 3u);
+  EXPECT_EQ(c.degrades(), 4u);  // five rungs, one stop on each
   // Pass-through is the last rung; heavy loss cannot push further.
   for (int i = 0; i < 50; ++i) c.on_sample(0.9);
   EXPECT_EQ(c.level(), DegradationLevel::kPassthrough);
+  c.audit();
+}
+
+TEST(Degradation, DisabledCodedRungIsSkippedBothDirections) {
+  DegradationConfig cfg = quick_config();
+  cfg.coded_rung = false;
+  DegradationController c(cfg);
+  // Down: the walk never lands on kCodedRepair — exactly the historical
+  // four-level ladder (three degrades to the bottom).
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(c.on_sample(0.5), DegradationLevel::kCodedRepair);
+  }
+  EXPECT_EQ(c.level(), DegradationLevel::kPassthrough);
+  EXPECT_EQ(c.degrades(), 3u);
+  // Up: recovery steps over the disabled rung too.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(c.on_sample(0.0), DegradationLevel::kCodedRepair);
+  }
+  EXPECT_EQ(c.level(), DegradationLevel::kKDistance);
+  EXPECT_EQ(c.upgrades(), 3u);
+  c.audit();
+}
+
+TEST(Degradation, CodedRungSitsBetweenTcpSeqAndCacheFlush) {
+  DegradationConfig cfg = quick_config();
+  DegradationController c(cfg);
+  // Loss above TCP-seq's threshold but below the coded rung's parks the
+  // controller on coded repair.
+  for (int i = 0; i < 200; ++i) c.on_sample(0.08);
+  EXPECT_EQ(c.level(), DegradationLevel::kCodedRepair);
+  // Past the coded threshold: repairs can no longer mask it.
+  for (int i = 0; i < 50; ++i) c.on_sample(0.2);
+  EXPECT_EQ(c.level(), DegradationLevel::kCacheFlush);
   c.audit();
 }
 

@@ -15,6 +15,8 @@
 #include "core/encoder.h"
 #include "core/factory.h"
 #include "core/wire.h"
+#include "fec/decoder.h"
+#include "fec/wire.h"
 #include "tests/testutil.h"
 #include "util/rng.h"
 
@@ -173,6 +175,130 @@ TEST(WireGolden, PinnedV2VectorDecodesRoundTrip) {
   EXPECT_EQ(info.version, core::kWireVersion2);
   EXPECT_EQ(p->payload,
             testutil::make_tcp_packet(golden_traffic().second, 5000)->payload);
+}
+
+// ---- v3 / coded-repair vectors (ISSUE 9, DESIGN.md §13) ---------------
+
+/// Encodes the golden traffic pair with the coded-repair layer on: both
+/// payloads come out v3-shimmed, and closing the 2-packet generation
+/// emits two repair payloads alongside the second packet.
+struct GoldenCoded {
+  util::Bytes first;   // v3 literal-wrapped warmup payload
+  util::Bytes wire;    // v3 encoded payload
+  util::Bytes repair0;
+  util::Bytes repair1;
+};
+
+GoldenCoded golden_coded() {
+  core::DreParams params;
+  params.epoch_resync = true;
+  params.coded_repair = true;
+  params.repair.generation_packets = 2;
+  core::Encoder enc(params,
+                    core::make_policy(core::PolicyKind::kNaive, params));
+  const GoldenTraffic t = golden_traffic();
+  auto a = testutil::make_tcp_packet(t.first, 1000);
+  (void)enc.process(*a);
+  auto b = testutil::make_tcp_packet(t.second, 5000);
+  const core::EncodeInfo info = enc.process(*b);
+  EXPECT_TRUE(info.encoded);
+  EXPECT_EQ(info.repairs.size(), 2u);  // the generation closed at b
+  GoldenCoded g;
+  g.first = a->payload;
+  g.wire = b->payload;
+  g.repair0 = info.repairs[0];
+  g.repair1 = info.repairs[1];
+  return g;
+}
+
+TEST(WireGolden, V3EncodingMatchesPinnedVectorAndCarriesGenerationTag) {
+  const GoldenCoded g = golden_coded();
+  ASSERT_FALSE(g.wire.empty());
+  // v3 shares the v2 magic with a bumped version byte: v1/v2 parsers
+  // reject it instead of misreading the generation tag as payload.
+  EXPECT_EQ(g.first[0], core::kShimMagicV2);
+  EXPECT_EQ(g.first[1], core::kWireVersion3);
+  EXPECT_EQ(g.wire[0], core::kShimMagicV2);
+  EXPECT_EQ(g.wire[1], core::kWireVersion3);
+  std::uint16_t gen_id = 99;
+  std::uint8_t gen_seq = 99;
+  ASSERT_TRUE(core::peek_gen_tag(g.wire, gen_id, gen_seq));
+  EXPECT_EQ(gen_id, 0);
+  EXPECT_EQ(gen_seq, 1);  // second member of the first generation
+  check_golden("golden_v3_warmup.bin", g.first);
+  check_golden("golden_v3_wire.bin", g.wire);
+}
+
+TEST(WireGolden, RepairPacketsMatchPinnedVectors) {
+  const GoldenCoded g = golden_coded();
+  ASSERT_FALSE(g.repair0.empty());
+  EXPECT_EQ(g.repair0[0], 0xD7);  // repair magic, distinct from any shim
+  EXPECT_TRUE(fec::is_repair_payload(g.repair0));
+  check_golden("golden_repair0.bin", g.repair0);
+  check_golden("golden_repair1.bin", g.repair1);
+  if (regen_requested()) return;
+  fec::RepairPacket parsed;
+  ASSERT_TRUE(fec::RepairPacket::parse_repair_into(
+      read_file(data_path("golden_repair0.bin")), parsed));
+  EXPECT_EQ(parsed.gen_id, 0);
+  EXPECT_EQ(parsed.gen_size, 2);
+  EXPECT_EQ(parsed.repair_index, 0);
+  EXPECT_EQ(parsed.repair_total, 2);
+}
+
+TEST(WireGolden, PinnedV3VectorDecodesRoundTrip) {
+  if (regen_requested()) GTEST_SKIP() << "regenerating goldens";
+  const util::Bytes warmup = read_file(data_path("golden_v3_warmup.bin"));
+  const util::Bytes wire = read_file(data_path("golden_v3_wire.bin"));
+  ASSERT_FALSE(warmup.empty());
+  ASSERT_FALSE(wire.empty());
+  core::DreParams params;
+  params.epoch_resync = true;
+  params.coded_repair = true;
+  core::Decoder dec(params);
+  // Under coded repair every packet is shimmed, so the warmup arrives as
+  // DRE traffic too.
+  auto w = packet::make_packet(testutil::kSrcIp, testutil::kDstIp,
+                               packet::IpProto::kDre, util::Bytes(warmup));
+  const core::DecodeInfo wi = dec.process(*w);
+  EXPECT_FALSE(core::is_drop(wi.status));
+  EXPECT_EQ(w->payload,
+            testutil::make_tcp_packet(golden_traffic().first, 1000)->payload);
+  auto p = packet::make_packet(testutil::kSrcIp, testutil::kDstIp,
+                               packet::IpProto::kDre, util::Bytes(wire));
+  const core::DecodeInfo info = dec.process(*p);
+  EXPECT_FALSE(core::is_drop(info.status));
+  EXPECT_EQ(info.version, core::kWireVersion3);
+  EXPECT_EQ(p->payload,
+            testutil::make_tcp_packet(golden_traffic().second, 5000)->payload);
+}
+
+TEST(WireGolden, PinnedRepairsReconstructThePinnedDataPacket) {
+  if (regen_requested()) GTEST_SKIP() << "regenerating goldens";
+  const util::Bytes warmup = read_file(data_path("golden_v3_warmup.bin"));
+  const util::Bytes wire = read_file(data_path("golden_v3_wire.bin"));
+  ASSERT_FALSE(warmup.empty());
+  ASSERT_FALSE(wire.empty());
+  // Lose the second member entirely; the two pinned repairs must rebuild
+  // its exact wire image from the survivor alone.
+  fec::RepairConfig cfg;
+  cfg.generation_packets = 2;
+  fec::RepairDecoder dec(cfg);
+  std::vector<fec::RepairDecoder::Released> out;
+  dec.on_data(0, 0,
+              packet::make_packet(testutil::kSrcIp, testutil::kDstIp,
+                                  packet::IpProto::kDre, util::Bytes(warmup)),
+              out);
+  dec.on_repair(read_file(data_path("golden_repair0.bin")), out);
+  dec.on_repair(read_file(data_path("golden_repair1.bin")), out);
+  dec.audit();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].reconstructed);
+  ASSERT_TRUE(out[1].reconstructed);
+  const auto expect = packet::make_packet(
+      testutil::kSrcIp, testutil::kDstIp, packet::IpProto::kDre,
+      util::Bytes(wire));
+  EXPECT_EQ(packet::to_wire(*out[1].pkt), packet::to_wire(*expect));
 }
 
 TEST(WireGolden, ControlMessagesMatchPinnedVectors) {

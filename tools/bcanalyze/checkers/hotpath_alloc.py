@@ -1,7 +1,8 @@
 """bc-hotpath-alloc: heap allocation reachable from per-packet functions.
 
-The data plane (src/rabin/, src/cache/, and the encode/decode paths of
-src/core/) runs once per packet and once per byte; PR 2 moved it to
+The data plane (src/rabin/, src/cache/, the encode/decode paths of
+src/core/, and the coded-repair emit/reconstruct paths of src/fec/)
+runs once per packet and once per byte; PR 2 moved it to
 preallocated scratch buffers and flat tables precisely so the steady
 state allocates nothing.  This checker walks the call graph from every
 hot root and reports, with the call chain:
@@ -25,9 +26,9 @@ import ir
 
 RULE = "bc-hotpath-alloc"
 
-ROOT_DIRS = ("src/rabin/", "src/cache/", "src/core/")
+ROOT_DIRS = ("src/rabin/", "src/cache/", "src/core/", "src/fec/")
 SITE_DIRS = ("src/rabin/", "src/cache/", "src/core/", "src/gateway/",
-             "src/net/")
+             "src/net/", "src/fec/")
 
 # Burst entry points are hot roots wherever they live: they are the
 # batched per-packet path (PR 7), so a gateway or ring function with one

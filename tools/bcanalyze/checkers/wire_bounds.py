@@ -15,8 +15,10 @@ dominating guard:
     another parse_*/deserialize_* call (that callee did the checking).
 
 Reads in scope: get_uN calls and offset-indexed subscripts, inside
-functions named parse* / deserialize* under src/packet/, src/core/ and
-src/cache/.  This is a structured-dominance approximation, not full
+functions named parse* / deserialize* under src/packet/, src/core/,
+src/cache/ and src/fec/ (the repair-packet header carries an
+attacker-controlled gen_size that sizes the coefficient vector — its
+parse path must prove the coefficients exist before touching them).  This is a structured-dominance approximation, not full
 dataflow: it accepts the repo's guard idioms (see core/wire.cc) and
 rejects read-before-check orderings, which is exactly the bug class the
 v1->v2 shim migration produced.
@@ -29,7 +31,7 @@ import ir
 
 RULE = "bc-wire-bounds"
 
-DIRS = ("src/packet/", "src/core/", "src/cache/")
+DIRS = ("src/packet/", "src/core/", "src/cache/", "src/fec/")
 NAME_RE = re.compile(r"^(parse|deserialize)")
 
 _SIZE_WORDS = ("size", "empty", "remaining", "avail", "left", "length",

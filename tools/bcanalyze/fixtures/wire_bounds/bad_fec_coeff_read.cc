@@ -1,0 +1,46 @@
+// BC-FIXTURE: path=src/fec/fixture_coeffs.cc
+//
+// bc-wire-bounds known-bad for the coded-repair surface: the repair
+// header's coeff_count byte is attacker-controlled and sizes the
+// coefficient vector that follows, so reading coefficients without
+// first proving `coeff_count` bytes remain walks off a truncated packet.
+// The real parser (fec/wire.cc) guards this; the fixture pins that the
+// checker keeps catching the unguarded ordering.
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace bytecache::fec {
+
+struct FixtureRepair {
+  std::uint16_t gen_id = 0;
+  std::uint8_t coeff_count = 0;
+  std::uint32_t coeff_sum = 0;
+};
+
+// Helper shape: the caller peeled the header and passes coeff_count
+// through, but this function indexes the vector before proving the
+// bytes exist — the guard below the loop is too late.
+bool parse_coeff_vector(util::BytesView wire, std::uint8_t coeff_count,
+                        FixtureRepair& out) {
+  std::size_t off = 0;
+  for (std::uint8_t j = 0; j < coeff_count; ++j) {
+    out.coeff_sum += wire[off + j];  // EXPECT(bc-wire-bounds)
+  }
+  if (wire.size() < coeff_count) return false;
+  return true;
+}
+
+bool parse_coeffs_guarded(util::BytesView wire, FixtureRepair& out) {
+  std::size_t off = 0;
+  if (wire.size() < 3) return false;
+  out.gen_id = util::get_u16(wire, off);
+  out.coeff_count = util::get_u8(wire, off);
+  if (wire.size() - off < out.coeff_count) return false;
+  for (std::uint8_t j = 0; j < out.coeff_count; ++j) {
+    out.coeff_sum += wire[off + j];  // guarded: no finding
+  }
+  return true;
+}
+
+}  // namespace bytecache::fec

@@ -130,6 +130,36 @@ def check_topology_change(doc, label, entry, allow):
                 "cross-machine comparison is the point)")
 
 
+def check_wire_ratio_drift(doc, label, entry, allow):
+    """Refuses to merge an entry whose v1/v2 wire_ratio differs from any
+    label already in the file.  The throughput workloads replay a fixed
+    corpus through a deterministic codec, so their wire_ratio is exact
+    machine-independent arithmetic: a change means the v1/v2 wire format
+    (or the codec's decisions) drifted, and recording the new number next
+    to the old would silently bless the drift.  The coded (v3) workload
+    is exempt — that format is this PR's to evolve, and its golden
+    vectors pin the bytes instead.  `--allow-wire-change` overrides for a
+    deliberate format migration."""
+    new = {r["name"]: r["wire_ratio"]
+           for r in entry.get("bench_throughput", {}).get("results", [])
+           if "_coded" not in r["name"]}
+    for other_label, other in doc.items():
+        if other_label == label or not isinstance(other, dict):
+            continue
+        for r in other.get("bench_throughput", {}).get("results", []):
+            name = r["name"]
+            if name not in new or "wire_ratio" not in r:
+                continue
+            if abs(r["wire_ratio"] - new[name]) > 1e-9 and not allow:
+                sys.exit(
+                    f"bench_json: workload '{name}' recorded wire_ratio "
+                    f"{r['wire_ratio']} under label '{other_label}' but this "
+                    f"run produced {new[name]}; the v1/v2 wire format must "
+                    "not drift — fix the regression (or pass "
+                    "--allow-wire-change if the format migration is the "
+                    "point)")
+
+
 def self_test():
     """Offline check of the merge gates (no bench binaries needed);
     registered as the bench_json_selftest ctest."""
@@ -158,6 +188,23 @@ def self_test():
     same = {"baseline": {"kernel": "avx2", "hardware_concurrency": 8}}
     check_kernel_change(same, "current", entry, False)
     check_topology_change(same, "current", entry, False)
+
+    def bt(name, ratio):
+        return {"bench_throughput": {"results": [
+            {"name": name, "wire_ratio": ratio}]}}
+
+    wentry = bt("file1_naive_valuesampling", 0.5)
+    doc = {"baseline": bt("file1_naive_valuesampling", 0.6)}
+    assert exits(lambda: check_wire_ratio_drift(doc, "current", wentry,
+                                                False)), \
+        "wire gate must refuse a v1/v2 wire_ratio drift"
+    check_wire_ratio_drift(doc, "current", wentry, True)  # override allowed
+    check_wire_ratio_drift(doc, "baseline", wentry, False)  # same label: fine
+    same = {"baseline": bt("file1_naive_valuesampling", 0.5)}
+    check_wire_ratio_drift(same, "current", wentry, False)  # identical: fine
+    coded = bt("file1_coded", 0.7)
+    check_wire_ratio_drift({"baseline": bt("file1_coded", 0.9)}, "current",
+                           coded, False)  # v3 row exempt: free to evolve
 
     print("bench_json: self-test passed")
 
@@ -284,6 +331,10 @@ def main():
                         help="permit merging next to labels measured under "
                              "a different scan kernel (deliberate "
                              "scalar-vs-SIMD comparisons only)")
+    parser.add_argument("--allow-wire-change", action="store_true",
+                        help="permit merging next to labels whose v1/v2 "
+                             "wire_ratio differs (deliberate wire-format "
+                             "migrations only)")
     parser.add_argument("--allow-topology-change", action="store_true",
                         help="permit merging next to labels measured with a "
                              "different hardware thread count (deliberate "
@@ -322,6 +373,7 @@ def main():
         doc = json.loads(out_path.read_text())
     check_kernel_change(doc, args.label, entry, args.allow_kernel_change)
     check_topology_change(doc, args.label, entry, args.allow_topology_change)
+    check_wire_ratio_drift(doc, args.label, entry, args.allow_wire_change)
     doc[args.label] = entry
     out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
