@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "cache/cache_config.h"
 #include "core/decoder.h"
 #include "core/encoder.h"
 #include "core/factory.h"
@@ -102,11 +103,12 @@ struct Result {
 Result run_pipeline(const char* name, const SegmentStream& stream,
                     core::PolicyKind policy, const core::DreParams& params,
                     std::size_t passes,
+                    const cache::CacheConfig& cache = {},
                     std::string* metrics_jsonl = nullptr) {
   Result r;
   r.name = name;
-  core::Encoder enc(params, core::make_policy(policy, params));
-  core::Decoder dec(params);
+  core::Encoder enc(params, core::make_policy(policy, params), cache);
+  core::Decoder dec(params, cache);
 
   obs::MetricsRegistry reg;
   obs::SpanSampler encode_span;
@@ -216,8 +218,17 @@ int main(int argc, char** argv) {
   maxp.select_mode = core::SelectMode::kMaxp;
   core::DreParams samplebyte = value_sampling;
   samplebyte.select_mode = core::SelectMode::kSampleByte;
-  core::DreParams bounded = value_sampling;  // eviction-active configuration
-  bounded.cache_bytes = 256 * 1024;
+  cache::CacheConfig bounded_cache;  // eviction-active configuration
+  bounded_cache.l1_bytes = 256 * 1024;
+  // Two-tier configuration (DESIGN.md §14): a hot L1 too small for the
+  // working set backed by an L2 large enough to hold it, with a
+  // per-host-pair budget active.  The tracked numbers are the
+  // demotion/promotion CPU cost and the wire ratio the tier recovers
+  // relative to file1_naive_bounded256k's flat 256 KiB cache.
+  cache::CacheConfig tiered_cache;
+  tiered_cache.l1_bytes = 64 * 1024;
+  tiered_cache.l2_bytes = 4 * 1024 * 1024;
+  tiered_cache.per_host_pair_bytes = 2 * 1024 * 1024;
   core::DreParams resilient = value_sampling;  // full resilience layer on
   resilient.epoch_resync = true;
   core::DreParams coded = value_sampling;  // coded-repair layer (v3 wire)
@@ -248,7 +259,10 @@ int main(int argc, char** argv) {
                    value_sampling, passes));
   results.push_back(
       run_pipeline("file1_naive_bounded256k", s1, core::PolicyKind::kNaive,
-                   bounded, passes));
+                   value_sampling, passes, bounded_cache));
+  results.push_back(
+      run_pipeline("file1_tiered", s1, core::PolicyKind::kNaive,
+                   value_sampling, passes, tiered_cache));
   // Resilience-layer probe: the resilient policy with epoch resync on a
   // lossless in-memory stream.  The estimator sees no loss so the ladder
   // stays on its k-distance rung, whose admit rule refuses same-flow
@@ -272,10 +286,10 @@ int main(int argc, char** argv) {
   std::string metrics_jsonl1, metrics_jsonl2;
   results.push_back(run_pipeline("file1_naive_valuesampling_telemetry", s1,
                                  core::PolicyKind::kNaive, value_sampling,
-                                 passes, &metrics_jsonl1));
+                                 passes, {}, &metrics_jsonl1));
   results.push_back(run_pipeline("file2_naive_valuesampling_telemetry", s2,
                                  core::PolicyKind::kNaive, value_sampling,
-                                 passes, &metrics_jsonl2));
+                                 passes, {}, &metrics_jsonl2));
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out, std::ios::trunc);
     out << metrics_jsonl1 << metrics_jsonl2;

@@ -31,7 +31,9 @@
 //                             decode learns it from the first datagram)
 //   --control=a.b.c.d:port    runtime control channel (net/control.h)
 //   --policy=<name>           encoding policy            (default cache_flush)
-//   --cache-bytes=<n>         cache budget, 0 = unbounded (default 0)
+//   --cache-bytes=<n>         L1 cache budget, 0 = unbounded (default 0)
+//   --l2-bytes=<n>            shared L2 tier budget, 0 = no L2 (default 0)
+//   --host-pair-bytes=<n>     per-host-pair L2 budget, 0 = none (default 0)
 //   --nack                    decoder NACK feedback
 //   --epoch-resync            epoch-stamped resync (v2 wire format)
 //   --stats-exit              dump the JSONL snapshot to stdout on exit
@@ -73,6 +75,8 @@ struct Options {
   std::optional<net::SocketAddr> control;
   std::string policy = "cache_flush";
   std::size_t cache_bytes = 0;
+  std::size_t l2_bytes = 0;
+  std::size_t host_pair_bytes = 0;
   bool nack = false;
   bool epoch_resync = false;
   bool stats_exit = false;
@@ -114,6 +118,10 @@ Options parse_options(int argc, char** argv) {
     else if (parse_flag(a, "--policy", v)) opt.policy = v;
     else if (parse_flag(a, "--cache-bytes", v))
       opt.cache_bytes = std::strtoull(v.c_str(), nullptr, 10);
+    else if (parse_flag(a, "--l2-bytes", v))
+      opt.l2_bytes = std::strtoull(v.c_str(), nullptr, 10);
+    else if (parse_flag(a, "--host-pair-bytes", v))
+      opt.host_pair_bytes = std::strtoull(v.c_str(), nullptr, 10);
     else if (std::strcmp(a, "--nack") == 0) opt.nack = true;
     else if (std::strcmp(a, "--epoch-resync") == 0) opt.epoch_resync = true;
     else if (std::strcmp(a, "--stats-exit") == 0) opt.stats_exit = true;
@@ -143,7 +151,9 @@ net::TunnelConfig tunnel_config(const Options& opt) {
   const auto kind = core::policy_from_string(opt.policy);
   if (!kind) die("unknown policy '" + opt.policy + "'");
   tc.gateway.policy = *kind;
-  tc.gateway.params.cache_bytes = opt.cache_bytes;
+  tc.gateway.cache.l1_bytes = opt.cache_bytes;
+  tc.gateway.cache.l2_bytes = opt.l2_bytes;
+  tc.gateway.cache.per_host_pair_bytes = opt.host_pair_bytes;
   tc.gateway.params.nack_feedback = opt.nack;
   tc.gateway.params.epoch_resync = opt.epoch_resync;
   return tc;

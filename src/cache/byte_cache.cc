@@ -4,21 +4,48 @@
 
 namespace bytecache::cache {
 
-ByteCache::ByteCache(std::size_t byte_budget) : store_(byte_budget) {
+ByteCache::ByteCache(const CacheConfig& config) : store_(config) {
   store_.set_evict_listener(this);
-  if (byte_budget > 0) {
+  if (config.l1_bytes > 0) {
     // One selected fingerprint per 2^select_bits = 16 payload bytes at the
     // paper's parameters: pre-size the table so steady state never
     // rehashes.
-    table_.reserve(byte_budget / 16);
+    table_.reserve(config.l1_bytes / 16);
   }
 }
 
-void ByteCache::on_evict(const CachedPacket& pkt) {
+void ByteCache::on_evict(const CachedPacket& pkt, EvictReason reason) {
   // Purge only entries still owned by the evicted packet: a newer payload
-  // may have overwritten some of them, and those must survive.
+  // may have overwritten some of them, and those must survive.  The
+  // owned set (with its stored offsets) is what a demotion carries into
+  // the L2 index, so collect it in the same pass.
+  demote_scratch_.clear();
   for (rabin::Fingerprint fp : pkt.fps) {
-    if (table_.erase_if_owner(fp, pkt.id)) ++stats_.fingerprints_purged;
+    const auto entry = table_.get(fp);
+    if (!entry || entry->packet_id != pkt.id) continue;
+    demote_scratch_.push_back(DemotedFp{fp, entry->offset});
+    table_.erase(fp);
+    ++stats_.fingerprints_purged;
+  }
+  // Budget victims are still warm — offer them to the tier below.  A
+  // packet owning no entries can never be hit again (lookups start at
+  // the fingerprint table), so demoting it would only waste L2 bytes.
+  if (reason == EvictReason::kBudget && demote_sink_ != nullptr &&
+      !demote_scratch_.empty()) {
+    demote_sink_->on_demote(pkt, demote_scratch_);
+  }
+}
+
+void ByteCache::readmit(std::uint64_t id, util::BytesView payload,
+                        const PacketMeta& meta,
+                        const std::vector<rabin::Fingerprint>& fps,
+                        std::span<const DemotedFp> owned) {
+  store_.reinsert(id, payload, meta, fps);
+  // The promoted packet owned these entries in the L2 index, which means
+  // no newer packet took them (an update() overwriting a fingerprint
+  // erases the L2 side, see CacheTier::update) — so the slots are free.
+  for (const DemotedFp& o : owned) {
+    table_.put(o.fp, FpEntry{id, o.offset});
   }
 }
 
@@ -105,6 +132,77 @@ void ByteCache::flush() {
   store_.clear();
   table_.clear();
   ++stats_.flushes;
+}
+
+void ByteCache::save(SnapshotWriter& w) const {
+  w.u32(kSnapMagicFlat);
+  w.u32(static_cast<std::uint32_t>(store_.size()));
+  for (const CachedPacket& p : store_.entries()) {
+    w.u64(p.id);
+    w.u64(p.meta.flow_key);
+    w.u64(p.meta.src_uid);
+    w.u64(p.meta.stream_index);
+    w.u32(p.meta.tcp_seq);
+    w.u32(p.meta.tcp_end_seq);
+    w.u32(p.meta.epoch);
+    w.u8(p.meta.has_tcp_seq ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(p.payload.size()));
+    w.bytes(p.payload);
+  }
+  w.u32(static_cast<std::uint32_t>(table_.size()));
+  table_.for_each([&](rabin::Fingerprint fp, const FpEntry& entry) {
+    w.u64(fp);
+    w.u64(entry.packet_id);
+    w.u16(entry.offset);
+  });
+}
+
+bool ByteCache::load(SnapshotReader& r) {
+  flush();
+  auto reject = [&] {
+    flush();
+    r.fail();
+    return false;
+  };
+  if (r.u32() != kSnapMagicFlat || !r.ok()) return reject();
+  const std::uint32_t packets = r.u32();
+  for (std::uint32_t i = 0; i < packets; ++i) {
+    const std::uint64_t id = r.u64();
+    PacketMeta meta;
+    meta.flow_key = r.u64();
+    meta.src_uid = r.u64();
+    meta.stream_index = r.u64();
+    meta.tcp_seq = r.u32();
+    meta.tcp_end_seq = r.u32();
+    meta.epoch = r.u32();
+    meta.has_tcp_seq = r.u8() != 0;
+    const std::uint32_t len = r.u32();
+    const util::BytesView payload = r.bytes(len);
+    // PacketStore::restore trusts its input: a zero or duplicate id would
+    // corrupt the id index, so reject the snapshot instead.
+    if (!r.ok() || id == 0 || store_.contains(id)) return reject();
+    // The payload is copied straight from the snapshot into the store's
+    // arena — no intermediate owning buffer.
+    restore_packet(id, payload, meta);
+  }
+  const std::uint32_t fps = r.u32();
+  for (std::uint32_t i = 0; i < fps; ++i) {
+    const rabin::Fingerprint fp = r.u64();
+    FpEntry entry;
+    entry.packet_id = r.u64();
+    entry.offset = r.u16();
+    if (!r.ok()) return reject();
+    // A fingerprint naming an absent packet (or a window starting past
+    // the owner's payload) breaks the table invariants that audit() and
+    // the hit-expansion path rely on; a corrupted or truncated snapshot
+    // must come back empty, not subtly wrong.
+    const CachedPacket* owner = store_.peek(entry.packet_id);
+    if (owner == nullptr || entry.offset >= owner->payload.size()) {
+      return reject();
+    }
+    restore_fingerprint(fp, entry);
+  }
+  return r.ok();
 }
 
 }  // namespace bytecache::cache

@@ -14,9 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
+#include "cache/cache_config.h"
 #include "cache/fingerprint_table.h"
 #include "cache/packet_store.h"
+#include "cache/snapshot.h"
 #include "obs/fields.h"
 #include "rabin/window.h"
 #include "util/bytes.h"
@@ -61,12 +64,32 @@ struct CacheHit {
   std::uint16_t offset = 0;  // window start within packet->payload
 };
 
+/// A fingerprint the eviction purge just removed because the departing
+/// packet still owned its table entry, with the stored window offset —
+/// exactly what the L2 tier needs to re-index the packet after demotion.
+struct DemotedFp {
+  rabin::Fingerprint fp = 0;
+  std::uint16_t offset = 0;
+};
+
+/// Receives packets the L1 expels to meet its byte budget (CacheTier
+/// implements it to admit them into the L2).  Called while the packet's
+/// payload bytes are still valid, and only for *budget* evictions —
+/// explicitly erased packets (NACK invalidation) must die everywhere.
+class DemoteSink {
+ public:
+  virtual ~DemoteSink() = default;
+  virtual void on_demote(const CachedPacket& pkt,
+                         std::span<const DemotedFp> owned) = 0;
+};
+
 class ByteCache final : private EvictionListener {
  public:
-  /// `byte_budget` bounds stored payload bytes (0 = unbounded); the
+  /// `config.l1_bytes` bounds stored payload bytes (0 = unbounded); the
   /// fingerprint table is pre-sized from it (about one selected anchor
-  /// per 16 payload bytes at the paper's parameters).
-  explicit ByteCache(std::size_t byte_budget = 0);
+  /// per 16 payload bytes at the paper's parameters).  The L2 knobs are
+  /// read by CacheTier, not here.
+  explicit ByteCache(const CacheConfig& config = {});
 
   // The store holds a pointer back to this object as its eviction
   // listener; relocation would leave it dangling.
@@ -126,7 +149,7 @@ class ByteCache final : private EvictionListener {
     return table_.size();
   }
 
-  /// Snapshot-restore primitives (see cache/persist.h); bypass the
+  /// Snapshot-restore primitives (see cache/snapshot.h); bypass the
   /// normal update path and statistics.  restore_fingerprint also records
   /// the fingerprint on its packet so the eviction purge keeps working
   /// after a warm restart.
@@ -139,12 +162,56 @@ class ByteCache final : private EvictionListener {
     store_.note_fingerprint(entry.packet_id, fp);
   }
 
+  /// Serializes the cache contents (not statistics) as one "BCC1" block
+  /// — byte-identical to the original persist.h format, so snapshots
+  /// from before the tier redesign stay readable and vice versa.
+  void save(SnapshotWriter& w) const;
+
+  /// Restores one "BCC1" block, replacing the current contents and
+  /// consuming exactly the block's bytes (callers embedding the block in
+  /// a larger snapshot keep reading after it; stand-alone callers check
+  /// r.at_end()).  Returns false — with the cache flushed and the reader
+  /// failed — on malformed input.
+  bool load(SnapshotReader& r);
+
+  // ---- Tier plumbing (cache/cache_tier.h) ----
+
+  /// Registers the L1 -> L2 demotion hook (at most one; nullptr
+  /// detaches).  Only budget evictions are offered for demotion.
+  void set_demote_sink(DemoteSink* sink) { demote_sink_ = sink; }
+
+  /// Re-admits a packet promoted back from the L2 at the MRU end under
+  /// its original id.  `fps` is the packet's recorded fingerprint list
+  /// (for the future eviction purge); `owned` are the entries the L2
+  /// index still attributed to it, which re-enter the L1 table.  May
+  /// evict (and therefore demote) LRU entries.  Statistics are not
+  /// touched: promotion is tier bookkeeping, not a paper cache event.
+  void readmit(std::uint64_t id, util::BytesView payload,
+               const PacketMeta& meta,
+               const std::vector<rabin::Fingerprint>& fps,
+               std::span<const DemotedFp> owned);
+
+  [[nodiscard]] bool has_fingerprint(rabin::Fingerprint fp) const {
+    return table_.get(fp).has_value();
+  }
+
+  /// Patches a restored packet's host-pair attribution (the tier
+  /// snapshot stores host keys out of band to keep the BCC1 block
+  /// byte-identical); no-op if the id is absent.
+  void set_host_key(std::uint64_t id, std::uint64_t host_key) {
+    store_.set_host_key(id, host_key);
+  }
+
  private:
-  void on_evict(const CachedPacket& pkt) override;
+  void on_evict(const CachedPacket& pkt, EvictReason reason) override;
 
   PacketStore store_;
   FingerprintTable table_;
   CacheStats stats_;
+  DemoteSink* demote_sink_ = nullptr;
+  /// Owned-fingerprint scratch for on_evict, reused so steady-state
+  /// demotion stays allocation-free.
+  std::vector<DemotedFp> demote_scratch_;
 };
 
 }  // namespace bytecache::cache

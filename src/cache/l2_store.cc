@@ -1,0 +1,608 @@
+#include "cache/l2_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace bytecache::cache {
+
+// ---------------------------------------------------------------- Stripe
+
+L2Store::Stripe::Stripe(const CacheConfig& config, std::size_t share_bytes)
+    : config_(config), share_(share_bytes) {
+  // Same densities as the L1 (ByteCache): about one owned fingerprint per
+  // 16 payload bytes, and at least one packet per minimum arena slice —
+  // pre-sized so steady-state demotion churn never rehashes.
+  fp_index_.reserve(share_ / 16);
+  id_index_.reserve(share_ / SliceArena::kMinSlice);
+}
+
+std::uint32_t L2Store::Stripe::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void L2Store::Stripe::retire_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  // The slice is parked, not freed: payload views handed out this packet
+  // (match expansion, promotion copy) stay readable until end_packet().
+  limbo_.push_back(s.slice);
+  s.slice = SliceArena::Slice{};
+  s.pkt.payload = PayloadView{};
+  s.pkt.fps.clear();  // keeps heap capacity for the next occupant
+  s.pkt.id = 0;
+  s.pkt.meta = PacketMeta{};
+  s.hit_count = 0;
+  s.promote_pending = false;
+  s.live = false;
+  free_.push_back(slot);
+}
+
+void L2Store::Stripe::link_front(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.prev = kNil;
+  s.next = head_;
+  if (head_ != kNil) slots_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+void L2Store::Stripe::link_back(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.next = kNil;
+  s.prev = tail_;
+  if (tail_ != kNil) slots_[tail_].next = slot;
+  tail_ = slot;
+  if (head_ == kNil) head_ = slot;
+}
+
+void L2Store::Stripe::unlink(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (s.prev != kNil) slots_[s.prev].next = s.next;
+  if (s.next != kNil) slots_[s.next].prev = s.prev;
+  if (head_ == slot) head_ = s.next;
+  if (tail_ == slot) tail_ = s.prev;
+  s.prev = s.next = kNil;
+}
+
+void L2Store::Stripe::host_link_front(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  HostEntry* e = hosts_.obtain(s.pkt.meta.host_key);
+  s.host_prev = kNil;
+  s.host_next = e->head;
+  if (e->head != kNil) slots_[e->head].host_prev = slot;
+  e->head = slot;
+  if (e->tail == kNil) e->tail = slot;
+}
+
+void L2Store::Stripe::host_link_back(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  HostEntry* e = hosts_.obtain(s.pkt.meta.host_key);
+  s.host_next = kNil;
+  s.host_prev = e->tail;
+  if (e->tail != kNil) slots_[e->tail].host_next = slot;
+  e->tail = slot;
+  if (e->head == kNil) e->head = slot;
+}
+
+void L2Store::Stripe::host_unlink(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  HostEntry* e = hosts_.find(s.pkt.meta.host_key);
+  BC_CHECK(e != nullptr) << "slot " << slot << " chained under host key "
+                         << s.pkt.meta.host_key << " the ledger lost";
+  if (s.host_prev != kNil) slots_[s.host_prev].host_next = s.host_next;
+  if (s.host_next != kNil) slots_[s.host_next].host_prev = s.host_prev;
+  if (e->head == slot) e->head = s.host_next;
+  if (e->tail == slot) e->tail = s.host_prev;
+  s.host_prev = s.host_next = kNil;
+}
+
+void L2Store::Stripe::touch(std::uint32_t slot) {
+  if (head_ != slot) {
+    unlink(slot);
+    link_front(slot);
+  }
+  const HostEntry* e = hosts_.find(slots_[slot].pkt.meta.host_key);
+  if (e != nullptr && e->head != slot) {
+    host_unlink(slot);
+    host_link_front(slot);
+  }
+}
+
+std::size_t L2Store::Stripe::evict_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  const std::uint64_t id = s.pkt.id;
+  std::size_t purged = 0;
+  // Purge only entries the packet still owns: a later demotion may have
+  // overwritten some (the L1's overwrite semantics, mirrored here).
+  for (rabin::Fingerprint fp : s.pkt.fps) {
+    const FpEntry* e = fp_index_.find(fp);
+    if (e != nullptr && e->packet_id == id) {
+      fp_index_.erase(fp);
+      ++purged;
+    }
+  }
+  bytes_used_ -= s.pkt.payload.size();
+  unlink(slot);
+  // Host accounting must run while the slot's meta/payload are intact.
+  const std::uint64_t key = s.pkt.meta.host_key;
+  const std::size_t len = s.pkt.payload.size();
+  host_unlink(slot);
+  HostEntry* he = hosts_.find(key);
+  BC_CHECK(he != nullptr && he->bytes >= len)
+      << "host ledger under-accounts pair " << key;
+  he->bytes -= len;
+  hosts_.release_if_idle(key);
+  id_index_.erase(id);
+  retire_slot(slot);
+  return purged;
+}
+
+std::uint32_t L2Store::Stripe::pick_victim() {
+  if (config_.eviction == EvictionPolicy::kLru) return tail_;
+  // kZipfAware: give recently *hit* packets a second chance — scan a
+  // bounded window from the cold end, evicting the first zero-hit packet
+  // (or the least-hit one in the window), and halve the counts we skip so
+  // a once-hot packet cannot pin its slot forever.  The scan depends only
+  // on cache state, so encoder and decoder pick identical victims.
+  std::uint32_t best = tail_;
+  std::uint32_t best_count = 0xFFFFFFFFu;
+  std::uint32_t scanned = 0;
+  for (std::uint32_t s = tail_; s != kNil && scanned < kZipfScan;
+       ++scanned) {
+    const std::uint32_t prev = slots_[s].prev;
+    const std::uint32_t c = slots_[s].hit_count;
+    if (c == 0) return s;
+    if (c < best_count) {
+      best_count = c;
+      best = s;
+    }
+    slots_[s].hit_count = c >> 1;
+    s = prev;
+  }
+  return best;
+}
+
+std::optional<CacheHit> L2Store::Stripe::find(rabin::Fingerprint fp,
+                                              bool& enqueue_promotion) {
+  enqueue_promotion = false;
+  const FpEntry* e = fp_index_.find(fp);
+  if (e == nullptr) return std::nullopt;
+  const std::uint16_t offset = e->offset;
+  const std::uint32_t* slotp = id_index_.find(e->packet_id);
+  // The eviction purge keeps the index free of stale entries (audit), so
+  // an orphaned entry is corruption, not a miss.
+  BC_CHECK(slotp != nullptr)
+      << "L2 index entry for fingerprint " << fp << " names absent packet "
+      << e->packet_id;
+  const std::uint32_t slot = *slotp;
+  touch(slot);
+  Slot& s = slots_[slot];
+  if (s.hit_count != 0xFFFFFFFFu) ++s.hit_count;
+  if (!s.promote_pending) {
+    s.promote_pending = true;
+    enqueue_promotion = true;
+  }
+  ++stats_.l2_hits;
+  return CacheHit{&s.pkt, offset};
+}
+
+void L2Store::Stripe::admit(const CachedPacket& pkt,
+                            std::span<const DemotedFp> owned) {
+  ++stats_.demotions;
+  const std::size_t len = pkt.payload.size();
+  // A packet larger than the stripe share would be evicted again at the
+  // next epoch boundary; rejecting it outright spares warmer entries.
+  if (len > share_) {
+    ++stats_.demotions_rejected;
+    return;
+  }
+  const std::uint64_t host = pkt.meta.host_key;
+  if (config_.per_host_pair_bytes > 0) {
+    if (len > config_.per_host_pair_bytes) {
+      ++stats_.demotions_rejected;
+      return;
+    }
+    // Over-budget pairs evict their OWN coldest packets — never a
+    // neighbour's — so one elephant pair cannot churn out the mice.
+    while (true) {
+      HostEntry* e = hosts_.find(host);
+      if (e == nullptr || e->bytes + len <= config_.per_host_pair_bytes) {
+        break;
+      }
+      BC_CHECK(e->tail != kNil)
+          << "pair " << host << " holds " << e->bytes
+          << " bytes but chains no packets";
+      ++e->evictions;
+      const std::size_t purged = evict_slot(e->tail);
+      stats_.l2_fingerprints_purged += purged;
+      ++stats_.host_evictions;
+    }
+  }
+  BC_CHECK(id_index_.find(pkt.id) == nullptr)
+      << "demoted packet " << pkt.id << " is already L2-resident";
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.pkt.id = pkt.id;
+  s.slice = arena_.alloc(len);
+  if (len != 0) std::memcpy(s.slice.data, pkt.payload.data(), len);
+  s.pkt.payload = PayloadView{s.slice.data, len};
+  s.pkt.meta = pkt.meta;
+  // Record only the owned fingerprints: the rest of the packet's anchor
+  // set belongs to newer L1 packets and never enters the L2 index.
+  s.pkt.fps.clear();
+  s.pkt.fps.reserve(owned.size());
+  for (const DemotedFp& o : owned) s.pkt.fps.push_back(o.fp);
+  s.live = true;
+  bytes_used_ += len;
+  link_front(slot);
+  host_link_front(slot);
+  hosts_.find(host)->bytes += len;
+  id_index_.put(pkt.id, slot);
+  for (const DemotedFp& o : owned) {
+    fp_index_.put(o.fp, FpEntry{pkt.id, o.offset});
+  }
+  // NOTE: the stripe may now exceed its share; enforcement is deferred to
+  // end_packet() so nothing this packet referenced is freed under it.
+}
+
+bool L2Store::Stripe::take(std::uint64_t id, Taken& out,
+                           std::vector<DemotedFp>& owned_out) {
+  const std::uint32_t* slotp = id_index_.find(id);
+  if (slotp == nullptr) return false;
+  const std::uint32_t slot = *slotp;
+  Slot& s = slots_[slot];
+  for (rabin::Fingerprint fp : s.pkt.fps) {
+    const FpEntry* e = fp_index_.find(fp);
+    if (e != nullptr && e->packet_id == id) {
+      owned_out.push_back(DemotedFp{fp, e->offset});
+      fp_index_.erase(fp);
+    }
+  }
+  out.payload = s.pkt.payload;  // backed by the limbo'd slice
+  out.meta = s.pkt.meta;
+  out.fps = std::move(s.pkt.fps);
+  bytes_used_ -= s.pkt.payload.size();
+  unlink(slot);
+  const std::uint64_t key = s.pkt.meta.host_key;
+  const std::size_t len = s.pkt.payload.size();
+  host_unlink(slot);
+  HostEntry* he = hosts_.find(key);
+  BC_CHECK(he != nullptr && he->bytes >= len)
+      << "host ledger under-accounts pair " << key;
+  he->bytes -= len;
+  hosts_.release_if_idle(key);
+  id_index_.erase(id);
+  retire_slot(slot);
+  return true;
+}
+
+void L2Store::Stripe::unindex(std::span<const rabin::Anchor> anchors) {
+  for (const rabin::Anchor& a : anchors) {
+    fp_index_.erase(a.fp);
+  }
+}
+
+bool L2Store::Stripe::invalidate(rabin::Fingerprint fp) {
+  const FpEntry* e = fp_index_.find(fp);
+  if (e == nullptr) return false;
+  const std::uint32_t* slotp = id_index_.find(e->packet_id);
+  BC_CHECK(slotp != nullptr)
+      << "L2 index entry for fingerprint " << fp << " names absent packet "
+      << e->packet_id;
+  stats_.l2_fingerprints_purged += evict_slot(*slotp);
+  return true;
+}
+
+void L2Store::Stripe::end_packet() {
+  // Never evicts the sole resident (admit() already bounds any single
+  // packet by the share, so the loop terminates regardless).
+  while (bytes_used_ > share_ && head_ != tail_) {
+    stats_.l2_fingerprints_purged += evict_slot(pick_victim());
+    ++stats_.l2_evictions;
+  }
+  for (const SliceArena::Slice& s : limbo_) arena_.free(s);
+  limbo_.clear();
+}
+
+void L2Store::Stripe::clear() {
+  for (std::uint32_t s = head_; s != kNil;) {
+    const std::uint32_t next = slots_[s].next;
+    Slot& slot = slots_[s];
+    arena_.free(slot.slice);
+    slot.slice = SliceArena::Slice{};
+    slot.pkt.payload = PayloadView{};
+    slot.pkt.fps.clear();
+    slot.pkt.id = 0;
+    slot.pkt.meta = PacketMeta{};
+    slot.prev = slot.next = kNil;
+    slot.host_prev = slot.host_next = kNil;
+    slot.hit_count = 0;
+    slot.promote_pending = false;
+    slot.live = false;
+    free_.push_back(s);
+    s = next;
+  }
+  head_ = tail_ = kNil;
+  id_index_.clear();
+  fp_index_.clear();
+  hosts_.clear();
+  bytes_used_ = 0;
+  // A flush frees limbo immediately: no payload view survives a flush.
+  for (const SliceArena::Slice& s : limbo_) arena_.free(s);
+  limbo_.clear();
+}
+
+std::size_t L2Store::Stripe::host_bytes(std::uint64_t host_key) const {
+  const HostEntry* e = hosts_.find(host_key);
+  return e == nullptr ? 0 : e->bytes;
+}
+
+void L2Store::Stripe::save(SnapshotWriter& w) const {
+  w.u32(kSnapMagicL2);
+  w.u32(static_cast<std::uint32_t>(size()));
+  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+    const Slot& slot = slots_[s];
+    const CachedPacket& p = slot.pkt;
+    w.u64(p.id);
+    w.u64(p.meta.flow_key);
+    w.u64(p.meta.src_uid);
+    w.u64(p.meta.stream_index);
+    w.u32(p.meta.tcp_seq);
+    w.u32(p.meta.tcp_end_seq);
+    w.u32(p.meta.epoch);
+    w.u8(p.meta.has_tcp_seq ? 1 : 0);
+    w.u64(p.meta.host_key);
+    w.u32(slot.hit_count);
+    w.u32(static_cast<std::uint32_t>(p.payload.size()));
+    w.bytes(p.payload);
+    // Two passes over the (short) fingerprint list instead of a scratch
+    // buffer: count the entries the packet still owns, then emit them.
+    std::uint32_t owned = 0;
+    for (rabin::Fingerprint fp : p.fps) {
+      const FpEntry* e = fp_index_.find(fp);
+      if (e != nullptr && e->packet_id == p.id) ++owned;
+    }
+    w.u32(owned);
+    for (rabin::Fingerprint fp : p.fps) {
+      const FpEntry* e = fp_index_.find(fp);
+      if (e != nullptr && e->packet_id == p.id) {
+        w.u64(fp);
+        w.u16(e->offset);
+      }
+    }
+  }
+}
+
+bool L2Store::Stripe::load(SnapshotReader& r) {
+  clear();
+  auto reject = [&] {
+    clear();
+    r.fail();
+    return false;
+  };
+  if (r.u32() != kSnapMagicL2 || !r.ok()) return reject();
+  const std::uint32_t packets = r.u32();
+  for (std::uint32_t i = 0; i < packets; ++i) {
+    const std::uint64_t id = r.u64();
+    PacketMeta meta;
+    meta.flow_key = r.u64();
+    meta.src_uid = r.u64();
+    meta.stream_index = r.u64();
+    meta.tcp_seq = r.u32();
+    meta.tcp_end_seq = r.u32();
+    meta.epoch = r.u32();
+    meta.has_tcp_seq = r.u8() != 0;
+    meta.host_key = r.u64();
+    const std::uint32_t hit_count = r.u32();
+    const std::uint32_t len = r.u32();
+    const util::BytesView payload = r.bytes(len);
+    if (!r.ok() || id == 0 || id_index_.find(id) != nullptr) {
+      return reject();
+    }
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    s.pkt.id = id;
+    s.slice = arena_.alloc(len);
+    if (len != 0) std::memcpy(s.slice.data, payload.data(), len);
+    s.pkt.payload = PayloadView{s.slice.data, len};
+    s.pkt.meta = meta;
+    s.pkt.fps.clear();
+    s.hit_count = hit_count;
+    s.live = true;
+    bytes_used_ += len;
+    // Snapshots walk MRU to LRU, so appending at the cold end preserves
+    // both the global and the per-host recency orders.
+    link_back(slot);
+    host_link_back(slot);
+    hosts_.find(meta.host_key)->bytes += len;
+    id_index_.put(id, slot);
+    const std::uint32_t owned = r.u32();
+    for (std::uint32_t f = 0; f < owned; ++f) {
+      const rabin::Fingerprint fp = r.u64();
+      const std::uint16_t offset = r.u16();
+      // Two owners for one fingerprint (or a window starting past the
+      // payload) can never arise from save(); reject the snapshot.
+      if (!r.ok() || fp_index_.find(fp) != nullptr || offset >= len) {
+        return reject();
+      }
+      s.pkt.fps.push_back(fp);
+      fp_index_.put(fp, FpEntry{id, offset});
+    }
+  }
+  if (!r.ok()) return reject();
+  // A snapshot from a larger configuration may overflow this share (or
+  // this pair budget): trim deterministically, exactly as the runtime
+  // eviction would, without counting runtime movement statistics.
+  if (config_.per_host_pair_bytes > 0) {
+    for (std::uint32_t s = tail_; s != kNil;) {
+      const std::uint32_t prev = slots_[s].prev;
+      const HostEntry* e = hosts_.find(slots_[s].pkt.meta.host_key);
+      if (e != nullptr && e->bytes > config_.per_host_pair_bytes) {
+        evict_slot(s);
+      }
+      s = prev;
+    }
+  }
+  while (bytes_used_ > share_ && head_ != tail_) {
+    evict_slot(pick_victim());
+  }
+  // No payload view is outstanding during a restore; free limbo now.
+  for (const SliceArena::Slice& s : limbo_) arena_.free(s);
+  limbo_.clear();
+  return true;
+}
+
+void L2Store::Stripe::audit() const {
+  if (!util::kAuditEnabled) return;
+  std::size_t bytes = 0;
+  std::size_t entries = 0;
+  std::size_t arena_slices = 0;
+  std::uint32_t prev = kNil;
+  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+    const Slot& slot = slots_[s];
+    bytes += slot.pkt.payload.size();
+    ++entries;
+    BC_AUDIT(slot.live) << "L2 chain reaches freed slot " << s;
+    BC_AUDIT(slot.prev == prev)
+        << "L2 slot " << s << " back-link " << slot.prev
+        << " does not match predecessor " << prev;
+    BC_AUDIT(slot.pkt.payload.data() == slot.slice.data)
+        << "L2 slot " << s << " payload view detached from its slice";
+    if (slot.slice.data != nullptr &&
+        slot.slice.cls != SliceArena::kHeapClass) {
+      ++arena_slices;
+    }
+    BC_AUDIT(slot.pkt.id != 0) << "live L2 slot " << s << " holds id 0";
+    const std::uint32_t* idx = id_index_.find(slot.pkt.id);
+    BC_AUDIT(idx != nullptr && *idx == s)
+        << "L2 id index disagrees with the chain for id " << slot.pkt.id;
+    prev = s;
+  }
+  BC_AUDIT(tail_ == prev)
+      << "L2 tail " << tail_ << " does not terminate the chain (" << prev
+      << ")";
+  BC_AUDIT(entries == id_index_.size())
+      << "L2 chain has " << entries << " entries but the id index has "
+      << id_index_.size();
+  BC_AUDIT(entries + free_.size() == slots_.size())
+      << entries << " live + " << free_.size() << " free slots != slab of "
+      << slots_.size();
+  BC_AUDIT(bytes == bytes_used_)
+      << "L2 bytes_used_ " << bytes_used_ << " != sum of payload sizes "
+      << bytes;
+  BC_AUDIT(bytes_used_ <= share_ || entries <= 1)
+      << "stripe share " << share_ << " exceeded between packets: "
+      << bytes_used_ << " bytes";
+  // Per-host accounting: every chain partitions the live slots, each
+  // pair's bytes match its chained payloads, and budgets hold.
+  std::size_t host_bytes_total = 0;
+  std::size_t host_entries_total = 0;
+  hosts_.for_each([&](std::uint64_t key, const HostEntry& e) {
+    std::size_t pair_bytes = 0;
+    std::uint32_t hprev = kNil;
+    for (std::uint32_t s = e.head; s != kNil; s = slots_[s].host_next) {
+      const Slot& slot = slots_[s];
+      BC_AUDIT(slot.live) << "host chain of pair " << key
+                          << " reaches freed slot " << s;
+      BC_AUDIT(slot.pkt.meta.host_key == key)
+          << "slot " << s << " chained under pair " << key
+          << " but attributed to " << slot.pkt.meta.host_key;
+      BC_AUDIT(slot.host_prev == hprev)
+          << "host back-link broken at slot " << s;
+      pair_bytes += slot.pkt.payload.size();
+      ++host_entries_total;
+      hprev = s;
+    }
+    BC_AUDIT(e.tail == hprev)
+        << "host tail of pair " << key << " does not terminate its chain";
+    BC_AUDIT(pair_bytes == e.bytes)
+        << "pair " << key << " ledger says " << e.bytes
+        << " bytes but chains " << pair_bytes;
+    BC_AUDIT(e.bytes > 0 || e.head != kNil)
+        << "idle pair " << key << " was not released";
+    BC_AUDIT(config_.per_host_pair_bytes == 0 ||
+             e.bytes <= config_.per_host_pair_bytes)
+        << "pair " << key << " holds " << e.bytes
+        << " bytes over its budget " << config_.per_host_pair_bytes;
+    host_bytes_total += e.bytes;
+  });
+  BC_AUDIT(host_entries_total == entries)
+      << "host chains cover " << host_entries_total << " slots, not "
+      << entries;
+  BC_AUDIT(host_bytes_total == bytes_used_)
+      << "host ledgers account " << host_bytes_total << " of "
+      << bytes_used_ << " bytes";
+  // The L2 extension of the PR-2 purge invariant: zero stale entries —
+  // every index entry resolves to a live packet that recorded it.
+  fp_index_.for_each([&](std::uint64_t fp, const FpEntry& e) {
+    const std::uint32_t* slotp = id_index_.find(e.packet_id);
+    BC_AUDIT(slotp != nullptr)
+        << "stale L2 index entry: fingerprint " << fp
+        << " names evicted packet " << e.packet_id;
+    if (slotp == nullptr) return;
+    const Slot& slot = slots_[*slotp];
+    BC_AUDIT(e.offset < slot.pkt.payload.size())
+        << "L2 entry for fingerprint " << fp << " starts at " << e.offset
+        << ", past the " << slot.pkt.payload.size() << "-byte payload";
+    BC_AUDIT(std::find(slot.pkt.fps.begin(), slot.pkt.fps.end(), fp) !=
+             slot.pkt.fps.end())
+        << "L2 entry for fingerprint " << fp
+        << " is not recorded on its owner " << e.packet_id;
+  });
+  BC_AUDIT(limbo_.empty())
+      << limbo_.size() << " limbo slices survived the epoch boundary";
+  arena_.audit();
+  BC_AUDIT(arena_.live() == arena_slices)
+      << "L2 arena reports " << arena_.live() << " live slices but "
+      << arena_slices << " live entries hold one";
+}
+
+// --------------------------------------------------------------- L2Store
+
+L2Store::L2Store(const CacheConfig& config, std::size_t stripes)
+    : config_(config) {
+  BC_CHECK(stripes >= 1) << "L2Store needs at least one stripe";
+  BC_CHECK(config.l2_bytes > 0) << "L2Store constructed with no L2 budget";
+  const std::size_t share =
+      std::max<std::size_t>(std::size_t{1}, config.l2_bytes / stripes);
+  // Every stripe is built up front (construction is cold); attach() hands
+  // them out without allocating.
+  stripes_.reserve(stripes);
+  for (std::size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>(config, share));
+  }
+}
+
+L2Store::Stripe* L2Store::attach() {
+  BC_CHECK(attached_ < stripes_.size())
+      << "more codecs attached than the store's " << stripes_.size()
+      << " stripes";
+  return stripes_[attached_++].get();
+}
+
+std::size_t L2Store::bytes_used() const {
+  std::size_t total = 0;
+  for (const auto& s : stripes_) total += s->bytes_used();
+  return total;
+}
+
+std::size_t L2Store::packets() const {
+  std::size_t total = 0;
+  for (const auto& s : stripes_) total += s->size();
+  return total;
+}
+
+std::size_t L2Store::host_pairs() const {
+  std::size_t total = 0;
+  for (const auto& s : stripes_) total += s->hosts().pairs();
+  return total;
+}
+
+}  // namespace bytecache::cache

@@ -7,7 +7,8 @@
 
 namespace bytecache::cache {
 
-PacketStore::PacketStore(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+PacketStore::PacketStore(const CacheConfig& config)
+    : byte_budget_(config.l1_bytes) {}
 
 std::uint32_t PacketStore::acquire_slot() {
   if (!free_.empty()) {
@@ -110,6 +111,11 @@ void PacketStore::note_fingerprint(std::uint64_t id, rabin::Fingerprint fp) {
   if (slot != nullptr) slots_[*slot].pkt.fps.push_back(fp);
 }
 
+void PacketStore::set_host_key(std::uint64_t id, std::uint64_t host_key) {
+  const std::uint32_t* slot = index_.find(id);
+  if (slot != nullptr) slots_[*slot].pkt.meta.host_key = host_key;
+}
+
 void PacketStore::restore(std::uint64_t id, util::BytesView payload,
                           const PacketMeta& meta) {
   next_id_ = std::max(next_id_, id + 1);
@@ -125,11 +131,34 @@ void PacketStore::restore(std::uint64_t id, util::BytesView payload,
   index_.put(s.pkt.id, slot);
 }
 
+void PacketStore::reinsert(std::uint64_t id, util::BytesView payload,
+                           const PacketMeta& meta,
+                           const std::vector<rabin::Fingerprint>& fps) {
+  BC_CHECK(id != 0 && id < next_id_)
+      << "reinsert of id " << id << " the store never assigned (next_id "
+      << next_id_ << ")";
+  BC_CHECK(index_.find(id) == nullptr)
+      << "reinsert of live id " << id;
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.pkt.id = id;
+  assign_payload(s, payload);
+  s.pkt.meta = meta;
+  s.pkt.fps = fps;
+  s.live = true;
+  bytes_used_ += s.pkt.payload.size();
+  link_front(slot);
+  index_.put(id, slot);
+  evict_to_budget();
+}
+
 bool PacketStore::erase(std::uint64_t id) {
   const std::uint32_t* found = index_.find(id);
   if (found == nullptr) return false;
   const std::uint32_t slot = *found;
-  if (listener_ != nullptr) listener_->on_evict(slots_[slot].pkt);
+  if (listener_ != nullptr) {
+    listener_->on_evict(slots_[slot].pkt, EvictReason::kExplicit);
+  }
   bytes_used_ -= slots_[slot].pkt.payload.size();
   unlink(slot);
   index_.erase(id);
@@ -215,7 +244,7 @@ void PacketStore::evict_to_budget() {
     // Never evict the entry just inserted (front).
     const std::uint32_t victim = tail_;
     const CachedPacket& pkt = slots_[victim].pkt;
-    if (listener_ != nullptr) listener_->on_evict(pkt);
+    if (listener_ != nullptr) listener_->on_evict(pkt, EvictReason::kBudget);
     bytes_used_ -= pkt.payload.size();
     index_.erase(pkt.id);
     unlink(victim);

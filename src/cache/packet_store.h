@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/cache_config.h"
 #include "cache/flat_map.h"
 #include "cache/slice_arena.h"
 #include "rabin/window.h"
@@ -88,6 +89,12 @@ struct PacketMeta {
 
   /// TCP flow the payload belongs to (see PacketContext::flow_key).
   std::uint64_t flow_key = 0;
+
+  /// Unordered IP endpoint pair the packet traveled between
+  /// (core::flow.h host_key_of; 0 = unattributed).  The L2 tier's
+  /// per-host-pair budget charges against this key; it is symmetric, so
+  /// encoder and decoder attribute identically and stay in lockstep.
+  std::uint64_t host_key = 0;
 };
 
 struct CachedPacket {
@@ -100,20 +107,33 @@ struct CachedPacket {
   std::vector<rabin::Fingerprint> fps;
 };
 
+/// Why a packet is leaving the store.  The L2 tier demotes kBudget
+/// victims (still warm, just crowded out) but must NOT resurrect
+/// kExplicit ones (NACK invalidation names a packet the peer lost —
+/// keeping a copy anywhere would re-diverge the caches).
+enum class EvictReason : std::uint8_t {
+  kBudget,    // LRU eviction to meet the byte budget
+  kExplicit,  // erase(): NACK invalidation or another deliberate removal
+};
+
 /// Eviction hook: notified with each packet the store expels to meet its
-/// byte budget (NOT on clear(), whose callers reset the whole cache).
+/// byte budget or erases explicitly (NOT on clear(), whose callers reset
+/// the whole cache).  Runs *before* the payload's arena slice is freed,
+/// so a listener may still copy the bytes (the L1 -> L2 demotion path).
 /// A plain interface rather than std::function keeps the hot path free
 /// of type-erased dispatch and allocation (see tools/lint.py bc-hotpath).
 class EvictionListener {
  public:
   virtual ~EvictionListener() = default;
-  virtual void on_evict(const CachedPacket& pkt) = 0;
+  virtual void on_evict(const CachedPacket& pkt, EvictReason reason) = 0;
 };
 
 class PacketStore {
  public:
-  /// `byte_budget` bounds the sum of stored payload sizes (0 = unbounded).
-  explicit PacketStore(std::size_t byte_budget = 0);
+  /// Uses `config.l1_bytes` to bound the sum of stored payload sizes
+  /// (0 = unbounded).  The other CacheConfig knobs belong to the layers
+  /// above (ByteCache, CacheTier).
+  explicit PacketStore(const CacheConfig& config = {});
 
   /// Registers the eviction hook (at most one; nullptr detaches).
   void set_evict_listener(EvictionListener* listener) {
@@ -150,6 +170,10 @@ class PacketStore {
   /// Records `fp` as belonging to stored packet `id` (snapshot restore
   /// path, which bypasses insert()); no-op if the id is absent.
   void note_fingerprint(std::uint64_t id, rabin::Fingerprint fp);
+
+  /// Patches the host-pair key of stored packet `id` (tier snapshot
+  /// restore; see ByteCache::set_host_key); no-op if the id is absent.
+  void set_host_key(std::uint64_t id, std::uint64_t host_key);
 
   /// Iterable view of the stored packets from most- to least-recently
   /// used (snapshot/debug only).
@@ -199,6 +223,16 @@ class PacketStore {
   /// Fingerprints are re-attached via note_fingerprint.
   void restore(std::uint64_t id, util::BytesView payload,
                const PacketMeta& meta);
+
+  /// Re-inserts a previously assigned id at the MRU end with its
+  /// fingerprint list (the L2 -> L1 promotion path).  Exactly insert()
+  /// except the id is the caller's: may evict LRU entries, reports them
+  /// to the listener.  `id` must not be live and must have been assigned
+  /// before (the id counter never moves backwards).
+  void reinsert(std::uint64_t id, util::BytesView payload,
+                const PacketMeta& meta,
+                const std::vector<rabin::Fingerprint>& fps);
+
   [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
   [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }

@@ -1,0 +1,104 @@
+// Versioned snapshot I/O: the one save(Writer&) / load(Reader&) surface
+// every cache layer implements (ByteCache, L2Store stripes, CacheTier),
+// replacing the former persist.h free functions.
+//
+// A SnapshotWriter is an append-only byte builder; a SnapshotReader is a
+// bounds-checked cursor with a sticky failure flag, so load paths can
+// read unconditionally and check ok() once per record instead of
+// sprinkling size arithmetic.  All integers are big-endian, matching the
+// original BCC1 format.
+//
+// Container formats (each starts with a u32 magic, so load paths can
+// sniff what they were handed):
+//   "BCC1"  flat ByteCache image (unchanged since PR 3 — old snapshots
+//           stay readable, and an L2-less tier still emits exactly it)
+//   "BCL2"  one L2 stripe's contents
+//   "BCT1"  full two-tier image: seq | BCC1 L1 block | host-key patch
+//           table | BCL2 block
+//   "BCI1"  incremental delta: base seq | op journal | CRC32
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace bytecache::cache {
+
+inline constexpr std::uint32_t kSnapMagicFlat = 0x42434331;  // "BCC1"
+inline constexpr std::uint32_t kSnapMagicL2 = 0x42434C32;    // "BCL2"
+inline constexpr std::uint32_t kSnapMagicTier = 0x42435431;  // "BCT1"
+inline constexpr std::uint32_t kSnapMagicIncr = 0x42434931;  // "BCI1"
+
+class SnapshotWriter {
+ public:
+  void u8(std::uint8_t v) { util::put_u8(buf_, v); }
+  void u16(std::uint16_t v) { util::put_u16(buf_, v); }
+  void u32(std::uint32_t v) { util::put_u32(buf_, v); }
+  void u64(std::uint64_t v) { util::put_u64(buf_, v); }
+  void bytes(util::BytesView b) { util::append(buf_, b); }
+
+  [[nodiscard]] const util::Bytes& buffer() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  /// Moves the accumulated bytes out, leaving the writer empty.
+  [[nodiscard]] util::Bytes take() { return std::move(buf_); }
+
+ private:
+  util::Bytes buf_;
+};
+
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(util::BytesView data) : data_(data) {}
+
+  std::uint8_t u8() { return have(1) ? util::get_u8(data_, off_) : 0; }
+  std::uint16_t u16() { return have(2) ? util::get_u16(data_, off_) : 0; }
+  std::uint32_t u32() { return have(4) ? util::get_u32(data_, off_) : 0; }
+  std::uint64_t u64() { return have(8) ? util::get_u64(data_, off_) : 0; }
+
+  /// A view of the next `n` raw bytes (empty view + failure if short).
+  /// The view aliases the snapshot buffer: valid as long as it is.
+  util::BytesView bytes(std::size_t n) {
+    if (!have(n)) return {};
+    const util::BytesView v = data_.subspan(off_, n);
+    off_ += n;
+    return v;
+  }
+
+  /// The next u32 without consuming it (format sniffing); does not set
+  /// the failure flag.
+  [[nodiscard]] std::uint32_t peek_u32() const {
+    if (data_.size() - off_ < 4) return 0;
+    std::size_t off = off_;
+    return util::get_u32(data_, off);
+  }
+
+  /// Everything consumed so far (CRC coverage spans).
+  [[nodiscard]] util::BytesView consumed() const {
+    return data_.subspan(0, off_);
+  }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - off_; }
+  [[nodiscard]] bool at_end() const { return ok() && remaining() == 0; }
+  [[nodiscard]] std::size_t offset() const { return off_; }
+
+  /// Marks the snapshot malformed (semantic validation failures — bad
+  /// ids, dangling references — use the same flag as truncation).
+  void fail() { failed_ = true; }
+
+ private:
+  bool have(std::size_t n) {
+    if (failed_ || data_.size() - off_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  util::BytesView data_;
+  std::size_t off_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace bytecache::cache

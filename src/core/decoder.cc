@@ -1,7 +1,8 @@
 #include "core/decoder.h"
 
-#include "cache/persist.h"
+#include "cache/snapshot.h"
 #include "core/anchors.h"
+#include "core/flow.h"
 #include "core/wire.h"
 #include "util/check.h"
 #include "util/crc32.h"
@@ -22,10 +23,11 @@ constexpr bool is_desync_drop(DecodeStatus s) {
 
 }  // namespace
 
-Decoder::Decoder(const DreParams& params)
+Decoder::Decoder(const DreParams& params, const cache::CacheConfig& cache,
+                 cache::L2Store* l2)
     : params_(params),
       tables_(params.window, params.poly),
-      cache_(params.cache_bytes),
+      cache_(cache, l2),
       sync_(params.epoch_sync) {}
 
 void Decoder::flush() { cache_.flush(); }
@@ -54,10 +56,21 @@ void Decoder::audit() const {
   sync_.audit();
 }
 
-util::Bytes Decoder::save_state() const {
+util::Bytes Decoder::save_state() {
   util::Bytes out;
   util::put_u64(out, stream_index_);
-  util::append(out, cache::serialize_cache(cache_));
+  cache::SnapshotWriter w;
+  cache_.save(w);
+  util::append(out, w.buffer());
+  return out;
+}
+
+util::Bytes Decoder::save_state_incremental() {
+  util::Bytes out;
+  util::put_u64(out, stream_index_);
+  cache::SnapshotWriter w;
+  cache_.save_incremental(w);
+  util::append(out, w.buffer());
   return out;
 }
 
@@ -65,7 +78,12 @@ bool Decoder::load_state(util::BytesView snapshot) {
   if (snapshot.size() < 8) return false;
   std::size_t off = 0;
   const std::uint64_t stream_index = util::get_u64(snapshot, off);
-  if (!cache::deserialize_cache(snapshot.subspan(off), cache_)) return false;
+  cache::SnapshotReader r(snapshot.subspan(off));
+  if (!cache_.load(r)) return false;
+  if (!r.at_end()) {  // trailing bytes: not a snapshot we wrote
+    cache_.flush();
+    return false;
+  }
   stream_index_ = stream_index;
   // The adopted epoch is deliberately not persisted: the encoder may have
   // flushed while we were down.  Re-adopt from the next v2 packet; stale
@@ -77,12 +95,13 @@ bool Decoder::load_state(util::BytesView snapshot) {
   return true;
 }
 
-void Decoder::cache_update(util::BytesView payload) {
+void Decoder::cache_update(util::BytesView payload, std::uint64_t host_key) {
   if (payload.size() < params_.window || payload.size() > 0xFFFF) return;
   const auto& anchors = compute_anchors(tables_, payload, params_, anchor_ws_);
   cache::PacketMeta meta;
   meta.stream_index = stream_index_++;
   meta.epoch = epoch_;
+  meta.host_key = host_key;
   cache_.update(payload, anchors, meta);
 }
 
@@ -108,7 +127,7 @@ DecodeInfo Decoder::process(packet::Packet& pkt) {
     info.status = DecodeStatus::kPassthrough;
     info.received_size = pkt.payload.size();
     info.restored_size = pkt.payload.size();
-    cache_update(pkt.payload);
+    cache_update(pkt.payload, host_key_of(pkt.ip.src, pkt.ip.dst));
     ++stats_.passthrough;
     stats_.bytes_restored += pkt.payload.size();
     return info;
@@ -269,7 +288,7 @@ DecodeInfo Decoder::process_encoded(packet::Packet& pkt) {
       packet::Ipv4Header::kSize + pkt.payload.size());
   info.status = DecodeStatus::kDecoded;
   info.restored_size = pkt.payload.size();
-  cache_update(pkt.payload);
+  cache_update(pkt.payload, host_key_of(pkt.ip.src, pkt.ip.dst));
   return info;
 }
 

@@ -29,7 +29,7 @@
 #include <cstdint>
 #include <span>
 
-#include "cache/byte_cache.h"
+#include "cache/cache_tier.h"
 #include "core/anchors.h"
 #include "core/params.h"
 #include "core/wire.h"
@@ -124,7 +124,12 @@ using obs::reset;
 
 class Decoder {
  public:
-  explicit Decoder(const DreParams& params);
+  /// `cache` sizes the tier (cache/cache_config.h) and `l2` is the
+  /// gateway's shared L2 store (nullptr = L1 only); both mirror the
+  /// encoder's so the two caches evolve in lockstep.
+  explicit Decoder(const DreParams& params,
+                   const cache::CacheConfig& cache = {},
+                   cache::L2Store* l2 = nullptr);
 
   /// Processes one incoming packet in place.  If is_drop(result.status),
   /// the caller must discard the packet.
@@ -139,7 +144,7 @@ class Decoder {
                     std::span<DecodeInfo> out);
 
   [[nodiscard]] const DecoderStats& stats() const { return stats_; }
-  [[nodiscard]] const cache::ByteCache& cache() const { return cache_; }
+  [[nodiscard]] const cache::CacheTier& cache() const { return cache_; }
   [[nodiscard]] const DreParams& params() const { return params_; }
 
   /// The adopted encoder epoch (0 until the first v2 packet).
@@ -164,16 +169,18 @@ class Decoder {
   /// encoder's snapshot taken at the same stream position).  The adopted
   /// epoch is not part of the snapshot: after a restore the decoder
   /// re-adopts from the next v2 packet it sees.
-  [[nodiscard]] util::Bytes save_state() const;
+  [[nodiscard]] util::Bytes save_state();
+  /// Incremental form (mirrors Encoder::save_state_incremental).
+  [[nodiscard]] util::Bytes save_state_incremental();
   bool load_state(util::BytesView snapshot);
 
  private:
   DecodeInfo process_encoded(packet::Packet& pkt);
-  void cache_update(util::BytesView payload);
+  void cache_update(util::BytesView payload, std::uint64_t host_key);
 
   DreParams params_;
   rabin::RabinTables tables_;
-  cache::ByteCache cache_;
+  cache::CacheTier cache_;
   DecoderStats stats_;
   std::uint64_t stream_index_ = 0;
   std::uint16_t epoch_ = 0;    // adopted encoder epoch (v2)

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "cache/persist.h"
+#include "cache/snapshot.h"
 #include "core/anchors.h"
 #include "core/flow.h"
 #include "core/matcher.h"
@@ -42,11 +42,12 @@ std::optional<TcpInfo> data_tcp_info(const packet::Packet& pkt) {
 }  // namespace
 
 Encoder::Encoder(const DreParams& params,
-                 std::unique_ptr<EncodingPolicy> policy)
+                 std::unique_ptr<EncodingPolicy> policy,
+                 const cache::CacheConfig& cache, cache::L2Store* l2)
     : params_(params),
       tables_(params.window, params.poly),
       policy_(std::move(policy)),
-      cache_(params.cache_bytes),
+      cache_(cache, l2),
       repair_enc_(params.repair) {}
 
 std::span<const util::Bytes> Encoder::close_repair_generation() {
@@ -112,11 +113,23 @@ void Encoder::audit() const {
       << stats_.flushes << " flushes total";
 }
 
-util::Bytes Encoder::save_state() const {
+util::Bytes Encoder::save_state() {
   util::Bytes out;
   util::put_u64(out, stream_index_);
   util::put_u16(out, epoch_);
-  util::append(out, cache::serialize_cache(cache_));
+  cache::SnapshotWriter w;
+  cache_.save(w);
+  util::append(out, w.buffer());
+  return out;
+}
+
+util::Bytes Encoder::save_state_incremental() {
+  util::Bytes out;
+  util::put_u64(out, stream_index_);
+  util::put_u16(out, epoch_);
+  cache::SnapshotWriter w;
+  cache_.save_incremental(w);
+  util::append(out, w.buffer());
   return out;
 }
 
@@ -125,7 +138,12 @@ bool Encoder::load_state(util::BytesView snapshot) {
   std::size_t off = 0;
   const std::uint64_t stream_index = util::get_u64(snapshot, off);
   const std::uint16_t epoch = util::get_u16(snapshot, off);
-  if (!cache::deserialize_cache(snapshot.subspan(off), cache_)) return false;
+  cache::SnapshotReader r(snapshot.subspan(off));
+  if (!cache_.load(r)) return false;
+  if (!r.at_end()) {  // trailing bytes: not a snapshot we wrote
+    cache_.flush();
+    return false;
+  }
   stream_index_ = stream_index;
   epoch_ = epoch;
   return true;
@@ -286,6 +304,7 @@ EncodeInfo Encoder::process(packet::Packet& pkt) {
   meta.stream_index = ctx.stream_index;
   meta.epoch = epoch_;
   meta.src_uid = pkt.uid;
+  meta.host_key = ctx.host_key;
   cache_.update(payload, anchors, meta);
 
   // ---- Substitute ----

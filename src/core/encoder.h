@@ -18,7 +18,7 @@
 #include <span>
 #include <vector>
 
-#include "cache/byte_cache.h"
+#include "cache/cache_tier.h"
 #include "cache/flat_map.h"
 #include "core/anchors.h"
 #include "fec/encoder.h"
@@ -106,7 +106,13 @@ using obs::reset;
 
 class Encoder {
  public:
-  Encoder(const DreParams& params, std::unique_ptr<EncodingPolicy> policy);
+  /// `cache` sizes the tier (cache/cache_config.h; the default is the
+  /// paper's unbounded flat cache).  `l2` is the gateway's shared L2
+  /// store, or nullptr for an L1-only codec; when given, it must have an
+  /// unclaimed stripe and outlive the encoder.
+  Encoder(const DreParams& params, std::unique_ptr<EncodingPolicy> policy,
+          const cache::CacheConfig& cache = {},
+          cache::L2Store* l2 = nullptr);
 
   /// Processes one outgoing packet in place.
   EncodeInfo process(packet::Packet& pkt);
@@ -126,7 +132,7 @@ class Encoder {
   }
   [[nodiscard]] const EncodingPolicy& policy() const { return *policy_; }
   [[nodiscard]] EncodingPolicy& policy() { return *policy_; }
-  [[nodiscard]] const cache::ByteCache& cache() const { return cache_; }
+  [[nodiscard]] const cache::CacheTier& cache() const { return cache_; }
   [[nodiscard]] std::uint16_t epoch() const { return epoch_; }
   [[nodiscard]] const DreParams& params() const { return params_; }
 
@@ -156,10 +162,16 @@ class Encoder {
   void audit() const;
 
   /// Snapshot of the cache plus the encoder's stream position/epoch, for
-  /// warm gateway restarts (cache/persist.h).  Policy-internal state is
+  /// warm gateway restarts (cache/snapshot.h).  Policy-internal state is
   /// NOT saved; after a restore the policies behave as freshly started
   /// (conservative: at worst some compression opportunities are skipped).
-  [[nodiscard]] util::Bytes save_state() const;
+  [[nodiscard]] util::Bytes save_state();
+
+  /// Incremental snapshot (CacheConfig::snapshot_mode == kIncremental):
+  /// the same framing, but the cache part is the journaled delta since
+  /// the last save boundary; falls back to a full image when no delta
+  /// can be emitted.  load_state() reads either.
+  [[nodiscard]] util::Bytes save_state_incremental();
 
   /// Restores a save_state() snapshot; false (cache flushed) if invalid.
   bool load_state(util::BytesView snapshot);
@@ -191,7 +203,7 @@ class Encoder {
   DreParams params_;
   rabin::RabinTables tables_;
   std::unique_ptr<EncodingPolicy> policy_;
-  cache::ByteCache cache_;
+  cache::CacheTier cache_;
   EncoderStats stats_;
   std::uint64_t stream_index_ = 0;
   std::uint16_t epoch_ = 0;

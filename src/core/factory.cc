@@ -25,15 +25,18 @@ std::unique_ptr<EncodingPolicy> make_policy(PolicyKind kind,
   return nullptr;
 }
 
-std::unique_ptr<Encoder> make_encoder(const GatewayConfig& cfg) {
+std::unique_ptr<Encoder> make_encoder(const GatewayConfig& cfg,
+                                      cache::L2Store* l2) {
   auto policy = make_policy(cfg.policy, cfg.params);
   if (policy == nullptr) return nullptr;
-  return std::make_unique<Encoder>(cfg.params, std::move(policy));
+  return std::make_unique<Encoder>(cfg.params, std::move(policy), cfg.cache,
+                                   l2);
 }
 
-std::unique_ptr<Decoder> make_decoder(const GatewayConfig& cfg) {
+std::unique_ptr<Decoder> make_decoder(const GatewayConfig& cfg,
+                                      cache::L2Store* l2) {
   if (!cfg.decoder_enabled()) return nullptr;
-  return std::make_unique<Decoder>(cfg.params);
+  return std::make_unique<Decoder>(cfg.params, cfg.cache, l2);
 }
 
 std::string_view to_string(PolicyKind kind) {

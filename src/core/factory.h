@@ -7,6 +7,7 @@
 #include <optional>
 #include <string_view>
 
+#include "cache/cache_config.h"
 #include "core/decoder.h"
 #include "core/encoder.h"
 #include "core/params.h"
@@ -35,6 +36,13 @@ enum class PolicyKind {
 struct GatewayConfig {
   DreParams params;
   PolicyKind policy = PolicyKind::kNaive;
+
+  /// Cache geometry (cache/cache_config.h): the L1 byte budget, the
+  /// optional shared L2 tier, per-host-pair admission budgets, the
+  /// eviction policy, and the snapshot mode.  The default — everything
+  /// zero — is the paper's unbounded flat cache.  Both gateway sides of
+  /// a deployment must agree (the codecs run their caches in lockstep).
+  cache::CacheConfig cache;
 
   /// Sharded gateways only: shared-nothing shard count (>= 1), SPSC ring
   /// capacity (rounded up to a power of two), and whether each shard
@@ -66,12 +74,16 @@ struct GatewayConfig {
 /// Creates an encoder running the configured policy; nullptr for kNone
 /// (the gateways treat a null codec as transparent pass-through).  The
 /// single construction point the sharded gateways use per shard, so
-/// every shard of one gateway is configured identically.
-[[nodiscard]] std::unique_ptr<Encoder> make_encoder(const GatewayConfig& cfg);
+/// every shard of one gateway is configured identically.  `l2` is the
+/// gateway's shared L2 store (cfg.cache.has_l2(); one unclaimed stripe
+/// per codec), or nullptr for an L1-only codec.
+[[nodiscard]] std::unique_ptr<Encoder> make_encoder(
+    const GatewayConfig& cfg, cache::L2Store* l2 = nullptr);
 
 /// Creates the matching decoder; nullptr when cfg.decoder_enabled() is
 /// false.
-[[nodiscard]] std::unique_ptr<Decoder> make_decoder(const GatewayConfig& cfg);
+[[nodiscard]] std::unique_ptr<Decoder> make_decoder(
+    const GatewayConfig& cfg, cache::L2Store* l2 = nullptr);
 
 [[nodiscard]] std::string_view to_string(PolicyKind kind);
 

@@ -46,10 +46,6 @@ struct DreParams {
   /// (paper Fig. 2 line B.8: len > 14, the size of one encoding field).
   std::size_t min_region = 14;
 
-  /// Cache byte budget per gateway; 0 = unbounded (the paper clears caches
-  /// between runs and never evicts within one).
-  std::size_t cache_bytes = 0;
-
   /// Modulus for Rabin fingerprints (verified irreducible).
   std::uint64_t poly = rabin::kDefaultPoly;
 

@@ -8,8 +8,44 @@
 
 namespace bytecache::gateway {
 
-EncoderGateway::EncoderGateway(const core::GatewayConfig& cfg)
-    : encoder_(core::make_encoder(cfg)) {
+namespace {
+
+/// Registers the tier-movement counters and L2 occupancy gauges for one
+/// codec's cache under `prefix` ("encoder.cache" / "decoder.cache").
+/// Only called when an L2 is attached, so L1-only snapshots carry
+/// exactly the pre-tier value set.
+void link_tier_metrics(obs::MetricsRegistry& metrics, std::string prefix,
+                       const cache::CacheTier& cache) {
+  obs::link_stats(metrics, prefix + ".tier", cache.tier_stats());
+  const cache::L2Store::Stripe& stripe = *cache.stripe();
+  metrics.probe_gauge(
+      prefix + ".l2_bytes_stored",
+      [&stripe] { return static_cast<double>(stripe.bytes_used()); },
+      obs::MergeOp::kSum);
+  metrics.probe_gauge(
+      prefix + ".l2_packets_stored",
+      [&stripe] { return static_cast<double>(stripe.size()); },
+      obs::MergeOp::kSum);
+  metrics.probe_gauge(
+      prefix + ".l2_fingerprints",
+      [&stripe] { return static_cast<double>(stripe.fingerprints()); },
+      obs::MergeOp::kSum);
+  metrics.probe_gauge(
+      prefix + ".l2_host_pairs",
+      [&stripe] { return static_cast<double>(stripe.hosts().pairs()); },
+      obs::MergeOp::kSum);
+}
+
+}  // namespace
+
+EncoderGateway::EncoderGateway(const core::GatewayConfig& cfg,
+                               cache::L2Store* shared_l2)
+    : own_l2_(cfg.policy != core::PolicyKind::kNone && cfg.cache.has_l2() &&
+                      shared_l2 == nullptr
+                  ? std::make_unique<cache::L2Store>(cfg.cache, 1)
+                  : nullptr),
+      encoder_(core::make_encoder(
+          cfg, shared_l2 != nullptr ? shared_l2 : own_l2_.get())) {
   if (encoder_ != nullptr) {
     resilient_ = dynamic_cast<core::ResilientPolicy*>(&encoder_->policy());
   }
@@ -26,7 +62,8 @@ EncoderGateway::EncoderGateway(const core::GatewayConfig& cfg)
     obs::link_stats(metrics_, "encoder", encoder_->stats());
     obs::link_stats(metrics_, "encoder.cache", encoder_->cache().stats());
     obs::link_stats(metrics_, "encoder.fec", encoder_->repair_stats());
-    const cache::ByteCache& cache = encoder_->cache();
+    const cache::CacheTier& cache = encoder_->cache();
+    if (cache.has_l2()) link_tier_metrics(metrics_, "encoder.cache", cache);
     metrics_.probe_gauge(
         "encoder.cache.bytes_stored",
         [&cache] { return static_cast<double>(cache.store().bytes_used()); },
@@ -196,8 +233,14 @@ void EncoderGateway::observe_reverse(const packet::Packet& pkt) {
   }
 }
 
-DecoderGateway::DecoderGateway(const core::GatewayConfig& cfg)
-    : decoder_(core::make_decoder(cfg)),
+DecoderGateway::DecoderGateway(const core::GatewayConfig& cfg,
+                               cache::L2Store* shared_l2)
+    : own_l2_(cfg.decoder_enabled() && cfg.cache.has_l2() &&
+                      shared_l2 == nullptr
+                  ? std::make_unique<cache::L2Store>(cfg.cache, 1)
+                  : nullptr),
+      decoder_(core::make_decoder(
+          cfg, shared_l2 != nullptr ? shared_l2 : own_l2_.get())),
       nack_feedback_(cfg.params.nack_feedback),
       resilience_feedback_(cfg.params.epoch_resync) {
   obs::link_stats(metrics_, "gateway.decoder", stats_);
@@ -213,7 +256,8 @@ DecoderGateway::DecoderGateway(const core::GatewayConfig& cfg)
   if (decoder_ != nullptr) {
     obs::link_stats(metrics_, "decoder", decoder_->stats());
     obs::link_stats(metrics_, "decoder.cache", decoder_->cache().stats());
-    const cache::ByteCache& cache = decoder_->cache();
+    const cache::CacheTier& cache = decoder_->cache();
+    if (cache.has_l2()) link_tier_metrics(metrics_, "decoder.cache", cache);
     metrics_.probe_gauge(
         "decoder.cache.bytes_stored",
         [&cache] { return static_cast<double>(cache.store().bytes_used()); },

@@ -69,7 +69,11 @@ class EncoderGateway {
  public:
   /// `cfg.policy == kNone` builds a transparent gateway (no DRE, for
   /// baselines).  The shard/ring fields of `cfg` are ignored here.
-  explicit EncoderGateway(const core::GatewayConfig& cfg);
+  /// `shared_l2` is a gateway-spanning L2 store (sharded gateways pass
+  /// one per side; not owned, must outlive this gateway); when null and
+  /// cfg.cache.has_l2(), the gateway creates its own single-stripe store.
+  explicit EncoderGateway(const core::GatewayConfig& cfg,
+                          cache::L2Store* shared_l2 = nullptr);
 
   void set_sink(PacketSink sink) { sink_ = std::move(sink); }
 
@@ -145,6 +149,8 @@ class EncoderGateway {
   void process_received(packet::PacketPtr pkt);
   void emit_repairs(std::span<const util::Bytes> repairs);
 
+  // Declared before the encoder: the codec's stripe must outlive it.
+  std::unique_ptr<cache::L2Store> own_l2_;  // null when external/absent
   std::unique_ptr<core::Encoder> encoder_;  // null when disabled
   PacketSink sink_;
   std::function<void(const core::EncodeInfo&)> observer_;
@@ -185,7 +191,10 @@ struct DecoderGatewayStats {
 class DecoderGateway {
  public:
   /// `cfg.decoder_enabled() == false` builds a transparent gateway.
-  explicit DecoderGateway(const core::GatewayConfig& cfg);
+  /// `shared_l2` mirrors EncoderGateway's: a store shared across this
+  /// side's shards, or null to self-provision when cfg.cache.has_l2().
+  explicit DecoderGateway(const core::GatewayConfig& cfg,
+                          cache::L2Store* shared_l2 = nullptr);
 
   void set_sink(PacketSink sink) { sink_ = std::move(sink); }
 
@@ -240,6 +249,8 @@ class DecoderGateway {
                     const core::ControlMessage& msg, sim::TraceEvent event,
                     std::uint64_t uid);
 
+  // Declared before the decoder: the codec's stripe must outlive it.
+  std::unique_ptr<cache::L2Store> own_l2_;  // null when external/absent
   std::unique_ptr<core::Decoder> decoder_;
   PacketSink sink_;
   PacketSink feedback_;

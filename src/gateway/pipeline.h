@@ -27,6 +27,7 @@ namespace bytecache::gateway {
 struct PipelineConfig {
   core::PolicyKind policy = core::PolicyKind::kNone;
   core::DreParams dre;
+  cache::CacheConfig cache;
   tcp::TcpConfig tcp;
   sim::LinkConfig forward_link;
   sim::LinkConfig reverse_link{
@@ -52,6 +53,7 @@ struct PipelineConfig {
     core::GatewayConfig g;
     g.params = dre;
     g.policy = policy;
+    g.cache = cache;
     g.span_sample_every = span_sample_every;
     return g;
   }

@@ -55,9 +55,13 @@ ShardedEncoderGateway::ShardedEncoderGateway(const core::GatewayConfig& cfg)
   if (cfg.span_sample_every > 0) {
     stall_hist_ = &metrics_.histogram("gateway.encoder.ring_stall_ns");
   }
+  // One L2 store spans the gateway; each shard's codec claims a stripe.
+  if (cfg.policy != core::PolicyKind::kNone && cfg.cache.has_l2()) {
+    l2_ = std::make_unique<cache::L2Store>(cfg.cache, cfg.shards);
+  }
   shards_.reserve(cfg.shards);
   for (std::size_t i = 0; i < cfg.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(shard_cfg));
+    shards_.push_back(std::make_unique<Shard>(shard_cfg, l2_.get()));
     Shard& s = *shards_.back();
     metrics_.add_provider([&s] { return s.gw.snapshot(); });
     // The per-shard gateway's sink runs wherever the shard's codec runs:
@@ -341,9 +345,13 @@ ShardedDecoderGateway::ShardedDecoderGateway(const core::GatewayConfig& cfg)
   if (cfg.span_sample_every > 0) {
     stall_hist_ = &metrics_.histogram("gateway.decoder.ring_stall_ns");
   }
+  // One L2 store spans the gateway; each shard's codec claims a stripe.
+  if (cfg.decoder_enabled() && cfg.cache.has_l2()) {
+    l2_ = std::make_unique<cache::L2Store>(cfg.cache, cfg.shards);
+  }
   shards_.reserve(cfg.shards);
   for (std::size_t i = 0; i < cfg.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(shard_cfg));
+    shards_.push_back(std::make_unique<Shard>(shard_cfg, l2_.get()));
     Shard& s = *shards_.back();
     metrics_.add_provider([&s] { return s.gw.snapshot(); });
     s.gw.set_sink([this, &s, i](packet::PacketPtr pkt) {

@@ -155,8 +155,8 @@ class ShardedEncoderGateway {
   };
 
   struct Shard {
-    explicit Shard(const core::GatewayConfig& cfg)
-        : in(cfg.ring_capacity), out(cfg.ring_capacity), gw(cfg) {}
+    Shard(const core::GatewayConfig& cfg, cache::L2Store* l2)
+        : in(cfg.ring_capacity), out(cfg.ring_capacity), gw(cfg, l2) {}
     util::SpscRing<Cmd> in;
     util::SpscRing<packet::PacketPtr> out;
     EncoderGateway gw;
@@ -179,6 +179,9 @@ class ShardedEncoderGateway {
   }
 
   bool threaded_;
+  // One store for the whole gateway, one stripe per shard (created
+  // before — and so destroyed after — the shards whose codecs attach).
+  std::unique_ptr<cache::L2Store> l2_;  // null unless cfg.cache.has_l2()
   std::vector<std::unique_ptr<Shard>> shards_;
   // The sinks are set before the first submit and then only read: sink_
   // on the driver thread (drain), worker_sink_ on the workers.  That
@@ -254,11 +257,11 @@ class ShardedDecoderGateway {
 
  private:
   struct Shard {
-    explicit Shard(const core::GatewayConfig& cfg)
+    Shard(const core::GatewayConfig& cfg, cache::L2Store* l2)
         : in(cfg.ring_capacity),
           out(cfg.ring_capacity),
           feedback(cfg.ring_capacity),
-          gw(cfg) {}
+          gw(cfg, l2) {}
     util::SpscRing<packet::PacketPtr> in;
     util::SpscRing<packet::PacketPtr> out;
     util::SpscRing<packet::PacketPtr> feedback;
@@ -275,6 +278,8 @@ class ShardedDecoderGateway {
   void run_worker(Shard& s);
 
   bool threaded_;
+  // See ShardedEncoderGateway::l2_: one store, one stripe per shard.
+  std::unique_ptr<cache::L2Store> l2_;  // null unless cfg.cache.has_l2()
   std::vector<std::unique_ptr<Shard>> shards_;
   // Set before the first submit, then read-only (see ShardedEncoderGateway).
   PacketSink sink_;

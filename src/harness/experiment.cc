@@ -15,6 +15,7 @@ TrialResult run_trial(const ExperimentConfig& config, util::BytesView file,
   gateway::PipelineConfig pc;
   pc.policy = config.policy;
   pc.dre = config.dre;
+  pc.cache = config.cache;
   pc.tcp = config.tcp;
   pc.forward_link = config.forward_link;
   pc.reverse_link = config.reverse_link;

@@ -30,6 +30,7 @@ namespace bytecache::harness {
 struct ExperimentConfig {
   core::PolicyKind policy = core::PolicyKind::kNone;
   core::DreParams dre;
+  cache::CacheConfig cache;
   tcp::TcpConfig tcp;
   sim::LinkConfig forward_link;
   sim::LinkConfig reverse_link{

@@ -37,11 +37,10 @@ RedundancyReport redundancy_percent(util::BytesView object,
                                     std::size_t window_packets,
                                     const core::DreParams& dre,
                                     std::size_t mss) {
-  core::DreParams params = dre;
   // Bound the cache to ~window_packets packets via the byte budget.
-  params.cache_bytes =
-      window_packets * (mss + packet::TcpHeader::kSize + 20);
-  core::Encoder encoder(params, std::make_unique<core::NaivePolicy>());
+  cache::CacheConfig cache;
+  cache.l1_bytes = window_packets * (mss + packet::TcpHeader::kSize + 20);
+  core::Encoder encoder(dre, std::make_unique<core::NaivePolicy>(), cache);
   std::uint64_t encoded = 0;
   encode_object(object, mss, encoder, [&](const core::EncodeInfo& info) {
     if (info.encoded) ++encoded;

@@ -59,7 +59,7 @@ TEST(PacketStore, ClearEmpties) {
 }
 
 TEST(PacketStore, EvictsLruWhenOverBudget) {
-  PacketStore store(250);
+  PacketStore store(CacheConfig{.l1_bytes = 250});
   const auto a = store.insert(payload_of('a', 100), {});
   const auto b = store.insert(payload_of('b', 100), {});
   // Touch a so b becomes the LRU.
@@ -73,20 +73,20 @@ TEST(PacketStore, EvictsLruWhenOverBudget) {
 }
 
 TEST(PacketStore, NeverEvictsTheJustInsertedEntry) {
-  PacketStore store(50);  // smaller than one payload
+  PacketStore store(CacheConfig{.l1_bytes = 50});  // smaller than one payload
   const auto id = store.insert(payload_of('a', 100), {});
   EXPECT_TRUE(store.contains(id));
 }
 
 TEST(PacketStore, UnboundedNeverEvicts) {
-  PacketStore store(0);
+  PacketStore store(CacheConfig{.l1_bytes = 0});
   for (int i = 0; i < 1000; ++i) store.insert(payload_of('x', 1000), {});
   EXPECT_EQ(store.size(), 1000u);
   EXPECT_EQ(store.evictions(), 0u);
 }
 
 TEST(PacketStore, PeekDoesNotTouchRecency) {
-  PacketStore store(250);
+  PacketStore store(CacheConfig{.l1_bytes = 250});
   const auto a = store.insert(payload_of('a', 100), {});
   store.insert(payload_of('b', 100), {});
   ASSERT_NE(store.peek(a), nullptr);  // peek must NOT move a to front
@@ -177,7 +177,8 @@ TEST(ByteCache, NewerPacketOverwritesFingerprint) {
 }
 
 TEST(ByteCache, EvictedEntryIsPurgedEagerly) {
-  ByteCache cache(150);  // one 100-byte payload + budget margin
+  // One 100-byte payload + budget margin.
+  ByteCache cache(CacheConfig{.l1_bytes = 150});
   cache.update(payload_of('a', 100), anchors_at({{0, 0xA0}}), {});
   cache.update(payload_of('b', 100), anchors_at({{0, 0xB0}}), {});
   // 'a' was evicted; the eviction hook purged its fingerprint immediately,

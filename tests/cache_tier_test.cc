@@ -1,0 +1,509 @@
+// Unit and integration tests for the two-tier cache (DESIGN.md §14):
+// CacheTier demotion/promotion mechanics, the per-host-pair admission
+// control of the L2 stripe, the eviction-policy seam, the BCT1 tiered
+// snapshot, and — at gateway level — the elephant/mouse isolation the
+// per-pair budgets exist to provide, with the tier counters surfaced
+// through the obs snapshot.
+//
+// The stale-fingerprint assertions extend the PR-2 eager-purge invariant
+// across the tier boundary: after an L1 -> L2 demotion followed by L2
+// reclamation (share or host-budget eviction), no fingerprint in either
+// tier may name a packet that is no longer resident anywhere.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "cache/cache_tier.h"
+#include "cache/l2_store.h"
+#include "cache/snapshot.h"
+#include "core/flow.h"
+#include "gateway/gateways.h"
+#include "packet/packet.h"
+#include "tests/testutil.h"
+#include "util/rng.h"
+
+namespace bytecache::cache {
+namespace {
+
+using util::Bytes;
+
+Bytes payload_of(char c, std::size_t n = 100) { return Bytes(n, c); }
+
+std::vector<rabin::Anchor> anchors_at(
+    std::initializer_list<std::pair<std::uint16_t, rabin::Fingerprint>> list) {
+  std::vector<rabin::Anchor> v;
+  for (auto [off, fp] : list) v.push_back(rabin::Anchor{off, fp});
+  return v;
+}
+
+PacketMeta meta_for(std::uint64_t host_key) {
+  PacketMeta m;
+  m.host_key = host_key;
+  return m;
+}
+
+/// Counts fingerprints, in either tier, that name a packet no longer
+/// resident in that tier.  Must always be zero: the L1 purge is eager
+/// (PR-2) and the L2 purge runs inside evict_slot.
+std::size_t stale_entries(const CacheTier& tier) {
+  std::size_t stale = 0;
+  tier.table().for_each([&](rabin::Fingerprint, const FpEntry& e) {
+    if (tier.store().peek(e.packet_id) == nullptr) ++stale;
+  });
+  if (tier.has_l2()) {
+    tier.stripe()->for_each_fingerprint(
+        [&](std::uint64_t, const FpEntry& e) {
+          if (!tier.stripe()->contains(e.packet_id)) ++stale;
+        });
+  }
+  return stale;
+}
+
+// --------------------------------------------------- basic mechanics --
+
+TEST(CacheTier, NoL2IsPlainByteCache) {
+  CacheTier tier;  // default config: unbounded L1, no L2
+  EXPECT_FALSE(tier.has_l2());
+  EXPECT_EQ(tier.stripe(), nullptr);
+  const Bytes p = payload_of('a');
+  tier.update(p, anchors_at({{10, 0xF0}}), {});
+  auto hit = tier.find(0xF0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->offset, 10u);
+  EXPECT_EQ(tier.tier_stats().l2_hits, 0u);
+  EXPECT_EQ(tier.tier_stats().demotions, 0u);
+  tier.audit();
+}
+
+TEST(CacheTier, L1EvictionDemotesAndL2HitPromotes) {
+  CacheConfig cc;
+  cc.l1_bytes = 250;  // two 100-byte payloads
+  cc.l2_bytes = 64 * 1024;
+  L2Store l2(cc, 1);
+  CacheTier tier(cc, &l2);
+  ASSERT_TRUE(tier.has_l2());
+
+  const std::uint64_t id_a =
+      tier.update(payload_of('a'), anchors_at({{0, 0xA0}}), {});
+  const std::uint64_t id_b =
+      tier.update(payload_of('b'), anchors_at({{0, 0xB0}}), {});
+  // Third insert exceeds the L1 budget: 'a' (the LRU) demotes.
+  const std::uint64_t id_c =
+      tier.update(payload_of('c'), anchors_at({{0, 0xC0}}), {});
+  EXPECT_EQ(tier.tier_stats().demotions, 1u);
+  EXPECT_FALSE(tier.store().contains(id_a));
+  EXPECT_TRUE(tier.stripe()->contains(id_a));
+  tier.audit();
+
+  // The L2 serves the hit immediately (payload intact) and queues the
+  // packet for promotion at the next update.
+  auto hit = tier.find(0xA0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->packet->id, id_a);
+  EXPECT_EQ(hit->packet->payload, util::BytesView(payload_of('a')));
+  EXPECT_EQ(tier.tier_stats().l2_hits, 1u);
+  EXPECT_TRUE(tier.stripe()->contains(id_a));  // promotion is deferred
+
+  // The next update applies the promotion first: 'a' re-enters the L1
+  // just below 'd' in recency, and the displaced 'b'/'c' demote.
+  const std::uint64_t id_d =
+      tier.update(payload_of('d'), anchors_at({{0, 0xD0}}), {});
+  EXPECT_EQ(tier.tier_stats().promotions, 1u);
+  EXPECT_FALSE(tier.stripe()->contains(id_a));
+  EXPECT_TRUE(tier.store().contains(id_a));
+  EXPECT_TRUE(tier.store().contains(id_d));
+  EXPECT_TRUE(tier.stripe()->contains(id_b));
+  EXPECT_TRUE(tier.stripe()->contains(id_c));
+  EXPECT_EQ(tier.tier_stats().demotions, 3u);
+  EXPECT_EQ(stale_entries(tier), 0u);
+  tier.audit();
+}
+
+TEST(CacheTier, OverwrittenFingerprintLeavesExactlyOneOwner) {
+  CacheConfig cc;
+  cc.l1_bytes = 250;
+  cc.l2_bytes = 64 * 1024;
+  L2Store l2(cc, 1);
+  CacheTier tier(cc, &l2);
+
+  // 'a' demotes into the L2 holding fingerprint 0xF0 ...
+  tier.update(payload_of('a'), anchors_at({{0, 0xF0}}), {});
+  tier.update(payload_of('b'), anchors_at({{0, 0xB0}}), {});
+  tier.update(payload_of('c'), anchors_at({{0, 0xC0}}), {});
+  ASSERT_EQ(tier.stripe()->fingerprints(), 1u);
+  // ... then a fresh packet claims 0xF0: the L1 table now owns it and
+  // the L2 index entry must be dropped (exactly-one-tier invariant).
+  tier.update(payload_of('x'), anchors_at({{5, 0xF0}}), {});
+  auto hit = tier.find(0xF0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->offset, 5u);
+  EXPECT_EQ(hit->packet->payload, util::BytesView(payload_of('x')));
+  EXPECT_EQ(tier.tier_stats().l2_hits, 0u);  // served from the L1
+  tier.audit();
+}
+
+// ------------------------------------- reclamation / stale-fp audit --
+
+TEST(CacheTier, NoStaleFingerprintsAfterDemotionThenL2Reclamation) {
+  // Both budgets tiny, so every update demotes and the stripe share
+  // evicts: the scenario the eager-purge invariant must survive.
+  CacheConfig cc;
+  cc.l1_bytes = 250;
+  cc.l2_bytes = 350;  // three 100-byte payloads
+  L2Store l2(cc, 1);
+  CacheTier tier(cc, &l2);
+
+  for (int i = 0; i < 24; ++i) {
+    const auto fp = static_cast<rabin::Fingerprint>(0x1000 + i);
+    tier.update(payload_of(static_cast<char>('a' + (i % 26))),
+                anchors_at({{0, fp}, {50, fp + 0x100}}), {});
+    EXPECT_EQ(stale_entries(tier), 0u) << "after update " << i;
+    tier.audit();
+  }
+  EXPECT_GT(tier.tier_stats().demotions, 0u);
+  EXPECT_GT(tier.tier_stats().l2_evictions, 0u);
+  EXPECT_GT(tier.tier_stats().l2_fingerprints_purged, 0u);
+  // A fingerprint whose packet was reclaimed from the L2 is a clean
+  // miss everywhere — not a stale hit, not an audit trip.
+  EXPECT_FALSE(tier.find(0x1000).has_value());
+  EXPECT_EQ(tier.stats().stale_hits, 0u);
+}
+
+// ------------------------------------------- per-host-pair admission --
+
+TEST(CacheTier, ElephantPairEvictsItsOwnColdestNeverTheMouses) {
+  constexpr std::uint64_t kMouse = 0x1111;
+  constexpr std::uint64_t kElephant = 0x2222;
+  CacheConfig cc;
+  cc.l1_bytes = 250;
+  cc.l2_bytes = 64 * 1024;
+  cc.per_host_pair_bytes = 300;  // three 100-byte payloads per pair
+  L2Store l2(cc, 1);
+  CacheTier tier(cc, &l2);
+
+  const std::uint64_t id_m =
+      tier.update(payload_of('m'), anchors_at({{0, 0xAA00}}),
+                  meta_for(kMouse));
+  // Elephant floods: each insert displaces the L1's LRU into the L2.
+  std::vector<std::uint64_t> elephant_ids;
+  for (int i = 0; i < 8; ++i) {
+    const auto fp = static_cast<rabin::Fingerprint>(0xE000 + i);
+    elephant_ids.push_back(tier.update(
+        payload_of(static_cast<char>('0' + i)), anchors_at({{0, fp}}),
+        meta_for(kElephant)));
+    tier.audit();
+  }
+
+  // The elephant pair is pinned at its own budget ...
+  EXPECT_GT(tier.tier_stats().host_evictions, 0u);
+  EXPECT_LE(tier.stripe()->host_bytes(kElephant),
+            cc.per_host_pair_bytes);
+  // ... and the evictions hit its own coldest packets, oldest first.
+  EXPECT_FALSE(tier.stripe()->contains(elephant_ids[0]));
+  // The mouse's bytes were never touched: still resident, still a hit.
+  EXPECT_TRUE(tier.stripe()->contains(id_m));
+  EXPECT_EQ(tier.stripe()->host_bytes(kMouse), 100u);
+  auto hit = tier.find(0xAA00);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->packet->id, id_m);
+  EXPECT_EQ(stale_entries(tier), 0u);
+  tier.audit();
+}
+
+TEST(CacheTier, AdmissionRejectsPacketsLargerThanAnyBudget) {
+  {
+    // Larger than the per-pair budget.
+    CacheConfig cc;
+    cc.l1_bytes = 100;
+    cc.l2_bytes = 64 * 1024;
+    cc.per_host_pair_bytes = 150;
+    L2Store l2(cc, 1);
+    CacheTier tier(cc, &l2);
+    tier.update(payload_of('a', 200), anchors_at({{0, 0xA0}}),
+                meta_for(7));
+    tier.update(payload_of('b', 200), anchors_at({{0, 0xB0}}),
+                meta_for(7));  // evicts 'a' -> demotion attempt
+    EXPECT_EQ(tier.tier_stats().demotions, 1u);
+    EXPECT_EQ(tier.tier_stats().demotions_rejected, 1u);
+    EXPECT_EQ(tier.stripe()->size(), 0u);
+    tier.audit();
+  }
+  {
+    // Larger than the whole stripe share.
+    CacheConfig cc;
+    cc.l1_bytes = 100;
+    cc.l2_bytes = 150;
+    L2Store l2(cc, 1);
+    CacheTier tier(cc, &l2);
+    tier.update(payload_of('a', 200), anchors_at({{0, 0xA0}}), {});
+    tier.update(payload_of('b', 200), anchors_at({{0, 0xB0}}), {});
+    EXPECT_EQ(tier.tier_stats().demotions_rejected, 1u);
+    EXPECT_EQ(tier.stripe()->size(), 0u);
+    tier.audit();
+  }
+}
+
+// ------------------------------------------ invalidation and flush --
+
+TEST(CacheTier, InvalidateKillsThePacketInWhicheverTierHoldsIt) {
+  CacheConfig cc;
+  cc.l1_bytes = 250;
+  cc.l2_bytes = 64 * 1024;
+  L2Store l2(cc, 1);
+  CacheTier tier(cc, &l2);
+  const std::uint64_t id_a =
+      tier.update(payload_of('a'), anchors_at({{0, 0xA0}}), {});
+  tier.update(payload_of('b'), anchors_at({{0, 0xB0}}), {});
+  tier.update(payload_of('c'), anchors_at({{0, 0xC0}}), {});
+  ASSERT_TRUE(tier.stripe()->contains(id_a));
+
+  // L2-resident victim: the NACKed packet must die, not demote deeper.
+  EXPECT_TRUE(tier.invalidate(0xA0));
+  EXPECT_FALSE(tier.stripe()->contains(id_a));
+  EXPECT_FALSE(tier.find(0xA0).has_value());
+  // L1-resident victim.
+  EXPECT_TRUE(tier.invalidate(0xC0));
+  EXPECT_FALSE(tier.find(0xC0).has_value());
+  // Unknown fingerprint.
+  EXPECT_FALSE(tier.invalidate(0x9999));
+  EXPECT_EQ(stale_entries(tier), 0u);
+  tier.audit();
+}
+
+TEST(CacheTier, FlushClearsBothTiers) {
+  CacheConfig cc;
+  cc.l1_bytes = 250;
+  cc.l2_bytes = 64 * 1024;
+  L2Store l2(cc, 1);
+  CacheTier tier(cc, &l2);
+  for (int i = 0; i < 6; ++i) {
+    tier.update(payload_of(static_cast<char>('a' + i)),
+                anchors_at({{0, static_cast<rabin::Fingerprint>(0xA0 + i)}}),
+                {});
+  }
+  ASSERT_GT(tier.stripe()->size(), 0u);
+  tier.flush();
+  EXPECT_EQ(tier.store().size(), 0u);
+  EXPECT_EQ(tier.fingerprint_count(), 0u);
+  EXPECT_EQ(tier.stripe()->size(), 0u);
+  EXPECT_EQ(tier.stripe()->bytes_used(), 0u);
+  EXPECT_EQ(tier.stripe()->fingerprints(), 0u);
+  EXPECT_FALSE(tier.find(0xA0).has_value());
+  tier.audit();
+}
+
+// --------------------------------------------- eviction-policy seam --
+
+/// Replays one admit/hit sequence under a given policy and hands the
+/// stripe to `verify`: packet 1 ('a') takes four hits before packets
+/// 2..4 arrive, so by the time the share overflows it is hot by
+/// frequency but sits at the recency tail.
+template <typename Verify>
+void run_policy_scenario(EvictionPolicy policy, Verify&& verify) {
+  CacheConfig cc;
+  cc.l2_bytes = 350;  // three 100-byte payloads
+  cc.eviction = policy;
+  L2Store l2(cc, 1);
+  L2Store::Stripe* s = l2.attach();
+  const Bytes bufs[4] = {payload_of('a'), payload_of('b'), payload_of('c'),
+                         payload_of('d')};
+  const rabin::Fingerprint fps[4] = {0xA0, 0xB0, 0xC0, 0xD0};
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    CachedPacket p;
+    p.id = i + 1;
+    p.payload = PayloadView{bufs[i].data(), bufs[i].size()};
+    p.meta.host_key = 0x99;
+    p.fps = {fps[i]};
+    const DemotedFp owned{fps[i], 0};
+    s->admit(p, std::span<const DemotedFp>(&owned, 1));
+    if (i == 0) {
+      bool enqueue = false;
+      for (int h = 0; h < 4; ++h) ASSERT_TRUE(s->find(0xA0, enqueue));
+    }
+    s->end_packet();
+  }
+  s->audit();
+  EXPECT_EQ(s->stats().l2_evictions, 1u);
+  verify(*s);
+}
+
+TEST(L2EvictionPolicy, LruEvictsTheRecencyTailRegardlessOfHits) {
+  run_policy_scenario(EvictionPolicy::kLru, [](const L2Store::Stripe& s) {
+    EXPECT_FALSE(s.contains(1));  // 'a' was the tail
+    EXPECT_TRUE(s.contains(2));
+  });
+}
+
+TEST(L2EvictionPolicy, ZipfAwareSparesHotTailAndTakesColdNeighbour) {
+  run_policy_scenario(
+      EvictionPolicy::kZipfAware, [](const L2Store::Stripe& s) {
+        EXPECT_TRUE(s.contains(1));   // hot 'a' gets its second chance
+        EXPECT_FALSE(s.contains(2));  // zero-hit 'b' goes instead
+      });
+}
+
+// ----------------------------------------------- tiered snapshotting --
+
+TEST(CacheTier, TieredSnapshotRoundTripsBothTiers) {
+  CacheConfig cc;
+  cc.l1_bytes = 250;
+  cc.l2_bytes = 64 * 1024;
+  cc.per_host_pair_bytes = 4096;
+  L2Store l2(cc, 1);
+  CacheTier tier(cc, &l2);
+  for (int i = 0; i < 6; ++i) {
+    tier.update(payload_of(static_cast<char>('a' + i)),
+                anchors_at({{0, static_cast<rabin::Fingerprint>(0xA0 + i)}}),
+                meta_for(0x42 + static_cast<std::uint64_t>(i % 2)));
+  }
+  ASSERT_GT(tier.stripe()->size(), 0u);
+
+  SnapshotWriter w;
+  tier.save(w);
+  const Bytes image = w.take();
+
+  L2Store l2b(cc, 1);
+  CacheTier replica(cc, &l2b);
+  SnapshotReader r(image);
+  ASSERT_TRUE(replica.load(r));
+  ASSERT_TRUE(r.at_end());
+  EXPECT_EQ(replica.store().size(), tier.store().size());
+  EXPECT_EQ(replica.stripe()->size(), tier.stripe()->size());
+  EXPECT_EQ(replica.stripe()->bytes_used(), tier.stripe()->bytes_used());
+  // Both tiers answer lookups exactly as the original does.
+  for (int i = 0; i < 6; ++i) {
+    const auto fp = static_cast<rabin::Fingerprint>(0xA0 + i);
+    auto a = tier.find(fp);
+    auto b = replica.find(fp);
+    ASSERT_EQ(a.has_value(), b.has_value()) << i;
+    if (a.has_value()) {
+      EXPECT_EQ(a->packet->id, b->packet->id) << i;
+      EXPECT_EQ(a->packet->payload, util::BytesView(b->packet->payload)) << i;
+    }
+  }
+  EXPECT_EQ(stale_entries(replica), 0u);
+  replica.audit();
+
+  // A BCT1 image must not load into an L2-less tier (config mismatch).
+  CacheTier flat;
+  SnapshotReader r2(image);
+  EXPECT_FALSE(flat.load(r2));
+  EXPECT_EQ(flat.store().size(), 0u);
+}
+
+// ------------------------------------- gateway-level pair isolation --
+
+packet::PacketPtr pair_packet(std::uint32_t src, util::BytesView payload) {
+  return packet::make_packet(src, testutil::kDstIp, packet::IpProto::kUdp,
+                             Bytes(payload.begin(), payload.end()));
+}
+
+/// 100 mouse pairs plus one elephant pair through a real gateway pair:
+/// the elephant floods unique content, every mouse re-sends its own
+/// chunk each round.  The per-pair budget must keep every mouse's bytes
+/// L2-resident, so mouse hit rates stay high — and the tier counters
+/// must be visible in the gateways' obs snapshots.
+TEST(TierIsolation, ElephantCannotStarveAHundredMousePairs) {
+  constexpr int kMice = 100;
+  constexpr int kRounds = 5;
+  constexpr std::size_t kChunk = 1000;
+  constexpr int kElephantPerRound = 60;
+
+  core::GatewayConfig cfg;
+  cfg.policy = core::PolicyKind::kNaive;
+  cfg.cache.l1_bytes = 32 * 1024;  // far smaller than one round
+  cfg.cache.l2_bytes = 8 * 1024 * 1024;
+  cfg.cache.per_host_pair_bytes = 64 * 1024;
+
+  util::Rng rng(testutil::test_seed(214));
+  std::vector<Bytes> chunks;
+  for (int m = 0; m < kMice; ++m) {
+    chunks.push_back(testutil::random_bytes(rng, kChunk));
+  }
+
+  // Runs the workload and returns {mouse data bytes, mouse wire bytes,
+  // mice with at least one hit in the final round}.
+  struct Outcome {
+    std::uint64_t data = 0;
+    std::uint64_t wire = 0;
+    int mice_hit_last_round = 0;
+    obs::Snapshot enc_snap;
+    obs::Snapshot dec_snap;
+  };
+  auto run = [&](int mice, bool with_elephant) {
+    gateway::EncoderGateway enc(cfg);
+    gateway::DecoderGateway dec(cfg);
+    Outcome out;
+    util::Rng erng(99);
+    int round_hits = 0;
+    Bytes decoded_payload;
+    dec.set_sink([&](packet::PacketPtr p) {
+      decoded_payload = std::move(p->payload);
+    });
+    std::uint64_t wire_len = 0;
+    enc.set_sink([&](packet::PacketPtr p) {
+      wire_len = p->payload.size();
+      dec.receive(std::move(p));
+    });
+    for (int round = 0; round < kRounds; ++round) {
+      round_hits = 0;
+      for (int m = 0; m < mice; ++m) {
+        const std::uint32_t src = 0x0A010000u + static_cast<std::uint32_t>(m);
+        enc.receive(pair_packet(src, chunks[static_cast<std::size_t>(m)]));
+        EXPECT_EQ(decoded_payload, chunks[static_cast<std::size_t>(m)])
+            << "mouse " << m << " round " << round;
+        out.data += kChunk;
+        out.wire += wire_len;
+        if (wire_len < kChunk) ++round_hits;
+      }
+      if (with_elephant) {
+        for (int i = 0; i < kElephantPerRound; ++i) {
+          const Bytes noise = testutil::random_bytes(erng, 1400);
+          enc.receive(pair_packet(0x0A02FFFFu, noise));
+          EXPECT_EQ(decoded_payload, noise);
+        }
+      }
+    }
+    out.mice_hit_last_round = round_hits;
+    out.enc_snap = enc.snapshot();
+    out.dec_snap = dec.snapshot();
+    if (enc.encoder() != nullptr) enc.encoder()->audit();
+    return out;
+  };
+
+  const Outcome alone = run(1, /*with_elephant=*/false);
+  const Outcome crowd = run(kMice, /*with_elephant=*/true);
+
+  // The elephant cannot push any mouse's hit rate to zero: by the last
+  // round every mouse's chunk is still being matched.
+  EXPECT_EQ(crowd.mice_hit_last_round, kMice);
+
+  // A mouse pair's wire ratio stays within 5% of its single-pair value
+  // despite 100x the pairs plus the elephant flood.
+  const double r_alone =
+      static_cast<double>(alone.wire) / static_cast<double>(alone.data);
+  const double r_crowd =
+      static_cast<double>(crowd.wire) / static_cast<double>(crowd.data);
+  EXPECT_LT(r_alone, 0.6);  // the workload really is redundant
+  EXPECT_NEAR(r_crowd, r_alone, 0.05 * r_alone);
+
+  // The tier counters are visible in the obs snapshots, on both sides.
+  for (const obs::Snapshot* snap : {&crowd.enc_snap, &crowd.dec_snap}) {
+    const char* side = snap == &crowd.enc_snap ? "encoder" : "decoder";
+    const std::string prefix = std::string(side) + ".cache.";
+    EXPECT_GT(snap->counter(prefix + "tier.demotions"), 0u) << side;
+    EXPECT_GT(snap->counter(prefix + "tier.l2_hits"), 0u) << side;
+    EXPECT_GT(snap->counter(prefix + "tier.promotions"), 0u) << side;
+    EXPECT_GT(snap->counter(prefix + "tier.host_evictions"), 0u) << side;
+    EXPECT_GE(snap->gauge(prefix + "l2_host_pairs"),
+              static_cast<double>(kMice))
+        << side;
+    EXPECT_GT(snap->gauge(prefix + "l2_bytes_stored"), 0.0) << side;
+  }
+}
+
+}  // namespace
+}  // namespace bytecache::cache

@@ -127,7 +127,7 @@ TEST(Chaos, TinyCachePlusChaos) {
   // must still hold (references to evicted packets become clean drops).
   auto cfg = chaos_config(core::PolicyKind::kCacheFlush,
                           core::SelectMode::kValueSampling, 9);
-  cfg.dre.cache_bytes = 20 * 1480;  // ~20 packets
+  cfg.cache.l1_bytes = 20 * 1480;  // ~20 packets
   auto r = harness::run_trial(cfg, chaos_file(), 9);
   EXPECT_TRUE(r.completed);
   EXPECT_TRUE(r.verified);

@@ -109,7 +109,7 @@ PacketMeta meta_at(std::uint64_t stream_index) {
 
 TEST(PacketStoreAudit, CleanThroughInsertLookupEraseEvict) {
   util::Rng rng(7);
-  PacketStore store(/*byte_budget=*/4096);
+  PacketStore store(cache::CacheConfig{.l1_bytes = 4096});
   std::vector<std::uint64_t> ids;
   for (int i = 0; i < 16; ++i) {
     const util::Bytes payload =

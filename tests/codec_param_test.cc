@@ -271,9 +271,10 @@ TEST(CodecEviction, TinyCacheNeverCorruptsStream) {
   // With a cache far too small, entries are constantly evicted on both
   // sides; decode failures are acceptable, wrong bytes are not.
   DreParams params;
-  params.cache_bytes = 8 * 1480;  // ~8 packets
-  Encoder enc(params, make_policy(PolicyKind::kNaive, params));
-  Decoder dec(params);
+  cache::CacheConfig cc;
+  cc.l1_bytes = 8 * 1480;  // ~8 packets
+  Encoder enc(params, make_policy(PolicyKind::kNaive, params), cc);
+  Decoder dec(params, cc);
   Rng rng(66);
   const Bytes object = workload::make_file1(rng, 200 * 1460);
   std::size_t drops = 0;

@@ -398,7 +398,8 @@ TEST(CodecEquiv, EncodingBitIdenticalAcrossInstances) {
 /// Counts fingerprint entries whose packet is gone, independent of the
 /// build's BC_AUDIT setting (the audit() form is a no-op in plain
 /// Release).
-std::size_t stale_entries(const cache::ByteCache& cache) {
+template <typename CacheLike>  // ByteCache or the CacheTier facade
+std::size_t stale_entries(const CacheLike& cache) {
   std::size_t stale = 0;
   cache.table().for_each(
       [&](rabin::Fingerprint, const cache::FpEntry& entry) {
@@ -409,7 +410,8 @@ std::size_t stale_entries(const cache::ByteCache& cache) {
 
 TEST(EvictionPurge, NoStaleEntriesUnderChurn) {
   const rabin::RabinTables tables(16);
-  cache::ByteCache cache(8 * 1024);  // tiny budget: constant eviction
+  cache::ByteCache cache(
+      cache::CacheConfig{.l1_bytes = 8 * 1024});  // constant eviction
   Rng rng(testutil::test_seed(108));
   for (int i = 0; i < 400; ++i) {
     const Bytes payload = random_bytes(rng, rng.uniform(64, 1460));
@@ -427,9 +429,10 @@ TEST(EvictionPurge, NoStaleEntriesUnderChurn) {
 
 TEST(EvictionPurge, BoundedEncoderDecoderStayInSync) {
   core::DreParams params;
-  params.cache_bytes = 64 * 1024;  // far smaller than the stream
-  auto enc = test_encoder(core::PolicyKind::kNaive, params);
-  core::Decoder dec{params};
+  cache::CacheConfig cc;
+  cc.l1_bytes = 64 * 1024;  // far smaller than the stream
+  auto enc = test_encoder(core::PolicyKind::kNaive, params, cc);
+  core::Decoder dec{params, cc};
   Rng rng(testutil::test_seed(109));
   Bytes object;
   const Bytes chunk = random_bytes(rng, 4000);

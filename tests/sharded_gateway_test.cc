@@ -247,10 +247,10 @@ FlowSet make_flows(int flows, std::size_t segments_per_flow,
 void run_threaded_end_to_end(std::size_t shards, std::size_t cache_bytes,
                              bool worker_sink_chain) {
   core::DreParams params;
-  params.cache_bytes = cache_bytes;
-  const core::GatewayConfig cfg =
+  core::GatewayConfig cfg =
       make_cfg(core::PolicyKind::kNaive, params, shards, /*threaded=*/true,
                /*ring_capacity=*/128);
+  cfg.cache.l1_bytes = cache_bytes;
 
   FlowSet fs = make_flows(/*flows=*/3 * static_cast<int>(shards),
                           /*segments_per_flow=*/40, /*seed=*/shards);

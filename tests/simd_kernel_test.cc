@@ -204,10 +204,11 @@ std::vector<Bytes> wire_bytes_under(rabin::ScanKernelKind kind,
   rabin::ScopedScanKernel pin(kind);
   core::DreParams params;
   params.select_mode = cfg.mode;
-  if (cfg.cache_bytes > 0) params.cache_bytes = cfg.cache_bytes;
   params.epoch_resync = cfg.epoch_resync;
-  core::Encoder enc = test_encoder(cfg.policy, params);
-  core::Decoder dec(params);
+  cache::CacheConfig cc;
+  cc.l1_bytes = cfg.cache_bytes;
+  core::Encoder enc = test_encoder(cfg.policy, params, cc);
+  core::Decoder dec(params, cc);
   std::vector<Bytes> wire;
   for (const auto& pkt : segment_stream(object)) {
     const Bytes original = pkt->payload;

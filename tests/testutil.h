@@ -80,8 +80,10 @@ inline util::Bytes random_bytes(util::Rng& rng, std::size_t n) {
 
 /// Creates an encoder with the given policy kind.
 inline core::Encoder test_encoder(core::PolicyKind kind,
-                                  core::DreParams params = {}) {
-  return core::Encoder(params, core::make_policy(kind, params));
+                                  core::DreParams params = {},
+                                  cache::CacheConfig cache = {},
+                                  cache::L2Store* l2 = nullptr) {
+  return core::Encoder(params, core::make_policy(kind, params), cache, l2);
 }
 
 }  // namespace bytecache::testutil

@@ -1,0 +1,37 @@
+// BC-FIXTURE: path=src/cache/cache_tier_promote.cc
+//
+// bc-hotpath-alloc known-bad for the tier promotion path (DESIGN.md
+// §14): find() and the deferred-promotion drain run once per packet, so
+// a node-map insert per L2 hit or a make_unique per promoted packet is
+// exactly the steady-state allocation the tier design forbids (the real
+// store parks promotions in a reused vector and moves slab-backed
+// packets wholesale).  Contiguous growth of that pending vector is
+// amortised and allowed, and the snapshot writer is off the per-packet
+// path by name — neither may produce a finding.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace bytecache::cache {
+
+struct FixturePromoteQueue {
+  std::map<std::uint64_t, std::uint32_t> hit_index;
+  std::vector<std::uint64_t> pending;
+
+  void find(std::uint64_t fp) {
+    hit_index.emplace(fp, 1u);  // EXPECT(bc-hotpath-alloc)
+    pending.push_back(fp);  // contiguous growth: amortised, no finding
+  }
+
+  std::unique_ptr<std::uint64_t> promote_one(std::uint64_t id) {
+    return std::make_unique<std::uint64_t>(id);  // EXPECT(bc-hotpath-alloc)
+  }
+
+  // Snapshot writing is cold by name: allocation here must stay silent.
+  std::uint64_t* snapshot_block(std::uint64_t id) {
+    return new std::uint64_t(id);
+  }
+};
+
+}  // namespace bytecache::cache

@@ -1,0 +1,28 @@
+// BC-FIXTURE: path=src/cache/l2_store_locked.cc
+//
+// bc-nolock known-bad for the L2 tier (DESIGN.md §14): the stripe read
+// path must stay lock-free — reclamation is deferred to epoch
+// boundaries precisely so shard workers never block inside find().  A
+// reader/writer lock on the stripe index (even behind a project alias)
+// is the design violation this rule exists to catch; the epoch counter
+// itself is an atomic and must stay silent.
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+
+namespace bytecache::cache {
+
+using StripeLock = std::shared_mutex;  // alias must not hide the lock
+
+struct FixtureStripe {
+  StripeLock index_lock;  // EXPECT(bc-nolock)
+  std::atomic<std::uint64_t> epoch{0};  // lock-free by design: no finding
+  int entries = 0;
+};
+
+int locked_find(FixtureStripe& s) {
+  std::shared_lock<StripeLock> g(s.index_lock);  // EXPECT(bc-nolock)
+  return s.entries;
+}
+
+}  // namespace bytecache::cache

@@ -3,7 +3,7 @@
 // bc-wire-bounds known-good: every guard idiom the tree actually uses.
 // A size early-exit (core/wire.cc), reads under the guard's own
 // short-circuit, the `have(n)` remaining-length lambda
-// (cache/persist.cc), guards inside loop bodies, and delegation to
+// (cache/snapshot.h), guards inside loop bodies, and delegation to
 // another parse_* function that did the checking (packet/tcp.cc).
 #include <cstdint>
 #include <optional>

@@ -7,7 +7,10 @@ Runs the tracked data-plane benchmarks from a Release build tree:
                          (its own JSON output is embedded verbatim); its
                          *_telemetry workloads gate the observability
                          budget: >= 98% of the plain twin's MB/s and a
-                         bit-identical wire_ratio, else this script fails
+                         bit-identical wire_ratio, else this script fails;
+                         its file1_tiered row drives the L1/L2 CacheTier
+                         (DESIGN.md section 14) and must stay present —
+                         the wire gate pins its ratio like every v1/v2 row
   bench_mt_throughput    sharded-gateway scaling sweep (1/2/4/8 shards);
                          embedded verbatim, one entry per shard count plus
                          a single-flow wire-identity probe whose wire_ratio
@@ -160,6 +163,23 @@ def check_wire_ratio_drift(doc, label, entry, allow):
                     "point)")
 
 
+def check_tier_row(entry):
+    """The file1_tiered workload replays the file1 stream through the
+    L1/L2 CacheTier (DESIGN.md §14); it is the tier's only tracked
+    number, and check_wire_ratio_drift pins its wire_ratio across labels
+    exactly like the flat rows (the tiered codec is still a
+    deterministic function of the corpus).  Refuse to record an entry
+    that silently dropped the row — an untracked tier is an ungated
+    tier."""
+    names = {r["name"]
+             for r in entry.get("bench_throughput", {}).get("results", [])}
+    if "file1_tiered" not in names:
+        sys.exit("bench_json: bench_throughput no longer reports the "
+                 "'file1_tiered' workload — the cache-tier row is part of "
+                 "the tracked set (DESIGN.md §14); restore it rather than "
+                 "dropping the tier's only gated number")
+
+
 def self_test():
     """Offline check of the merge gates (no bench binaries needed);
     registered as the bench_json_selftest ctest."""
@@ -205,6 +225,18 @@ def self_test():
     coded = bt("file1_coded", 0.7)
     check_wire_ratio_drift({"baseline": bt("file1_coded", 0.9)}, "current",
                            coded, False)  # v3 row exempt: free to evolve
+
+    tiered = bt("file1_tiered", 0.55)
+    doc = {"baseline": bt("file1_tiered", 0.56)}
+    assert exits(lambda: check_wire_ratio_drift(doc, "current", tiered,
+                                                False)), \
+        "the cache-tier row must be pinned by the wire gate like v1/v2 rows"
+    check_wire_ratio_drift({"baseline": bt("file1_tiered", 0.55)}, "current",
+                           tiered, False)  # identical: fine
+    assert exits(lambda: check_tier_row(bt("file1_naive_valuesampling",
+                                           0.5))), \
+        "tier gate must refuse an entry that dropped the file1_tiered row"
+    check_tier_row(tiered)  # row present: fine
 
     print("bench_json: self-test passed")
 
@@ -364,6 +396,7 @@ def main():
         "bench_micro_rabin": micro,
     }
     check_kernel_consistency(entry)
+    check_tier_row(entry)
     check_wire_identity(entry)
     check_telemetry_overhead(entry, bt_runs)
 
